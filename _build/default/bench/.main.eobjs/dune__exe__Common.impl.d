@@ -1,0 +1,1 @@
+bench/common.ml: Adhoc Float Graphs List Pipeline Pointset Printf Topo Util

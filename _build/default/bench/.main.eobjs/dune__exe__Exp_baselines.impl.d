@@ -1,0 +1,1 @@
+bench/exp_baselines.ml: Adhoc Array Common Float Graphs Hashtbl Interference List Option Pointset Printf Stats Table Topo Unix Util

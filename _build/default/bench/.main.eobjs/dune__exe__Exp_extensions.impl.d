@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Adhoc Array Common Cost Float Fun Geom Graphs Hashtbl Interference List Option Pipeline Pointset Printf Routing Stats String Table Topo Util

@@ -1,0 +1,1 @@
+bench/exp_interference.ml: Adhoc Array Common Fun Graphs Hashtbl Interference List Option Pipeline Printf Stats Table Util

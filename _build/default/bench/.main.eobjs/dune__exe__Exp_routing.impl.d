@@ -1,0 +1,1 @@
+bench/exp_routing.ml: Adhoc Array Common Cost Float Geom Graphs Interference List Mac_protocols Pipeline Pointset Printf Routing Stats Table Util

@@ -1,0 +1,1 @@
+bench/exp_topology.ml: Adhoc Array Common Cost Float Graphs List Pointset Printf Table Topo Util

@@ -1,0 +1,1 @@
+bench/figures.ml: Adhoc Array Common Filename Float Graphs Interference List Pipeline Pointset Printf Stats Sys Topo Util Viz

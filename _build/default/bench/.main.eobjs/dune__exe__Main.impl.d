@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_baselines Exp_extensions Exp_interference Exp_routing Exp_topology Figures List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Adhoc Analyze Bechamel Benchmark Common Float Graphs Hashtbl Instance Interference Lazy List Measure Pipeline Pointset Printf Routing Staged Test Time Toolkit Topo Util

@@ -1,0 +1,30 @@
+(* Shared helpers for the experiment harness. *)
+
+open Adhoc
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Cost = Graphs.Cost
+module Table = Util.Table
+module Stats = Util.Stats
+
+let theta_default = Float.pi /. 6.
+
+(* Build a connected instance on [n] uniform nodes. *)
+let uniform_instance ?(range_factor = 1.5) ?(theta = theta_default) ?(delta = 0.5) seed n =
+  let rng = Prng.create seed in
+  let points = Pointset.Generators.uniform rng n in
+  let range = range_factor *. Topo.Udg.critical_range points in
+  (rng, Pipeline.prepare ~delta ~theta ~range points)
+
+let mean_and_max values =
+  let s = Stats.summarize values in
+  (s.Stats.mean, s.Stats.max)
+
+let fmt2 = Printf.sprintf "%.2f"
+let fmt3 = Printf.sprintf "%.3f"
+let fmt4 = Printf.sprintf "%.4f"
+
+let seeds k = List.init k (fun i -> 1000 + (17 * i))
+
+let header title =
+  Printf.printf "\n=== %s ===\n\n%!" title

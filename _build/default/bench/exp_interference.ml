@@ -1,0 +1,145 @@
+(* Experiments E5-E6: interference claims (paper Section 2.4).
+
+   E5  Lemma 2.10  — I(𝒩) = O(log n) whp for uniform random nodes
+   E6  Thm 2.8/Lem 2.9 — θ-path replacement: ≤ 6 paths share an edge;
+       simulated schedules of non-interfering G* rounds complete in O(I)
+       overlay rounds per G* round. *)
+
+open Adhoc
+open Common
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Conflict = Interference.Conflict
+module Model = Interference.Model
+module Theta_paths = Interference.Theta_paths
+
+let e5 () =
+  header "E5 (Lemma 2.10): interference number of the overlay vs n";
+  let ns = [ 64; 128; 256; 512; 1024; 2048; 4096 ] in
+  let t =
+    Table.create
+      [
+        ("n", Table.Right);
+        ("I (mean of 5)", Table.Right);
+        ("I / ln n", Table.Right);
+        ("overlay edges", Table.Right);
+      ]
+  in
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun n ->
+      let is = ref [] and edges = ref 0 in
+      List.iter
+        (fun seed ->
+          let _, b = uniform_instance ~range_factor:1.2 seed n in
+          is := float_of_int b.Pipeline.interference_number :: !is;
+          edges := Graph.num_edges b.Pipeline.overlay)
+        (seeds 5);
+      let mean_i = Stats.mean (Array.of_list !is) in
+      xs := float_of_int n :: !xs;
+      ys := mean_i :: !ys;
+      Table.add_row t
+        [
+          string_of_int n;
+          fmt2 mean_i;
+          fmt2 (mean_i /. log (float_of_int n));
+          string_of_int !edges;
+        ])
+    ns;
+  Table.print t;
+  let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+  let _, logslope = Stats.log_fit xs ys in
+  Printf.printf
+    "log fit: I ~ %.2f * ln n; power-law exponent (loglog slope) = %.2f\n"
+    logslope (Stats.loglog_slope xs ys);
+  print_endline
+    "paper: I = O(log n) whp - I/ln n roughly flat, power-law exponent well below 1."
+
+(* ------------------------------------------------------------------ *)
+
+(* Greedy interference-free schedule of a multiset of overlay-edge uses:
+   each round transmits a maximal independent subset of the edges that still
+   have pending uses.  Returns the number of rounds (makespan). *)
+let schedule_uses conflict uses =
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun e -> Hashtbl.replace pending e (1 + Option.value ~default:0 (Hashtbl.find_opt pending e)))
+    uses;
+  let rounds = ref 0 in
+  while Hashtbl.length pending > 0 do
+    incr rounds;
+    let candidates = Hashtbl.fold (fun e _ acc -> e :: acc) pending [] in
+    let chosen = Conflict.max_independent_greedy conflict candidates in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt pending e with
+        | Some 1 -> Hashtbl.remove pending e
+        | Some c -> Hashtbl.replace pending e (c - 1)
+        | None -> ())
+      chosen
+  done;
+  !rounds
+
+let e6 () =
+  header "E6 (Theorem 2.8 / Lemma 2.9): theta-path replacement of G* rounds";
+  let t =
+    Table.create
+      [
+        ("n", Table.Right);
+        ("|T| (mean)", Table.Right);
+        ("max multiplicity (<=6)", Table.Right);
+        ("mean dilation (hops)", Table.Right);
+        ("overlay rounds per G* round", Table.Right);
+        ("I", Table.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let mult = ref 0
+      and tsizes = ref []
+      and dilation = ref []
+      and rounds = ref []
+      and interference = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng, b = uniform_instance ~range_factor:1.3 seed n in
+          let points = b.Pipeline.points in
+          let gstar = b.Pipeline.gstar in
+          let gstar_conflict = Conflict.build (Model.make ~delta:0.5) ~points gstar in
+          let tp = Theta_paths.create b.Pipeline.alg in
+          interference := max !interference b.Pipeline.interference_number;
+          (* Three random non-interfering rounds T of G* transmissions. *)
+          let ids = Array.init (Graph.num_edges gstar) Fun.id in
+          for _ = 1 to 3 do
+            Prng.shuffle rng ids;
+            let round = Conflict.max_independent_greedy gstar_conflict (Array.to_list ids) in
+            tsizes := float_of_int (List.length round) :: !tsizes;
+            let pairs = List.map (Graph.endpoints gstar) round in
+            mult := max !mult (Theta_paths.max_multiplicity tp pairs);
+            let uses =
+              List.concat_map
+                (fun (u, v) ->
+                  let edges = Theta_paths.replace_edges tp u v in
+                  dilation := float_of_int (List.length edges) :: !dilation;
+                  List.filter_map
+                    (fun (a, c) -> Graph.find_edge b.Pipeline.overlay a c)
+                    edges)
+                pairs
+            in
+            rounds := float_of_int (schedule_uses b.Pipeline.conflict uses) :: !rounds
+          done)
+        (seeds 3);
+      Table.add_row t
+        [
+          string_of_int n;
+          fmt2 (Stats.mean (Array.of_list !tsizes));
+          string_of_int !mult;
+          fmt2 (Stats.mean (Array.of_list !dilation));
+          fmt2 (Stats.mean (Array.of_list !rounds));
+          string_of_int !interference;
+        ])
+    [ 64; 128; 256 ];
+  Table.print t;
+  print_endline
+    "paper: multiplicity <= 6 (Lemma 2.9); a non-interfering G* round maps to";
+  print_endline "O(I) overlay rounds, so W delivers in O(tI + n^2) steps (Theorem 2.8)."

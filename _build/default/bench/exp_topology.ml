@@ -1,0 +1,192 @@
+(* Experiments E1-E4: topology-control claims (paper Section 2).
+
+   E1  Lemma 2.1    — 𝒩 connected, degree <= 4π/θ
+   E2  Theorem 2.2  — O(1) energy-stretch for any distribution
+   E3  Theorem 2.7  — O(1) distance-stretch on civilized sets
+   E4  open problem — distance-stretch as the civilized assumption decays *)
+
+open Adhoc
+open Common
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Stretch = Graphs.Stretch
+
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1 (Lemma 2.1): connectivity and the 4pi/theta degree bound";
+  let t =
+    Table.create
+      [
+        ("theta", Table.Left);
+        ("bound", Table.Right);
+        ("n", Table.Right);
+        ("max degree (worst of 5 seeds)", Table.Right);
+        ("always connected", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (name, theta) ->
+      List.iter
+        (fun n ->
+          let worst_deg = ref 0 and all_connected = ref true in
+          List.iter
+            (fun seed ->
+              let rng = Prng.create seed in
+              let points = Pointset.Generators.uniform rng n in
+              let range = 1.5 *. Topo.Udg.critical_range points in
+              let overlay = Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points) in
+              worst_deg := max !worst_deg (Graph.max_degree overlay);
+              if not (Graphs.Components.is_connected overlay) then all_connected := false)
+            (seeds 5);
+          Table.add_row t
+            [
+              name;
+              string_of_int (Topo.Theta_alg.degree_bound ~theta);
+              string_of_int n;
+              string_of_int !worst_deg;
+              (if !all_connected then "yes" else "NO");
+            ])
+        [ 64; 128; 256; 512; 1024 ])
+    [ ("pi/3", Float.pi /. 3.); ("pi/4", Float.pi /. 4.); ("pi/6", Float.pi /. 6.) ];
+  Table.print t;
+  print_endline "paper: connected for every instance, max degree never above the bound."
+
+(* ------------------------------------------------------------------ *)
+
+let distributions =
+  [
+    ("uniform", fun rng n -> Pointset.Generators.uniform rng n);
+    ( "clusters",
+      fun rng n -> Pointset.Generators.clusters ~num_clusters:5 ~spread:0.04 rng n );
+    ("ring", fun rng n -> Pointset.Generators.ring ~width:0.2 rng n);
+    ("two-scale", fun rng n -> Pointset.Generators.two_scale ~ratio:0.05 rng n);
+  ]
+
+let stretch_of ~cost seed gen n =
+  let rng = Prng.create seed in
+  let points = gen rng n in
+  let range = 1.5 *. Topo.Udg.critical_range points in
+  let gstar = Topo.Udg.build ~range points in
+  let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
+  Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar ~cost
+
+let e2 () =
+  header "E2 (Theorem 2.2): O(1) energy-stretch for arbitrary distributions";
+  let t =
+    Table.create
+      ([ ("kappa", Table.Left); ("distribution", Table.Left) ]
+      @ List.map (fun n -> (Printf.sprintf "n=%d" n, Table.Right)) [ 64; 128; 256; 512 ])
+  in
+  List.iter
+    (fun kappa ->
+      List.iter
+        (fun (dname, gen) ->
+          let row =
+            List.map
+              (fun n ->
+                let vals =
+                  Array.of_list
+                    (List.map
+                       (fun seed -> stretch_of ~cost:(Cost.energy ~kappa) seed gen n)
+                       (seeds 3))
+                in
+                let _, worst = mean_and_max vals in
+                fmt3 worst)
+              [ 64; 128; 256; 512 ]
+          in
+          Table.add_row t ((Printf.sprintf "%.0f" kappa :: dname :: row)))
+        distributions)
+    [ 2.; 3.; 4. ];
+  Table.print t;
+  print_endline
+    "paper: a constant independent of n and of the distribution (flat rows).";
+  print_endline "cells show the worst energy-stretch over 3 seeds."
+
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3 (Theorem 2.7): O(1) distance-stretch on civilized (Poisson-disk) sets";
+  let t =
+    Table.create
+      [
+        ("min separation", Table.Right);
+        ("n (approx)", Table.Right);
+        ("lambda", Table.Right);
+        ("distance stretch (worst of 3)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun min_dist ->
+      let ns = ref [] and lambdas = ref [] and stretches = ref [] in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create seed in
+          let points = Pointset.Poisson_disk.sample ~min_dist rng in
+          let range = 1.5 *. Topo.Udg.critical_range points in
+          let gstar = Topo.Udg.build ~range points in
+          let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
+          ns := Array.length points :: !ns;
+          lambdas := Pointset.Precision.lambda points :: !lambdas;
+          stretches :=
+            Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar
+              ~cost:Cost.length
+            :: !stretches)
+        (seeds 3);
+      Table.add_row t
+        [
+          fmt3 min_dist;
+          string_of_int (List.fold_left ( + ) 0 !ns / List.length !ns);
+          fmt4 (List.fold_left Float.max 0. !lambdas);
+          fmt3 (List.fold_left Float.max 0. !stretches);
+        ])
+    [ 0.16; 0.08; 0.04; 0.02 ];
+  Table.print t;
+  print_endline "paper: bounded stretch across the lambda range (civilized sets)."
+
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4 (open problem): distance-stretch as the civilized assumption decays";
+  let measure points =
+    let range = 1.05 *. Topo.Udg.critical_range points in
+    let gstar = Topo.Udg.build ~range points in
+    let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
+    let ov = Topo.Theta_alg.overlay alg in
+    ( Pointset.Precision.lambda points,
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.),
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:Cost.length )
+  in
+  let t =
+    Table.create
+      [
+        ("family", Table.Left);
+        ("n", Table.Right);
+        ("lambda", Table.Right);
+        ("energy stretch", Table.Right);
+        ("distance stretch", Table.Right);
+      ]
+  in
+  let families =
+    [
+      ("two-scale 0.02", fun n -> Pointset.Generators.two_scale ~ratio:0.02 (Prng.create 3) n);
+      ("exp chain b=1.5", fun n -> Pointset.Generators.exponential_chain ~base:1.5 n);
+      ("exp spiral b=1.3", fun n -> Pointset.Generators.exponential_spiral ~base:1.3 n);
+      ("exp spiral b=1.6", fun n -> Pointset.Generators.exponential_spiral ~base:1.6 n);
+    ]
+  in
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun n ->
+          let lambda, es, ds = measure (gen n) in
+          Table.add_row t
+            [ name; string_of_int n; Printf.sprintf "%.2e" lambda; fmt3 es; fmt3 ds ])
+        [ 32; 64; 128 ])
+    families;
+  Table.print t;
+  print_endline
+    "paper: energy-stretch provably stays O(1) (Theorem 2.2); whether";
+  print_endline
+    "distance-stretch stays bounded without the civilized assumption is the";
+  print_endline "paper's open question - this measures it."

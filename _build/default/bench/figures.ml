@@ -1,0 +1,91 @@
+(* `dune exec bench/main.exe -- figures` — SVG renderings of the headline
+   experiment curves, written into ./bench_figures/. *)
+
+open Adhoc
+open Common
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Chart = Viz.Chart
+
+let dir = "bench_figures"
+
+let ensure_dir () = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* E5: interference number vs ln n, with the fitted log curve. *)
+let interference_growth () =
+  let ns = [ 64; 128; 256; 512; 1024; 2048 ] in
+  let measured =
+    List.map
+      (fun n ->
+        let is =
+          List.map
+            (fun seed ->
+              let _, b = uniform_instance ~range_factor:1.2 seed n in
+              float_of_int b.Pipeline.interference_number)
+            (seeds 5)
+        in
+        (log (float_of_int n), Stats.mean (Array.of_list is)))
+      ns
+  in
+  let xs = Array.of_list (List.map fst measured) in
+  let ys = Array.of_list (List.map snd measured) in
+  let a, b = Stats.linear_fit xs ys in
+  let fit = Array.map (fun x -> (x, a +. (b *. x))) xs in
+  Chart.save
+    ~title:"E5: interference number vs ln n (uniform random nodes)"
+    ~x_label:"ln n" ~y_label:"I"
+    [
+      Chart.series ~color:"#1f4e8c" ~label:"measured I (mean of 5)" (Array.of_list measured);
+      Chart.series ~color:"#c0392b" ~label:"linear fit in ln n" fit;
+    ]
+    (Filename.concat dir "e5_interference.svg")
+
+(* E7: throughput ratio vs horizon for a representative seed. *)
+let balancing_convergence () =
+  let pts =
+    List.map
+      (fun horizon ->
+        let rng, b = uniform_instance 1000 150 in
+        let r =
+          Pipeline.run_scenario1 ~epsilon:0.5 ~horizon ~attempts:(2 * horizon) ~flows:2 ~rng b
+        in
+        (float_of_int horizon, r.Pipeline.throughput_ratio))
+      [ 2000; 4000; 8000; 16000; 32000 ]
+  in
+  Chart.save
+    ~title:"E7: throughput ratio vs horizon (seed 1000, eps = 0.5)"
+    ~x_label:"horizon (steps)" ~y_label:"delivered / OPT"
+    [ Chart.series ~color:"#1e8449" ~label:"(T,gamma)-balancing" (Array.of_list pts) ]
+    (Filename.concat dir "e7_convergence.svg")
+
+(* E13: the theta trade-off frontier (stretch vs interference). *)
+let theta_frontier () =
+  let pts =
+    List.map
+      (fun theta ->
+        let rng = Prng.create 1000 in
+        let points = Pointset.Generators.uniform rng 256 in
+        let range = 1.5 *. Topo.Udg.critical_range points in
+        let gstar = Topo.Udg.build ~range points in
+        let ov = Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points) in
+        let c =
+          Interference.Conflict.build (Interference.Model.make ~delta:0.5) ~points ov
+        in
+        ( float_of_int (Interference.Conflict.interference_number c),
+          Graphs.Stretch.over_base_edges ~sub:ov ~base:gstar
+            ~cost:(Graphs.Cost.energy ~kappa:2.) ))
+      [ Float.pi /. 3.; Float.pi /. 4.; Float.pi /. 6.; Float.pi /. 12.; Float.pi /. 24. ]
+  in
+  Chart.save
+    ~title:"E13: the theta trade-off (each point one theta, pi/3 ... pi/24)"
+    ~x_label:"interference number I" ~y_label:"energy stretch"
+    [ Chart.series ~color:"#6c3483" ~label:"theta overlay" (Array.of_list pts) ]
+    (Filename.concat dir "e13_frontier.svg")
+
+let run () =
+  header "figures: SVG renderings into ./bench_figures/";
+  ensure_dir ();
+  interference_growth ();
+  balancing_convergence ();
+  theta_frontier ();
+  Printf.printf "wrote %s/{e5_interference,e7_convergence,e13_frontier}.svg\n" dir

@@ -1,0 +1,60 @@
+(* Benchmark harness: regenerates every experiment in EXPERIMENTS.md.
+
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- e5 e7     # run selected experiments
+     dune exec bench/main.exe -- quick     # skip the slowest routing sweeps
+
+   Experiment ids: e1..e11 (paper claims), b1 (micro-benchmarks). *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("e1", "Lemma 2.1: connectivity + degree bound", Exp_topology.e1);
+    ("e2", "Theorem 2.2: O(1) energy-stretch", Exp_topology.e2);
+    ("e3", "Theorem 2.7: distance-stretch, civilized", Exp_topology.e3);
+    ("e4", "open problem: non-civilized distance-stretch", Exp_topology.e4);
+    ("e5", "Lemma 2.10: interference number O(log n)", Exp_interference.e5);
+    ("e6", "Thm 2.8/Lem 2.9: theta-path replacement", Exp_interference.e6);
+    ("e7", "Theorem 3.1: balancing vs OPT, MAC given", Exp_routing.e7);
+    ("e8", "Thm 3.3/Lem 3.2: random MAC", Exp_routing.e8);
+    ("e9", "Corollary 3.5: end-to-end vs n", Exp_routing.e9);
+    ("e10", "Theorem 3.8: honeycomb algorithm", Exp_routing.e10);
+    ("e11", "baseline topology comparison", Exp_baselines.e11);
+    ("e12", "intro claim: kNN vs ThetaALG", Exp_extensions.e12);
+    ("e13", "ablation: theta sweep + latency", Exp_extensions.e13);
+    ("e14", "related work: geographic routing", Exp_extensions.e14);
+    ("e15", "related work: queueing disciplines", Exp_extensions.e15);
+    ("e16", "model fidelity: protocol vs SINR", Exp_extensions.e16);
+    ("e17", "maintenance locality under motion", Exp_extensions.e17);
+    ("e18", "extension: cost-aware anycast", Exp_extensions.e18);
+    ("e19", "Section 3.2 remark: reduced control traffic", Exp_extensions.e19);
+    ("e20", "context: Gupta-Kumar capacity scaling", Exp_extensions.e20);
+    ("b1", "micro-benchmarks", Micro.run);
+    ("figures", "SVG figures for key experiments", Figures.run);
+  ]
+
+(* "figures" writes files, so it is opt-in rather than part of the default
+   full run. *)
+let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
+
+let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1" ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let selected =
+    match args with
+    | [] -> List.map (fun (id, _, _) -> id) default_set
+    | [ "quick" ] -> quick_set
+    | ids -> ids
+  in
+  print_endline "Reproduction harness: Jia, Rajaraman, Scheideler (SPAA 2003),";
+  print_endline "\"On Local Algorithms for Topology Control and Routing in Ad Hoc Networks\".";
+  List.iter
+    (fun id ->
+      match List.find_opt (fun (i, _, _) -> i = id) all with
+      | Some (_, _, f) -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " (List.map (fun (i, _, _) -> i) all));
+          exit 1)
+    selected;
+  print_newline ()

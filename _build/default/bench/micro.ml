@@ -1,0 +1,88 @@
+(* B1: Bechamel micro-benchmarks of the core construction and simulation
+   primitives, one Test.make per operation. *)
+
+open Adhoc
+open Bechamel
+open Toolkit
+module Prng = Util.Prng
+
+let n = 256
+
+let fixture =
+  lazy
+    (let rng = Prng.create 2024 in
+     let points = Pointset.Generators.uniform rng n in
+     let range = 1.5 *. Topo.Udg.critical_range points in
+     let b = Pipeline.prepare ~theta:(Float.pi /. 6.) ~range points in
+     (points, range, b))
+
+let tests () =
+  let points, range, b = Lazy.force fixture in
+  let theta = Float.pi /. 6. in
+  let overlay = b.Pipeline.overlay in
+  let gstar = b.Pipeline.gstar in
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"udg-build" (Staged.stage (fun () -> Topo.Udg.build ~range points));
+      Test.make ~name:"yao-build" (Staged.stage (fun () -> Topo.Yao.graph ~theta ~range points));
+      Test.make ~name:"theta-alg-build"
+        (Staged.stage (fun () -> Topo.Theta_alg.build ~theta ~range points));
+      Test.make ~name:"gabriel-build" (Staged.stage (fun () -> Topo.Gabriel.build ~range points));
+      Test.make ~name:"delaunay-build"
+        (Staged.stage (fun () -> Topo.Delaunay.build ~range points));
+      Test.make ~name:"mst-build" (Staged.stage (fun () -> Graphs.Mst.of_points points));
+      Test.make ~name:"conflict-build"
+        (Staged.stage (fun () ->
+             Interference.Conflict.build (Interference.Model.make ~delta:0.5) ~points overlay));
+      Test.make ~name:"dijkstra-sssp"
+        (Staged.stage (fun () -> Graphs.Dijkstra.run overlay ~cost:Graphs.Cost.length ~src:0));
+      Test.make ~name:"energy-stretch"
+        (Staged.stage (fun () ->
+             Graphs.Stretch.over_base_edges ~sub:overlay ~base:gstar
+               ~cost:(Graphs.Cost.energy ~kappa:2.)));
+      Test.make ~name:"engine-1000-steps"
+        (Staged.stage (fun () ->
+             let rng = Prng.create 5 in
+             let config =
+               { Routing.Workload.horizon = 1000; attempts = 500; slack = 12; interference_free = false }
+             in
+             let w =
+               Routing.Workload.flows config ~rng ~graph:overlay ~cost:Graphs.Cost.length
+                 ~num_flows:2
+             in
+             let params =
+               Routing.Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:100
+             in
+             Routing.Engine.run_mac_given ~graph:overlay ~cost:Graphs.Cost.length ~params w));
+    ]
+
+let run () =
+  Common.header "B1: micro-benchmarks (Bechamel, monotonic clock)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let t =
+    Util.Table.create
+      [ ("operation (n = 256)", Util.Table.Left); ("time per run", Util.Table.Right) ]
+  in
+  let fmt_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Util.Table.add_row t [ name; fmt_time ns ])
+    (List.sort (fun (_, a) (_, b) -> Float.compare a b) !rows);
+  Util.Table.print t

@@ -1,0 +1,269 @@
+(* adhoc_sim — command-line driver for the library.
+
+   Subcommands:
+     topology      build G*, the Yao graph and the ΘALG overlay; print metrics
+     stretch       energy/distance stretch of the overlay vs. G*
+     interference  interference number and colouring of a topology
+     route         run a balancing-routing scenario end to end
+*)
+
+open Adhoc
+open Cmdliner
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Table = Util.Table
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (deterministic runs).")
+
+let nodes_t =
+  Arg.(value & opt int 200 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let theta_t =
+  Arg.(
+    value
+    & opt float (Float.pi /. 6.)
+    & info [ "theta" ] ~docv:"RAD" ~doc:"Sector angle of ΘALG (radians, ≤ π/3 for the paper's guarantees).")
+
+let range_factor_t =
+  Arg.(
+    value
+    & opt float 1.5
+    & info [ "range-factor" ] ~docv:"F"
+        ~doc:"Transmission range as a multiple of the connectivity threshold.")
+
+let delta_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "delta" ] ~docv:"D" ~doc:"Interference guard-zone parameter Δ.")
+
+let dist_t =
+  let dist_conv =
+    Arg.enum
+      [ ("uniform", `Uniform); ("grid", `Grid); ("clusters", `Clusters); ("ring", `Ring) ]
+  in
+  Arg.(
+    value & opt dist_conv `Uniform
+    & info [ "dist" ] ~docv:"DIST" ~doc:"Node distribution: uniform, grid, clusters or ring.")
+
+let make_points dist rng n =
+  match dist with
+  | `Uniform -> Pointset.Generators.uniform rng n
+  | `Grid -> Pointset.Generators.jittered_grid ~jitter:0.3 rng n
+  | `Clusters -> Pointset.Generators.clusters ~num_clusters:5 ~spread:0.05 rng n
+  | `Ring -> Pointset.Generators.ring ~width:0.25 rng n
+
+let build seed n theta range_factor delta dist =
+  let rng = Prng.create seed in
+  let points = make_points dist rng n in
+  let range = range_factor *. Topo.Udg.critical_range points in
+  (rng, points, range, Pipeline.prepare ~delta ~theta ~range points)
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+
+let topology_cmd =
+  let run seed n theta range_factor delta dist =
+    let _, points, range, b = build seed n theta range_factor delta dist in
+    Printf.printf "n=%d range=%.4f theta=%.4f\n\n" n range theta;
+    let gstar = b.Pipeline.gstar in
+    let t = Table.create Topo.Topo_metrics.header in
+    List.iter
+      (fun (name, g) ->
+        Table.add_row t (Topo.Topo_metrics.to_row (Topo.Topo_metrics.measure ~name ~base:gstar g)))
+      [
+        ("G*", gstar);
+        ("yao", Topo.Yao.graph ~theta ~range points);
+        ("theta-overlay", b.Pipeline.overlay);
+        ("gabriel", Topo.Gabriel.build ~range points);
+        ("rng", Topo.Rng_graph.build ~range points);
+        ("delaunay", Topo.Delaunay.build ~range points);
+        ("mst", Graphs.Mst.of_points points);
+      ];
+    Table.print t
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Build topologies on a random deployment and print their metrics.")
+    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
+
+(* ------------------------------------------------------------------ *)
+(* stretch                                                             *)
+
+let stretch_cmd =
+  let kappa_t =
+    Arg.(value & opt float 2. & info [ "kappa" ] ~docv:"K" ~doc:"Path-loss exponent κ ≥ 2.")
+  in
+  let run seed n theta range_factor delta dist kappa =
+    let _, _, _, b = build seed n theta range_factor delta dist in
+    let es =
+      Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+        ~cost:(Graphs.Cost.energy ~kappa)
+    in
+    let ds =
+      Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+        ~cost:Graphs.Cost.length
+    in
+    Printf.printf "energy-stretch (kappa=%.1f) = %.4f\ndistance-stretch = %.4f\n" kappa es ds
+  in
+  Cmd.v
+    (Cmd.info "stretch" ~doc:"Energy/distance stretch of the ΘALG overlay vs. the transmission graph.")
+    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ kappa_t)
+
+(* ------------------------------------------------------------------ *)
+(* interference                                                        *)
+
+let interference_cmd =
+  let run seed n theta range_factor delta dist =
+    let _, _, _, b = build seed n theta range_factor delta dist in
+    let sizes = Interference.Conflict.set_sizes b.Pipeline.conflict in
+    let _, colors = Interference.Conflict.greedy_coloring b.Pipeline.conflict in
+    let mean =
+      if Array.length sizes = 0 then 0.
+      else
+        float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int (Array.length sizes)
+    in
+    Printf.printf "overlay edges = %d\ninterference number I = %d\nmean |I(e)| = %.2f\ngreedy colors = %d\n"
+      (Graph.num_edges b.Pipeline.overlay)
+      b.Pipeline.interference_number mean colors
+  in
+  Cmd.v
+    (Cmd.info "interference" ~doc:"Interference structure of the ΘALG overlay.")
+    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+
+let route_cmd =
+  let scenario_t =
+    let scen_conv = Arg.enum [ ("mac-given", `S1); ("random-mac", `S2); ("honeycomb", `S3) ] in
+    Arg.(
+      value & opt scen_conv `S1
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:"mac-given (Thm 3.1), random-mac (Thm 3.3) or honeycomb (Thm 3.8).")
+  in
+  let horizon_t =
+    Arg.(value & opt int 4000 & info [ "horizon" ] ~docv:"T" ~doc:"Injection horizon (steps).")
+  in
+  let flows_t =
+    Arg.(value & opt int 2 & info [ "flows" ] ~docv:"F" ~doc:"Number of sustained flows.")
+  in
+  let epsilon_t =
+    Arg.(value & opt float 0.5 & info [ "epsilon" ] ~docv:"E" ~doc:"Throughput slack ε ∈ (0,1).")
+  in
+  let run seed n theta range_factor delta dist scenario horizon flows epsilon =
+    let rng, _, range, b = build seed n theta range_factor delta dist in
+    let r =
+      match scenario with
+      | `S1 ->
+          Pipeline.run_scenario1 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+      | `S2 ->
+          Pipeline.run_scenario2 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+      | `S3 ->
+          Pipeline.run_honeycomb ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+    in
+    Printf.printf "range=%.4f  I=%d\n" range b.Pipeline.interference_number;
+    Printf.printf "OPT deliveries      %d\n" r.Pipeline.opt.Routing.Workload.deliveries;
+    Printf.printf "balancing delivered %d\n" r.Pipeline.stats.Routing.Engine.delivered;
+    Printf.printf "throughput ratio    %.4f\n" r.Pipeline.throughput_ratio;
+    Printf.printf "avg-cost ratio      %.4f\n" r.Pipeline.cost_ratio;
+    Printf.printf "sends / failed      %d / %d\n" r.Pipeline.stats.Routing.Engine.sends
+      r.Pipeline.stats.Routing.Engine.failed_sends;
+    Printf.printf "dropped / remaining %d / %d\n" r.Pipeline.stats.Routing.Engine.dropped
+      r.Pipeline.stats.Routing.Engine.remaining
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Run a balancing-routing scenario against a certified adversary.")
+    Term.(
+      const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ scenario_t
+      $ horizon_t $ flows_t $ epsilon_t)
+
+(* ------------------------------------------------------------------ *)
+(* geo                                                                 *)
+
+let geo_cmd =
+  let trials_t =
+    Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Random connected pairs to route.")
+  in
+  let run seed n theta range_factor delta dist trials =
+    let rng, points, range, b = build seed n theta range_factor delta dist in
+    ignore rng;
+    let gabriel = Topo.Gabriel.build ~range points in
+    let t = Table.create [ ("router", Table.Left); ("delivery rate", Table.Right) ] in
+    Table.add_row t
+      [
+        "greedy on G*";
+        Printf.sprintf "%.3f"
+          (Routing.Geo.success_rate b.Pipeline.gstar points ~rng:(Prng.create (seed + 1))
+             ~trials);
+      ];
+    Table.add_row t
+      [
+        "greedy on overlay";
+        Printf.sprintf "%.3f"
+          (Routing.Geo.success_rate b.Pipeline.overlay points ~rng:(Prng.create (seed + 1))
+             ~trials);
+      ];
+    let failures = ref 0 and total = ref 0 and rec_used = ref 0 in
+    let prng = Prng.create (seed + 2) in
+    while !total < trials do
+      let src = Prng.int prng n and dst = Prng.int prng n in
+      if src <> dst then begin
+        incr total;
+        match Routing.Geo.greedy_face ~planar:gabriel b.Pipeline.gstar points ~src ~dst with
+        | Some r -> if r.Routing.Geo.recovery_hops > 0 then incr rec_used
+        | None -> incr failures
+      end
+    done;
+    Table.add_row t
+      [
+        "greedy+face (Gabriel recovery)";
+        Printf.sprintf "%.3f" (1. -. (float_of_int !failures /. float_of_int !total));
+      ];
+    Table.print t;
+    Printf.printf "routes that needed face recovery: %d/%d\n" !rec_used !total
+  in
+  Cmd.v
+    (Cmd.info "geo" ~doc:"Geographic (greedy / greedy+face) routing success rates.")
+    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ trials_t)
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let export_cmd =
+  let out_t =
+    Arg.(value & opt string "network.txt" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let what_t =
+    let what_conv = Arg.enum [ ("network", `Net); ("svg", `Svg); ("dot", `Dot) ] in
+    Arg.(
+      value & opt what_conv `Net
+      & info [ "format" ] ~docv:"FMT" ~doc:"network (text, reloadable), svg or dot.")
+  in
+  let run seed n theta range_factor delta dist out what =
+    let _, points, _, b = build seed n theta range_factor delta dist in
+    (match what with
+    | `Net -> Io.Persist.save { Io.Persist.points; graph = b.Pipeline.overlay } out
+    | `Svg ->
+        Viz.Svg.save
+          (Viz.Render.overlay_comparison points ~base:b.Pipeline.gstar ~sub:b.Pipeline.overlay)
+          out
+    | `Dot -> Viz.Dot.save points b.Pipeline.overlay out);
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write the ΘALG overlay as a reloadable network file, SVG or DOT.")
+    Term.(
+      const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ out_t $ what_t)
+
+let () =
+  let info =
+    Cmd.info "adhoc_sim" ~version:"1.0.0"
+      ~doc:"Local algorithms for topology control and routing in ad hoc networks (SPAA 2003)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topology_cmd; stretch_cmd; interference_cmd; route_cmd; geo_cmd; export_cmd ]))

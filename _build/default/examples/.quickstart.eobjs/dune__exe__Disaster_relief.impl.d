@@ -1,0 +1,1 @@
+examples/disaster_relief.ml: Adhoc Array Float Graphs List Pointset Printf Routing Topo Util

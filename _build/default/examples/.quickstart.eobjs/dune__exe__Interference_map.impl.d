@@ -1,0 +1,1 @@
+examples/interference_map.ml: Adhoc Float Graphs Interference List Pointset Printf Topo Util

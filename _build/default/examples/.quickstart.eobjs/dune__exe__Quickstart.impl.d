@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adhoc Array Float Graphs Pipeline Pointset Printf Routing Topo Util

@@ -1,0 +1,1 @@
+examples/sensor_field.ml: Adhoc Array Float Geom Graphs Interference List Pipeline Pointset Printf Routing Topo Util

@@ -1,0 +1,1 @@
+examples/visualize.ml: Adhoc Array Filename Float Graphs List Option Pipeline Pointset Printf Routing Sys Topo Util Viz

@@ -1,0 +1,62 @@
+(* Quickstart: build the ΘALG overlay on a random deployment, inspect its
+   quality, and route packets over it with the (T,γ)-balancing algorithm.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Adhoc
+module Prng = Util.Prng
+module Graph = Graphs.Graph
+module Table = Util.Table
+
+let () =
+  let rng = Prng.create 2003 in
+
+  (* 1. Deploy 150 nodes uniformly at random in the unit square. *)
+  let points = Pointset.Generators.uniform rng 150 in
+
+  (* 2. Choose a transmission range: 1.5x the connectivity threshold. *)
+  let range = 1.5 *. Topo.Udg.critical_range points in
+  Printf.printf "deployed %d nodes, transmission range %.3f\n\n" (Array.length points) range;
+
+  (* 3. Build the transmission graph G* and the ΘALG overlay 𝒩. *)
+  let b = Pipeline.prepare ~theta:(Float.pi /. 6.) ~range points in
+
+  let t = Table.create ~title:"topology" [ ("metric", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "G* edges"; string_of_int (Graph.num_edges b.Pipeline.gstar) ];
+  Table.add_row t [ "overlay edges"; string_of_int (Graph.num_edges b.Pipeline.overlay) ];
+  Table.add_row t [ "overlay max degree"; string_of_int (Graph.max_degree b.Pipeline.overlay) ];
+  Table.add_row t
+    [ "degree bound (4pi/theta)"; string_of_int (Topo.Theta_alg.degree_bound ~theta:b.Pipeline.theta) ];
+  Table.add_row t
+    [
+      "connected";
+      (if Graphs.Components.is_connected b.Pipeline.overlay then "yes" else "no");
+    ];
+  Table.add_row t
+    [
+      "energy stretch (kappa=2)";
+      Printf.sprintf "%.3f"
+        (Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+           ~cost:(Graphs.Cost.energy ~kappa:2.));
+    ];
+  Table.add_row t
+    [
+      "distance stretch";
+      Printf.sprintf "%.3f"
+        (Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+           ~cost:Graphs.Cost.length);
+    ];
+  Table.add_row t [ "interference number I"; string_of_int b.Pipeline.interference_number ];
+  Table.print t;
+  print_newline ();
+
+  (* 4. Route packets: certified adversarial workload, MAC given
+        (Theorem 3.1 setting). *)
+  let r = Pipeline.run_scenario1 ~horizon:4000 ~attempts:6000 ~flows:2 ~rng b in
+  let t = Table.create ~title:"routing (scenario 1)" [ ("metric", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "OPT deliveries"; string_of_int r.Pipeline.opt.Routing.Workload.deliveries ];
+  Table.add_row t [ "balancing deliveries"; string_of_int r.Pipeline.stats.Routing.Engine.delivered ];
+  Table.add_row t [ "throughput ratio"; Printf.sprintf "%.3f" r.Pipeline.throughput_ratio ];
+  Table.add_row t [ "avg-cost ratio"; Printf.sprintf "%.3f" r.Pipeline.cost_ratio ];
+  Table.add_row t [ "packets still buffered"; string_of_int r.Pipeline.stats.Routing.Engine.remaining ];
+  Table.print t

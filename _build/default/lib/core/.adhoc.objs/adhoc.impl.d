@@ -1,0 +1,1 @@
+lib/core/adhoc.ml: Adhoc_geom Adhoc_graph Adhoc_interference Adhoc_io Adhoc_mac Adhoc_pointset Adhoc_routing Adhoc_topo Adhoc_util Adhoc_viz Pipeline

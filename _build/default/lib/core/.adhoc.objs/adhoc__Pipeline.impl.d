@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Adhoc_geom Adhoc_graph Adhoc_interference Adhoc_mac Adhoc_routing Adhoc_topo Adhoc_util Float Option

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Adhoc_geom Adhoc_graph Adhoc_interference Adhoc_routing Adhoc_topo Adhoc_util

@@ -1,0 +1,126 @@
+module Graph = Adhoc_graph.Graph
+module Cost = Adhoc_graph.Cost
+module Theta_alg = Adhoc_topo.Theta_alg
+module Udg = Adhoc_topo.Udg
+module Model = Adhoc_interference.Model
+module Conflict = Adhoc_interference.Conflict
+module Mac = Adhoc_mac.Mac
+module Honeycomb = Adhoc_mac.Honeycomb
+module Workload = Adhoc_routing.Workload
+module Engine = Adhoc_routing.Engine
+module Balancing = Adhoc_routing.Balancing
+module Prng = Adhoc_util.Prng
+
+type built = {
+  points : Adhoc_geom.Point.t array;
+  range : float;
+  theta : float;
+  delta : float;
+  gstar : Graph.t;
+  alg : Theta_alg.t;
+  overlay : Graph.t;
+  conflict : Conflict.t;
+  interference_number : int;
+}
+
+let prepare ?(delta = 0.5) ?kappa:_ ~theta ~range points =
+  let gstar = Udg.build ~range points in
+  let alg = Theta_alg.build ~theta ~range points in
+  let overlay = Theta_alg.overlay alg in
+  let model = Model.make ~delta in
+  let conflict = Conflict.build model ~points overlay in
+  {
+    points;
+    range;
+    theta;
+    delta;
+    gstar;
+    alg;
+    overlay;
+    conflict;
+    interference_number = Conflict.interference_number conflict;
+  }
+
+type result = {
+  opt : Workload.opt_stats;
+  stats : Engine.stats;
+  throughput_ratio : float;
+  cost_ratio : float;
+  params : Balancing.params;
+}
+
+let make_result opt stats params =
+  {
+    opt;
+    stats;
+    throughput_ratio = Engine.throughput_ratio stats opt;
+    cost_ratio = Engine.cost_ratio stats opt;
+    params;
+  }
+
+let default_flows b = max 4 (Graph.n b.overlay / 32)
+
+let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ~rng b =
+  let attempts = Option.value attempts ~default:horizon in
+  let cooldown = Option.value cooldown ~default:horizon in
+  let cost = Cost.energy ~kappa in
+  let config =
+    { Workload.horizon; attempts; slack = 12; interference_free = true }
+  in
+  let num_flows = Option.value flows ~default:(default_flows b) in
+  let w = Workload.flows ~conflict:b.conflict ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let params =
+    Balancing.Derive.theorem_3_1 ~opt_buffer:w.Workload.opt.Workload.max_buffer
+      ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
+      ~opt_avg_cost:(Float.max w.Workload.opt.Workload.avg_cost 1e-9)
+      ~delta:w.Workload.opt.Workload.delta ~epsilon
+  in
+  let stats = Engine.run_mac_given ~cooldown ~pad:b.conflict ~graph:b.overlay ~cost ~params w in
+  make_result w.Workload.opt stats params
+
+let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ~rng b =
+  let attempts = Option.value attempts ~default:horizon in
+  let cooldown = Option.value cooldown ~default:horizon in
+  let cost = Cost.energy ~kappa in
+  let config =
+    { Workload.horizon; attempts; slack = 12; interference_free = false }
+  in
+  let num_flows = Option.value flows ~default:(default_flows b) in
+  let w = Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let params =
+    Balancing.Derive.theorem_3_3 ~opt_buffer:w.Workload.opt.Workload.max_buffer
+      ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
+      ~opt_avg_cost:(Float.max w.Workload.opt.Workload.avg_cost 1e-9)
+      ~epsilon
+  in
+  let mac = Mac.random_interference ~rng:(Prng.split rng) b.conflict in
+  let stats =
+    Engine.run_with_mac ~cooldown ~collisions:b.conflict ~graph:b.overlay ~cost ~params ~mac w
+  in
+  make_result w.Workload.opt stats params
+
+let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ~rng b =
+  let attempts = Option.value attempts ~default:horizon in
+  let cooldown = Option.value cooldown ~default:horizon in
+  (* Fixed transmission strength: every hop costs the same. *)
+  let cost = Cost.hops in
+  let config =
+    { Workload.horizon; attempts; slack = 12; interference_free = false }
+  in
+  let num_flows = Option.value flows ~default:(default_flows b) in
+  let w = Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let params =
+    Balancing.Derive.theorem_3_3 ~opt_buffer:w.Workload.opt.Workload.max_buffer
+      ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
+      ~opt_avg_cost:(Float.max w.Workload.opt.Workload.avg_cost 1e-9)
+      ~epsilon
+  in
+  let hc =
+    Honeycomb.create ~delta:b.delta ~range:b.range ~threshold:params.Balancing.threshold
+      ~rng:(Prng.split rng) b.points
+  in
+  let stats =
+    Engine.run_with_mac ~cooldown ~collisions:b.conflict ~graph:b.overlay ~cost ~params
+      ~mac:(Honeycomb.mac hc) w
+  in
+  make_result w.Workload.opt stats params

@@ -1,0 +1,80 @@
+(** One-call stacks combining topology control, interference, MAC and
+    routing — the paper's end-to-end results.
+
+    [prepare] builds ΘALG's overlay 𝒩 and its interference structure once;
+    the [run_*] functions then evaluate the (T, γ)-balancing algorithm on a
+    certified adversarial workload under each of the paper's three
+    scenarios. *)
+
+type built = {
+  points : Adhoc_geom.Point.t array;
+  range : float;
+  theta : float;
+  delta : float;  (** interference guard zone Δ *)
+  gstar : Adhoc_graph.Graph.t;  (** the transmission graph *)
+  alg : Adhoc_topo.Theta_alg.t;
+  overlay : Adhoc_graph.Graph.t;  (** 𝒩 *)
+  conflict : Adhoc_interference.Conflict.t;  (** interference structure of 𝒩 *)
+  interference_number : int;  (** I *)
+}
+
+val prepare :
+  ?delta:float -> ?kappa:float -> theta:float -> range:float -> Adhoc_geom.Point.t array -> built
+(** Builds G*, 𝒩 and the conflict structure.  [delta] defaults to [0.5];
+    [kappa] (default 2.) is recorded for the cost model used by the
+    runs. *)
+
+type result = {
+  opt : Adhoc_routing.Workload.opt_stats;
+  stats : Adhoc_routing.Engine.stats;
+  throughput_ratio : float;  (** delivered / OPT deliveries *)
+  cost_ratio : float;  (** avg cost per delivery / OPT's *)
+  params : Adhoc_routing.Balancing.params;
+}
+
+val run_scenario1 :
+  ?epsilon:float ->
+  ?attempts:int ->
+  ?horizon:int ->
+  ?cooldown:int ->
+  ?flows:int ->
+  ?max_flow_hops:int ->
+  ?kappa:float ->
+  rng:Adhoc_util.Prng.t ->
+  built ->
+  result
+(** Theorem 3.1: MAC given.  The certified workload's activations (mutually
+    non-interfering each step, padded with colour classes) drive the
+    balancing algorithm with the Theorem-3.1 parameter derivation.
+    Defaults: ε = 0.5, horizon 2000, attempts ≈ horizon, cooldown =
+    horizon. *)
+
+val run_scenario2 :
+  ?epsilon:float ->
+  ?attempts:int ->
+  ?horizon:int ->
+  ?cooldown:int ->
+  ?flows:int ->
+  ?max_flow_hops:int ->
+  ?kappa:float ->
+  rng:Adhoc_util.Prng.t ->
+  built ->
+  result
+(** Theorem 3.3 / Corollaries 3.4–3.5: no MAC given.  Random
+    [1/(2Iₑ)] symmetry breaking with collisions; OPT is certified without
+    interference constraints (it may use interfering edges
+    simultaneously). *)
+
+val run_honeycomb :
+  ?epsilon:float ->
+  ?attempts:int ->
+  ?horizon:int ->
+  ?cooldown:int ->
+  ?flows:int ->
+  ?max_flow_hops:int ->
+  rng:Adhoc_util.Prng.t ->
+  built ->
+  result
+(** Theorem 3.8: fixed transmission strength.  Requires [built.range = 1.]
+    conceptually (hexagon side is [3 + 2Δ] in range units); uses hop costs
+    (uniform transmission power). *)

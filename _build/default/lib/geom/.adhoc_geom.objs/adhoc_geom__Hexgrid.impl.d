@@ -1,0 +1,1 @@
+lib/geom/hexgrid.ml: Array Float List Map Point

@@ -1,0 +1,1 @@
+lib/geom/hexgrid.mli: Point

@@ -1,0 +1,1 @@
+lib/geom/hull.ml: Array Float Fun List Point Segment

@@ -1,0 +1,1 @@
+lib/geom/sector.ml: Float Point

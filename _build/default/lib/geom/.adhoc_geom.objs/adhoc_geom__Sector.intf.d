@@ -1,0 +1,1 @@
+lib/geom/sector.mli: Point

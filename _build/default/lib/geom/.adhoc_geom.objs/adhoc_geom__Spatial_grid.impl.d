@@ -1,0 +1,1 @@
+lib/geom/spatial_grid.ml: Array Box Float List Point

@@ -1,0 +1,1 @@
+lib/geom/spatial_grid.mli: Point

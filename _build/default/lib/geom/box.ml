@@ -1,0 +1,40 @@
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  if xmin > xmax || ymin > ymax then invalid_arg "Box.make: inverted bounds";
+  { xmin; ymin; xmax; ymax }
+
+let unit_square = { xmin = 0.; ymin = 0.; xmax = 1.; ymax = 1. }
+
+let square s = make ~xmin:0. ~ymin:0. ~xmax:s ~ymax:s
+
+let width b = b.xmax -. b.xmin
+
+let height b = b.ymax -. b.ymin
+
+let contains b (p : Point.t) =
+  p.x >= b.xmin && p.x <= b.xmax && p.y >= b.ymin && p.y <= b.ymax
+
+let center b = Point.make ((b.xmin +. b.xmax) /. 2.) ((b.ymin +. b.ymax) /. 2.)
+
+let diagonal b = sqrt ((width b *. width b) +. (height b *. height b))
+
+let of_points points =
+  if Array.length points = 0 then invalid_arg "Box.of_points: empty array";
+  let p0 : Point.t = points.(0) in
+  Array.fold_left
+    (fun acc (p : Point.t) ->
+      {
+        xmin = Float.min acc.xmin p.x;
+        ymin = Float.min acc.ymin p.y;
+        xmax = Float.max acc.xmax p.x;
+        ymax = Float.max acc.ymax p.y;
+      })
+    { xmin = p0.Point.x; ymin = p0.Point.y; xmax = p0.Point.x; ymax = p0.Point.y }
+    points
+
+let clamp b (p : Point.t) =
+  Point.make (Float.max b.xmin (Float.min b.xmax p.x)) (Float.max b.ymin (Float.min b.ymax p.y))
+
+let expand b m =
+  { xmin = b.xmin -. m; ymin = b.ymin -. m; xmax = b.xmax +. m; ymax = b.ymax +. m }

@@ -1,0 +1,28 @@
+(** Axis-aligned bounding boxes.  Deployment regions for point-set
+    generators and the spatial hash grid. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
+(** Requires [xmin <= xmax] and [ymin <= ymax]. *)
+
+val unit_square : t
+(** [[0,1] × [0,1]] — the paper's canonical deployment region. *)
+
+val square : float -> t
+(** [square s] is [[0,s] × [0,s]]. *)
+
+val width : t -> float
+val height : t -> float
+val contains : t -> Point.t -> bool
+val center : t -> Point.t
+val diagonal : t -> float
+
+val of_points : Point.t array -> t
+(** Tight bounding box of a non-empty point array. *)
+
+val clamp : t -> Point.t -> Point.t
+(** Nearest point of the box to the argument. *)
+
+val expand : t -> float -> t
+(** Grow each side outward by the given margin. *)

@@ -1,0 +1,53 @@
+let convex points =
+  let pts = Array.copy points in
+  Array.sort Point.compare pts;
+  let n = Array.length pts in
+  if n <= 2 then Array.to_list pts |> List.sort_uniq Point.compare
+  else begin
+    let turn o a b = Segment.orientation o a b in
+    let build indices =
+      let stack = ref [] in
+      List.iter
+        (fun i ->
+          let p = pts.(i) in
+          let rec pop () =
+            match !stack with
+            | a :: b :: _ when turn b a p <= 0 ->
+                stack := List.tl !stack;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          stack := p :: !stack)
+        indices;
+      !stack
+    in
+    let lower = build (List.init n Fun.id) in
+    let upper = build (List.init n (fun i -> n - 1 - i)) in
+    (* Each chain's endpoints duplicate the other's; drop one from each. *)
+    let strip = function [] -> [] | _ :: rest -> rest in
+    let hull = List.rev_append (strip lower) (List.rev (strip upper)) in
+    (* The concatenation above yields CCW order starting from the smallest
+       point; deduplicate degenerate inputs. *)
+    match hull with
+    | [] -> Array.to_list pts |> List.sort_uniq Point.compare
+    | _ -> hull
+  end
+
+let diameter points =
+  if Array.length points < 2 then 0.
+  else begin
+    let hull = Array.of_list (convex points) in
+    let h = Array.length hull in
+    if h = 1 then 0.
+    else begin
+      (* O(h²) over hull vertices is plenty: h is tiny compared to n. *)
+      let best = ref 0. in
+      for i = 0 to h - 1 do
+        for j = i + 1 to h - 1 do
+          best := Float.max !best (Point.dist2 hull.(i) hull.(j))
+        done
+      done;
+      sqrt !best
+    end
+  end

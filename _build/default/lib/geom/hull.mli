@@ -1,0 +1,10 @@
+(** Convex hulls (Andrew's monotone chain) and the set diameter. *)
+
+val convex : Point.t array -> Point.t list
+(** Hull vertices in counter-clockwise order, starting from the
+    lexicographically smallest point.  Collinear boundary points are
+    dropped; fewer than three distinct points return what exists. *)
+
+val diameter : Point.t array -> float
+(** Largest pairwise distance ([0.] for fewer than two points).  Computed
+    on the hull, so near-linear after sorting. *)

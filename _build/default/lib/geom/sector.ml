@@ -1,0 +1,23 @@
+let two_pi = 2. *. Float.pi
+
+let count theta =
+  if theta <= 0. then invalid_arg "Sector.count: theta must be positive";
+  int_of_float (Float.ceil ((two_pi /. theta) -. 1e-9))
+
+let index ~theta ~apex p =
+  let k = count theta in
+  let a = Point.angle_of apex p in
+  let i = int_of_float (a /. theta) in
+  (* Guard against a = 2π-epsilon rounding up to k. *)
+  if i >= k then k - 1 else i
+
+let same ~theta ~apex p q = index ~theta ~apex p = index ~theta ~apex q
+
+let angular_width ~theta i =
+  let k = count theta in
+  if i < 0 || i >= k then invalid_arg "Sector.angular_width: bad index";
+  if i = k - 1 then two_pi -. (theta *. float_of_int (k - 1)) else theta
+
+let central_angle ~theta i =
+  let lo = theta *. float_of_int i in
+  lo +. (angular_width ~theta i /. 2.)

@@ -1,0 +1,75 @@
+type t = {
+  cell : float;
+  origin : Point.t;
+  cols : int;
+  rows : int;
+  buckets : int list array;  (* row-major: buckets.(row * cols + col) *)
+  points : Point.t array;
+}
+
+let cell_of t (p : Point.t) =
+  let col = int_of_float (Float.floor ((p.x -. t.origin.x) /. t.cell)) in
+  let row = int_of_float (Float.floor ((p.y -. t.origin.y) /. t.cell)) in
+  (min (max col 0) (t.cols - 1), min (max row 0) (t.rows - 1))
+
+let build ~cell points =
+  if cell <= 0. then invalid_arg "Spatial_grid.build: cell must be positive";
+  if Array.length points = 0 then invalid_arg "Spatial_grid.build: empty point set";
+  let box = Box.of_points points in
+  let origin = Point.make box.Box.xmin box.Box.ymin in
+  let cols = max 1 (1 + int_of_float (Float.floor (Box.width box /. cell))) in
+  let rows = max 1 (1 + int_of_float (Float.floor (Box.height box /. cell))) in
+  let t = { cell; origin; cols; rows; buckets = Array.make (cols * rows) []; points } in
+  Array.iteri
+    (fun i p ->
+      let col, row = cell_of t p in
+      let b = (row * cols) + col in
+      t.buckets.(b) <- i :: t.buckets.(b))
+    points;
+  t
+
+let cell_size t = t.cell
+
+let fold_within t p r ~init ~f =
+  let r2 = r *. r in
+  let col0, row0 = cell_of t p in
+  let span = 1 + int_of_float (Float.ceil (r /. t.cell)) in
+  let acc = ref init in
+  for row = max 0 (row0 - span) to min (t.rows - 1) (row0 + span) do
+    for col = max 0 (col0 - span) to min (t.cols - 1) (col0 + span) do
+      List.iter
+        (fun i -> if Point.dist2 t.points.(i) p <= r2 then acc := f !acc i)
+        t.buckets.((row * t.cols) + col)
+    done
+  done;
+  !acc
+
+let iter_within t p r f = fold_within t p r ~init:() ~f:(fun () i -> f i)
+
+let indices_within t p r = fold_within t p r ~init:[] ~f:(fun acc i -> i :: acc)
+
+let nearest_other t i =
+  let n = Array.length t.points in
+  if n < 2 then None
+  else begin
+    let p = t.points.(i) in
+    (* Expand the search radius until a neighbour is found; any point found
+       within radius r dominates every point outside r, so the minimum over
+       the found set is the global nearest. *)
+    let rec search r =
+      let best =
+        fold_within t p r ~init:None ~f:(fun best j ->
+            if j = i then best
+            else begin
+              let d = Point.dist2 t.points.(j) p in
+              match best with
+              | Some (bd, bj) when bd < d || (bd = d && bj < j) -> best
+              | _ -> Some (d, j)
+            end)
+      in
+      match best with
+      | Some (_, j) -> Some j
+      | None -> search (r *. 2.)
+    in
+    search t.cell
+  end

@@ -1,0 +1,30 @@
+(** Uniform bucket grid over an indexed point set.
+
+    Answers "which points lie within distance [r] of here" in output-sensitive
+    time; this is what keeps disk-graph construction and interference-set
+    computation near-linear instead of quadratic for the node counts the
+    experiments sweep. *)
+
+type t
+
+val build : cell:float -> Point.t array -> t
+(** [build ~cell points] hashes each point index into a square cell of side
+    [cell].  Requires [cell > 0] and a non-empty array.  Point [i] of the
+    array keeps index [i] in all query answers. *)
+
+val cell_size : t -> float
+
+val fold_within : t -> Point.t -> float -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_within g p r ~init ~f] folds [f] over the indices of all points at
+    Euclidean distance ≤ [r] from [p] (including a point equal to [p] if
+    present). *)
+
+val iter_within : t -> Point.t -> float -> (int -> unit) -> unit
+
+val indices_within : t -> Point.t -> float -> int list
+(** Indices within distance [r], unordered. *)
+
+val nearest_other : t -> int -> int option
+(** [nearest_other g i] is the index of the nearest point distinct from
+    point [i] (ties broken by lower index), or [None] when the set has a
+    single point.  Searches outward ring by ring. *)

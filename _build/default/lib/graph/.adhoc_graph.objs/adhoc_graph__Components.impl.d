@@ -1,0 +1,1 @@
+lib/graph/components.ml: Adhoc_util Array Graph

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Adhoc_util Array Graph

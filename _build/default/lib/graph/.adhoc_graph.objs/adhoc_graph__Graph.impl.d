@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Adhoc_geom Array Float List Option Set

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Adhoc_geom Adhoc_util Array Float Graph List

@@ -1,0 +1,1 @@
+lib/graph/stretch.ml: Adhoc_geom Array Cost Dijkstra Float Floyd_warshall Graph List

@@ -1,0 +1,1 @@
+lib/graph/stretch.mli: Adhoc_geom Cost Graph

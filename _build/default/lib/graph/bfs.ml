@@ -1,0 +1,36 @@
+let hops g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v _ ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v q
+        end)
+  done;
+  dist
+
+let reachable g ~src = Array.map (fun d -> d <> max_int) (hops g ~src)
+
+let diameter_hops g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Bfs.diameter_hops: empty graph";
+  let worst = ref 0 in
+  (try
+     for src = 0 to n - 1 do
+       let d = hops g ~src in
+       Array.iter
+         (fun x ->
+           if x = max_int then begin
+             worst := max_int;
+             raise Exit
+           end
+           else worst := max !worst x)
+         d
+     done
+   with Exit -> ());
+  !worst

@@ -1,0 +1,10 @@
+(** Breadth-first search: hop distances and reachability. *)
+
+val hops : Graph.t -> src:int -> int array
+(** Hop count from the source; [max_int] for unreachable nodes. *)
+
+val reachable : Graph.t -> src:int -> bool array
+
+val diameter_hops : Graph.t -> int
+(** Maximum finite hop-eccentricity over all sources (graph must be
+    non-empty); returns [max_int] if the graph is disconnected. *)

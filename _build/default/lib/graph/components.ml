@@ -1,0 +1,23 @@
+let labels g =
+  let n = Graph.n g in
+  let uf = Adhoc_util.Union_find.create n in
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
+         ignore (Adhoc_util.Union_find.union uf e.Graph.u e.Graph.v)));
+  (* Canonicalize to the smallest index per component. *)
+  let smallest = Array.make n max_int in
+  for v = 0 to n - 1 do
+    let r = Adhoc_util.Union_find.find uf v in
+    if v < smallest.(r) then smallest.(r) <- v
+  done;
+  Array.init n (fun v -> smallest.(Adhoc_util.Union_find.find uf v))
+
+let count g =
+  let n = Graph.n g in
+  let uf = Adhoc_util.Union_find.create n in
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
+         ignore (Adhoc_util.Union_find.union uf e.Graph.u e.Graph.v)));
+  Adhoc_util.Union_find.count uf
+
+let is_connected g = Graph.n g <= 1 || count g = 1

@@ -1,0 +1,10 @@
+(** Connected components. *)
+
+val labels : Graph.t -> int array
+(** Component label per node; labels are the smallest node index of the
+    component. *)
+
+val count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+(** A graph on zero or one nodes is connected. *)

@@ -1,0 +1,7 @@
+type t = float -> float
+
+let hops _ = 1.
+
+let length len = len
+
+let energy ~kappa len = if kappa = 2. then len *. len else Float.pow len kappa

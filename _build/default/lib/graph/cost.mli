@@ -1,0 +1,17 @@
+(** Edge-cost models for shortest paths.
+
+    The paper uses three cost measures on the same geometric graph: hop
+    count, Euclidean length (distance-stretch, Section 2.3), and
+    transmission energy [len^kappa] (energy-stretch, Section 2.2). *)
+
+type t = float -> float
+(** A cost model maps an edge length to a cost. *)
+
+val hops : t
+(** Every edge costs 1. *)
+
+val length : t
+(** Cost = Euclidean length. *)
+
+val energy : kappa:float -> t
+(** Cost = [len^kappa].  The paper requires [kappa >= 2]. *)

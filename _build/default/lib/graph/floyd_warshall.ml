@@ -1,0 +1,22 @@
+let run g ~cost =
+  let n = Graph.n g in
+  let d = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.
+  done;
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
+         let w = cost e.Graph.len in
+         if w < d.(e.Graph.u).(e.Graph.v) then begin
+           d.(e.Graph.u).(e.Graph.v) <- w;
+           d.(e.Graph.v).(e.Graph.u) <- w
+         end));
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let through = d.(i).(k) +. d.(k).(j) in
+        if through < d.(i).(j) then d.(i).(j) <- through
+      done
+    done
+  done;
+  d

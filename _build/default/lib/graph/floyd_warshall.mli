@@ -1,0 +1,6 @@
+(** All-pairs shortest paths in O(n³) — the small-graph oracle the test
+    suite checks Dijkstra against. *)
+
+val run : Graph.t -> cost:Cost.t -> float array array
+(** [run g ~cost] returns the matrix of shortest-path costs;
+    [infinity] marks disconnected pairs, [0.] the diagonal. *)

@@ -1,0 +1,140 @@
+type edge = { u : int; v : int; len : float }
+
+type t = {
+  n : int;
+  edge_array : edge array;
+  adj : (int * int) array array;
+}
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module Builder = struct
+  type t = {
+    bn : int;
+    mutable bedges : edge list;  (* reverse insertion order *)
+    mutable count : int;
+    mutable seen : Pair_set.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative node count";
+    { bn = n; bedges = []; count = 0; seen = Pair_set.empty }
+
+  let key u v = if u < v then (u, v) else (v, u)
+
+  let mem b u v = Pair_set.mem (key u v) b.seen
+
+  let add_edge b u v len =
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Graph.Builder.add_edge: node out of range";
+    if len < 0. then invalid_arg "Graph.Builder.add_edge: negative length";
+    if u <> v && not (mem b u v) then begin
+      let u, v = key u v in
+      b.bedges <- { u; v; len } :: b.bedges;
+      b.count <- b.count + 1;
+      b.seen <- Pair_set.add (u, v) b.seen
+    end
+
+  let build b =
+    let edge_array = Array.make b.count { u = 0; v = 0; len = 0. } in
+    List.iteri (fun i e -> edge_array.(b.count - 1 - i) <- e) b.bedges;
+    let deg = Array.make b.bn 0 in
+    Array.iter
+      (fun e ->
+        deg.(e.u) <- deg.(e.u) + 1;
+        deg.(e.v) <- deg.(e.v) + 1)
+      edge_array;
+    let adj = Array.init b.bn (fun i -> Array.make deg.(i) (0, 0)) in
+    let fill = Array.make b.bn 0 in
+    Array.iteri
+      (fun id e ->
+        adj.(e.u).(fill.(e.u)) <- (e.v, id);
+        fill.(e.u) <- fill.(e.u) + 1;
+        adj.(e.v).(fill.(e.v)) <- (e.u, id);
+        fill.(e.v) <- fill.(e.v) + 1)
+      edge_array;
+    { n = b.bn; edge_array; adj }
+end
+
+let of_edges ~n edges =
+  let b = Builder.create n in
+  List.iter (fun (u, v, len) -> Builder.add_edge b u v len) edges;
+  Builder.build b
+
+let geometric points pairs =
+  let n = Array.length points in
+  let b = Builder.create n in
+  List.iter
+    (fun (u, v) -> Builder.add_edge b u v (Adhoc_geom.Point.dist points.(u) points.(v)))
+    pairs;
+  Builder.build b
+
+let n g = g.n
+
+let num_edges g = Array.length g.edge_array
+
+let edge g id = g.edge_array.(id)
+
+let edges g = g.edge_array
+
+let endpoints g id =
+  let e = g.edge_array.(id) in
+  (e.u, e.v)
+
+let other_endpoint g id u =
+  let e = g.edge_array.(id) in
+  if e.u = u then e.v
+  else if e.v = u then e.u
+  else invalid_arg "Graph.other_endpoint: node not on edge"
+
+let length g id = g.edge_array.(id).len
+
+let neighbors g u = g.adj.(u)
+
+let find_edge g u v =
+  let adj = g.adj.(u) in
+  let rec loop i =
+    if i >= Array.length adj then None
+    else begin
+      let w, id = adj.(i) in
+      if w = v then Some id else loop (i + 1)
+    end
+  in
+  loop 0
+
+let mem_edge g u v = Option.is_some (find_edge g u v)
+
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g =
+  let best = ref 0 in
+  for u = 0 to g.n - 1 do
+    best := max !best (degree g u)
+  done;
+  !best
+
+let iter_neighbors g u f = Array.iter (fun (v, id) -> f v id) g.adj.(u)
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun id e -> acc := f !acc id e) g.edge_array;
+  !acc
+
+let total_length g = fold_edges g ~init:0. ~f:(fun acc _ e -> acc +. e.len)
+
+let total_energy ?(kappa = 2.) g =
+  fold_edges g ~init:0. ~f:(fun acc _ e -> acc +. Float.pow e.len kappa)
+
+let is_subgraph h g =
+  n h = n g && fold_edges h ~init:true ~f:(fun acc _ e -> acc && mem_edge g e.u e.v)
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Graph.union: node count mismatch";
+  let builder = Builder.create a.n in
+  Array.iter (fun e -> Builder.add_edge builder e.u e.v e.len) a.edge_array;
+  Array.iter (fun e -> Builder.add_edge builder e.u e.v e.len) b.edge_array;
+  Builder.build builder

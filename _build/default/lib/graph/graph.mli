@@ -1,0 +1,79 @@
+(** Undirected weighted graphs over integer-indexed nodes.
+
+    Node identity is an index into a caller-owned array (usually of
+    {!Adhoc_geom.Point.t} positions).  Edges carry a length — for geometric
+    graphs, the Euclidean distance between endpoints — and every edge has a
+    stable integer id usable as an array index by the interference and
+    routing layers. *)
+
+type edge = private { u : int; v : int; len : float }
+(** Undirected edge with [u < v]. *)
+
+type t
+(** Immutable graph. *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : int -> t
+  (** [create n] prepares a builder for a graph on nodes [0 .. n-1]. *)
+
+  val add_edge : t -> int -> int -> float -> unit
+  (** Adds an undirected edge with the given length.  Duplicate pairs and
+      self-loops are ignored.  Lengths must be non-negative. *)
+
+  val mem : t -> int -> int -> bool
+
+  val build : t -> graph
+  (** Freezes the builder.  Edge ids are assigned in insertion order. *)
+end
+
+val of_edges : n:int -> (int * int * float) list -> t
+
+val geometric : Adhoc_geom.Point.t array -> (int * int) list -> t
+(** Builds a graph whose edge lengths are the Euclidean distances between
+    the given endpoint positions. *)
+
+val n : t -> int
+val num_edges : t -> int
+
+val edge : t -> int -> edge
+(** Edge by id; ids are [0 .. num_edges - 1]. *)
+
+val edges : t -> edge array
+(** The underlying edge array (do not mutate). *)
+
+val endpoints : t -> int -> int * int
+
+val other_endpoint : t -> int -> int -> int
+(** [other_endpoint g e u] is the endpoint of edge [e] that is not [u]. *)
+
+val length : t -> int -> float
+
+val mem_edge : t -> int -> int -> bool
+val find_edge : t -> int -> int -> int option
+(** Edge id connecting the two nodes, if present. *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val neighbors : t -> int -> (int * int) array
+(** [(neighbor, edge_id)] pairs (do not mutate). *)
+
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v edge_id] for each neighbour [v]. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> edge -> 'a) -> 'a
+
+val total_length : t -> float
+val total_energy : ?kappa:float -> t -> float
+(** Sum over edges of [len^kappa] (default [kappa = 2.]). *)
+
+val is_subgraph : t -> t -> bool
+(** [is_subgraph h g]: every edge of [h] joins the same node pair as some
+    edge of [g] (lengths not compared). *)
+
+val union : t -> t -> t
+(** Union of edge sets (same node count required); lengths from the first
+    graph win on duplicates. *)

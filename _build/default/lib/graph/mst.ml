@@ -1,0 +1,34 @@
+let kruskal n (weighted_edges : (int * int * float) array) =
+  Array.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) weighted_edges;
+  let uf = Adhoc_util.Union_find.create n in
+  let b = Graph.Builder.create n in
+  Array.iter
+    (fun (u, v, len) -> if Adhoc_util.Union_find.union uf u v then Graph.Builder.add_edge b u v len)
+    weighted_edges;
+  Graph.Builder.build b
+
+let of_graph g =
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ e -> (e.Graph.u, e.Graph.v, e.Graph.len) :: acc)
+  in
+  kruskal (Graph.n g) (Array.of_list edges)
+
+(* The Euclidean MST is a subgraph of the Delaunay triangulation, but the
+   graph library cannot depend on the topology library; callers with a
+   Delaunay edge set in hand should use [of_candidate_edges]. *)
+let of_candidate_edges points pairs =
+  let n = Array.length points in
+  let edges =
+    List.rev_map (fun (u, v) -> (u, v, Adhoc_geom.Point.dist points.(u) points.(v))) pairs
+  in
+  kruskal n (Array.of_list edges)
+
+let of_points points =
+  let n = Array.length points in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, Adhoc_geom.Point.dist points.(u) points.(v)) :: !edges
+    done
+  done;
+  kruskal n (Array.of_list !edges)

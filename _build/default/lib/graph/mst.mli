@@ -1,0 +1,18 @@
+(** Euclidean minimum spanning tree (Kruskal), a classical baseline for the
+    topology-comparison experiment and the bottom of the proximity-graph
+    chain [MST ⊆ RNG ⊆ Gabriel ⊆ Delaunay]. *)
+
+val of_graph : Graph.t -> Graph.t
+(** Minimum spanning forest of the input (spanning tree per component),
+    minimizing total edge length. *)
+
+val of_points : Adhoc_geom.Point.t array -> Graph.t
+(** MST of the complete Euclidean graph on the points.  O(n²) edges — for
+    large sets prefer {!of_candidate_edges} with a Delaunay edge set
+    (which provably contains the MST); see
+    {!Adhoc_topo.Euclidean_mst.build}. *)
+
+val of_candidate_edges : Adhoc_geom.Point.t array -> (int * int) list -> Graph.t
+(** Minimum spanning forest restricted to the given candidate pairs, with
+    Euclidean lengths.  Equals the true Euclidean MST whenever the
+    candidates contain one (e.g. Delaunay edges). *)

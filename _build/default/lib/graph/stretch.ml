@@ -1,0 +1,54 @@
+let check_compatible sub base =
+  if Graph.n sub <> Graph.n base then invalid_arg "Stretch: node count mismatch"
+
+let per_edge_profile ~sub ~base ~cost =
+  check_compatible sub base;
+  let n = Graph.n base in
+  (* Group base edges by endpoint so each Dijkstra run in [sub] is reused. *)
+  let by_src = Array.make n [] in
+  ignore
+    (Graph.fold_edges base ~init:() ~f:(fun () id e ->
+         by_src.(e.Graph.u) <- (id, e.Graph.v, e.Graph.len) :: by_src.(e.Graph.u)));
+  let ratios = Array.make (Graph.num_edges base) nan in
+  for u = 0 to n - 1 do
+    if by_src.(u) <> [] then begin
+      let r = Dijkstra.run sub ~cost ~src:u in
+      List.iter
+        (fun (id, v, len) ->
+          let c = cost len in
+          ratios.(id) <- (if c = 0. then 1. else r.Dijkstra.dist.(v) /. c))
+        by_src.(u)
+    end
+  done;
+  ratios
+
+let over_base_edges ~sub ~base ~cost =
+  let ratios = per_edge_profile ~sub ~base ~cost in
+  Array.fold_left Float.max 1. ratios
+
+let exact_small ~sub ~base ~cost =
+  check_compatible sub base;
+  let n = Graph.n base in
+  let ds = Floyd_warshall.run sub ~cost in
+  let db = Floyd_warshall.run base ~cost in
+  let worst = ref 1. in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if db.(u).(v) < infinity && db.(u).(v) > 0. then
+        worst := Float.max !worst (ds.(u).(v) /. db.(u).(v))
+    done
+  done;
+  !worst
+
+let vs_euclidean ~sub ~points =
+  let n = Graph.n sub in
+  if Array.length points <> n then invalid_arg "Stretch.vs_euclidean: size mismatch";
+  let worst = ref 1. in
+  for u = 0 to n - 1 do
+    let r = Dijkstra.run sub ~cost:Cost.length ~src:u in
+    for v = u + 1 to n - 1 do
+      let d = Adhoc_geom.Point.dist points.(u) points.(v) in
+      if d > 0. then worst := Float.max !worst (r.Dijkstra.dist.(v) /. d)
+    done
+  done;
+  !worst

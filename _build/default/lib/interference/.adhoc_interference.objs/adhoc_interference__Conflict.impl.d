@@ -1,0 +1,1 @@
+lib/interference/conflict.ml: Adhoc_geom Adhoc_graph Array Float Int List Model Set Spatial_grid

@@ -1,0 +1,1 @@
+lib/interference/conflict.mli: Adhoc_geom Adhoc_graph Model

@@ -1,0 +1,1 @@
+lib/interference/model.ml: Adhoc_geom Array Point

@@ -1,0 +1,1 @@
+lib/interference/model.mli: Adhoc_geom

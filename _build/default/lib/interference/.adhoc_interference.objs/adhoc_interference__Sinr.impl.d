@@ -1,0 +1,1 @@
+lib/interference/sinr.ml: Adhoc_geom Array Float Fun Point

@@ -1,0 +1,1 @@
+lib/interference/sinr.mli: Adhoc_geom

@@ -1,0 +1,1 @@
+lib/interference/theta_paths.ml: Adhoc_geom Adhoc_graph Adhoc_topo Array Hashtbl List Option Sector

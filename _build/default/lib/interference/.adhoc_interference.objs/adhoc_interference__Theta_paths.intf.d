@@ -1,0 +1,1 @@
+lib/interference/theta_paths.mli: Adhoc_topo

@@ -1,0 +1,100 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+type t = {
+  model : Model.t;
+  sets : int list array;
+}
+
+let edge_pair g e =
+  let u, v = Graph.endpoints g e in
+  (u, v)
+
+let build_brute model ~points g =
+  let m = Graph.num_edges g in
+  let sets = Array.make m [] in
+  for e = 0 to m - 1 do
+    for e' = e + 1 to m - 1 do
+      if Model.interferes model ~points (edge_pair g e) (edge_pair g e') then begin
+        sets.(e) <- e' :: sets.(e);
+        sets.(e') <- e :: sets.(e')
+      end
+    done
+  done;
+  { model; sets }
+
+let build model ~points g =
+  let m = Graph.num_edges g in
+  if m = 0 || Array.length points = 0 then { model; sets = Array.make m [] }
+  else begin
+    let max_len = Graph.fold_edges g ~init:0. ~f:(fun acc _ e -> Float.max acc e.Graph.len) in
+    let reach = Model.region_radius model max_len in
+    if reach <= 0. then { model; sets = Array.make m [] }
+    else begin
+      let grid = Spatial_grid.build ~cell:reach points in
+      let sets = Array.make m [] in
+      (* Any edge interfering with e (in either direction) has an endpoint
+         within (1+Δ)·max_len of one of e's endpoints: if e' interferes with
+         e then an endpoint of e lies within (1+Δ)·len(e') ≤ reach of an
+         endpoint of e'; the converse direction is symmetric. *)
+      let module ISet = Set.Make (Int) in
+      for e = 0 to m - 1 do
+        let u, v = Graph.endpoints g e in
+        let candidates = ref ISet.empty in
+        let add_node w =
+          Graph.iter_neighbors g w (fun _ id ->
+              if id > e then candidates := ISet.add id !candidates)
+        in
+        Spatial_grid.iter_within grid points.(u) reach add_node;
+        Spatial_grid.iter_within grid points.(v) reach add_node;
+        ISet.iter
+          (fun e' ->
+            if Model.interferes model ~points (u, v) (edge_pair g e') then begin
+              sets.(e) <- e' :: sets.(e);
+              sets.(e') <- e :: sets.(e')
+            end)
+          !candidates
+      done;
+      { model; sets }
+    end
+  end
+
+let set_sizes t = Array.map List.length t.sets
+
+let neighborhood_bounds t =
+  let sizes = Array.map List.length t.sets in
+  Array.mapi
+    (fun e neighbors -> List.fold_left (fun acc e' -> max acc sizes.(e')) sizes.(e) neighbors)
+    t.sets
+
+let interference_number t = Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.sets
+
+let interfere t e e' = List.mem e' t.sets.(e)
+
+let greedy_coloring t =
+  let m = Array.length t.sets in
+  let colors = Array.make m (-1) in
+  let used = ref 0 in
+  for e = 0 to m - 1 do
+    let taken = List.filter_map (fun e' -> if colors.(e') >= 0 then Some colors.(e') else None) t.sets.(e) in
+    let rec first_free c = if List.mem c taken then first_free (c + 1) else c in
+    let c = first_free 0 in
+    colors.(e) <- c;
+    if c + 1 > !used then used := c + 1
+  done;
+  (colors, !used)
+
+let independent t ids =
+  let rec check = function
+    | [] -> true
+    | e :: rest -> List.for_all (fun e' -> not (interfere t e e')) rest && check rest
+  in
+  check ids
+
+let max_independent_greedy t candidates =
+  let sorted = List.sort_uniq compare candidates in
+  let chosen = ref [] in
+  List.iter
+    (fun e -> if List.for_all (fun c -> not (interfere t e c)) !chosen then chosen := e :: !chosen)
+    sorted;
+  List.rev !chosen

@@ -1,0 +1,47 @@
+(** Interference sets, the interference number, and the conflict graph of a
+    topology (paper Section 2.4, following Meyer auf der Heide et al.).
+
+    [I(e) = { e' | e' interferes with e, or vice versa }]; the interference
+    number of the graph is [max_e |I(e)|].  The conflict graph has one
+    vertex per topology edge and joins interfering pairs; independent sets
+    of the conflict graph are exactly the concurrently usable edge sets. *)
+
+type t = {
+  model : Model.t;
+  sets : int list array;  (** [sets.(e)] = interference set of edge [e], excluding [e] itself *)
+}
+
+val build :
+  Model.t -> points:Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> t
+(** Grid-accelerated: near-linear for bounded-length edge sets. *)
+
+val build_brute :
+  Model.t -> points:Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> t
+(** O(m²) reference implementation (test oracle). *)
+
+val interference_number : t -> int
+(** [max_e |I(e)|]; [0] for graphs with fewer than two edges. *)
+
+val set_sizes : t -> int array
+
+val neighborhood_bounds : t -> int array
+(** [Iₑ] per edge as Section 3.3 defines it: an upper bound on the
+    interference-set size of every edge that [e] interferes with (and of [e]
+    itself).  Activating each edge with probability [1/(2Iₑ)] then bounds
+    its collision probability by 1/2 (Lemma 3.2): for [e' ∈ I(e)] we have
+    [e ∈ I(e')], hence [Iₑ' >= |I(e)|] and the union bound telescopes. *)
+
+val interfere : t -> int -> int -> bool
+(** Membership in each other's interference sets (by edge id). *)
+
+val greedy_coloring : t -> int array * int
+(** Colours the conflict graph greedily in edge-id order; returns the
+    colour per edge and the number of colours used (≤ interference number
+    + 1).  Each colour class is interference-free — a valid MAC schedule. *)
+
+val independent : t -> int list -> bool
+(** Whether the given edge ids are pairwise non-interfering. *)
+
+val max_independent_greedy : t -> int list -> int list
+(** Greedy maximal independent subset of the given candidate edges
+    (ascending id order) — an idealised MAC decision. *)

@@ -1,0 +1,52 @@
+open Adhoc_geom
+
+type t = {
+  alpha : float;
+  beta : float;
+  noise : float;
+  margin : float;
+}
+
+let make ?(beta = 2.) ?(noise = 1e-6) ?(margin = 2.) ~alpha () =
+  if alpha < 1. then invalid_arg "Sinr.make: alpha must be at least 1";
+  if beta <= 0. || noise <= 0. || margin < 1. then invalid_arg "Sinr.make: bad parameters";
+  { alpha; beta; noise; margin }
+
+let tx_power t d =
+  if d <= 0. then invalid_arg "Sinr.tx_power: non-positive distance";
+  t.margin *. t.noise *. t.beta *. Float.pow d t.alpha
+
+let sinr t ~points ~transmissions i =
+  let xi, yi = transmissions.(i) in
+  let d = Point.dist points.(xi) points.(yi) in
+  if d <= 0. then infinity
+  else begin
+    let signal = tx_power t d /. Float.pow d t.alpha in
+    let interference = ref 0. in
+    Array.iteri
+      (fun j (xj, yj) ->
+        if j <> i then begin
+          let dj = Point.dist points.(xj) points.(yj) in
+          let to_receiver = Point.dist points.(xj) points.(yi) in
+          if dj > 0. && to_receiver > 0. then
+            interference :=
+              !interference +. (tx_power t dj /. Float.pow to_receiver t.alpha)
+        end)
+      transmissions;
+    signal /. (t.noise +. !interference)
+  end
+
+let feasible t ~points ~transmissions =
+  Array.mapi (fun i _ -> sinr t ~points ~transmissions i >= t.beta) transmissions
+
+let all_feasible t ~points ~transmissions =
+  Array.for_all Fun.id (feasible t ~points ~transmissions)
+
+let feasible_fraction t ~points ~transmissions =
+  let n = Array.length transmissions in
+  if n = 0 then 1.
+  else begin
+    let ok = feasible t ~points ~transmissions in
+    let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok in
+    float_of_int count /. float_of_int n
+  end

@@ -1,0 +1,86 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+module Theta_alg = Adhoc_topo.Theta_alg
+
+type t = {
+  alg : Theta_alg.t;
+  overlay : Graph.t;
+  memo : (int * int, int list) Hashtbl.t;
+}
+
+let create alg = { alg; overlay = Theta_alg.overlay alg; memo = Hashtbl.create 256 }
+
+let selection_in_sector t u ~toward =
+  let theta = t.alg.Theta_alg.theta and points = t.alg.Theta_alg.points in
+  let s = Sector.index ~theta ~apex:points.(u) points.(toward) in
+  Array.fold_left
+    (fun acc w ->
+      if Sector.index ~theta ~apex:points.(u) points.(w) = s then Some w else acc)
+    None
+    t.alg.Theta_alg.selections.(u)
+
+let admitted_in_sector t v ~toward =
+  let theta = t.alg.Theta_alg.theta and points = t.alg.Theta_alg.points in
+  let s = Sector.index ~theta ~apex:points.(v) points.(toward) in
+  List.fold_left
+    (fun acc (w, sector) -> if sector = s then Some w else acc)
+    None
+    t.alg.Theta_alg.admitted.(v)
+
+(* Fallback for (measure-zero) degenerate configurations where the
+   recursion cannot certify progress: any shortest overlay path is a valid
+   replacement, just without Lemma 2.9's multiplicity accounting. *)
+let dijkstra_fallback t u v =
+  let r = Adhoc_graph.Dijkstra.run t.overlay ~cost:Adhoc_graph.Cost.length ~src:u in
+  match Adhoc_graph.Dijkstra.path r v with
+  | Some p -> p
+  | None -> failwith "Theta_paths.replace: endpoints disconnected in the overlay"
+
+let replace t u0 v0 =
+  let budget = ref (4 * (Graph.n t.overlay + 2) * (Graph.n t.overlay + 2)) in
+  (* [go u v] returns the node path from u to v, inclusive. *)
+  let rec go u v =
+    match Hashtbl.find_opt t.memo (u, v) with
+    | Some p -> p
+    | None ->
+        decr budget;
+        if !budget < 0 then failwith "Theta_paths.replace: recursion failed to make progress";
+        let path =
+          if u = v then [ u ]
+          else if Graph.mem_edge t.overlay u v then [ u; v ]
+          else if Theta_alg.in_yao t.alg u v then begin
+            (* u selected v; the edge was dropped in phase 2, so v admitted a
+               nearer selector w in the sector containing u. *)
+            match admitted_in_sector t v ~toward:u with
+            | Some w -> go u w @ [ v ]
+            | None -> failwith "Theta_paths.replace: missing admitted edge"
+          end
+          else begin
+            match selection_in_sector t u ~toward:v with
+            | Some w -> go u w @ List.tl (go w v)
+            | None -> failwith "Theta_paths.replace: empty sector on in-range edge"
+          end
+        in
+        Hashtbl.replace t.memo (u, v) path;
+        path
+  in
+  try go u0 v0 with Failure _ -> dijkstra_fallback t u0 v0
+
+let replace_edges t u v =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  pairs (replace t u v)
+
+let max_multiplicity t edges =
+  let count = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) ->
+      List.iter
+        (fun (a, b) ->
+          let key = if a < b then (a, b) else (b, a) in
+          Hashtbl.replace count key (1 + Option.value ~default:0 (Hashtbl.find_opt count key)))
+        (replace_edges t u v))
+    edges;
+  Hashtbl.fold (fun _ c acc -> max acc c) count 0

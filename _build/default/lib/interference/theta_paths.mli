@@ -1,0 +1,36 @@
+(** The θ-path edge-replacement of Theorem 2.8 (and Lemma 2.9).
+
+    Every transmission-graph edge [(u,v)] is replaced by a path in the
+    overlay 𝒩, computed by the paper's recursion:
+    - if [(u,v) ∈ 𝒩], the path is the edge itself;
+    - else if [v ∈ N(u)] (u selected v but the edge was not admitted), let
+      [w] be the neighbour 𝒩 admitted into [v]'s sector containing [u];
+      recurse on [(u,w)] and append the edge [(w,v)];
+    - else let [w] be [u]'s phase-1 selection in the sector containing [v];
+      recurse on [(u,w)] and [(w,v)].
+
+    Lemma 2.9: within any non-interfering edge set T of the transmission
+    graph, each 𝒩 edge appears in at most 6 replacement paths. *)
+
+type t
+
+val create : Adhoc_topo.Theta_alg.t -> t
+(** Precomputes the lookup structures; paths are memoised across queries. *)
+
+val replace : t -> int -> int -> int list
+(** [replace t u v] is the node sequence [u, ..., v] of the θ-path
+    replacing transmission-graph edge [(u,v)].  Requires
+    [|uv| <= range] of the underlying ΘALG instance.  For θ ≤ π/3 and
+    points in general position the recursion always terminates; on
+    degenerate inputs (exact ties) it falls back to a shortest overlay
+    path, which is still a valid replacement.
+    @raise Failure only when the endpoints are disconnected in the
+    overlay. *)
+
+val replace_edges : t -> int -> int -> (int * int) list
+(** The same path as consecutive node pairs (each an edge of 𝒩). *)
+
+val max_multiplicity : t -> (int * int) list -> int
+(** Given a set of transmission-graph edges (e.g. a non-interfering set T),
+    the maximum number of their θ-paths that share one 𝒩 edge — the
+    quantity Lemma 2.9 bounds by 6. *)

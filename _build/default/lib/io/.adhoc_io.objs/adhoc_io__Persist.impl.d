@@ -1,0 +1,1 @@
+lib/io/persist.ml: Adhoc_geom Adhoc_graph Array Buffer Fun Printf String

@@ -1,0 +1,1 @@
+lib/io/persist.mli: Adhoc_geom Adhoc_graph

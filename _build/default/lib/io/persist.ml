@@ -1,0 +1,92 @@
+module Point = Adhoc_geom.Point
+module Graph = Adhoc_graph.Graph
+
+type network = {
+  points : Point.t array;
+  graph : Graph.t;
+}
+
+let to_string net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "adhoc-network 1\n";
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Array.length net.points));
+  Array.iter
+    (fun (p : Point.t) ->
+      Buffer.add_string buf (Printf.sprintf "%.17g %.17g\n" p.Point.x p.Point.y))
+    net.points;
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (Graph.num_edges net.graph));
+  ignore
+    (Graph.fold_edges net.graph ~init:() ~f:(fun () _ e ->
+         Buffer.add_string buf
+           (Printf.sprintf "%d %d %.17g\n" e.Graph.u e.Graph.v e.Graph.len)));
+  Buffer.contents buf
+
+let points_to_string points =
+  to_string { points; graph = Graph.of_edges ~n:(Array.length points) [] }
+
+let fail_at line msg = failwith (Printf.sprintf "Persist.of_string: line %d: %s" line msg)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> Array.of_list in
+  let cursor = ref 0 in
+  let next () =
+    let rec skip () =
+      if !cursor >= Array.length lines then fail_at !cursor "unexpected end of input"
+      else begin
+        let l = String.trim lines.(!cursor) in
+        incr cursor;
+        if l = "" then skip () else l
+      end
+    in
+    skip ()
+  in
+  let header = next () in
+  if header <> "adhoc-network 1" then fail_at !cursor "bad header";
+  (* Counts can never exceed the remaining lines: rejects absurd values
+     before allocating for them. *)
+  let plausible k = k >= 0 && k <= Array.length lines in
+  let n =
+    match String.split_on_char ' ' (next ()) with
+    | [ "nodes"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when plausible k -> k
+        | _ -> fail_at !cursor "bad node count")
+    | _ -> fail_at !cursor "expected 'nodes <n>'"
+  in
+  let points =
+    Array.init n (fun _ ->
+        match String.split_on_char ' ' (next ()) with
+        | [ x; y ] -> (
+            match (float_of_string_opt x, float_of_string_opt y) with
+            | Some x, Some y -> Point.make x y
+            | _ -> fail_at !cursor "bad coordinates")
+        | _ -> fail_at !cursor "expected '<x> <y>'")
+  in
+  let m =
+    match String.split_on_char ' ' (next ()) with
+    | [ "edges"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when plausible k -> k
+        | _ -> fail_at !cursor "bad edge count")
+    | _ -> fail_at !cursor "expected 'edges <m>'"
+  in
+  let b = Graph.Builder.create n in
+  for _ = 1 to m do
+    match String.split_on_char ' ' (next ()) with
+    | [ u; v; len ] -> (
+        match (int_of_string_opt u, int_of_string_opt v, float_of_string_opt len) with
+        | Some u, Some v, Some len -> Graph.Builder.add_edge b u v len
+        | _ -> fail_at !cursor "bad edge")
+    | _ -> fail_at !cursor "expected '<u> <v> <len>'"
+  done;
+  { points; graph = Graph.Builder.build b }
+
+let save net path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string net))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

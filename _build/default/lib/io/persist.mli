@@ -1,0 +1,28 @@
+(** Plain-text persistence for deployments and topologies.
+
+    The format is line-oriented and human-diffable:
+    {v
+    adhoc-network 1
+    nodes <n>
+    <x> <y>            (n lines, %.17g so round-trips are exact)
+    edges <m>
+    <u> <v> <len>      (m lines)
+    v}
+
+    Lengths are stored (not recomputed) so graphs with non-geometric
+    weights survive the round trip too. *)
+
+type network = {
+  points : Adhoc_geom.Point.t array;
+  graph : Adhoc_graph.Graph.t;
+}
+
+val to_string : network -> string
+val of_string : string -> network
+(** @raise Failure on malformed input (with a line number). *)
+
+val save : network -> string -> unit
+val load : string -> network
+
+val points_to_string : Adhoc_geom.Point.t array -> string
+(** Just the header and node block ([edges 0]). *)

@@ -1,0 +1,1 @@
+lib/mac/honeycomb.ml: Adhoc_geom Adhoc_util Array Hexgrid List Mac Map

@@ -1,0 +1,1 @@
+lib/mac/honeycomb.mli: Adhoc_geom Adhoc_util Mac

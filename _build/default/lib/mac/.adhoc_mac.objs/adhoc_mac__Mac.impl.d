@@ -1,0 +1,1 @@
+lib/mac/mac.ml: Adhoc_interference Adhoc_util Array Float List

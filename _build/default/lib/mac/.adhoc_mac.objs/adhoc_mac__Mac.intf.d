@@ -1,0 +1,1 @@
+lib/mac/mac.mli: Adhoc_interference Adhoc_util

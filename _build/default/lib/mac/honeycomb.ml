@@ -1,0 +1,49 @@
+open Adhoc_geom
+module Prng = Adhoc_util.Prng
+
+type t = {
+  p_t : float;
+  threshold : float;
+  rng : Prng.t;
+  hexgrid : Hexgrid.t;
+  hex_of_node : Hexgrid.coord array;
+}
+
+let create ?(p_t = 1. /. 6.) ~delta ~range ~threshold ~rng points =
+  if p_t <= 0. || p_t > 1. then invalid_arg "Honeycomb.create: p_t must be in (0,1]";
+  if delta < 0. then invalid_arg "Honeycomb.create: negative delta";
+  if range <= 0. then invalid_arg "Honeycomb.create: range must be positive";
+  let hexgrid = Hexgrid.make ~side:((3. +. (2. *. delta)) *. range) in
+  let hex_of_node = Array.map (Hexgrid.of_point hexgrid) points in
+  { p_t; threshold; rng; hexgrid; hex_of_node }
+
+let hexagon_of t i = t.hex_of_node.(i)
+
+let grid t = t.hexgrid
+
+module Coord_map = Map.Make (struct
+  type t = Hexgrid.coord
+
+  let compare = Hexgrid.compare_coord
+end)
+
+let mac t =
+  let select ~step:_ (requests : Mac.request list) =
+    (* Best request per hexagon of the sender. *)
+    let best =
+      List.fold_left
+        (fun acc (r : Mac.request) ->
+          let hex = t.hex_of_node.(r.Mac.sender) in
+          match Coord_map.find_opt hex acc with
+          | Some (b : Mac.request) when b.Mac.benefit >= r.Mac.benefit -> acc
+          | _ -> Coord_map.add hex r acc)
+        Coord_map.empty requests
+    in
+    (* Contestants flip the p_t coin. *)
+    Coord_map.fold
+      (fun _ (r : Mac.request) acc ->
+        if r.Mac.benefit > t.threshold && Prng.uniform t.rng < t.p_t then r :: acc else acc)
+      best []
+    |> List.rev
+  in
+  { Mac.name = "honeycomb"; select }

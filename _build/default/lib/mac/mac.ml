@@ -1,0 +1,64 @@
+module Conflict = Adhoc_interference.Conflict
+module Prng = Adhoc_util.Prng
+
+type request = {
+  edge : int;
+  sender : int;
+  benefit : float;
+}
+
+type t = { name : string; select : step:int -> request list -> request list }
+
+let color conflict =
+  let colors, num_colors = Conflict.greedy_coloring conflict in
+  let select ~step requests =
+    if num_colors = 0 then requests
+    else begin
+      let active = step mod num_colors in
+      List.filter (fun r -> colors.(r.edge) = active) requests
+    end
+  in
+  { name = "color-mac"; select }
+
+let random_interference ~rng conflict =
+  (* I_e is the paper's neighbourhood bound, not |I(e)|: it dominates the
+     interference-set size of every edge e interferes with, which is what
+     makes Lemma 3.2's 1/2 collision bound hold. *)
+  let bounds = Conflict.neighborhood_bounds conflict in
+  let select ~step:_ requests =
+    List.filter
+      (fun r ->
+        let i = max 1 bounds.(r.edge) in
+        Prng.uniform rng < 1. /. (2. *. float_of_int i))
+      requests
+  in
+  { name = "random-mac"; select }
+
+let greedy_independent conflict =
+  let select ~step:_ requests =
+    let sorted = List.sort (fun a b -> Float.compare b.benefit a.benefit) requests in
+    let chosen = ref [] in
+    List.iter
+      (fun r ->
+        if List.for_all (fun c -> not (Conflict.interfere conflict r.edge c.edge)) !chosen then
+          chosen := r :: !chosen)
+      sorted;
+    List.rev !chosen
+  in
+  { name = "greedy-mac"; select }
+
+let csma ~rng conflict =
+  let select ~step:_ requests =
+    let order = Array.of_list requests in
+    Prng.shuffle rng order;
+    let chosen = ref [] in
+    Array.iter
+      (fun r ->
+        if List.for_all (fun c -> not (Conflict.interfere conflict r.edge c.edge)) !chosen
+        then chosen := r :: !chosen)
+      order;
+    List.rev !chosen
+  in
+  { name = "csma"; select }
+
+let all = { name = "all"; select = (fun ~step:_ requests -> requests) }

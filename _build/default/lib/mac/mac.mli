@@ -1,0 +1,50 @@
+(** Medium-access control protocols.
+
+    A MAC decides, each step, which of the edges the routing layer would
+    like to use may attempt a transmission.  Collisions between granted
+    edges that still interfere (possible under randomized MACs) are
+    resolved by the engine: both transmissions fail.
+
+    The three concrete MACs mirror the paper's three scenarios:
+    - {!color}: Scenario 1 (Section 3.2) — an idealised given MAC; colour
+      classes of the conflict graph are activated round-robin, so granted
+      sets are always interference-free.
+    - {!random_interference}: Scenario 2 (Section 3.3) — each edge [e]
+      independently becomes active with probability [1/(2·Iₑ)], the paper's
+      symmetry-breaking rule (Lemma 3.2 bounds the collision probability).
+    - {!Honeycomb} (own module): Scenario 3 (Section 3.4) — fixed
+      transmission strength, hexagon contestants.
+    - {!greedy_independent}: an idealized upper-baseline that grants a
+      maximal independent set of the requests by decreasing benefit. *)
+
+type request = {
+  edge : int;  (** topology edge id *)
+  sender : int;  (** node that would transmit the data packet *)
+  benefit : float;  (** the balancing benefit of the best send on this edge *)
+}
+
+type t = { name : string; select : step:int -> request list -> request list }
+(** [select ~step requests] returns the granted subset (at most one request
+    per edge). *)
+
+val color : Adhoc_interference.Conflict.t -> t
+(** Round-robin over a greedy colouring of the conflict graph. *)
+
+val random_interference : rng:Adhoc_util.Prng.t -> Adhoc_interference.Conflict.t -> t
+(** Activation probability [1/(2·Iₑ)] per edge per step, with [Iₑ] the
+    paper's neighbourhood bound
+    ({!Adhoc_interference.Conflict.neighborhood_bounds}) — what makes
+    Lemma 3.2's 1/2 collision bound hold. *)
+
+val greedy_independent : Adhoc_interference.Conflict.t -> t
+(** Grants a maximal non-interfering subset, highest benefit first. *)
+
+val csma : rng:Adhoc_util.Prng.t -> Adhoc_interference.Conflict.t -> t
+(** Carrier-sense abstraction (CSMA/CA, MACA, 802.11 — the protocols the
+    paper names for Scenario 1): contenders back off in a random order and
+    transmit iff no already-transmitting edge interferes, yielding a
+    maximal non-interfering subset chosen uniformly by arrival order
+    rather than by benefit. *)
+
+val all : t
+(** Grants everything — for interference-free models and tests. *)

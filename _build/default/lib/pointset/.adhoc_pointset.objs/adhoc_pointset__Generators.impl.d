@@ -1,0 +1,1 @@
+lib/pointset/generators.ml: Adhoc_geom Adhoc_util Array Box Float List Point

@@ -1,0 +1,1 @@
+lib/pointset/generators.mli: Adhoc_geom Adhoc_util Box Point

@@ -1,0 +1,1 @@
+lib/pointset/mobility.ml: Adhoc_geom Adhoc_util Array Box Point

@@ -1,0 +1,1 @@
+lib/pointset/mobility.mli: Adhoc_geom Adhoc_util

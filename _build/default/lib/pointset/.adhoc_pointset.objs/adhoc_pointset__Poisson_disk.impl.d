@@ -1,0 +1,1 @@
+lib/pointset/poisson_disk.ml: Adhoc_geom Adhoc_util Array Box Float Point

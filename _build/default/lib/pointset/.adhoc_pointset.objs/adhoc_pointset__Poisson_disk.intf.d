@@ -1,0 +1,1 @@
+lib/pointset/poisson_disk.mli: Adhoc_geom Adhoc_util

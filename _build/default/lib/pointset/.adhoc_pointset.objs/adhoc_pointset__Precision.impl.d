@@ -1,0 +1,1 @@
+lib/pointset/precision.ml: Adhoc_geom Array Box Float Hull Point Spatial_grid

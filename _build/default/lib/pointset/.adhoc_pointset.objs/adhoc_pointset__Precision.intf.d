@@ -1,0 +1,1 @@
+lib/pointset/precision.mli: Adhoc_geom

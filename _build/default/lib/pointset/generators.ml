@@ -1,0 +1,76 @@
+open Adhoc_geom
+module Prng = Adhoc_util.Prng
+
+let uniform ?(box = Box.unit_square) rng n =
+  Array.init n (fun _ ->
+      Point.make (Prng.range rng box.Box.xmin box.Box.xmax)
+        (Prng.range rng box.Box.ymin box.Box.ymax))
+
+let jittered_grid ?(box = Box.unit_square) ~jitter rng n =
+  if jitter < 0. then invalid_arg "Generators.jittered_grid: negative jitter";
+  let side = max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  let cw = Box.width box /. float_of_int side in
+  let ch = Box.height box /. float_of_int side in
+  let points = ref [] in
+  for row = 0 to side - 1 do
+    for col = 0 to side - 1 do
+      let cx = box.Box.xmin +. ((float_of_int col +. 0.5) *. cw) in
+      let cy = box.Box.ymin +. ((float_of_int row +. 0.5) *. ch) in
+      let dx = Prng.range rng (-.jitter) jitter *. cw in
+      let dy = Prng.range rng (-.jitter) jitter *. ch in
+      points := Box.clamp box (Point.make (cx +. dx) (cy +. dy)) :: !points
+    done
+  done;
+  Array.of_list (List.rev !points)
+
+let clusters ?(box = Box.unit_square) ~num_clusters ~spread rng n =
+  if num_clusters <= 0 then invalid_arg "Generators.clusters: need at least one cluster";
+  let centers = uniform ~box rng num_clusters in
+  Array.init n (fun i ->
+      let c = centers.(i mod num_clusters) in
+      let x = Prng.gaussian rng ~mean:c.Point.x ~stddev:spread in
+      let y = Prng.gaussian rng ~mean:c.Point.y ~stddev:spread in
+      Box.clamp box (Point.make x y))
+
+let ring ?(box = Box.unit_square) ~width rng n =
+  if width < 0. || width > 1. then invalid_arg "Generators.ring: width must be in [0,1]";
+  let c = Box.center box in
+  let radius = Float.min (Box.width box) (Box.height box) /. 2. in
+  Array.init n (fun _ ->
+      let a = Prng.range rng 0. (2. *. Float.pi) in
+      (* Area-uniform radius within the annulus [(1-width)·R, R]. *)
+      let r_in = (1. -. width) *. radius in
+      let r2 = Prng.range rng (r_in *. r_in) (radius *. radius) in
+      let r = sqrt r2 in
+      Box.clamp box (Point.make (c.Point.x +. (r *. cos a)) (c.Point.y +. (r *. sin a))))
+
+let exponential_chain ?(base = 2.) n =
+  if base <= 1. then invalid_arg "Generators.exponential_chain: base must exceed 1";
+  let x = ref 0. in
+  Array.init n (fun i ->
+      if i > 0 then x := !x +. Float.pow base (float_of_int (i - 1));
+      Point.make !x 0.)
+
+let exponential_spiral ?(base = 1.6) ?(angle = 2.39996322972865332) n =
+  if base <= 1. then invalid_arg "Generators.exponential_spiral: base must exceed 1";
+  Array.init n (fun i ->
+      if i = 0 then Point.origin
+      else begin
+        let r = Float.pow base (float_of_int i) in
+        let a = float_of_int i *. angle in
+        Point.make (r *. cos a) (r *. sin a)
+      end)
+
+let two_scale ?(box = Box.unit_square) ~ratio rng n =
+  if ratio <= 0. || ratio > 1. then invalid_arg "Generators.two_scale: ratio must be in (0,1]";
+  let c = Box.center box in
+  let blob_r = ratio *. Float.min (Box.width box) (Box.height box) /. 2. in
+  Array.init n (fun i ->
+      if i mod 2 = 0 then begin
+        let a = Prng.range rng 0. (2. *. Float.pi) in
+        let r = blob_r *. sqrt (Prng.uniform rng) in
+        Point.make (c.Point.x +. (r *. cos a)) (c.Point.y +. (r *. sin a))
+      end
+      else
+        Point.make (Prng.range rng box.Box.xmin box.Box.xmax)
+          (Prng.range rng box.Box.ymin box.Box.ymax))

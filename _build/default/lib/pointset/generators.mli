@@ -1,0 +1,47 @@
+(** Node-placement generators for the experiments.
+
+    Every generator is deterministic in its {!Adhoc_util.Prng.t} argument.
+    Unless noted otherwise, points land in the given {!Adhoc_geom.Box.t}
+    (default: the unit square, the paper's canonical region). *)
+
+open Adhoc_geom
+
+val uniform : ?box:Box.t -> Adhoc_util.Prng.t -> int -> Point.t array
+(** [n] points independently and uniformly at random — the distribution of
+    Lemma 2.10 and Corollary 3.5. *)
+
+val jittered_grid : ?box:Box.t -> jitter:float -> Adhoc_util.Prng.t -> int -> Point.t array
+(** Approximately [n] points (the nearest square count) on a regular grid,
+    each perturbed uniformly by up to [jitter] × (cell size) per axis.
+    [jitter = 0.] is an exact grid; small jitters give civilized sets. *)
+
+val clusters :
+  ?box:Box.t ->
+  num_clusters:int ->
+  spread:float ->
+  Adhoc_util.Prng.t ->
+  int ->
+  Point.t array
+(** Gaussian blobs: cluster centers uniform in the box, members
+    normally distributed around them with standard deviation [spread],
+    clamped to the box.  Models e.g. disaster-relief team deployments. *)
+
+val ring : ?box:Box.t -> width:float -> Adhoc_util.Prng.t -> int -> Point.t array
+(** Points on an annulus of the box's inscribed circle, radial width
+    [width] × radius.  A hard case for sector-based constructions. *)
+
+val exponential_chain : ?base:float -> int -> Point.t array
+(** Deterministic 1-D chain on the x-axis with exponentially growing gaps
+    ([base^i]): maximally non-civilized, the stress case for the open
+    spanner question (experiment E4).  Requires [base > 1.]. *)
+
+val exponential_spiral : ?base:float -> ?angle:float -> int -> Point.t array
+(** Deterministic multi-scale set: point [i] at radius [base^i] and polar
+    angle [i · angle] (default: golden angle).  Pairwise distances span
+    [base^n] scales — maximally non-civilized in two dimensions, the stress
+    family for the paper's open spanner question.  Requires [base > 1.]. *)
+
+val two_scale : ?box:Box.t -> ratio:float -> Adhoc_util.Prng.t -> int -> Point.t array
+(** Half the points in a dense blob of diameter [ratio] × box size, half
+    uniform — a bimodal-scale distribution ([ratio << 1] breaks the
+    civilized assumption). *)

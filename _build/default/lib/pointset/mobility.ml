@@ -1,0 +1,58 @@
+open Adhoc_geom
+module Prng = Adhoc_util.Prng
+
+type node = {
+  mutable pos : Point.t;
+  mutable waypoint : Point.t;
+  mutable speed : float;
+  mutable pausing : int;
+}
+
+type t = {
+  box : Box.t;
+  pause : int;
+  speed_min : float;
+  speed_max : float;
+  rng : Prng.t;
+  nodes : node array;
+}
+
+let random_point box rng =
+  Point.make (Prng.range rng box.Box.xmin box.Box.xmax) (Prng.range rng box.Box.ymin box.Box.ymax)
+
+let create ?(box = Box.unit_square) ?(pause = 0) ~speed_min ~speed_max rng points =
+  if speed_min < 0. || speed_max < speed_min then invalid_arg "Mobility.create: bad speed range";
+  let nodes =
+    Array.map
+      (fun p ->
+        {
+          pos = p;
+          waypoint = random_point box rng;
+          speed = Prng.range rng speed_min speed_max;
+          pausing = 0;
+        })
+      points
+  in
+  { box; pause; speed_min; speed_max; rng; nodes }
+
+let positions t = Array.map (fun nd -> nd.pos) t.nodes
+
+let step_node t nd =
+  if nd.pausing > 0 then nd.pausing <- nd.pausing - 1
+  else begin
+    let d = Point.dist nd.pos nd.waypoint in
+    if d <= nd.speed then begin
+      nd.pos <- nd.waypoint;
+      nd.waypoint <- random_point t.box t.rng;
+      nd.speed <- Prng.range t.rng t.speed_min t.speed_max;
+      nd.pausing <- t.pause
+    end
+    else nd.pos <- Point.lerp nd.pos nd.waypoint (nd.speed /. d)
+  end
+
+let step t = Array.iter (step_node t) t.nodes
+
+let run t k =
+  for _ = 1 to k do
+    step t
+  done

@@ -1,0 +1,33 @@
+(** Random-waypoint mobility — the uncontrollable topology dynamics of the
+    paper's adversarial model, made concrete for the examples and the
+    dynamic-routing experiments.
+
+    Each node picks a waypoint uniformly in the box, moves toward it at its
+    speed, pauses, and repeats.  Advancing the model one step yields a new
+    position array; rebuilding the topology on it gives the "sequence of
+    network changes" the routing layer must absorb. *)
+
+type t
+
+val create :
+  ?box:Adhoc_geom.Box.t ->
+  ?pause:int ->
+  speed_min:float ->
+  speed_max:float ->
+  Adhoc_util.Prng.t ->
+  Adhoc_geom.Point.t array ->
+  t
+(** [create ~speed_min ~speed_max rng points] starts every node at its given
+    position with a fresh waypoint.  Speeds are distances per step, drawn
+    uniformly from [[speed_min, speed_max]] per leg; [pause] steps are
+    spent at each reached waypoint (default 0).  The generator is consumed
+    as the model advances. *)
+
+val positions : t -> Adhoc_geom.Point.t array
+(** Current positions (a fresh copy). *)
+
+val step : t -> unit
+(** Advance every node by one time step. *)
+
+val run : t -> int -> unit
+(** [run m k] advances [k] steps. *)

@@ -1,0 +1,102 @@
+open Adhoc_geom
+module Prng = Adhoc_util.Prng
+
+(* Bridson (2007): background grid with cell side min_dist/√2 so each cell
+   holds at most one sample; candidates are drawn from the annulus
+   [min_dist, 2·min_dist] around active samples. *)
+
+type state = {
+  box : Box.t;
+  min_dist : float;
+  cell : float;
+  cols : int;
+  rows : int;
+  grid : int array;  (* -1 = empty, else sample index *)
+  mutable samples : Point.t array;  (* dynamic array, first [count] valid *)
+  mutable count : int;
+  mutable active : int list;
+}
+
+let make_state box min_dist =
+  let cell = min_dist /. sqrt 2. in
+  let cols = max 1 (int_of_float (Float.ceil (Box.width box /. cell))) in
+  let rows = max 1 (int_of_float (Float.ceil (Box.height box /. cell))) in
+  {
+    box;
+    min_dist;
+    cell;
+    cols;
+    rows;
+    grid = Array.make (cols * rows) (-1);
+    samples = Array.make 64 Point.origin;
+    count = 0;
+    active = [];
+  }
+
+let cell_of st (p : Point.t) =
+  let col = int_of_float ((p.Point.x -. st.box.Box.xmin) /. st.cell) in
+  let row = int_of_float ((p.Point.y -. st.box.Box.ymin) /. st.cell) in
+  (min (max col 0) (st.cols - 1), min (max row 0) (st.rows - 1))
+
+let far_enough st p =
+  let col, row = cell_of st p in
+  let ok = ref true in
+  for r = max 0 (row - 2) to min (st.rows - 1) (row + 2) do
+    for c = max 0 (col - 2) to min (st.cols - 1) (col + 2) do
+      let idx = st.grid.((r * st.cols) + c) in
+      if idx >= 0 && Point.dist st.samples.(idx) p < st.min_dist then ok := false
+    done
+  done;
+  !ok
+
+let insert st p =
+  if st.count = Array.length st.samples then begin
+    let bigger = Array.make (2 * st.count) Point.origin in
+    Array.blit st.samples 0 bigger 0 st.count;
+    st.samples <- bigger
+  end;
+  let col, row = cell_of st p in
+  st.grid.((row * st.cols) + col) <- st.count;
+  st.samples.(st.count) <- p;
+  st.active <- st.count :: st.active;
+  st.count <- st.count + 1
+
+let annulus_candidate rng st (center : Point.t) =
+  let a = Prng.range rng 0. (2. *. Float.pi) in
+  let r = st.min_dist *. (1. +. Prng.uniform rng) in
+  Point.make (center.Point.x +. (r *. cos a)) (center.Point.y +. (r *. sin a))
+
+let run ?(box = Box.unit_square) ?(attempts = 30) ~min_dist rng ~limit =
+  if min_dist <= 0. then invalid_arg "Poisson_disk: min_dist must be positive";
+  let st = make_state box min_dist in
+  let first =
+    Point.make (Prng.range rng box.Box.xmin box.Box.xmax) (Prng.range rng box.Box.ymin box.Box.ymax)
+  in
+  insert st first;
+  let rec loop () =
+    if st.count >= limit then ()
+    else begin
+      match st.active with
+      | [] -> ()
+      | i :: rest ->
+          let center = st.samples.(i) in
+          let placed = ref false in
+          let k = ref 0 in
+          while (not !placed) && !k < attempts do
+            incr k;
+            let cand = annulus_candidate rng st center in
+            if Box.contains box cand && far_enough st cand then begin
+              insert st cand;
+              placed := true
+            end
+          done;
+          if not !placed then st.active <- rest;
+          loop ()
+    end
+  in
+  loop ();
+  Array.sub st.samples 0 st.count
+
+let sample ?box ?attempts ~min_dist rng = run ?box ?attempts ~min_dist rng ~limit:max_int
+
+let sample_n ?box ~min_dist rng n = run ?box ~min_dist rng ~limit:n

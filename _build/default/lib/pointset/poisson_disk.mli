@@ -1,0 +1,25 @@
+(** Poisson-disk (blue-noise) sampling: random points with a guaranteed
+    minimum pairwise separation.
+
+    Sets produced this way are civilized (λ-precision) in the paper's sense
+    (Section 2.3): the ratio of any two pairwise distances is bounded.
+    Bridson's dart-throwing algorithm with a background grid, O(n). *)
+
+val sample :
+  ?box:Adhoc_geom.Box.t ->
+  ?attempts:int ->
+  min_dist:float ->
+  Adhoc_util.Prng.t ->
+  Adhoc_geom.Point.t array
+(** [sample ~min_dist rng] fills the box with points pairwise at least
+    [min_dist] apart until no more fit ([attempts] candidate darts per
+    active point, default 30).  Requires [min_dist > 0]. *)
+
+val sample_n :
+  ?box:Adhoc_geom.Box.t ->
+  min_dist:float ->
+  Adhoc_util.Prng.t ->
+  int ->
+  Adhoc_geom.Point.t array
+(** Like {!sample} but stops after [n] points.  Returns fewer when the box
+    saturates first. *)

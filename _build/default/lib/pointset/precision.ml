@@ -1,0 +1,36 @@
+open Adhoc_geom
+
+let min_pairwise points =
+  let n = Array.length points in
+  if n < 2 then infinity
+  else begin
+    let box = Box.of_points points in
+    let span = Float.max (Box.width box) (Box.height box) in
+    (* Grid with ~1 expected point per cell; nearest_other expands as needed. *)
+    let cell = if span > 0. then Float.max (span /. sqrt (float_of_int n)) (span *. 1e-9) else 1. in
+    let grid = Spatial_grid.build ~cell points in
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      match Spatial_grid.nearest_other grid i with
+      | Some j -> best := Float.min !best (Point.dist points.(i) points.(j))
+      | None -> ()
+    done;
+    !best
+  end
+
+let max_pairwise points =
+  (* The diameter is attained by convex-hull vertices. *)
+  Hull.diameter points
+
+let lambda points =
+  if Array.length points < 2 then 1.
+  else begin
+    let mx = max_pairwise points in
+    if mx = 0. then 0.
+    else begin
+      let mn = min_pairwise points in
+      if mn = infinity then 1. else mn /. mx
+    end
+  end
+
+let is_civilized ~lambda:l points = lambda points >= l

@@ -1,0 +1,22 @@
+(** λ-precision (civilized) measurement — paper Section 2.3.
+
+    A point set is civilized with parameter λ if the ratio of the minimum to
+    the maximum pairwise distance is at least λ.  Wireless deployments are
+    commonly modelled this way because distinct devices are never
+    arbitrarily close relative to the deployment scale. *)
+
+val min_pairwise : Adhoc_geom.Point.t array -> float
+(** Smallest distance between two distinct points ([infinity] for fewer than
+    two points).  Grid-accelerated, near-linear. *)
+
+val max_pairwise : Adhoc_geom.Point.t array -> float
+(** Largest pairwise distance (diameter of the set; [0.] for fewer than two
+    points).  Computed over convex-hull vertices, near-linear after
+    sorting. *)
+
+val lambda : Adhoc_geom.Point.t array -> float
+(** [min_pairwise / max_pairwise]; the set is λ-precision for any
+    λ ≤ this value.  [0.] when there are coincident points, [1.] for fewer
+    than two points (vacuously civilized). *)
+
+val is_civilized : lambda:float -> Adhoc_geom.Point.t array -> bool

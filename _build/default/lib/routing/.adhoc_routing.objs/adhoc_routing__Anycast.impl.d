@@ -1,0 +1,1 @@
+lib/routing/anycast.ml: Adhoc_graph Adhoc_interference Array Balancing Float Fun List Option

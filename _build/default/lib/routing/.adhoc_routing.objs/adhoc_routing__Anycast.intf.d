@@ -1,0 +1,1 @@
+lib/routing/anycast.mli: Adhoc_graph Adhoc_interference Balancing

@@ -1,0 +1,1 @@
+lib/routing/balancing.ml: Buffers Float

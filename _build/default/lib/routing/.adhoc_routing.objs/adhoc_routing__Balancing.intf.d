@@ -1,0 +1,1 @@
+lib/routing/balancing.mli: Buffers

@@ -1,0 +1,1 @@
+lib/routing/buffers.ml: Array Hashtbl

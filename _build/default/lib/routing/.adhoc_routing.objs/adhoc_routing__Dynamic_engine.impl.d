@@ -1,0 +1,1 @@
+lib/routing/dynamic_engine.ml: Adhoc_graph Adhoc_interference Adhoc_topo Array Balancing Buffers Engine Float List Option

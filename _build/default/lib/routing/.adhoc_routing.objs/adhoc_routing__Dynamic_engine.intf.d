@@ -1,0 +1,1 @@
+lib/routing/dynamic_engine.mli: Adhoc_geom Adhoc_graph Adhoc_interference Balancing Engine

@@ -1,0 +1,1 @@
+lib/routing/engine.ml: Adhoc_graph Adhoc_interference Adhoc_mac Array Balancing Buffers Float Hashtbl List Option Workload

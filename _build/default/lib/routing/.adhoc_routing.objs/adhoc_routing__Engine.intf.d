@@ -1,0 +1,1 @@
+lib/routing/engine.mli: Adhoc_graph Adhoc_interference Adhoc_mac Balancing Workload

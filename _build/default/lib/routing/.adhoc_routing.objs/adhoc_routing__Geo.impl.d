@@ -1,0 +1,1 @@
+lib/routing/geo.ml: Adhoc_geom Adhoc_graph Adhoc_util Array Float List Point

@@ -1,0 +1,1 @@
+lib/routing/geo.mli: Adhoc_geom Adhoc_graph Adhoc_util

@@ -1,0 +1,1 @@
+lib/routing/quantized_engine.ml: Adhoc_graph Adhoc_interference Array Balancing Buffers Engine Float List Option Workload

@@ -1,0 +1,1 @@
+lib/routing/quantized_engine.mli: Adhoc_graph Adhoc_interference Balancing Engine Workload

@@ -1,0 +1,1 @@
+lib/routing/queueing.ml: Adhoc_graph Adhoc_util Array Hashtbl List Workload

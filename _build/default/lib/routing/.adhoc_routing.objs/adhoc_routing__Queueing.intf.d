@@ -1,0 +1,1 @@
+lib/routing/queueing.mli: Adhoc_graph Workload

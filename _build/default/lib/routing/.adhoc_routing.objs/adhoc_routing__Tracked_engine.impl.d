@@ -1,0 +1,1 @@
+lib/routing/tracked_engine.ml: Adhoc_graph Adhoc_interference Adhoc_util Array Balancing Buffers Engine Hashtbl List Option Packet Queue Workload

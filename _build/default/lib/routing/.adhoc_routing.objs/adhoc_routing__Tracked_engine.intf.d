@@ -1,0 +1,1 @@
+lib/routing/tracked_engine.mli: Adhoc_graph Adhoc_interference Balancing Engine Packet Workload

@@ -1,0 +1,1 @@
+lib/routing/workload.ml: Adhoc_graph Adhoc_interference Adhoc_util Array Hashtbl List

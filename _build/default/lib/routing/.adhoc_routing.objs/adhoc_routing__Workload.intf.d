@@ -1,0 +1,1 @@
+lib/routing/workload.mli: Adhoc_graph Adhoc_interference Adhoc_util

@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  h : int array array;  (* h.(v).(d) *)
+  nonzero : (int, unit) Hashtbl.t array;  (* destinations with h > 0, per node *)
+  mutable total : int;
+}
+
+let create n =
+  {
+    n;
+    h = Array.make_matrix n n 0;
+    nonzero = Array.init n (fun _ -> Hashtbl.create 8);
+    total = 0;
+  }
+
+let nodes t = t.n
+
+let height t v d = t.h.(v).(d)
+
+let add t v d =
+  if t.h.(v).(d) = 0 then Hashtbl.replace t.nonzero.(v) d ();
+  t.h.(v).(d) <- t.h.(v).(d) + 1;
+  t.total <- t.total + 1
+
+let inject t ~cap src dest =
+  if src = dest then true
+  else if t.h.(src).(dest) >= cap then false
+  else begin
+    add t src dest;
+    true
+  end
+
+let force_add t v d = if v <> d then add t v d
+
+let remove t v d =
+  if t.h.(v).(d) <= 0 then invalid_arg "Buffers.remove: empty buffer";
+  t.h.(v).(d) <- t.h.(v).(d) - 1;
+  t.total <- t.total - 1;
+  if t.h.(v).(d) = 0 then Hashtbl.remove t.nonzero.(v) d
+
+let iter_nonzero t v f = Hashtbl.iter (fun d () -> f d t.h.(v).(d)) t.nonzero.(v)
+
+let fold_nonzero t v ~init ~f =
+  Hashtbl.fold (fun d () acc -> f acc d t.h.(v).(d)) t.nonzero.(v) init
+
+let total t = t.total
+
+let max_height t =
+  let best = ref 0 in
+  Array.iter (fun row -> Array.iter (fun x -> if x > !best then best := x) row) t.h;
+  !best

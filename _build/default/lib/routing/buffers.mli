@@ -1,0 +1,40 @@
+(** Per-destination packet buffers [Q_{v,d}] (paper Section 3.1).
+
+    The balancing algorithm never inspects packet identity — only buffer
+    heights — so buffers store counts.  The destination's own buffer
+    [Q_{d,d}] is always empty: arrivals there are absorbed (delivered). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes empty buffers for [n] nodes (and [n] possible
+    destinations). *)
+
+val nodes : t -> int
+
+val height : t -> int -> int -> int
+(** [height t v d] is [h_{v,d}]. *)
+
+val inject : t -> cap:int -> int -> int -> bool
+(** [inject t ~cap src dest] adds a packet to [Q_{src,dest}] unless the
+    buffer already holds [cap] packets ([false] = dropped) or
+    [src = dest] (absorbed immediately, returns [true]). *)
+
+val force_add : t -> int -> int -> unit
+(** Adds a packet regardless of any cap (used for in-transit arrivals,
+    which the algorithm never drops). *)
+
+val remove : t -> int -> int -> unit
+(** Removes one packet from [Q_{v,d}].  Requires a positive height. *)
+
+val iter_nonzero : t -> int -> (int -> int -> unit) -> unit
+(** [iter_nonzero t v f] calls [f d h] for every destination with
+    [h = h_{v,d} > 0]. *)
+
+val fold_nonzero : t -> int -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val total : t -> int
+(** Total packets currently buffered. *)
+
+val max_height : t -> int
+(** Largest buffer height present. *)

@@ -1,0 +1,105 @@
+module Graph = Adhoc_graph.Graph
+module Conflict = Adhoc_interference.Conflict
+module Model = Adhoc_interference.Model
+
+type epoch = {
+  graph : Graph.t;
+  conflict : Conflict.t;
+  steps : int;
+}
+
+let epoch_of_points ?(delta = 0.5) ?(theta = Float.pi /. 6.) ?(range_factor = 1.5) ~steps
+    points =
+  let range = range_factor *. Adhoc_topo.Udg.critical_range points in
+  let overlay = Adhoc_topo.Theta_alg.overlay (Adhoc_topo.Theta_alg.build ~theta ~range points) in
+  let conflict = Conflict.build (Model.make ~delta) ~points overlay in
+  { graph = overlay; conflict; steps }
+
+let run ~epochs ~injections ~cost ~params () =
+  let n =
+    match epochs with
+    | [] -> invalid_arg "Dynamic_engine.run: no epochs"
+    | e :: rest ->
+        List.iter
+          (fun e' ->
+            if Graph.n e'.graph <> Graph.n e.graph then
+              invalid_arg "Dynamic_engine.run: epochs disagree on node count")
+          rest;
+        Graph.n e.graph
+  in
+  let buffers = Buffers.create n in
+  let injected = ref 0
+  and dropped = ref 0
+  and delivered = ref 0
+  and sends = ref 0
+  and total_cost = ref 0.
+  and peak = ref 0 in
+  let steps_total = ref 0 in
+  List.iter
+    (fun epoch ->
+      let g = epoch.graph in
+      let edge_cost = Array.init (Graph.num_edges g) (fun e -> cost (Graph.length g e)) in
+      let colors, k = Conflict.greedy_coloring epoch.conflict in
+      for local = 0 to epoch.steps - 1 do
+        let t = !steps_total in
+        incr steps_total;
+        ignore local;
+        (* Interference-free TDMA: activate one colour class per step. *)
+        let active =
+          if k = 0 then []
+          else begin
+            let cls = t mod k in
+            Graph.fold_edges g ~init:[] ~f:(fun acc id _ ->
+                if colors.(id) = cls then id :: acc else acc)
+          end
+        in
+        let decisions =
+          List.concat_map
+            (fun e ->
+              let u, v = Graph.endpoints g e in
+              let c = edge_cost.(e) in
+              List.filter_map
+                (fun d -> Option.map (fun d -> (e, d)) d)
+                [
+                  Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
+                  Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
+                ])
+            active
+        in
+        let decisions =
+          List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) decisions
+        in
+        List.iter
+          (fun (e, (d : Balancing.decision)) ->
+            if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
+              incr sends;
+              total_cost := !total_cost +. edge_cost.(e);
+              match Balancing.apply buffers d with
+              | `Delivered -> incr delivered
+              | `Moved ->
+                  peak :=
+                    max !peak (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
+            end)
+          decisions;
+        List.iter
+          (fun (src, dst) ->
+            if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
+              incr injected;
+              if src = dst then incr delivered
+              else peak := max !peak (Buffers.height buffers src dst)
+            end
+            else incr dropped)
+          (injections t)
+      done)
+    epochs;
+  {
+    Engine.steps = !steps_total;
+    injected = !injected;
+    dropped = !dropped;
+    delivered = !delivered;
+    sends = !sends;
+    failed_sends = 0;
+    total_cost = !total_cost;
+    peak_height = !peak;
+    remaining = Buffers.total buffers;
+  }

@@ -1,0 +1,216 @@
+module Graph = Adhoc_graph.Graph
+module Conflict = Adhoc_interference.Conflict
+module Mac = Adhoc_mac.Mac
+
+type stats = {
+  steps : int;
+  injected : int;
+  dropped : int;
+  delivered : int;
+  sends : int;
+  failed_sends : int;
+  total_cost : float;
+  peak_height : int;
+  remaining : int;
+}
+
+let throughput_ratio s (opt : Workload.opt_stats) =
+  if opt.Workload.deliveries = 0 then 1.
+  else float_of_int s.delivered /. float_of_int opt.Workload.deliveries
+
+let cost_ratio s (opt : Workload.opt_stats) =
+  if s.delivered = 0 || opt.Workload.avg_cost <= 0. then 1.
+  else s.total_cost /. float_of_int s.delivered /. opt.Workload.avg_cost
+
+type counters = {
+  mutable injected : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable sends : int;
+  mutable failed_sends : int;
+  mutable total_cost : float;
+  mutable peak_height : int;
+}
+
+let fresh_counters () =
+  {
+    injected = 0;
+    dropped = 0;
+    delivered = 0;
+    sends = 0;
+    failed_sends = 0;
+    total_cost = 0.;
+    peak_height = 0;
+  }
+
+let do_injections buffers (params : Balancing.params) counters injections =
+  List.iter
+    (fun (src, dst) ->
+      if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
+        counters.injected <- counters.injected + 1;
+        (* A packet injected at its destination is absorbed immediately. *)
+        if src = dst then counters.delivered <- counters.delivered + 1
+        else counters.peak_height <- max counters.peak_height (Buffers.height buffers src dst)
+      end
+      else counters.dropped <- counters.dropped + 1)
+    injections
+
+(* Decisions are taken on start-of-step heights (the paper's rule is
+   simultaneous across edges); application checks that the source buffer
+   still holds a packet, since several edges may have decided to drain the
+   same buffer.  An unavailable send does not transmit and costs nothing. *)
+let attempt_send buffers counters ~edge_cost decision_opt ~collided =
+  match decision_opt with
+  | None -> ()
+  | Some d ->
+      if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
+        counters.sends <- counters.sends + 1;
+        counters.total_cost <- counters.total_cost +. edge_cost;
+        if collided then counters.failed_sends <- counters.failed_sends + 1
+        else begin
+          match Balancing.apply buffers d with
+          | `Delivered -> counters.delivered <- counters.delivered + 1
+          | `Moved ->
+              counters.peak_height <-
+                max counters.peak_height
+                  (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
+        end
+      end
+
+(* When several simultaneous decisions contend for the same source buffer,
+   application order decides who wins.  Deliveries first, then larger gains:
+   both strictly decrease the system's potential, and this prevents a lone
+   packet from being bounced backwards past a pending delivery. *)
+let application_order (a : Balancing.decision) (b : Balancing.decision) =
+  let delivers d = d.Balancing.dst = d.Balancing.dest in
+  match (delivers a, delivers b) with
+  | true, false -> -1
+  | false, true -> 1
+  | _ -> Float.compare b.Balancing.gain a.Balancing.gain
+
+let finish ~steps buffers counters =
+  {
+    steps;
+    injected = counters.injected;
+    dropped = counters.dropped;
+    delivered = counters.delivered;
+    sends = counters.sends;
+    failed_sends = counters.failed_sends;
+    total_cost = counters.total_cost;
+    peak_height = counters.peak_height;
+    remaining = Buffers.total buffers;
+  }
+
+let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w : Workload.t) =
+  let n = Graph.n graph in
+  let buffers = Buffers.create n in
+  let counters = fresh_counters () in
+  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
+  let coloring =
+    match pad with
+    | Some c -> Some (Conflict.greedy_coloring c)
+    | None -> None
+  in
+  let steps = w.Workload.horizon + cooldown in
+  for t = 0 to steps - 1 do
+    let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
+    let active =
+      match (pad, coloring) with
+      | Some c, Some (colors, k) when k > 0 ->
+          let cls = t mod k in
+          let extra =
+            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
+                if
+                  colors.(id) = cls
+                  && (not (List.mem id base))
+                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
+                then id :: acc
+                else acc)
+          in
+          base @ List.rev extra
+      | _ -> base
+    in
+    (* Decide every send on the step's starting heights, then apply. *)
+    let step_cost e =
+      match cost_at with Some f -> f ~step:t ~edge:e | None -> edge_cost.(e)
+    in
+    let decisions =
+      List.concat_map
+        (fun e ->
+          let u, v = Graph.endpoints graph e in
+          let c = step_cost e in
+          List.filter_map
+            (fun d -> Option.map (fun d -> (e, d)) d)
+            [
+              Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
+              Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
+            ])
+        active
+    in
+    let decisions =
+      List.stable_sort (fun (_, a) (_, b) -> application_order a b) decisions
+    in
+    List.iter
+      (fun (e, d) ->
+        attempt_send buffers counters ~edge_cost:(step_cost e) (Some d) ~collided:false)
+      decisions;
+    if t < w.Workload.horizon then do_injections buffers params counters w.Workload.injections.(t);
+    match on_step with
+    | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
+    | None -> ()
+  done;
+  finish ~steps buffers counters
+
+let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac (w : Workload.t) =
+  let n = Graph.n graph in
+  let buffers = Buffers.create n in
+  let counters = fresh_counters () in
+  let m = Graph.num_edges graph in
+  let edge_cost = Array.init m (fun e -> cost (Graph.length graph e)) in
+  let steps = w.Workload.horizon + cooldown in
+  for t = 0 to steps - 1 do
+    (* Requests: the best prospective send per edge, decided on the step's
+       starting heights. *)
+    let decisions = Hashtbl.create 64 in
+    let requests =
+      Graph.fold_edges graph ~init:[] ~f:(fun acc e edge ->
+          match
+            Balancing.best_either buffers params ~cost:edge_cost.(e) ~u:edge.Graph.u
+              ~v:edge.Graph.v
+          with
+          | None -> acc
+          | Some d ->
+              Hashtbl.replace decisions e d;
+              { Mac.edge = e; sender = d.Balancing.src; benefit = d.Balancing.gain } :: acc)
+    in
+    let granted = mac.Mac.select ~step:t (List.rev requests) in
+    let collided r =
+      match collisions with
+      | None -> false
+      | Some c ->
+          List.exists
+            (fun (r' : Mac.request) ->
+              r'.Mac.edge <> r.Mac.edge && Conflict.interfere c r.Mac.edge r'.Mac.edge)
+            granted
+    in
+    let granted =
+      List.stable_sort
+        (fun (a : Mac.request) (b : Mac.request) ->
+          match (Hashtbl.find_opt decisions a.Mac.edge, Hashtbl.find_opt decisions b.Mac.edge) with
+          | Some da, Some db -> application_order da db
+          | _ -> 0)
+        granted
+    in
+    List.iter
+      (fun (r : Mac.request) ->
+        let e = r.Mac.edge in
+        attempt_send buffers counters ~edge_cost:edge_cost.(e)
+          (Hashtbl.find_opt decisions e)
+          ~collided:(collided r))
+      granted;
+    if t < w.Workload.horizon then do_injections buffers params counters w.Workload.injections.(t);
+    match on_step with
+    | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
+    | None -> ()
+  done;
+  finish ~steps buffers counters

@@ -1,0 +1,69 @@
+(** Discrete-time routing simulation driving the (T, γ)-balancing algorithm
+    over a workload, in the paper's two layerings:
+
+    - {!run_mac_given} — Scenario 1 (Theorem 3.1): each step the adversary
+      hands the router a set of non-interfering active edges (the
+      workload's activations, optionally padded with conflict-graph colour
+      classes) and the router balances over them.
+    - {!run_with_mac} — Scenarios 2 and 3 (Theorems 3.3 / 3.8): the router
+      sees the whole topology, a {!Adhoc_mac.Mac.t} grants transmission
+      attempts, and granted attempts that still interfere all fail (both
+      packets stay, the transmission energy is spent). *)
+
+type stats = {
+  steps : int;
+  injected : int;  (** admitted into source buffers *)
+  dropped : int;  (** rejected by admission control (full source buffer) *)
+  delivered : int;
+  sends : int;  (** transmission attempts, successful or not *)
+  failed_sends : int;  (** collided attempts (MAC scenarios only) *)
+  total_cost : float;  (** cost of all attempts *)
+  peak_height : int;  (** highest buffer height observed *)
+  remaining : int;  (** packets still buffered at the end *)
+}
+
+val application_order : Balancing.decision -> Balancing.decision -> int
+(** Order in which simultaneous decisions are applied when they contend for
+    a buffer: deliveries first, then descending gain.  Exposed for engine
+    variants (see {!Tracked_engine}). *)
+
+val throughput_ratio : stats -> Workload.opt_stats -> float
+(** [delivered / opt.deliveries] (1. when OPT delivered nothing). *)
+
+val cost_ratio : stats -> Workload.opt_stats -> float
+(** Average cost per delivery relative to OPT's ([1.] when either side has
+    no deliveries). *)
+
+val run_mac_given :
+  ?cooldown:int ->
+  ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
+  ?cost_at:(step:int -> edge:int -> float) ->
+  ?pad:Adhoc_interference.Conflict.t ->
+  graph:Adhoc_graph.Graph.t ->
+  cost:Adhoc_graph.Cost.t ->
+  params:Balancing.params ->
+  Workload.t ->
+  stats
+(** [on_step] fires after every simulated step with the cumulative delivery
+    count and the packets currently buffered — the hook the time-series
+    figures use.  [cost_at] lets the adversary change edge costs per step
+    (Section 3.1: costs "may change from one step to another"); it
+    overrides [cost] for both the balancing penalty and the accounting.
+    [cooldown] extra steps after the horizon let in-flight packets drain;
+    during them (and, padded, during the horizon) [pad]'s colour classes
+    are activated round-robin, always keeping each step's active set
+    non-interfering.  Default cooldown 0. *)
+
+val run_with_mac :
+  ?cooldown:int ->
+  ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
+  ?collisions:Adhoc_interference.Conflict.t ->
+  graph:Adhoc_graph.Graph.t ->
+  cost:Adhoc_graph.Cost.t ->
+  params:Balancing.params ->
+  mac:Adhoc_mac.Mac.t ->
+  Workload.t ->
+  stats
+(** The workload's activations are ignored: every edge is a candidate each
+    step, the MAC arbitrates.  With [collisions], granted attempts that
+    interfere with other granted attempts fail. *)

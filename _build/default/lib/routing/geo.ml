@@ -1,0 +1,127 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+module Prng = Adhoc_util.Prng
+
+type route = {
+  nodes : int list;
+  hops : int;
+  length : float;
+  energy : float;
+  recovery_hops : int;
+}
+
+let two_pi = 2. *. Float.pi
+
+(* Clockwise angular distance from [from_angle] to [to_angle], in (0, 2π]:
+   0 maps to 2π so that the arrival edge is only re-used at dead ends. *)
+let cw_delta ~from_angle ~to_angle =
+  let d = Float.rem (from_angle -. to_angle) two_pi in
+  let d = if d < 0. then d +. two_pi else d in
+  if d = 0. then two_pi else d
+
+(* Right-hand rule: the neighbour reached by the smallest clockwise
+   rotation from the reference direction. *)
+let next_right g points ~at ~ref_angle =
+  let best = ref (-1) and best_delta = ref infinity in
+  Graph.iter_neighbors g at (fun w _ ->
+      let a = Point.angle_of points.(at) points.(w) in
+      let d = cw_delta ~from_angle:ref_angle ~to_angle:a in
+      if d < !best_delta || (d = !best_delta && (!best = -1 || w < !best)) then begin
+        best := w;
+        best_delta := d
+      end);
+  if !best = -1 then None else Some !best
+
+let finish points ~recovery_hops visited =
+  let nodes = List.rev visited in
+  let rec measure len energy = function
+    | a :: (b :: _ as rest) ->
+        let d = Point.dist points.(a) points.(b) in
+        measure (len +. d) (energy +. (d *. d)) rest
+    | _ -> (len, energy)
+  in
+  let length, energy = measure 0. 0. nodes in
+  { nodes; hops = List.length nodes - 1; length; energy; recovery_hops }
+
+let greedy_step g points ~at ~dst =
+  let d_at = Point.dist points.(at) points.(dst) in
+  let best = ref (-1) and best_d = ref d_at in
+  Graph.iter_neighbors g at (fun w _ ->
+      let d = Point.dist points.(w) points.(dst) in
+      if d < !best_d || (d = !best_d && !best >= 0 && w < !best) then begin
+        best := w;
+        best_d := d
+      end);
+  if !best = -1 then None else Some !best
+
+let greedy g points ~src ~dst =
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Geo.greedy: node out of range";
+  let rec walk visited at budget =
+    if at = dst then Some (finish points ~recovery_hops:0 visited)
+    else if budget = 0 then None
+    else begin
+      match greedy_step g points ~at ~dst with
+      | None -> None
+      | Some w -> walk (w :: visited) w (budget - 1)
+    end
+  in
+  walk [ src ] src (2 * n)
+
+let greedy_face ~planar g points ~src ~dst =
+  let n = Graph.n g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Geo.greedy_face: node out of range";
+  let budget = ref ((4 * Graph.num_edges planar) + n + 8) in
+  let recovery = ref 0 in
+  (* Greedy on [g]; at a void, right-hand face traversal on [planar] until a
+     node strictly closer to the destination than the void entry. *)
+  let rec greedy_mode visited at =
+    if at = dst then Some (finish points ~recovery_hops:!recovery visited)
+    else if !budget <= 0 then None
+    else begin
+      decr budget;
+      match greedy_step g points ~at ~dst with
+      | Some w -> greedy_mode (w :: visited) w
+      | None ->
+          let entry_dist = Point.dist points.(at) points.(dst) in
+          let ref_angle = Point.angle_of points.(at) points.(dst) in
+          face_mode visited ~at ~ref_angle ~entry_dist
+    end
+  and face_mode visited ~at ~ref_angle ~entry_dist =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      incr recovery;
+      match next_right planar points ~at ~ref_angle with
+      | None -> None
+      | Some w ->
+          let visited = w :: visited in
+          if w = dst then Some (finish points ~recovery_hops:!recovery visited)
+          else if Point.dist points.(w) points.(dst) < entry_dist then greedy_mode visited w
+          else begin
+            (* Continue along the face: reference is the arrival edge. *)
+            let ref_angle = Point.angle_of points.(w) points.(at) in
+            face_mode visited ~at:w ~ref_angle ~entry_dist
+          end
+    end
+  in
+  greedy_mode [ src ] src
+
+let success_rate g points ~rng ~trials =
+  if trials <= 0 then invalid_arg "Geo.success_rate: trials must be positive";
+  let n = Graph.n g in
+  if n < 2 || Graph.num_edges g = 0 then 1.
+  else begin
+    let labels = Adhoc_graph.Components.labels g in
+    let ok = ref 0 and done_ = ref 0 and attempts = ref 0 in
+    while !done_ < trials && !attempts < 1000 * trials do
+      incr attempts;
+      let src = Prng.int rng n and dst = Prng.int rng n in
+      if src <> dst && labels.(src) = labels.(dst) then begin
+        incr done_;
+        match greedy g points ~src ~dst with Some _ -> incr ok | None -> ()
+      end
+    done;
+    if !done_ = 0 then 1. else float_of_int !ok /. float_of_int !done_
+  end

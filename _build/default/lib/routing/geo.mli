@@ -1,0 +1,50 @@
+(** Geographic (position-based) routing — the related-work baseline the
+    paper cites (Karp & Kung's GPSR [30]): stateless forwarding using only
+    node positions.
+
+    - {!greedy}: always forward to the neighbour strictly closest to the
+      destination; fails at a local minimum (a void).
+    - {!greedy_face}: GPSR/GFG — greedy with recovery, switching to
+      right-hand-rule face traversal on a *planar* subgraph at voids until
+      a node closer than the entry point is found.  Delivery is guaranteed
+      on connected planar graphs (e.g. the Gabriel graph), at the price of
+      longer detours — which experiment E14 compares against the balancing
+      stack's paths. *)
+
+type route = {
+  nodes : int list;  (** visited node sequence, source to destination *)
+  hops : int;
+  length : float;  (** total Euclidean length *)
+  energy : float;  (** Σ len², the κ = 2 transmission energy *)
+  recovery_hops : int;  (** hops spent in face-traversal mode (0 for pure greedy) *)
+}
+
+val greedy :
+  Adhoc_graph.Graph.t -> Adhoc_geom.Point.t array -> src:int -> dst:int -> route option
+(** Pure greedy forwarding; [None] when a local minimum is reached first. *)
+
+val greedy_face :
+  planar:Adhoc_graph.Graph.t ->
+  Adhoc_graph.Graph.t ->
+  Adhoc_geom.Point.t array ->
+  src:int ->
+  dst:int ->
+  route option
+(** Greedy on the main graph with right-hand-rule recovery on [planar]
+    (which should be a planar connected spanning subgraph, e.g.
+    {!Adhoc_topo.Gabriel.build}); recovery ends as soon as a node strictly
+    closer to the destination than the void entry is reached — the
+    GFG/GPSR scheme without explicit face changes.  A traversal budget of
+    [4·|E planar| + n] steps guards non-termination; [None] when it runs
+    out, which the test suite never observes on connected planar
+    subgraphs but which degenerate embeddings (e.g. many collinear
+    nodes) can trigger. *)
+
+val success_rate :
+  Adhoc_graph.Graph.t ->
+  Adhoc_geom.Point.t array ->
+  rng:Adhoc_util.Prng.t ->
+  trials:int ->
+  float
+(** Fraction of [trials] random connected source/destination pairs that
+    pure greedy delivers. *)

@@ -1,0 +1,18 @@
+type t = {
+  id : int;
+  src : int;
+  dst : int;
+  injected_at : int;
+  mutable delivered_at : int;
+  mutable hops : int;
+  mutable energy : float;
+}
+
+let make ~id ~src ~dst ~now =
+  { id; src; dst; injected_at = now; delivered_at = -1; hops = 0; energy = 0. }
+
+let delivered p = p.delivered_at >= 0
+
+let latency p =
+  if p.delivered_at < 0 then invalid_arg "Packet.latency: packet not delivered";
+  p.delivered_at - p.injected_at

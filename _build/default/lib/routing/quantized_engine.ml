@@ -1,0 +1,130 @@
+module Graph = Adhoc_graph.Graph
+module Conflict = Adhoc_interference.Conflict
+
+type stats = {
+  base : Engine.stats;
+  control_messages : int;
+  full_exchange_messages : int;
+}
+
+let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Workload.t) =
+  if quantum < 0 then invalid_arg "Quantized_engine.run_mac_given: negative quantum";
+  let n = Graph.n graph in
+  let buffers = Buffers.create n in
+  (* Advertised heights: what neighbours believe about each buffer. *)
+  let advertised = Array.make_matrix n n 0 in
+  let control = ref 0 in
+  let injected = ref 0
+  and dropped = ref 0
+  and delivered = ref 0
+  and sends = ref 0
+  and total_cost = ref 0.
+  and peak = ref 0 in
+  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
+  let coloring = Option.map Conflict.greedy_coloring pad in
+  let steps = w.Workload.horizon + cooldown in
+  for t = 0 to steps - 1 do
+    (* Advertisement phase: one broadcast per node whose heights drifted
+       beyond the quantum since last advertised. *)
+    for v = 0 to n - 1 do
+      let changed = ref false in
+      for d = 0 to n - 1 do
+        let h = Buffers.height buffers v d in
+        if abs (h - advertised.(v).(d)) > quantum then begin
+          advertised.(v).(d) <- h;
+          changed := true
+        end
+      done;
+      if !changed then incr control
+    done;
+    let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
+    let active =
+      match (pad, coloring) with
+      | Some c, Some (colors, k) when k > 0 ->
+          let cls = t mod k in
+          let extra =
+            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
+                if
+                  colors.(id) = cls
+                  && (not (List.mem id base))
+                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
+                then id :: acc
+                else acc)
+          in
+          base @ List.rev extra
+      | _ -> base
+    in
+    (* Decisions: the sender knows its own buffers exactly but sees only
+       the advertised heights of its neighbour. *)
+    let best_toward src dst c =
+      Buffers.fold_nonzero buffers src ~init:None ~f:(fun best d h_src ->
+          let gain = float_of_int (h_src - advertised.(dst).(d)) -. (params.Balancing.gamma *. c) in
+          if gain <= params.Balancing.threshold then best
+          else begin
+            (* Same tie-breaking as Balancing.best_toward: larger gain wins,
+               equal gains prefer the smaller destination index. *)
+            match best with
+            | Some (bd, _, bgain) when bgain > gain || (bgain = gain && bd < d) -> best
+            | _ -> Some (d, dst, gain)
+          end)
+    in
+    let decisions =
+      List.concat_map
+        (fun e ->
+          let u, v = Graph.endpoints graph e in
+          let c = edge_cost.(e) in
+          List.filter_map
+            (fun (src, dst) ->
+              Option.map (fun (d, _, gain) -> (e, src, dst, d, gain)) (best_toward src dst c))
+            [ (u, v); (v, u) ])
+        active
+    in
+    let decisions =
+      List.stable_sort
+        (fun (_, _, dst_a, da, a) (_, _, dst_b, db, b) ->
+          match (dst_a = da, dst_b = db) with
+          | true, false -> -1
+          | false, true -> 1
+          | _ -> Float.compare b a)
+        decisions
+    in
+    List.iter
+      (fun (e, src, dst, d, _) ->
+        if Buffers.height buffers src d > 0 then begin
+          incr sends;
+          total_cost := !total_cost +. edge_cost.(e);
+          Buffers.remove buffers src d;
+          if dst = d then incr delivered
+          else begin
+            Buffers.force_add buffers dst d;
+            peak := max !peak (Buffers.height buffers dst d)
+          end
+        end)
+      decisions;
+    if t < w.Workload.horizon then
+      List.iter
+        (fun (src, dst) ->
+          if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
+            incr injected;
+            if src = dst then incr delivered
+            else peak := max !peak (Buffers.height buffers src dst)
+          end
+          else incr dropped)
+        w.Workload.injections.(t)
+  done;
+  {
+    base =
+      {
+        Engine.steps;
+        injected = !injected;
+        dropped = !dropped;
+        delivered = !delivered;
+        sends = !sends;
+        failed_sends = 0;
+        total_cost = !total_cost;
+        peak_height = !peak;
+        remaining = Buffers.total buffers;
+      };
+    control_messages = !control;
+    full_exchange_messages = steps * n;
+  }

@@ -1,0 +1,130 @@
+module Graph = Adhoc_graph.Graph
+
+type discipline =
+  | Fifo
+  | Lifo
+  | Furthest_to_go
+  | Nearest_to_go
+  | Longest_in_system
+
+let discipline_name = function
+  | Fifo -> "FIFO"
+  | Lifo -> "LIFO"
+  | Furthest_to_go -> "FTG"
+  | Nearest_to_go -> "NTG"
+  | Longest_in_system -> "LIS"
+
+type stats = {
+  steps : int;
+  injected : int;
+  delivered : int;
+  total_cost : float;
+  max_queue : int;
+  avg_latency : float;
+}
+
+type packet = {
+  injected_at : int;
+  mutable at : int;  (** current node *)
+  mutable remaining : int list;  (** edge ids still to traverse *)
+  mutable arrived_at_queue : int;  (** step it joined the current queue *)
+  mutable seq : int;  (** tie-breaker: injection sequence number *)
+}
+
+let run ?(cooldown = 0) ?(use_activations = false) ~graph ~cost discipline (w : Workload.t) =
+  let horizon = w.Workload.horizon in
+  let steps = horizon + cooldown in
+  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
+  (* Queue per (node, next-edge): packets waiting at [node] to cross that
+     edge.  Keyed by (node, edge id). *)
+  let queues : (int * int, packet list ref) Hashtbl.t = Hashtbl.create 256 in
+  let queue_of node e =
+    match Hashtbl.find_opt queues (node, e) with
+    | Some q -> q
+    | None ->
+        let q = ref [] in
+        Hashtbl.add queues (node, e) q;
+        q
+  in
+  let enqueue t pkt =
+    match pkt.remaining with
+    | [] -> assert false
+    | e :: _ ->
+        pkt.arrived_at_queue <- t;
+        let q = queue_of pkt.at e in
+        q := pkt :: !q
+  in
+  let injected = ref 0
+  and delivered = ref 0
+  and total_cost = ref 0.
+  and max_queue = ref 0
+  and latencies = ref []
+  and seq = ref 0 in
+  (* Priority: smaller key wins. *)
+  let key p =
+    match discipline with
+    | Fifo -> (p.arrived_at_queue, p.seq)
+    | Lifo -> (-p.arrived_at_queue, -p.seq)
+    | Furthest_to_go -> (-List.length p.remaining, p.seq)
+    | Nearest_to_go -> (List.length p.remaining, p.seq)
+    | Longest_in_system -> (p.injected_at, p.seq)
+  in
+  for t = 0 to steps - 1 do
+    let usable e =
+      (not use_activations) || (t < horizon && List.mem e w.Workload.activations.(t))
+    in
+    (* Collect this step's winners: per (node, edge) queue with a usable
+       edge, the discipline's minimum.  At most one packet per direction. *)
+    let winners = ref [] in
+    Hashtbl.iter
+      (fun (_node, e) q ->
+        if usable e && !q <> [] then begin
+          max_queue := max !max_queue (List.length !q);
+          let best =
+            List.fold_left
+              (fun acc p -> match acc with Some b when key b <= key p -> acc | _ -> Some p)
+              None !q
+          in
+          match best with Some p -> winners := (e, p) :: !winners | None -> ()
+        end)
+      queues;
+    (* Apply moves simultaneously. *)
+    List.iter
+      (fun (e, p) ->
+        let q = queue_of p.at e in
+        q := List.filter (fun p' -> p' != p) !q;
+        total_cost := !total_cost +. edge_cost.(e);
+        p.at <- Graph.other_endpoint graph e p.at;
+        p.remaining <- List.tl p.remaining;
+        if p.remaining = [] then begin
+          incr delivered;
+          latencies := float_of_int (t - p.injected_at) :: !latencies
+        end
+        else enqueue t p)
+      !winners;
+    (* Injections. *)
+    if t < horizon then
+      List.iter
+        (fun (src, _dst, path) ->
+          incr injected;
+          incr seq;
+          match path with
+          | [] -> incr delivered
+          | _ ->
+              let p =
+                { injected_at = t; at = src; remaining = path; arrived_at_queue = t; seq = !seq }
+              in
+              enqueue t p)
+        w.Workload.paths.(t)
+  done;
+  {
+    steps;
+    injected = !injected;
+    delivered = !delivered;
+    total_cost = !total_cost;
+    max_queue = !max_queue;
+    avg_latency =
+      (match !latencies with
+      | [] -> 0.
+      | l -> Adhoc_util.Stats.mean (Array.of_list l));
+  }

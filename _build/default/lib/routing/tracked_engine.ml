@@ -1,0 +1,156 @@
+module Graph = Adhoc_graph.Graph
+module Conflict = Adhoc_interference.Conflict
+module Stats = Adhoc_util.Stats
+
+type stats = {
+  base : Engine.stats;
+  latency_mean : float;
+  latency_median : float;
+  latency_p95 : float;
+  hops_mean : float;
+  energy_per_delivered : float;
+  packets : Packet.t list;
+}
+
+(* FIFO identity queues mirroring the height matrix. *)
+type queues = (int * int, Packet.t Queue.t) Hashtbl.t
+
+let queue_of (q : queues) v d =
+  match Hashtbl.find_opt q (v, d) with
+  | Some queue -> queue
+  | None ->
+      let queue = Queue.create () in
+      Hashtbl.add q (v, d) queue;
+      queue
+
+let run_mac_given ?(cooldown = 0) ?pad ~graph ~cost ~params (w : Workload.t) =
+  let n = Graph.n graph in
+  let buffers = Buffers.create n in
+  let queues : queues = Hashtbl.create 64 in
+  let all_packets = ref [] in
+  let next_id = ref 0 in
+  let injected = ref 0
+  and dropped = ref 0
+  and delivered = ref 0
+  and sends = ref 0
+  and total_cost = ref 0.
+  and peak = ref 0 in
+  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
+  let coloring = Option.map Conflict.greedy_coloring pad in
+  let steps = w.Workload.horizon + cooldown in
+  for t = 0 to steps - 1 do
+    let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
+    let active =
+      match (pad, coloring) with
+      | Some c, Some (colors, k) when k > 0 ->
+          let cls = t mod k in
+          let extra =
+            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
+                if
+                  colors.(id) = cls
+                  && (not (List.mem id base))
+                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
+                then id :: acc
+                else acc)
+          in
+          base @ List.rev extra
+      | _ -> base
+    in
+    (* Decide on start-of-step heights, apply deliveries-first. *)
+    let decisions =
+      List.concat_map
+        (fun e ->
+          let u, v = Graph.endpoints graph e in
+          let c = edge_cost.(e) in
+          List.filter_map
+            (fun d -> Option.map (fun d -> (e, d)) d)
+            [
+              Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
+              Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
+            ])
+        active
+    in
+    let decisions =
+      List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) decisions
+    in
+    List.iter
+      (fun (e, (d : Balancing.decision)) ->
+        if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
+          incr sends;
+          total_cost := !total_cost +. edge_cost.(e);
+          Buffers.remove buffers d.Balancing.src d.Balancing.dest;
+          let q = queue_of queues d.Balancing.src d.Balancing.dest in
+          let pkt = Queue.pop q in
+          pkt.Packet.hops <- pkt.Packet.hops + 1;
+          pkt.Packet.energy <- pkt.Packet.energy +. edge_cost.(e);
+          if d.Balancing.dst = d.Balancing.dest then begin
+            pkt.Packet.delivered_at <- t;
+            incr delivered
+          end
+          else begin
+            Buffers.force_add buffers d.Balancing.dst d.Balancing.dest;
+            Queue.push pkt (queue_of queues d.Balancing.dst d.Balancing.dest);
+            peak := max !peak (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
+          end
+        end)
+      decisions;
+    if t < w.Workload.horizon then
+      List.iter
+        (fun (src, dst) ->
+          if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
+            incr injected;
+            if src <> dst then begin
+              let pkt = Packet.make ~id:!next_id ~src ~dst ~now:t in
+              incr next_id;
+              all_packets := pkt :: !all_packets;
+              Queue.push pkt (queue_of queues src dst);
+              peak := max !peak (Buffers.height buffers src dst)
+            end
+            else incr delivered
+          end
+          else incr dropped)
+        w.Workload.injections.(t)
+  done;
+  let packets = List.rev !all_packets in
+  let delivered_packets = List.filter Packet.delivered packets in
+  let latencies =
+    Array.of_list (List.map (fun p -> float_of_int (Packet.latency p)) delivered_packets)
+  in
+  let base =
+    {
+      Engine.steps;
+      injected = !injected;
+      dropped = !dropped;
+      delivered = !delivered;
+      sends = !sends;
+      failed_sends = 0;
+      total_cost = !total_cost;
+      peak_height = !peak;
+      remaining = Buffers.total buffers;
+    }
+  in
+  if Array.length latencies = 0 then
+    {
+      base;
+      latency_mean = 0.;
+      latency_median = 0.;
+      latency_p95 = 0.;
+      hops_mean = 0.;
+      energy_per_delivered = 0.;
+      packets;
+    }
+  else begin
+    let hops =
+      Array.of_list (List.map (fun p -> float_of_int p.Packet.hops) delivered_packets)
+    in
+    let energy = Array.of_list (List.map (fun p -> p.Packet.energy) delivered_packets) in
+    {
+      base;
+      latency_mean = Stats.mean latencies;
+      latency_median = Stats.percentile latencies 50.;
+      latency_p95 = Stats.percentile latencies 95.;
+      hops_mean = Stats.mean hops;
+      energy_per_delivered = Stats.mean energy;
+      packets;
+    }
+  end

@@ -1,0 +1,29 @@
+(** Packet-tracking variant of {!Engine}: identical balancing decisions,
+    but buffers are FIFO queues of {!Packet.t}, so the run reports
+    per-packet latency, hop and energy distributions on top of the
+    aggregate counters.
+
+    The height matrix driving the (T, γ) rule always equals the queue
+    lengths (tested); results therefore match {!Engine} delivery-for-
+    delivery under the same inputs. *)
+
+type stats = {
+  base : Engine.stats;
+  latency_mean : float;
+  latency_median : float;
+  latency_p95 : float;
+  hops_mean : float;
+  energy_per_delivered : float;  (** mean energy charged to delivered packets *)
+  packets : Packet.t list;  (** every admitted packet, delivered or not *)
+}
+
+val run_mac_given :
+  ?cooldown:int ->
+  ?pad:Adhoc_interference.Conflict.t ->
+  graph:Adhoc_graph.Graph.t ->
+  cost:Adhoc_graph.Cost.t ->
+  params:Balancing.params ->
+  Workload.t ->
+  stats
+(** Scenario 1 with packet tracking (see {!Engine.run_mac_given}).
+    Latency fields are [0.] when nothing was delivered. *)

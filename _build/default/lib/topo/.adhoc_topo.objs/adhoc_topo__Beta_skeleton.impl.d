@@ -1,0 +1,1 @@
+lib/topo/beta_skeleton.ml: Adhoc_geom Adhoc_graph Array Float Point

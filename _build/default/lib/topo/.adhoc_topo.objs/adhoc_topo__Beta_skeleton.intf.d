@@ -1,0 +1,1 @@
+lib/topo/beta_skeleton.mli: Adhoc_geom Adhoc_graph

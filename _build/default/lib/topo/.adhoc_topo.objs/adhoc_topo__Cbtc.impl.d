@@ -1,0 +1,1 @@
+lib/topo/cbtc.ml: Adhoc_geom Adhoc_graph Array Float List Point

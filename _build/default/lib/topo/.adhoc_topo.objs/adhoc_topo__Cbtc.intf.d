@@ -1,0 +1,1 @@
+lib/topo/cbtc.mli: Adhoc_geom Adhoc_graph

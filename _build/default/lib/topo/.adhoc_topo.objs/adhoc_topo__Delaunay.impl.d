@@ -1,0 +1,1 @@
+lib/topo/delaunay.ml: Adhoc_geom Adhoc_graph Array Box Circle Float Fun Hashtbl List Option Point

@@ -1,0 +1,1 @@
+lib/topo/delaunay.mli: Adhoc_geom Adhoc_graph

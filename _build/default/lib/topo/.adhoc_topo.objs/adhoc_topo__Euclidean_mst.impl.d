@@ -1,0 +1,1 @@
+lib/topo/euclidean_mst.ml: Adhoc_graph Array Delaunay Float List

@@ -1,0 +1,1 @@
+lib/topo/euclidean_mst.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,1 @@
+lib/topo/gabriel.ml: Adhoc_geom Adhoc_graph Array Box Circle Float Point Spatial_grid

@@ -1,0 +1,1 @@
+lib/topo/gabriel.mli: Adhoc_geom Adhoc_graph

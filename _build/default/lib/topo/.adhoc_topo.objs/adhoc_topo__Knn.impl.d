@@ -1,0 +1,1 @@
+lib/topo/knn.ml: Adhoc_geom Adhoc_graph Array List Option Point

@@ -1,0 +1,1 @@
+lib/topo/knn.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,1 @@
+lib/topo/maintenance.ml: Adhoc_geom Adhoc_graph Array Hashtbl List Point Sector Theta_alg Yao

@@ -1,0 +1,1 @@
+lib/topo/maintenance.mli: Adhoc_geom Adhoc_graph

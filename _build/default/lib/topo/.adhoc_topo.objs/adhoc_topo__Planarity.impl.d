@@ -1,0 +1,1 @@
+lib/topo/planarity.ml: Adhoc_geom Adhoc_graph Array List Segment

@@ -1,0 +1,1 @@
+lib/topo/planarity.mli: Adhoc_geom Adhoc_graph

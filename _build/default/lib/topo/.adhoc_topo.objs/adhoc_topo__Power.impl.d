@@ -1,0 +1,1 @@
+lib/topo/power.ml: Adhoc_graph Array Float

@@ -1,0 +1,1 @@
+lib/topo/power.mli: Adhoc_graph

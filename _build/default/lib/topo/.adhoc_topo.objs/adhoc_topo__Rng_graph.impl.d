@@ -1,0 +1,1 @@
+lib/topo/rng_graph.ml: Adhoc_geom Adhoc_graph Array Box Float Point Spatial_grid

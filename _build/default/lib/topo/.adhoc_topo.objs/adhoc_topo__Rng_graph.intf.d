@@ -1,0 +1,1 @@
+lib/topo/rng_graph.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,1 @@
+lib/topo/theta_alg.ml: Adhoc_geom Adhoc_graph Array Float List Point Sector Yao

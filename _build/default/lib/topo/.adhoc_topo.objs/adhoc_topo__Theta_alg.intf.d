@@ -1,0 +1,1 @@
+lib/topo/theta_alg.mli: Adhoc_geom Adhoc_graph

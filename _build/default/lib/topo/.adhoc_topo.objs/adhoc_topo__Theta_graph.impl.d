@@ -1,0 +1,1 @@
+lib/topo/theta_graph.ml: Adhoc_geom Adhoc_graph Array Point Sector

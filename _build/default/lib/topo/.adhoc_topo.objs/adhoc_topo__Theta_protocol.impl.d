@@ -1,0 +1,1 @@
+lib/topo/theta_protocol.ml: Adhoc_geom Adhoc_graph Array List Point Sector Yao

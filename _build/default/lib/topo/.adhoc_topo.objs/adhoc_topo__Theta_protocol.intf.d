@@ -1,0 +1,1 @@
+lib/topo/theta_protocol.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,1 @@
+lib/topo/topo_metrics.ml: Adhoc_graph Adhoc_util Printf

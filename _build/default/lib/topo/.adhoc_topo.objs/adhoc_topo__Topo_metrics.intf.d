@@ -1,0 +1,1 @@
+lib/topo/topo_metrics.mli: Adhoc_graph Adhoc_util

@@ -1,0 +1,1 @@
+lib/topo/udg.ml: Adhoc_geom Adhoc_graph Array Euclidean_mst Point Spatial_grid

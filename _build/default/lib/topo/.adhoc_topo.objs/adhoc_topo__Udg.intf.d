@@ -1,0 +1,1 @@
+lib/topo/udg.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,1 @@
+lib/topo/yao.ml: Adhoc_geom Adhoc_graph Array Float List Point Sector Spatial_grid

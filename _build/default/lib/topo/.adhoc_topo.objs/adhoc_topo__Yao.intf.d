@@ -1,0 +1,1 @@
+lib/topo/yao.mli: Adhoc_geom Adhoc_graph

@@ -1,0 +1,45 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let region_contains ~beta u v w =
+  if beta <= 0. then invalid_arg "Beta_skeleton: beta must be positive";
+  let d = Point.dist u v in
+  if d = 0. then false
+  else if beta >= 1. then begin
+    (* Lune: disks of radius βd/2 centred on the segment, β/2 of the way
+       from each endpoint toward the other. *)
+    let r = beta *. d /. 2. in
+    let c1 = Point.lerp u v (beta /. 2.) in
+    let c2 = Point.lerp v u (beta /. 2.) in
+    Point.dist w c1 < r && Point.dist w c2 < r
+  end
+  else begin
+    (* Lens: intersection of the two disks of radius d/(2β) through both
+       endpoints, centred symmetrically on the perpendicular bisector. *)
+    let r = d /. (2. *. beta) in
+    let mid = Point.midpoint u v in
+    let h = sqrt (Float.max 0. ((r *. r) -. (d *. d /. 4.))) in
+    let dir = Point.scale (1. /. d) Point.(v -@ u) in
+    let normal = Point.make (-.dir.Point.y) dir.Point.x in
+    let c1 = Point.(mid +@ scale h normal) in
+    let c2 = Point.(mid -@ scale h normal) in
+    Point.dist w c1 < r && Point.dist w c2 < r
+  end
+
+let build ?(range = infinity) ~beta points =
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Point.dist points.(u) points.(v) in
+      if d <= range then begin
+        let witness = ref false in
+        for w = 0 to n - 1 do
+          if w <> u && w <> v && region_contains ~beta points.(u) points.(v) points.(w) then
+            witness := true
+        done;
+        if not !witness then Graph.Builder.add_edge b u v d
+      end
+    done
+  done;
+  Graph.Builder.build b

@@ -1,0 +1,21 @@
+(** β-skeletons (lune-based family) — the parameterized proximity-graph
+    family the paper's related work cites next to Gabriel graphs and
+    β < 1 skeletons (Section 2.2).
+
+    For [beta >= 1] the empty region of a candidate edge [(u,v)] is the
+    lune: the intersection of the two disks of radius [β·|uv|/2] centred at
+    the points dividing [uv] in ratios [β/2] from each endpoint.  [beta = 1]
+    is exactly the Gabriel graph; [beta = 2] is the relative neighborhood
+    graph; larger [beta] gives sparser graphs.
+
+    For [0 < beta < 1] the region is the intersection of the two disks of
+    radius [|uv|/(2β)] passing through both endpoints (a lens), giving
+    *denser* graphs whose paths have optimal energy for κ ≥ 2. *)
+
+val build : ?range:float -> beta:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** Requires [beta > 0].  O(n²·n) brute-force witness test (fine for the
+    experiment sizes). *)
+
+val region_contains : beta:float -> Adhoc_geom.Point.t -> Adhoc_geom.Point.t -> Adhoc_geom.Point.t -> bool
+(** [region_contains ~beta u v w]: the witness test — whether [w] lies in
+    the open empty region of the candidate edge [(u,v)]. *)

@@ -1,0 +1,65 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+type t = {
+  alpha : float;
+  radii : float array;
+  graph : Graph.t;
+  asymmetric : Graph.t;
+}
+
+(* Every cone of angle alpha apexed at u contains one of the given angles
+   iff the largest angular gap between consecutive neighbours is < alpha. *)
+let gaps_covered ~alpha angles =
+  match angles with
+  | [] -> false
+  | [ _ ] -> alpha > 2. *. Float.pi -. 1e-12
+  | _ ->
+      let sorted = List.sort Float.compare angles in
+      let first = List.hd sorted in
+      let rec max_gap prev acc = function
+        | [] -> Float.max acc (first +. (2. *. Float.pi) -. prev)
+        | a :: rest -> max_gap a (Float.max acc (a -. prev)) rest
+      in
+      max_gap first 0. (List.tl sorted) < alpha
+
+let coverage_ok ~alpha points u r =
+  let angles = ref [] in
+  Array.iteri
+    (fun v p ->
+      if v <> u && Point.dist points.(u) p <= r then
+        angles := Point.angle_of points.(u) p :: !angles)
+    points;
+  gaps_covered ~alpha !angles
+
+let build ~alpha ~range points =
+  if alpha <= 0. || alpha > 2. *. Float.pi then invalid_arg "Cbtc.build: bad alpha";
+  if range < 0. then invalid_arg "Cbtc.build: negative range";
+  let n = Array.length points in
+  (* Per node: grow the radius through the sorted neighbour distances until
+     the cone condition holds; fall back to maximum power. *)
+  let radii =
+    Array.init n (fun u ->
+        let dists =
+          Array.to_list points
+          |> List.filteri (fun v _ -> v <> u)
+          |> List.map (Point.dist points.(u))
+          |> List.filter (fun d -> d <= range)
+          |> List.sort Float.compare
+        in
+        let rec grow = function
+          | [] -> range
+          | d :: rest -> if coverage_ok ~alpha points u d then d else grow rest
+        in
+        grow dists)
+  in
+  let sym = Graph.Builder.create n in
+  let asym = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Point.dist points.(u) points.(v) in
+      if d <= Float.min radii.(u) radii.(v) then Graph.Builder.add_edge sym u v d;
+      if d <= Float.max radii.(u) radii.(v) then Graph.Builder.add_edge asym u v d
+    done
+  done;
+  { alpha; radii; graph = Graph.Builder.build sym; asymmetric = Graph.Builder.build asym }

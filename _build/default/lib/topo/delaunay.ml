@@ -1,0 +1,92 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+(* Bowyer–Watson: maintain the triangle list; for each inserted point,
+   remove every triangle whose circumcircle contains it, then re-triangulate
+   the star-shaped cavity from its boundary edges.  O(n) triangles scanned
+   per insertion — O(n²) total, adequate for the experiment sizes. *)
+
+type tri = { a : int; b : int; c : int }
+
+let tri_edges t = [ (t.a, t.b); (t.b, t.c); (t.a, t.c) ]
+
+let norm_edge (u, v) = if u < v then (u, v) else (v, u)
+
+let triangles points =
+  let n = Array.length points in
+  if n < 3 then []
+  else begin
+    (* Drop exact duplicates: they would make circumcircles degenerate. *)
+    let seen = Hashtbl.create n in
+    let keep =
+      Array.to_list
+        (Array.mapi
+           (fun i (p : Point.t) ->
+             let key = (p.Point.x, p.Point.y) in
+             if Hashtbl.mem seen key then None
+             else begin
+               Hashtbl.add seen key ();
+               Some i
+             end)
+           points)
+    in
+    let keep = List.filter_map Fun.id keep in
+    (* Super-triangle comfortably containing the bounding box. *)
+    let box = Box.of_points points in
+    let cx = (box.Box.xmin +. box.Box.xmax) /. 2. in
+    let cy = (box.Box.ymin +. box.Box.ymax) /. 2. in
+    let m = 4. *. Float.max 1. (Float.max (Box.width box) (Box.height box)) in
+    let extended =
+      Array.append points
+        [|
+          Point.make (cx -. (20. *. m)) (cy -. (10. *. m));
+          Point.make (cx +. (20. *. m)) (cy -. (10. *. m));
+          Point.make cx (cy +. (20. *. m));
+        |]
+    in
+    let s0 = n and s1 = n + 1 and s2 = n + 2 in
+    let tris = ref [ { a = s0; b = s1; c = s2 } ] in
+    List.iter
+      (fun i ->
+        let p = extended.(i) in
+        let bad, good =
+          List.partition
+            (fun t -> Circle.in_circumcircle extended.(t.a) extended.(t.b) extended.(t.c) p)
+            !tris
+        in
+        (* Boundary edges of the cavity: edges of bad triangles that are not
+           shared between two bad triangles. *)
+        let tally = Hashtbl.create 16 in
+        List.iter
+          (fun t ->
+            List.iter
+              (fun e ->
+                let e = norm_edge e in
+                Hashtbl.replace tally e (1 + Option.value ~default:0 (Hashtbl.find_opt tally e)))
+              (tri_edges t))
+          bad;
+        let fresh =
+          Hashtbl.fold
+            (fun (u, v) count acc -> if count = 1 then { a = u; b = v; c = i } :: acc else acc)
+            tally []
+        in
+        tris := fresh @ good)
+      keep;
+    !tris
+    |> List.filter (fun t -> t.a < n && t.b < n && t.c < n)
+    |> List.map (fun t ->
+           let s = List.sort compare [ t.a; t.b; t.c ] in
+           match s with [ a; b; c ] -> (a, b, c) | _ -> assert false)
+  end
+
+let build ?(range = infinity) points =
+  let b = Graph.Builder.create (Array.length points) in
+  List.iter
+    (fun (x, y, z) ->
+      List.iter
+        (fun (u, v) ->
+          let d = Point.dist points.(u) points.(v) in
+          if d <= range then Graph.Builder.add_edge b u v d)
+        [ (x, y); (y, z); (x, z) ])
+    (triangles points);
+  Graph.Builder.build b

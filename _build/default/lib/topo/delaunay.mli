@@ -1,0 +1,17 @@
+(** Delaunay triangulation (Bowyer–Watson incremental construction) and the
+    restricted Delaunay graph — spanner baselines from the paper's related
+    work (Section 1.2).
+
+    The Delaunay triangulation is a spanner but may contain edges longer
+    than the transmission range; the *restricted* Delaunay graph keeps only
+    edges of length ≤ range and is still a spanner (Gao et al. 2001), though
+    with worst-case Ω(n) degree. *)
+
+val triangles : Adhoc_geom.Point.t array -> (int * int * int) list
+(** Triangles of the Delaunay triangulation, vertex indices in ascending
+    order.  Exact duplicates among the input points are ignored (the first
+    occurrence wins). *)
+
+val build : ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** Edge set of the triangulation; [range] gives the restricted Delaunay
+    graph. *)

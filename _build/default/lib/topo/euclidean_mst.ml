@@ -1,0 +1,20 @@
+module Graph = Adhoc_graph.Graph
+
+let build points =
+  let n = Array.length points in
+  if n < 3 then Adhoc_graph.Mst.of_points points
+  else begin
+    let pairs =
+      List.concat_map
+        (fun (a, b, c) -> [ (a, b); (b, c); (a, c) ])
+        (Delaunay.triangles points)
+    in
+    (* Duplicate points never appear in the triangulation: fall back to the
+       exact construction when the candidate set cannot span. *)
+    let mst = Adhoc_graph.Mst.of_candidate_edges points pairs in
+    if Graph.num_edges mst = n - 1 then mst else Adhoc_graph.Mst.of_points points
+  end
+
+let longest_edge points =
+  if Array.length points < 2 then 0.
+  else Graph.fold_edges (build points) ~init:0. ~f:(fun acc _ e -> Float.max acc e.Graph.len)

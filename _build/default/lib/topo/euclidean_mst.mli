@@ -1,0 +1,13 @@
+(** Fast Euclidean MST: Kruskal over Delaunay edges.
+
+    The Euclidean minimum spanning tree is always a subgraph of the
+    Delaunay triangulation, so restricting Kruskal to the O(n) Delaunay
+    edges gives the exact MST without materialising the O(n²) complete
+    graph — what lets the large-n experiments (and
+    {!Udg.critical_range}) scale. *)
+
+val build : Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+
+val longest_edge : Adhoc_geom.Point.t array -> float
+(** Length of the MST's longest edge — the connectivity threshold of the
+    disk graph ([0.] for fewer than two points). *)

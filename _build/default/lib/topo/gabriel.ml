@@ -1,0 +1,26 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let build ?(range = infinity) points =
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  if n > 1 then begin
+    let box = Box.of_points points in
+    let span = Float.max (Box.width box) (Box.height box) in
+    let cell = if span > 0. then span /. sqrt (float_of_int n) else 1. in
+    let grid = Spatial_grid.build ~cell points in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let d = Point.dist points.(u) points.(v) in
+        if d <= range then begin
+          let disk = Circle.diametral points.(u) points.(v) in
+          let witness =
+            Spatial_grid.fold_within grid disk.Circle.center disk.Circle.radius ~init:false
+              ~f:(fun found w -> found || (w <> u && w <> v && Circle.contains disk points.(w)))
+          in
+          if not witness then Graph.Builder.add_edge b u v d
+        end
+      done
+    done
+  end;
+  Graph.Builder.build b

@@ -1,0 +1,10 @@
+(** Gabriel graph — proximity-graph baseline (paper Section 1.2).
+
+    Edge [(u,v)] iff the open disk with diameter [uv] contains no other
+    node.  The Gabriel graph contains exactly the edges that are optimal
+    single hops under the energy cost with [kappa >= 2] — it has optimal
+    energy paths — but worst-case Ω(n) degree. *)
+
+val build : ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** [range] restricts candidate edges to at most that length
+    (default unbounded). *)

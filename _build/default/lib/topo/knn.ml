@@ -1,0 +1,37 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let nearest_k ~range points u k =
+  let n = Array.length points in
+  (* Collect candidates within range, then select the k closest by a partial
+     sort — n is small enough that a full sort is fine. *)
+  let candidates = ref [] in
+  for v = 0 to n - 1 do
+    if v <> u then begin
+      let d = Point.dist points.(u) points.(v) in
+      if d <= range then candidates := (d, v) :: !candidates
+    end
+  done;
+  let sorted = List.sort compare !candidates in
+  List.filteri (fun i _ -> i < k) sorted |> List.map snd
+
+let build ?(range = infinity) ~k points =
+  if k < 1 then invalid_arg "Knn.build: k must be at least 1";
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v -> Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v)))
+      (nearest_k ~range points u k)
+  done;
+  Graph.Builder.build b
+
+let min_connecting_k ?(range = infinity) ?k_max points =
+  let n = Array.length points in
+  let k_max = Option.value k_max ~default:(max 1 (n - 1)) in
+  let rec search k =
+    if k > k_max then None
+    else if Adhoc_graph.Components.is_connected (build ~range ~k points) then Some k
+    else search (k + 1)
+  in
+  if n <= 1 then Some 1 else search 1

@@ -1,0 +1,102 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+type t = {
+  theta : float;
+  range : float;
+  points : Point.t array;  (* mutated in place by [move] *)
+  selections : int array array;
+  admitted : (int * int) list array;
+  mutable graph : Graph.t;
+  mutable last_affected : int;
+}
+
+let select_one t u =
+  let sectors = Sector.count t.theta in
+  let best = Array.make sectors (-1) in
+  Array.iteri
+    (fun v p ->
+      if v <> u && Point.dist t.points.(u) p <= t.range then begin
+        let s = Sector.index ~theta:t.theta ~apex:t.points.(u) p in
+        if best.(s) = -1 || Yao.closer t.points u v best.(s) then best.(s) <- v
+      end)
+    t.points;
+  Array.to_list best |> List.filter (fun v -> v >= 0) |> List.sort_uniq compare |> Array.of_list
+
+let admit_one t v =
+  (* Selectors of v within range, grouped per sector; keep the nearest. *)
+  let sectors = Sector.count t.theta in
+  let best = Array.make sectors (-1) in
+  Array.iteri
+    (fun u _ ->
+      if u <> v && Array.exists (fun w -> w = v) t.selections.(u) then begin
+        let s = Sector.index ~theta:t.theta ~apex:t.points.(v) t.points.(u) in
+        if best.(s) = -1 || Yao.closer t.points v u best.(s) then best.(s) <- u
+      end)
+    t.points;
+  let acc = ref [] in
+  for s = sectors - 1 downto 0 do
+    if best.(s) >= 0 then acc := (best.(s), s) :: !acc
+  done;
+  !acc
+
+let rebuild_graph t =
+  let b = Graph.Builder.create (Array.length t.points) in
+  Array.iteri
+    (fun u vs ->
+      List.iter
+        (fun (v, _) -> Graph.Builder.add_edge b u v (Point.dist t.points.(u) t.points.(v)))
+        vs)
+    t.admitted;
+  t.graph <- Graph.Builder.build b
+
+let create ~theta ~range points =
+  let alg = Theta_alg.build ~theta ~range points in
+  let t =
+    {
+      theta;
+      range;
+      points = Array.copy points;
+      selections = Array.map Array.copy alg.Theta_alg.selections;
+      admitted = Array.copy alg.Theta_alg.admitted;
+      graph = Theta_alg.overlay alg;
+      last_affected = 0;
+    }
+  in
+  t
+
+let overlay t = t.graph
+
+let points t = Array.copy t.points
+
+let move t i new_pos =
+  if i < 0 || i >= Array.length t.points then invalid_arg "Maintenance.move: node out of range";
+  let old_pos = t.points.(i) in
+  t.points.(i) <- new_pos;
+  (* Nodes whose in-range neighbourhood changed: near the old or the new
+     position (plus the moved node itself). *)
+  let affected_select = Hashtbl.create 32 in
+  Hashtbl.replace affected_select i ();
+  Array.iteri
+    (fun u p ->
+      if u <> i && (Point.dist p old_pos <= t.range || Point.dist p new_pos <= t.range) then
+        Hashtbl.replace affected_select u ())
+    t.points;
+  Hashtbl.iter (fun u () -> t.selections.(u) <- select_one t u) affected_select;
+  (* Nodes whose selector set may have changed: within range of any
+     re-selected node (at either endpoint of its move radius). *)
+  let affected_admit = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun u () ->
+      Hashtbl.replace affected_admit u ();
+      Array.iteri
+        (fun v p ->
+          if Point.dist p t.points.(u) <= t.range || (u = i && Point.dist p old_pos <= t.range)
+          then Hashtbl.replace affected_admit v ())
+        t.points)
+    affected_select;
+  Hashtbl.iter (fun v () -> t.admitted.(v) <- admit_one t v) affected_admit;
+  t.last_affected <- Hashtbl.length affected_admit;
+  rebuild_graph t
+
+let last_affected t = t.last_affected

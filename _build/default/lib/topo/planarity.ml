@@ -1,0 +1,20 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let crossings points g =
+  let m = Graph.num_edges g in
+  let acc = ref [] in
+  for e1 = 0 to m - 1 do
+    let a, b = Graph.endpoints g e1 in
+    for e2 = e1 + 1 to m - 1 do
+      let c, d = Graph.endpoints g e2 in
+      if a <> c && a <> d && b <> c && b <> d then begin
+        if
+          Segment.properly_intersects (points.(a), points.(b)) (points.(c), points.(d))
+        then acc := (e1, e2) :: !acc
+      end
+    done
+  done;
+  List.rev !acc
+
+let is_planar_embedding points g = crossings points g = []

@@ -1,0 +1,16 @@
+(** Geometric planarity: whether any two edges of an embedded graph
+    properly cross.
+
+    Planarity is what face routing (GPSR recovery) needs from its
+    underlying subgraph; Gabriel graphs, relative neighborhood graphs and
+    Delaunay triangulations are planar, while Yao-type graphs are not in
+    general — tested properties of the respective constructions. *)
+
+val crossings :
+  Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> (int * int) list
+(** All pairs of edge ids that properly cross (interior intersection
+    point).  Edges sharing an endpoint never count.  O(m²) with a length
+    prefilter. *)
+
+val is_planar_embedding : Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> bool
+(** No proper crossings. *)

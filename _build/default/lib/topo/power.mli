@@ -1,0 +1,23 @@
+(** Per-node power assignment induced by a topology.
+
+    With the paper's energy model, a node participating in topology [g]
+    must be able to reach its farthest neighbour: its assigned power is
+    [(longest incident edge)^kappa].  These are the classical
+    topology-control objectives (max power = battery bottleneck, total
+    power = network energy budget, interference radius). *)
+
+type t = {
+  per_node : float array;  (** assigned power per node *)
+  max_power : float;  (** bottleneck node *)
+  total_power : float;
+  mean_power : float;
+  unused : int;  (** isolated nodes (assigned zero power) *)
+}
+
+val assign : ?kappa:float -> Adhoc_graph.Graph.t -> t
+(** Default [kappa = 2.]. *)
+
+val max_power_ratio : kappa:float -> sub:Adhoc_graph.Graph.t -> base:Adhoc_graph.Graph.t -> float
+(** Ratio of the subgraph's bottleneck power to the base graph's — how much
+    the sparser topology lets the worst-off node throttle down.  [1.] when
+    the base assigns zero power. *)

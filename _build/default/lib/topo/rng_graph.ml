@@ -1,0 +1,31 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let build ?(range = infinity) points =
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  if n > 1 then begin
+    let box = Box.of_points points in
+    let span = Float.max (Box.width box) (Box.height box) in
+    let cell = if span > 0. then span /. sqrt (float_of_int n) else 1. in
+    let grid = Spatial_grid.build ~cell points in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let d = Point.dist points.(u) points.(v) in
+        if d <= range then begin
+          (* The lune is contained in the disk of radius d around either
+             endpoint; scan candidates near u. *)
+          let witness =
+            Spatial_grid.fold_within grid points.(u) d ~init:false ~f:(fun found w ->
+                found
+                || w <> u
+                   && w <> v
+                   && Point.dist points.(u) points.(w) < d
+                   && Point.dist points.(v) points.(w) < d)
+          in
+          if not witness then Graph.Builder.add_edge b u v d
+        end
+      done
+    done
+  end;
+  Graph.Builder.build b

@@ -1,0 +1,8 @@
+(** Relative neighborhood graph (Toussaint 1980) — proximity-graph baseline.
+
+    Edge [(u,v)] iff no node [w] satisfies
+    [max(|uw|, |vw|) < |uv|] (the lune of [u] and [v] is empty).  Sparser
+    than the Gabriel graph ([MST ⊆ RNG ⊆ Gabriel]); has polynomial — not
+    constant — energy-stretch, which experiment E11 exhibits. *)
+
+val build : ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t

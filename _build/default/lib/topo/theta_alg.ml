@@ -1,0 +1,50 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+type t = {
+  theta : float;
+  range : float;
+  points : Point.t array;
+  selections : int array array;
+  admitted : (int * int) list array;
+  overlay : Graph.t;
+}
+
+let degree_bound ~theta = int_of_float (Float.ceil (4. *. Float.pi /. theta))
+
+let build ~theta ~range points =
+  if theta <= 0. || theta > 2. *. Float.pi then invalid_arg "Theta_alg.build: bad theta";
+  let n = Array.length points in
+  let selections = Yao.selections ~theta ~range points in
+  (* Invert the selection relation: incoming.(u) = nodes v with u ∈ N(v). *)
+  let incoming = Array.make n [] in
+  Array.iteri
+    (fun v targets -> Array.iter (fun u -> incoming.(u) <- v :: incoming.(u)) targets)
+    selections;
+  (* Phase 2: u admits, per sector of u, the nearest incoming selector. *)
+  let sectors = Sector.count theta in
+  let admitted = Array.make n [] in
+  let best = Array.make sectors (-1) in
+  for u = 0 to n - 1 do
+    Array.fill best 0 sectors (-1);
+    List.iter
+      (fun v ->
+        let s = Sector.index ~theta ~apex:points.(u) points.(v) in
+        if best.(s) = -1 || Yao.closer points u v best.(s) then best.(s) <- v)
+      incoming.(u);
+    let acc = ref [] in
+    for s = sectors - 1 downto 0 do
+      if best.(s) >= 0 then acc := (best.(s), s) :: !acc
+    done;
+    admitted.(u) <- !acc
+  done;
+  let b = Graph.Builder.create n in
+  Array.iteri
+    (fun u vs ->
+      List.iter (fun (v, _) -> Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v))) vs)
+    admitted;
+  { theta; range; points; selections; admitted; overlay = Graph.Builder.build b }
+
+let overlay t = t.overlay
+
+let in_yao t u v = Array.exists (fun w -> w = v) t.selections.(u)

@@ -1,0 +1,35 @@
+(** ΘALG — the paper's topology-control algorithm (Section 2.1), producing
+    the overlay 𝒩.
+
+    Phase 1 builds the Yao selections [N(u)] (see {!Yao}).  Phase 2 is the
+    local degree-reduction step: every node [u] *admits* at most one
+    incoming selection edge per sector — the shortest one — and an edge
+    [(u,v)] survives into 𝒩 iff at least one endpoint admits it.
+
+    Guarantees reproduced by the experiments:
+    - 𝒩 is connected whenever G* is, with degree ≤ [4π/θ] (Lemma 2.1);
+    - 𝒩 has O(1) energy-stretch for every node distribution (Theorem 2.2,
+      [theta] sufficiently small, [kappa >= 2]);
+    - O(1) distance-stretch on civilized sets (Theorem 2.7). *)
+
+type t = {
+  theta : float;
+  range : float;
+  points : Adhoc_geom.Point.t array;
+  selections : int array array;  (** phase-1 [N(u)], per node *)
+  admitted : (int * int) list array;  (** phase-2: [(v, sector)] admitted into each node *)
+  overlay : Adhoc_graph.Graph.t;  (** the topology 𝒩 *)
+}
+
+val build : theta:float -> range:float -> Adhoc_geom.Point.t array -> t
+(** Requires [0 < theta <= 2π] (the paper's analysis needs [theta <= π/3];
+    construction itself works for any positive angle) and [range >= 0]. *)
+
+val overlay : t -> Adhoc_graph.Graph.t
+
+val degree_bound : theta:float -> int
+(** Lemma 2.1's bound [4π/θ], rounded up: admitted in-edges plus surviving
+    out-edges, one of each per sector. *)
+
+val in_yao : t -> int -> int -> bool
+(** [in_yao t u v]: whether [v ∈ N(u)] (phase-1 selection). *)

@@ -1,0 +1,39 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let build ~theta ~range points =
+  if theta <= 0. then invalid_arg "Theta_graph.build: theta must be positive";
+  if range < 0. then invalid_arg "Theta_graph.build: negative range";
+  let n = Array.length points in
+  let sectors = Sector.count theta in
+  let b = Graph.Builder.create n in
+  let best = Array.make sectors (-1) in
+  let best_proj = Array.make sectors infinity in
+  for u = 0 to n - 1 do
+    Array.fill best 0 sectors (-1);
+    Array.fill best_proj 0 sectors infinity;
+    for v = 0 to n - 1 do
+      if v <> u then begin
+        let d = Point.dist points.(u) points.(v) in
+        if d <= range then begin
+          let s = Sector.index ~theta ~apex:points.(u) points.(v) in
+          (* Projection of uv onto the sector bisector. *)
+          let bis = Sector.central_angle ~theta s in
+          let dirx = cos bis and diry = sin bis in
+          let w = points.(v) in
+          let u' = points.(u) in
+          let proj = ((w.Point.x -. u'.Point.x) *. dirx) +. ((w.Point.y -. u'.Point.y) *. diry) in
+          if proj < best_proj.(s) || (proj = best_proj.(s) && (best.(s) = -1 || v < best.(s)))
+          then begin
+            best_proj.(s) <- proj;
+            best.(s) <- v
+          end
+        end
+      end
+    done;
+    for s = 0 to sectors - 1 do
+      if best.(s) >= 0 then
+        Graph.Builder.add_edge b u best.(s) (Point.dist points.(u) points.(best.(s)))
+    done
+  done;
+  Graph.Builder.build b

@@ -1,0 +1,11 @@
+(** The classic θ-graph: like the Yao graph, but within each sector a node
+    connects to the neighbour whose *projection onto the sector's bisector*
+    is nearest (rather than the nearest by Euclidean distance).
+
+    The θ-graph is the structure for which the textbook spanner bound
+    [1 / (cos θ − sin θ)] is proved; comparing it with the Yao selection
+    (paper Section 2.1) isolates how much the selection rule matters —
+    the degree-reduction ablation in experiment E13. *)
+
+val build : theta:float -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** One outgoing edge per non-empty sector per node, undirected union. *)

@@ -1,0 +1,97 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+type stats = {
+  position_msgs : int;
+  neighborhood_msgs : int;
+  connection_msgs : int;
+}
+
+(* Mailboxes hold (sender, payload) pairs; each round is: everyone sends,
+   then everyone processes its mailbox.  Nodes only ever use information
+   they received in a message — the point of the exercise. *)
+
+type position_msg = { sender : int; pos : Point.t }
+
+let run ~theta ~range points =
+  if theta <= 0. then invalid_arg "Theta_protocol.run: bad theta";
+  let n = Array.length points in
+  let sectors = Sector.count theta in
+
+  (* Round 1: position broadcasts at maximum power (range D). *)
+  let position_boxes = Array.make n [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if v <> u && Point.dist points.(u) points.(v) <= range then
+        position_boxes.(v) <- { sender = u; pos = points.(u) } :: position_boxes.(v)
+    done
+  done;
+  let position_msgs = n in
+
+  (* Each node u computes N(u) from its received positions only. *)
+  let closer_from_inbox my_pos a apos b bpos =
+    let da = Point.dist2 my_pos apos and db = Point.dist2 my_pos bpos in
+    da < db || (da = db && a < b)
+  in
+  let selections = Array.make n [] in
+  for u = 0 to n - 1 do
+    let best = Array.make sectors (-1) in
+    let best_pos = Array.make sectors Point.origin in
+    List.iter
+      (fun { sender; pos } ->
+        let s = Sector.index ~theta ~apex:points.(u) pos in
+        if best.(s) = -1 || closer_from_inbox points.(u) sender pos best.(s) best_pos.(s) then begin
+          best.(s) <- sender;
+          best_pos.(s) <- pos
+        end)
+      position_boxes.(u);
+    let acc = ref [] in
+    for s = sectors - 1 downto 0 do
+      if best.(s) >= 0 then acc := best.(s) :: !acc
+    done;
+    selections.(u) <- !acc
+  done;
+
+  (* Round 2: u tells each v ∈ N(u) that u selected it. *)
+  let selector_boxes = Array.make n [] in
+  let neighborhood_msgs = ref 0 in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        incr neighborhood_msgs;
+        selector_boxes.(v) <- u :: selector_boxes.(v))
+      selections.(u)
+  done;
+
+  (* Round 3: u admits the nearest selector per sector and sends it a
+     connection message. *)
+  let connection_boxes = Array.make n [] in
+  let connection_msgs = ref 0 in
+  for u = 0 to n - 1 do
+    let best = Array.make sectors (-1) in
+    List.iter
+      (fun v ->
+        let s = Sector.index ~theta ~apex:points.(u) points.(v) in
+        if best.(s) = -1 || Yao.closer points u v best.(s) then best.(s) <- v)
+      selector_boxes.(u);
+    for s = 0 to sectors - 1 do
+      if best.(s) >= 0 then begin
+        incr connection_msgs;
+        connection_boxes.(best.(s)) <- u :: connection_boxes.(best.(s))
+      end
+    done
+  done;
+
+  (* An edge exists for every pair that exchanged a connection message. *)
+  let b = Graph.Builder.create n in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u -> Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v)))
+      connection_boxes.(v)
+  done;
+  ( Graph.Builder.build b,
+    {
+      position_msgs;
+      neighborhood_msgs = !neighborhood_msgs;
+      connection_msgs = !connection_msgs;
+    } )

@@ -1,0 +1,26 @@
+(** Message-passing implementation of ΘALG (paper Section 2.1).
+
+    The paper notes the algorithm runs in three rounds of local
+    broadcasting:
+    + every node broadcasts a [Position] message at maximum power;
+    + every node [u] sends a [Neighborhood] message to each [v ∈ N(u)];
+    + every node sends a [Connection] message to the nearest selector per
+      sector (the admission step); 𝒩 keeps an edge for every pair that
+      exchanged a connection message.
+
+    This module executes those rounds over an explicit message transcript —
+    the distributed-systems view of {!Theta_alg} — and reports the message
+    complexity.  The resulting overlay is identical (tested) to the direct
+    construction. *)
+
+type stats = {
+  position_msgs : int;  (** round-1 broadcasts, one per node *)
+  neighborhood_msgs : int;  (** round-2 unicasts, [Σ_u |N(u)|] *)
+  connection_msgs : int;  (** round-3 unicasts, one per admitted edge endpoint *)
+}
+
+val run :
+  theta:float ->
+  range:float ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t * stats

@@ -1,0 +1,59 @@
+module Graph = Adhoc_graph.Graph
+module Stretch = Adhoc_graph.Stretch
+module Cost = Adhoc_graph.Cost
+
+type t = {
+  name : string;
+  nodes : int;
+  edges : int;
+  max_degree : int;
+  avg_degree : float;
+  connected : bool;
+  total_length : float;
+  total_energy : float;
+  energy_stretch : float;
+  distance_stretch : float;
+}
+
+let measure ~name ~base g =
+  let nodes = Graph.n g in
+  {
+    name;
+    nodes;
+    edges = Graph.num_edges g;
+    max_degree = Graph.max_degree g;
+    avg_degree =
+      (if nodes = 0 then 0. else 2. *. float_of_int (Graph.num_edges g) /. float_of_int nodes);
+    connected = Adhoc_graph.Components.is_connected g;
+    total_length = Graph.total_length g;
+    total_energy = Graph.total_energy ~kappa:2. g;
+    energy_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:(Cost.energy ~kappa:2.);
+    distance_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:Cost.length;
+  }
+
+let header =
+  Adhoc_util.Table.
+    [
+      ("topology", Left);
+      ("edges", Right);
+      ("max deg", Right);
+      ("avg deg", Right);
+      ("connected", Left);
+      ("tot len", Right);
+      ("tot energy", Right);
+      ("energy stretch", Right);
+      ("dist stretch", Right);
+    ]
+
+let to_row m =
+  [
+    m.name;
+    string_of_int m.edges;
+    string_of_int m.max_degree;
+    Printf.sprintf "%.2f" m.avg_degree;
+    (if m.connected then "yes" else "NO");
+    Printf.sprintf "%.3f" m.total_length;
+    Printf.sprintf "%.4f" m.total_energy;
+    Printf.sprintf "%.3f" m.energy_stretch;
+    Printf.sprintf "%.3f" m.distance_stretch;
+  ]

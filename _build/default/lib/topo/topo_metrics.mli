@@ -1,0 +1,24 @@
+(** Summary metrics for comparing topologies (experiment E11). *)
+
+type t = {
+  name : string;
+  nodes : int;
+  edges : int;
+  max_degree : int;
+  avg_degree : float;
+  connected : bool;
+  total_length : float;
+  total_energy : float;  (** κ = 2 *)
+  energy_stretch : float;  (** vs. the base graph, κ = 2 *)
+  distance_stretch : float;  (** vs. the base graph *)
+}
+
+val measure :
+  name:string -> base:Adhoc_graph.Graph.t -> Adhoc_graph.Graph.t -> t
+(** Stretch fields compare the topology against [base] (typically the
+    transmission graph). *)
+
+val to_row : t -> string list
+(** Cells in the order of {!header}. *)
+
+val header : (string * Adhoc_util.Table.align) list

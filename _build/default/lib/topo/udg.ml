@@ -1,0 +1,21 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let build ~range points =
+  if range < 0. then invalid_arg "Udg.build: negative range";
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  if n > 1 && range > 0. then begin
+    let grid = Spatial_grid.build ~cell:range points in
+    (* Query slightly wide (the grid pre-filters on squared distance, which
+       can round an exactly-range-length edge away), then test exactly. *)
+    let query = range *. (1. +. 1e-9) in
+    for u = 0 to n - 1 do
+      Spatial_grid.iter_within grid points.(u) query (fun v ->
+          if v > u && Point.dist points.(u) points.(v) <= range then
+            Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v)))
+    done
+  end;
+  Graph.Builder.build b
+
+let critical_range points = Euclidean_mst.longest_edge points

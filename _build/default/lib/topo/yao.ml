@@ -1,0 +1,48 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let closer points u a b =
+  let da = Point.dist2 points.(u) points.(a) and db = Point.dist2 points.(u) points.(b) in
+  da < db || (da = db && a < b)
+
+let selections ~theta ~range points =
+  if theta <= 0. then invalid_arg "Yao.selections: theta must be positive";
+  if range < 0. then invalid_arg "Yao.selections: negative range";
+  let n = Array.length points in
+  let sectors = Sector.count theta in
+  let grid =
+    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
+    else None
+  in
+  let best = Array.make sectors (-1) in
+  let select u =
+    Array.fill best 0 sectors (-1);
+    let consider v =
+      if v <> u && Point.dist points.(u) points.(v) <= range then begin
+        let s = Sector.index ~theta ~apex:points.(u) points.(v) in
+        if best.(s) = -1 || closer points u v best.(s) then best.(s) <- v
+      end
+    in
+    (match grid with
+    (* Query slightly wide: the grid pre-filters on squared distance, which
+       can round an exactly-range-length candidate away; [consider] applies
+       the exact range test. *)
+    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
+    | None ->
+        for v = 0 to n - 1 do
+          consider v
+        done);
+    let chosen = Array.to_list (Array.copy best) in
+    let chosen = List.filter (fun v -> v >= 0) chosen in
+    Array.of_list (List.sort_uniq compare chosen)
+  in
+  Array.init n select
+
+let graph ~theta ~range points =
+  let sel = selections ~theta ~range points in
+  let b = Graph.Builder.create (Array.length points) in
+  Array.iteri
+    (fun u vs ->
+      Array.iter (fun v -> Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v))) vs)
+    sel;
+  Graph.Builder.build b

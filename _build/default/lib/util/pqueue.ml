@@ -1,0 +1,68 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) { key = 0.; value = Obj.magic 0 }; size = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let grow q =
+  let data = Array.make (2 * Array.length q.data) q.data.(0) in
+  Array.blit q.data 0 data 0 q.size;
+  q.data <- data
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.data.(i).key < q.data.(parent).key then begin
+      let tmp = q.data.(i) in
+      q.data.(i) <- q.data.(parent);
+      q.data.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.data.(l).key < q.data.(!smallest).key then smallest := l;
+  if r < q.size && q.data.(r).key < q.data.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.data.(i) in
+    q.data.(i) <- q.data.(!smallest);
+    q.data.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  if q.size = Array.length q.data then grow q;
+  q.data.(q.size) <- { key; value };
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let pop_exn q =
+  match pop q with
+  | Some kv -> kv
+  | None -> invalid_arg "Pqueue.pop_exn: empty queue"
+
+let peek q = if q.size = 0 then None else Some (q.data.(0).key, q.data.(0).value)
+
+let clear q = q.size <- 0

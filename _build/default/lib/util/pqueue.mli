@@ -1,0 +1,27 @@
+(** Mutable binary min-heap keyed by floats.
+
+    Used by Dijkstra and the greedy schedulers.  Decrease-key is handled the
+    lazy way: push the improved entry and let stale entries be skipped by the
+    caller (standard for sparse-graph Dijkstra, and faster in practice than
+    an indexed heap for our sizes). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-key entry, if any. *)
+
+val pop_exn : 'a t -> float * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

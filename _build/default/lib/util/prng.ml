@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = bits64 g }
+
+(* Non-negative 62-bit int from the high bits. *)
+let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let r = bits g land mask in
+    let v = r mod n in
+    if r - v + (n - 1) < 0 then draw () else v
+  in
+  draw ()
+
+let uniform g =
+  (* 53 random bits into [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int r *. 0x1p-53
+
+let float g x = uniform g *. x
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let range g lo hi = lo +. (uniform g *. (hi -. lo))
+
+let gaussian g ~mean ~stddev =
+  let rec nonzero () =
+    let u = uniform g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform g in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = uniform g in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher–Yates over an index array. *)
+  let idx = Array.init n Fun.id in
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k

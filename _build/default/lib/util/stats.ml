@@ -1,0 +1,81 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.;
+    p95 = percentile xs 95.;
+  }
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then invalid_arg "Stats.linear_fit";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  let b = if !sxx = 0. then 0. else !sxy /. !sxx in
+  (my -. (b *. mx), b)
+
+let loglog_slope xs ys =
+  let lx = Array.map log xs and ly = Array.map log ys in
+  snd (linear_fit lx ly)
+
+let log_fit xs ys =
+  let lx = Array.map log xs in
+  linear_fit lx ys
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then invalid_arg "Stats.correlation";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)

@@ -1,0 +1,36 @@
+(** Descriptive statistics over float samples, used by the experiment
+    harness to summarise repeated trials. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p95 : float;
+}
+
+val mean : float array -> float
+val stddev : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation between order
+    statistics.  Requires a non-empty array. *)
+
+val summarize : float array -> summary
+(** Requires a non-empty array. *)
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] least-squares line [ys ≈ a + b·xs]; returns [(a, b)].
+    Requires equal lengths ≥ 2. *)
+
+val loglog_slope : float array -> float array -> float
+(** Least-squares slope of [log ys] against [log xs]: the empirical
+    polynomial exponent.  Positive inputs required. *)
+
+val log_fit : float array -> float array -> float * float
+(** [log_fit xs ys] fits [ys ≈ a + b·ln xs]; returns [(a, b)].  Used to test
+    the [I = O(log n)] claim. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. *)

@@ -1,0 +1,62 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list;  (* reverse order *)
+}
+
+let create ?title cols =
+  {
+    title;
+    headers = Array.of_list (List.map fst cols);
+    aligns = Array.of_list (List.map snd cols);
+    rows = [];
+  }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- row :: t.rows
+
+let fmt_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let add_float_row t ?(fmt = fmt_f ~decimals:3) label values =
+  add_row t (label :: List.map fmt values)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let emit_row cells =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cells.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let rule = Array.map (fun w -> String.make w '-') widths in
+  emit_row rule;
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,25 @@
+(** Aligned plain-text tables for experiment output.
+
+    The benchmark harness prints the same rows/series the paper's claims
+    describe; this module keeps that output readable and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Row cells must match the number of columns. *)
+
+val add_float_row : t -> ?fmt:(float -> string) -> string -> float list -> unit
+(** Convenience: a leading label cell followed by formatted floats. *)
+
+val to_string : t -> string
+
+val print : t -> unit
+(** [to_string] followed by a newline on stdout. *)
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatter, default 3 decimals. *)

@@ -1,0 +1,1 @@
+lib/viz/chart.ml: Adhoc_geom Array Box Float List Point Printf Svg

@@ -1,0 +1,1 @@
+lib/viz/dot.ml: Adhoc_geom Adhoc_graph Array Buffer Fun Printf

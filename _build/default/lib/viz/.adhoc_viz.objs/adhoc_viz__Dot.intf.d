@@ -1,0 +1,1 @@
+lib/viz/dot.mli: Adhoc_geom Adhoc_graph

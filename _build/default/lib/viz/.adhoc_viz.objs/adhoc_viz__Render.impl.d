@@ -1,0 +1,1 @@
+lib/viz/render.ml: Adhoc_geom Adhoc_graph Adhoc_interference Array Box Float Hexgrid List Option Point Svg

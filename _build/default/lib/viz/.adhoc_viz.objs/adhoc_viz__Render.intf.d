@@ -1,0 +1,1 @@
+lib/viz/render.mli: Adhoc_geom Adhoc_graph Svg

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Adhoc_geom Box Buffer Fun List Option Point Printf String

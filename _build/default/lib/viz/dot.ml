@@ -1,0 +1,23 @@
+module Graph = Adhoc_graph.Graph
+
+let of_graph ?(name = "topology") ?(scale = 10.) points g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=point];\n" name);
+  Array.iteri
+    (fun i (p : Adhoc_geom.Point.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [pos=\"%.3f,%.3f!\"];\n" i (scale *. p.Adhoc_geom.Point.x)
+           (scale *. p.Adhoc_geom.Point.y)))
+    points;
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
+         Buffer.add_string buf
+           (Printf.sprintf "  n%d -- n%d [len=%.4f];\n" e.Graph.u e.Graph.v e.Graph.len)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?name ?scale points g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_graph ?name ?scale points g))

@@ -1,0 +1,18 @@
+(** Graphviz DOT export with pinned positions (render with [neato -n]). *)
+
+val of_graph :
+  ?name:string ->
+  ?scale:float ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t ->
+  string
+(** [scale] multiplies world coordinates into DOT position units
+    (default 10.). *)
+
+val save :
+  ?name:string ->
+  ?scale:float ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t ->
+  string ->
+  unit

@@ -1,0 +1,99 @@
+open Adhoc_geom
+module Graph = Adhoc_graph.Graph
+
+let default_radius points =
+  if Array.length points < 2 then 0.01
+  else 0.006 *. Box.diagonal (Box.of_points points)
+
+let world_of points =
+  if Array.length points = 0 then Box.unit_square else Box.of_points points
+
+let draw_edges svg ?(color = "#555555") ?(width = 1.) ?opacity points g =
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
+         Svg.line svg ~stroke:color ~stroke_width:width ?opacity points.(e.Graph.u)
+           points.(e.Graph.v)))
+
+let draw_nodes svg ?(fill = "#1f4e8c") points r =
+  Array.iter (fun p -> Svg.circle svg ~fill p r) points;
+  ignore fill
+
+let topology ?(width = 800) ?node_radius ?(edge_color = "#555555") ?(highlight = []) points g =
+  let svg = Svg.create ~width ~world:(world_of points) () in
+  let r = Option.value node_radius ~default:(default_radius points) in
+  draw_edges svg ~color:edge_color points g;
+  (match highlight with
+  | [] | [ _ ] -> ()
+  | path ->
+      Svg.polyline svg ~stroke:"#c0392b" ~stroke_width:2.5
+        (List.map (fun i -> points.(i)) path));
+  Array.iter (fun p -> Svg.circle svg ~fill:"#1f4e8c" p r) points;
+  List.iter (fun i -> Svg.circle svg ~fill:"#c0392b" points.(i) (1.4 *. r)) highlight;
+  svg
+
+let overlay_comparison ?(width = 800) points ~base ~sub =
+  let svg = Svg.create ~width ~world:(world_of points) () in
+  let r = default_radius points in
+  draw_edges svg ~color:"#cccccc" ~width:0.8 points base;
+  draw_edges svg ~color:"#222222" ~width:1.6 points sub;
+  draw_nodes svg points r;
+  svg
+
+let interference_region ?(width = 800) ~delta points g ~edge =
+  let svg = Svg.create ~width ~world:(world_of points) () in
+  let r = default_radius points in
+  let model = Adhoc_interference.Model.make ~delta in
+  let u, v = Graph.endpoints g edge in
+  let radius = Adhoc_interference.Model.region_radius model (Graph.length g edge) in
+  Svg.circle svg ~fill:"#f5c6aa" ~opacity:0.5 points.(u) radius;
+  Svg.circle svg ~fill:"#f5c6aa" ~opacity:0.5 points.(v) radius;
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () id e ->
+         if id = edge then ()
+         else begin
+           let interferes =
+             Adhoc_interference.Model.interferes model ~points (u, v) (e.Graph.u, e.Graph.v)
+           in
+           if interferes then
+             Svg.line svg ~stroke:"#c0392b" ~stroke_width:1.4 ~dashed:true points.(e.Graph.u)
+               points.(e.Graph.v)
+           else
+             Svg.line svg ~stroke:"#999999" ~stroke_width:0.8 points.(e.Graph.u)
+               points.(e.Graph.v)
+         end));
+  Svg.line svg ~stroke:"#1f4e8c" ~stroke_width:3. points.(u) points.(v);
+  draw_nodes svg points r;
+  svg
+
+let hexagons ?(width = 800) ~side points =
+  let world = world_of points in
+  let svg = Svg.create ~width ~world () in
+  let grid = Hexgrid.make ~side in
+  let r = default_radius points in
+  (* Hexagons covering the world box. *)
+  let corners =
+    [
+      Point.make world.Box.xmin world.Box.ymin;
+      Point.make world.Box.xmax world.Box.ymin;
+      Point.make world.Box.xmin world.Box.ymax;
+      Point.make world.Box.xmax world.Box.ymax;
+    ]
+  in
+  let coords = List.map (Hexgrid.of_point grid) corners in
+  let qs = List.map (fun (c : Hexgrid.coord) -> c.Hexgrid.q) coords in
+  let rs = List.map (fun (c : Hexgrid.coord) -> c.Hexgrid.r) coords in
+  let qmin = List.fold_left min max_int qs - 1 and qmax = List.fold_left max min_int qs + 1 in
+  let rmin = List.fold_left min max_int rs - 1 and rmax = List.fold_left max min_int rs + 1 in
+  for q = qmin to qmax do
+    for rr = rmin to rmax do
+      let center = Hexgrid.center grid { Hexgrid.q; r = rr } in
+      let vertices =
+        List.init 6 (fun k ->
+            let a = (Float.pi /. 6.) +. (float_of_int k *. Float.pi /. 3.) in
+            Point.(center +@ make (side *. cos a) (side *. sin a)))
+      in
+      Svg.polygon svg ~stroke:"#b58900" ~stroke_width:1. ~opacity:0.7 vertices
+    done
+  done;
+  draw_nodes svg points r;
+  svg

@@ -1,0 +1,41 @@
+(** Topology renderings: the figures a reader would want next to the
+    experiment tables. *)
+
+val topology :
+  ?width:int ->
+  ?node_radius:float ->
+  ?edge_color:string ->
+  ?highlight:int list ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t ->
+  Svg.t
+(** Nodes and edges; [highlight] draws the given node path in red on top.
+    [node_radius] is in world units (default 0.6% of the bounding-box
+    diagonal). *)
+
+val overlay_comparison :
+  ?width:int ->
+  Adhoc_geom.Point.t array ->
+  base:Adhoc_graph.Graph.t ->
+  sub:Adhoc_graph.Graph.t ->
+  Svg.t
+(** The base graph in light grey under the subgraph in black — the classic
+    before/after topology-control picture. *)
+
+val interference_region :
+  ?width:int ->
+  delta:float ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t ->
+  edge:int ->
+  Svg.t
+(** The topology with one edge's guard-zone interference region (two discs
+    of radius [(1+Δ)·len]) shaded, and the edges it interferes with dashed
+    red — Figure-style illustration of Section 2.4. *)
+
+val hexagons :
+  ?width:int ->
+  side:float ->
+  Adhoc_geom.Point.t array ->
+  Svg.t
+(** The honeycomb tiling of Figure 5 over a node deployment. *)

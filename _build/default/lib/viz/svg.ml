@@ -1,0 +1,102 @@
+open Adhoc_geom
+
+type t = {
+  buf : Buffer.t;
+  scale : float;  (* world units -> pixels *)
+  world : Box.t;  (* padded world box *)
+  width_px : float;
+  height_px : float;
+}
+
+let create ?margin ~width ~world () =
+  let margin = Option.value margin ~default:(0.05 *. Box.diagonal world) in
+  let world = Box.expand world margin in
+  let w = Box.width world and h = Box.height world in
+  if w <= 0. || h <= 0. then invalid_arg "Svg.create: degenerate world box";
+  let scale = float_of_int width /. w in
+  let t =
+    {
+      buf = Buffer.create 4096;
+      scale;
+      world;
+      width_px = float_of_int width;
+      height_px = h *. scale;
+    }
+  in
+  Buffer.add_string t.buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+        viewBox=\"0 0 %.2f %.2f\">\n\
+        <rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"
+       t.width_px t.height_px t.width_px t.height_px);
+  t
+
+(* World -> pixel, with the y-axis flipped. *)
+let px t (p : Point.t) =
+  ( (p.Point.x -. t.world.Box.xmin) *. t.scale,
+    t.height_px -. ((p.Point.y -. t.world.Box.ymin) *. t.scale) )
+
+let style_attrs ?fill ?stroke ?stroke_width ?opacity ?(dashed = false) () =
+  String.concat ""
+    [
+      (match fill with Some c -> Printf.sprintf " fill=\"%s\"" c | None -> "");
+      (match stroke with Some c -> Printf.sprintf " stroke=\"%s\"" c | None -> "");
+      (match stroke_width with
+      | Some w -> Printf.sprintf " stroke-width=\"%.2f\"" w
+      | None -> "");
+      (match opacity with Some o -> Printf.sprintf " opacity=\"%.2f\"" o | None -> "");
+      (if dashed then " stroke-dasharray=\"4 3\"" else "");
+    ]
+
+let circle t ?(fill = "black") ?stroke ?stroke_width ?opacity p r =
+  let x, y = px t p in
+  Buffer.add_string t.buf
+    (Printf.sprintf "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\"%s/>\n" x y (r *. t.scale)
+       (style_attrs ~fill ?stroke ?stroke_width ?opacity ()))
+
+let line t ?(stroke = "black") ?(stroke_width = 1.) ?opacity ?dashed a b =
+  let x1, y1 = px t a and x2, y2 = px t b in
+  Buffer.add_string t.buf
+    (Printf.sprintf "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\"%s/>\n" x1 y1 x2 y2
+       (style_attrs ~stroke ~stroke_width ?opacity ?dashed ()))
+
+let points_attr t ps =
+  String.concat " "
+    (List.map
+       (fun p ->
+         let x, y = px t p in
+         Printf.sprintf "%.2f,%.2f" x y)
+       ps)
+
+let polyline t ?(stroke = "black") ?(stroke_width = 1.) ?opacity ps =
+  Buffer.add_string t.buf
+    (Printf.sprintf "<polyline points=\"%s\" fill=\"none\"%s/>\n" (points_attr t ps)
+       (style_attrs ~stroke ~stroke_width ?opacity ()))
+
+let polygon t ?(fill = "none") ?stroke ?stroke_width ?opacity ps =
+  Buffer.add_string t.buf
+    (Printf.sprintf "<polygon points=\"%s\"%s/>\n" (points_attr t ps)
+       (style_attrs ~fill ?stroke ?stroke_width ?opacity ()))
+
+let text t ?(size = 12.) ?(fill = "black") p s =
+  let x, y = px t p in
+  let escaped =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '<' -> "&lt;"
+           | '>' -> "&gt;"
+           | '&' -> "&amp;"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  Buffer.add_string t.buf
+    (Printf.sprintf "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" fill=\"%s\">%s</text>\n" x y
+       size fill escaped)
+
+let to_string t = Buffer.contents t.buf ^ "</svg>\n"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

@@ -1,0 +1,37 @@
+(** Minimal SVG document builder — enough to draw topologies, routes and
+    interference regions without external dependencies.
+
+    Coordinates are in user units; the viewBox is set from the document's
+    world box and the y-axis is flipped so that geometry reads naturally
+    (y grows upward, as in the plane). *)
+
+type t
+
+val create : ?margin:float -> width:int -> world:Adhoc_geom.Box.t -> unit -> t
+(** [width] is the pixel width; height follows the world's aspect ratio.
+    [margin] is the world-units padding (default 5% of the world's
+    diagonal). *)
+
+val circle :
+  t -> ?fill:string -> ?stroke:string -> ?stroke_width:float -> ?opacity:float ->
+  Adhoc_geom.Point.t -> float -> unit
+
+val line :
+  t -> ?stroke:string -> ?stroke_width:float -> ?opacity:float ->
+  ?dashed:bool -> Adhoc_geom.Point.t -> Adhoc_geom.Point.t -> unit
+
+val polyline :
+  t -> ?stroke:string -> ?stroke_width:float -> ?opacity:float ->
+  Adhoc_geom.Point.t list -> unit
+
+val polygon :
+  t -> ?fill:string -> ?stroke:string -> ?stroke_width:float -> ?opacity:float ->
+  Adhoc_geom.Point.t list -> unit
+
+val text : t -> ?size:float -> ?fill:string -> Adhoc_geom.Point.t -> string -> unit
+
+val to_string : t -> string
+(** The complete SVG document. *)
+
+val save : t -> string -> unit
+(** Write the document to a file. *)

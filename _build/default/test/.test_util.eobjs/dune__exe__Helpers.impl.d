@@ -1,0 +1,1 @@
+test/helpers.ml: Adhoc_geom Adhoc_graph Adhoc_pointset Adhoc_util Alcotest Float List QCheck2 QCheck_alcotest String

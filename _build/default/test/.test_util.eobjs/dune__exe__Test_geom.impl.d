@@ -1,0 +1,1 @@
+test/test_geom.ml: Adhoc_geom Adhoc_pointset Adhoc_util Alcotest Array Box Circle Float Helpers Hexgrid Hull List Option Point QCheck2 Sector Segment Spatial_grid

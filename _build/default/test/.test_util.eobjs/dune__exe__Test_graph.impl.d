@@ -1,0 +1,1 @@
+test/test_graph.ml: Adhoc_geom Adhoc_graph Adhoc_util Alcotest Array Fun Helpers List QCheck2

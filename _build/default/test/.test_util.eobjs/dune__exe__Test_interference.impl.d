@@ -1,0 +1,1 @@
+test/test_interference.ml: Adhoc_geom Adhoc_graph Adhoc_interference Adhoc_topo Adhoc_util Alcotest Array Conflict Float Fun Helpers List Model QCheck2 Sinr Theta_paths

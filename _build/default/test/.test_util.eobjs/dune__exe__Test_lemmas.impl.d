@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Adhoc_geom Adhoc_util Alcotest Array Circle Float Helpers List Point QCheck2

@@ -1,0 +1,1 @@
+test/test_mac.ml: Adhoc_geom Adhoc_graph Adhoc_interference Adhoc_mac Adhoc_pointset Adhoc_topo Adhoc_util Alcotest Array Float Fun Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Adhoc Adhoc_graph Adhoc_util Alcotest Float Geom Graphs Helpers Interference Pipeline Pointset Routing Topo

@@ -1,0 +1,1 @@
+test/test_pointset.ml: Adhoc_geom Adhoc_pointset Adhoc_util Alcotest Array Float Generators Helpers List Mobility Poisson_disk Precision

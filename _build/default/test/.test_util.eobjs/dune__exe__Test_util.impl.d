@@ -1,0 +1,1 @@
+test/test_util.ml: Adhoc_util Alcotest Array Float Fun Helpers List QCheck2 String

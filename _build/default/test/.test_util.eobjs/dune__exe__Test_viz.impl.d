@@ -1,0 +1,1 @@
+test/test_viz.ml: Adhoc_geom Adhoc_graph Adhoc_io Adhoc_pointset Adhoc_topo Adhoc_util Adhoc_viz Alcotest Array Bytes Char Filename Float Helpers List QCheck2 String Sys

@@ -1,0 +1,36 @@
+(* Shared helpers for the test suites. *)
+
+module Prng = Adhoc_util.Prng
+module Point = Adhoc_geom.Point
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* Random point sets driven by a qcheck-provided seed, so shrinking stays
+   meaningful (the seed shrinks, regenerating smaller-entropy sets). *)
+let points_of_seed ?(min_n = 4) ?(max_n = 40) seed =
+  let rng = Prng.create seed in
+  let n = min_n + Prng.int rng (max_n - min_n + 1) in
+  Adhoc_pointset.Generators.uniform rng n
+
+let seed_gen = QCheck2.Gen.int_bound 1_000_000
+
+let close ?(eps = 1e-9) a b =
+  a = b (* covers equal infinities *)
+  || Float.abs (a -. b) <= eps *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if not (close ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let edge_set g =
+  Adhoc_graph.Graph.fold_edges g ~init:[] ~f:(fun acc _ e ->
+      (e.Adhoc_graph.Graph.u, e.Adhoc_graph.Graph.v) :: acc)
+  |> List.sort compare
+
+let case name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0

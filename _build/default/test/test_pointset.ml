@@ -1,0 +1,232 @@
+open Adhoc_pointset
+module Prng = Adhoc_util.Prng
+module Point = Adhoc_geom.Point
+module Box = Adhoc_geom.Box
+open Helpers
+
+let in_box box points = Array.for_all (fun p -> Box.contains box p) points
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let test_uniform_count_and_box =
+  qtest "uniform: count and containment" seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let pts = Generators.uniform rng 50 in
+      Array.length pts = 50 && in_box Box.unit_square pts)
+
+let test_uniform_deterministic () =
+  let a = Generators.uniform (Prng.create 9) 20 in
+  let b = Generators.uniform (Prng.create 9) 20 in
+  Alcotest.(check bool) "same points" true (a = b)
+
+let test_uniform_custom_box () =
+  let box = Box.make ~xmin:2. ~ymin:3. ~xmax:4. ~ymax:5. in
+  let pts = Generators.uniform ~box (Prng.create 1) 100 in
+  Alcotest.(check bool) "in box" true (in_box box pts)
+
+let test_jittered_grid_exact () =
+  let pts = Generators.jittered_grid ~jitter:0. (Prng.create 1) 16 in
+  Alcotest.(check int) "square count" 16 (Array.length pts);
+  (* Zero jitter: a perfect 4x4 grid with spacing 0.25 starting at 0.125. *)
+  let sorted = Array.to_list pts |> List.sort Point.compare in
+  match sorted with
+  | first :: _ ->
+      check_close "first x" 0.125 first.Point.x;
+      check_close "first y" 0.125 first.Point.y
+  | [] -> Alcotest.fail "empty"
+
+let test_jittered_grid_contained =
+  qtest "jittered grid stays in box" seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let pts = Generators.jittered_grid ~jitter:0.9 rng 64 in
+      Array.length pts = 64 && in_box Box.unit_square pts)
+
+let test_clusters () =
+  let pts = Generators.clusters ~num_clusters:4 ~spread:0.02 (Prng.create 3) 80 in
+  Alcotest.(check int) "count" 80 (Array.length pts);
+  Alcotest.(check bool) "in box" true (in_box Box.unit_square pts)
+
+let test_ring_annulus =
+  qtest "ring points lie in annulus" seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let width = 0.3 in
+      let pts = Generators.ring ~width rng 60 in
+      let c = Box.center Box.unit_square in
+      Array.for_all
+        (fun p ->
+          let r = Point.dist c p in
+          r >= (0.5 *. (1. -. width)) -. 1e-9 && r <= 0.5 +. 1e-9)
+        pts)
+
+let test_exponential_chain () =
+  let pts = Generators.exponential_chain ~base:2. 5 in
+  let xs = Array.map (fun p -> p.Point.x) pts in
+  Alcotest.(check bool) "geometric gaps" true (xs = [| 0.; 1.; 3.; 7.; 15. |]);
+  Alcotest.check_raises "base must exceed 1"
+    (Invalid_argument "Generators.exponential_chain: base must exceed 1") (fun () ->
+      ignore (Generators.exponential_chain ~base:1. 5))
+
+let test_two_scale () =
+  let pts = Generators.two_scale ~ratio:0.05 (Prng.create 4) 100 in
+  Alcotest.(check int) "count" 100 (Array.length pts);
+  (* Even indices form the dense blob around the center. *)
+  let c = Box.center Box.unit_square in
+  let blob_ok = ref true in
+  Array.iteri
+    (fun i p -> if i mod 2 = 0 && Point.dist c p > 0.05 /. 2. +. 1e-9 then blob_ok := false)
+    pts;
+  Alcotest.(check bool) "blob tight" true !blob_ok
+
+(* ------------------------------------------------------------------ *)
+(* Poisson disk                                                        *)
+
+let min_pairwise_brute pts =
+  let best = ref infinity in
+  Array.iteri
+    (fun i p ->
+      Array.iteri (fun j q -> if j > i then best := Float.min !best (Point.dist p q)) pts)
+    pts;
+  !best
+
+let test_poisson_separation =
+  qtest "poisson-disk separation respected" ~count:20 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let min_dist = 0.08 in
+      let pts = Poisson_disk.sample ~min_dist rng in
+      Array.length pts > 20 && min_pairwise_brute pts >= min_dist -. 1e-9)
+
+let test_poisson_sample_n () =
+  let pts = Poisson_disk.sample_n ~min_dist:0.05 (Prng.create 5) 30 in
+  Alcotest.(check int) "limited" 30 (Array.length pts)
+
+let test_poisson_fills_box () =
+  (* Maximal sampling: every location is within 2*min_dist of a sample. *)
+  let min_dist = 0.1 in
+  let pts = Poisson_disk.sample ~min_dist (Prng.create 6) in
+  let rng = Prng.create 7 in
+  for _ = 1 to 200 do
+    let p = Point.make (Prng.uniform rng) (Prng.uniform rng) in
+    let near = Array.exists (fun q -> Point.dist p q <= 2. *. min_dist) pts in
+    if not near then Alcotest.failf "uncovered location %s" (Point.to_string p)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Precision                                                           *)
+
+let test_precision_known () =
+  let pts = [| Point.make 0. 0.; Point.make 1. 0.; Point.make 0. 1.; Point.make 1. 1. |] in
+  check_close "min pairwise" 1. (Precision.min_pairwise pts);
+  check_close "max pairwise" (sqrt 2.) (Precision.max_pairwise pts);
+  check_close "lambda" (1. /. sqrt 2.) (Precision.lambda pts);
+  Alcotest.(check bool) "civilized at 0.5" true (Precision.is_civilized ~lambda:0.5 pts);
+  Alcotest.(check bool) "not at 0.9" false (Precision.is_civilized ~lambda:0.9 pts)
+
+let test_precision_degenerate () =
+  Alcotest.(check bool) "single point" true (Precision.lambda [| Point.origin |] = 1.);
+  let dup = [| Point.origin; Point.origin; Point.make 1. 0. |] in
+  check_close "coincident lambda" 0. (Precision.lambda dup)
+
+let test_precision_min_matches_brute =
+  qtest "min_pairwise = brute force" ~count:100 seed_gen (fun seed ->
+      let pts = points_of_seed ~min_n:2 ~max_n:80 seed in
+      close ~eps:1e-12 (Precision.min_pairwise pts) (min_pairwise_brute pts))
+
+let test_poisson_is_civilized () =
+  let pts = Poisson_disk.sample ~min_dist:0.15 (Prng.create 8) in
+  (* Unit square diameter ≤ √2, separation ≥ 0.15 → λ ≥ 0.15/√2. *)
+  Alcotest.(check bool) "civilized" true
+    (Precision.is_civilized ~lambda:(0.15 /. sqrt 2.) pts)
+
+(* ------------------------------------------------------------------ *)
+(* Mobility                                                            *)
+
+let test_mobility_stays_in_box =
+  qtest "random waypoint stays in box" ~count:30 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let pts = Generators.uniform rng 20 in
+      let m = Mobility.create ~speed_min:0.01 ~speed_max:0.05 rng pts in
+      Mobility.run m 200;
+      in_box Box.unit_square (Mobility.positions m))
+
+let test_mobility_speed_bound () =
+  let rng = Prng.create 10 in
+  let pts = Generators.uniform rng 10 in
+  let m = Mobility.create ~speed_min:0.01 ~speed_max:0.03 rng pts in
+  for _ = 1 to 100 do
+    let before = Mobility.positions m in
+    Mobility.step m;
+    let after = Mobility.positions m in
+    Array.iteri
+      (fun i p ->
+        let d = Point.dist p after.(i) in
+        if d > 0.03 +. 1e-9 then Alcotest.failf "moved too fast: %f" d)
+      before
+  done
+
+let test_mobility_deterministic () =
+  let mk () =
+    let rng = Prng.create 11 in
+    let pts = Generators.uniform rng 10 in
+    let m = Mobility.create ~speed_min:0.01 ~speed_max:0.05 rng pts in
+    Mobility.run m 50;
+    Mobility.positions m
+  in
+  Alcotest.(check bool) "same trajectory" true (mk () = mk ())
+
+let test_mobility_pause () =
+  (* With huge speed every node reaches its waypoint each step, then pauses. *)
+  let rng = Prng.create 12 in
+  let pts = Generators.uniform rng 5 in
+  let m = Mobility.create ~pause:3 ~speed_min:10. ~speed_max:10. rng pts in
+  Mobility.step m;
+  let at_waypoint = Mobility.positions m in
+  Mobility.step m;
+  (* First pause step: no movement. *)
+  Alcotest.(check bool) "paused" true (at_waypoint = Mobility.positions m)
+
+let test_mobility_moves () =
+  let rng = Prng.create 13 in
+  let pts = Generators.uniform rng 5 in
+  let m = Mobility.create ~speed_min:0.05 ~speed_max:0.05 rng pts in
+  let before = Mobility.positions m in
+  Mobility.run m 5;
+  Alcotest.(check bool) "positions changed" true (before <> Mobility.positions m)
+
+let () =
+  Alcotest.run "pointset"
+    [
+      ( "generators",
+        [
+          test_uniform_count_and_box;
+          case "deterministic" test_uniform_deterministic;
+          case "custom box" test_uniform_custom_box;
+          case "exact grid" test_jittered_grid_exact;
+          test_jittered_grid_contained;
+          case "clusters" test_clusters;
+          test_ring_annulus;
+          case "exponential chain" test_exponential_chain;
+          case "two scale" test_two_scale;
+        ] );
+      ( "poisson_disk",
+        [
+          test_poisson_separation;
+          case "sample_n" test_poisson_sample_n;
+          case "fills box" test_poisson_fills_box;
+        ] );
+      ( "precision",
+        [
+          case "known values" test_precision_known;
+          case "degenerate" test_precision_degenerate;
+          test_precision_min_matches_brute;
+          case "poisson civilized" test_poisson_is_civilized;
+        ] );
+      ( "mobility",
+        [
+          test_mobility_stays_in_box;
+          case "speed bound" test_mobility_speed_bound;
+          case "deterministic" test_mobility_deterministic;
+          case "pause" test_mobility_pause;
+          case "moves" test_mobility_moves;
+        ] );
+    ]

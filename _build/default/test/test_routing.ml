@@ -1,0 +1,1098 @@
+open Adhoc_routing
+module Graph = Adhoc_graph.Graph
+module Cost = Adhoc_graph.Cost
+module Conflict = Adhoc_interference.Conflict
+module Model = Adhoc_interference.Model
+module Mac = Adhoc_mac.Mac
+module Udg = Adhoc_topo.Udg
+module Theta_alg = Adhoc_topo.Theta_alg
+module Prng = Adhoc_util.Prng
+module Point = Adhoc_geom.Point
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Buffers                                                             *)
+
+let test_buffers_inject_cap () =
+  let b = Buffers.create 3 in
+  Alcotest.(check bool) "inject" true (Buffers.inject b ~cap:2 0 1);
+  Alcotest.(check bool) "inject" true (Buffers.inject b ~cap:2 0 1);
+  Alcotest.(check bool) "full" false (Buffers.inject b ~cap:2 0 1);
+  Alcotest.(check int) "height" 2 (Buffers.height b 0 1);
+  Alcotest.(check int) "total" 2 (Buffers.total b);
+  Alcotest.(check bool) "self absorbs" true (Buffers.inject b ~cap:2 1 1);
+  Alcotest.(check int) "self not stored" 0 (Buffers.height b 1 1)
+
+let test_buffers_remove () =
+  let b = Buffers.create 2 in
+  ignore (Buffers.inject b ~cap:5 0 1);
+  Buffers.remove b 0 1;
+  Alcotest.(check int) "empty" 0 (Buffers.height b 0 1);
+  Alcotest.check_raises "remove empty" (Invalid_argument "Buffers.remove: empty buffer")
+    (fun () -> Buffers.remove b 0 1)
+
+let test_buffers_force_add () =
+  let b = Buffers.create 2 in
+  for _ = 1 to 10 do
+    Buffers.force_add b 0 1
+  done;
+  Alcotest.(check int) "uncapped" 10 (Buffers.height b 0 1);
+  Buffers.force_add b 1 1;
+  Alcotest.(check int) "destination absorbs" 0 (Buffers.height b 1 1)
+
+let test_buffers_nonzero_iteration =
+  qtest "iter_nonzero lists exactly the non-empty buffers" ~count:100 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let b = Buffers.create n in
+      let reference = Array.make_matrix n n 0 in
+      for _ = 1 to 200 do
+        let v = Prng.int rng n and d = Prng.int rng n in
+        if Prng.bool rng then begin
+          if Buffers.inject b ~cap:5 v d && v <> d then
+            reference.(v).(d) <- reference.(v).(d) + 1
+        end
+        else if reference.(v).(d) > 0 then begin
+          Buffers.remove b v d;
+          reference.(v).(d) <- reference.(v).(d) - 1
+        end
+      done;
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let seen = Hashtbl.create 8 in
+        Buffers.iter_nonzero b v (fun d h ->
+            Hashtbl.replace seen d ();
+            if reference.(v).(d) <> h || h = 0 then ok := false);
+        for d = 0 to n - 1 do
+          if reference.(v).(d) > 0 && not (Hashtbl.mem seen d) then ok := false
+        done
+      done;
+      let expected_total =
+        Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 reference
+      in
+      !ok && Buffers.total b = expected_total
+      && Buffers.max_height b
+         = Array.fold_left (fun a row -> Array.fold_left max a row) 0 reference)
+
+(* ------------------------------------------------------------------ *)
+(* Balancing                                                           *)
+
+let test_balancing_picks_argmax () =
+  let b = Buffers.create 4 in
+  let p = Balancing.params ~threshold:1. ~gamma:1. ~capacity:100 in
+  (* Node 0 has 5 packets for dest 2 and 3 packets for dest 3. *)
+  for _ = 1 to 5 do
+    ignore (Buffers.inject b ~cap:100 0 2)
+  done;
+  for _ = 1 to 3 do
+    ignore (Buffers.inject b ~cap:100 0 3)
+  done;
+  (match Balancing.best_toward b p ~cost:0.5 ~src:0 ~dst:1 with
+  | Some d ->
+      Alcotest.(check int) "dest" 2 d.Balancing.dest;
+      check_close "gain" (5. -. 0. -. 0.5) d.Balancing.gain
+  | None -> Alcotest.fail "expected a decision");
+  (* Raise destination-side height: gain drops below threshold. *)
+  for _ = 1 to 5 do
+    Buffers.force_add b 1 2
+  done;
+  for _ = 1 to 3 do
+    Buffers.force_add b 1 3
+  done;
+  Alcotest.(check bool) "no decision" true
+    (Balancing.best_toward b p ~cost:0.5 ~src:0 ~dst:1 = None)
+
+let test_balancing_threshold_strict () =
+  let b = Buffers.create 2 in
+  let p = Balancing.params ~threshold:3. ~gamma:0. ~capacity:10 in
+  for _ = 1 to 3 do
+    ignore (Buffers.inject b ~cap:10 0 1)
+  done;
+  (* Gain = 3 which is not > 3. *)
+  Alcotest.(check bool) "not above threshold" true
+    (Balancing.best_toward b p ~cost:1. ~src:0 ~dst:1 = None);
+  ignore (Buffers.inject b ~cap:10 0 1);
+  Alcotest.(check bool) "above threshold" true
+    (Balancing.best_toward b p ~cost:1. ~src:0 ~dst:1 <> None)
+
+let test_balancing_apply () =
+  let b = Buffers.create 3 in
+  ignore (Buffers.inject b ~cap:10 0 2);
+  let d = { Balancing.src = 0; dst = 1; dest = 2; gain = 1. } in
+  Alcotest.(check bool) "moved" true (Balancing.apply b d = `Moved);
+  Alcotest.(check int) "arrived" 1 (Buffers.height b 1 2);
+  let d2 = { Balancing.src = 1; dst = 2; dest = 2; gain = 1. } in
+  Alcotest.(check bool) "delivered" true (Balancing.apply b d2 = `Delivered);
+  Alcotest.(check int) "absorbed" 0 (Buffers.height b 2 2);
+  Alcotest.(check int) "drained" 0 (Buffers.total b)
+
+let test_balancing_best_either () =
+  let b = Buffers.create 2 in
+  let p = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  for _ = 1 to 3 do
+    Buffers.force_add b 1 0
+  done;
+  match Balancing.best_either b p ~cost:0. ~u:0 ~v:1 with
+  | Some d ->
+      Alcotest.(check int) "sends from higher side" 1 d.Balancing.src;
+      Alcotest.(check int) "toward lower" 0 d.Balancing.dst
+  | None -> Alcotest.fail "expected decision"
+
+let test_derive_3_1 () =
+  let p =
+    Balancing.Derive.theorem_3_1 ~opt_buffer:2 ~opt_avg_hops:5. ~opt_avg_cost:1. ~delta:2
+      ~epsilon:0.5
+  in
+  check_close "T = B + 2(delta-1)" 4. p.Balancing.threshold;
+  check_close "gamma = (T+B+delta)L/C" 40. p.Balancing.gamma;
+  (* H = ceil(B * (1 + 2(1+(T+delta)/B) L / eps)) = ceil(2*(1+2*4*5/0.5)) *)
+  Alcotest.(check int) "capacity" 162 p.Balancing.capacity
+
+let test_derive_3_3 () =
+  let p =
+    Balancing.Derive.theorem_3_3 ~opt_buffer:1 ~opt_avg_hops:4. ~opt_avg_cost:2. ~epsilon:0.5
+  in
+  check_close "T = 2B+1" 3. p.Balancing.threshold;
+  check_close "gamma = (T+B)L/C" 8. p.Balancing.gamma;
+  Alcotest.(check int) "capacity" 65 p.Balancing.capacity
+
+let test_derive_epsilon_monotone () =
+  let cap eps =
+    (Balancing.Derive.theorem_3_1 ~opt_buffer:2 ~opt_avg_hops:5. ~opt_avg_cost:1. ~delta:1
+       ~epsilon:eps)
+      .Balancing.capacity
+  in
+  Alcotest.(check bool) "smaller eps needs bigger buffers" true (cap 0.1 > cap 0.5);
+  Alcotest.(check bool) "and bigger than 0.9" true (cap 0.5 > cap 0.9)
+
+let test_params_validation () =
+  Alcotest.check_raises "negative threshold"
+    (Invalid_argument "Balancing.params: negative threshold") (fun () ->
+      ignore (Balancing.params ~threshold:(-1.) ~gamma:0. ~capacity:1));
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Derive.theorem_3_1: epsilon in (0,1)") (fun () ->
+      ignore
+        (Balancing.Derive.theorem_3_1 ~opt_buffer:1 ~opt_avg_hops:1. ~opt_avg_cost:1. ~delta:1
+           ~epsilon:1.5))
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let overlay_instance seed =
+  let points = points_of_seed ~min_n:6 ~max_n:25 seed in
+  let range = 2. *. Udg.critical_range points in
+  let alg = Theta_alg.build ~theta:(Float.pi /. 6.) ~range points in
+  let g = Theta_alg.overlay alg in
+  let c = Conflict.build (Model.make ~delta:0.5) ~points g in
+  (points, g, c)
+
+let workload_config = { Workload.horizon = 300; attempts = 200; slack = 10; interference_free = false }
+
+let test_workload_counts =
+  qtest "injections = certified deliveries" ~count:40 seed_gen (fun seed ->
+      let _, g, _ = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w = Workload.generate workload_config ~rng ~graph:g ~cost:Cost.length in
+      let injected = Array.fold_left (fun a l -> a + List.length l) 0 w.Workload.injections in
+      injected = w.Workload.opt.Workload.deliveries
+      && w.Workload.opt.Workload.deliveries <= workload_config.Workload.attempts)
+
+let test_workload_activations_unique =
+  qtest "activation lists are duplicate-free" ~count:40 seed_gen (fun seed ->
+      let _, g, _ = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w = Workload.generate workload_config ~rng ~graph:g ~cost:Cost.length in
+      Array.for_all
+        (fun l -> List.length l = List.length (List.sort_uniq compare l))
+        w.Workload.activations)
+
+let test_workload_interference_free =
+  qtest "scenario-1 activations are non-interfering" ~count:40 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w =
+        Workload.generate ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length
+      in
+      Array.for_all (fun l -> Conflict.independent c l) w.Workload.activations)
+
+let test_workload_stats_sane =
+  qtest "opt stats are internally consistent" ~count:40 seed_gen (fun seed ->
+      let _, g, _ = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w = Workload.generate workload_config ~rng ~graph:g ~cost:Cost.length in
+      let opt = w.Workload.opt in
+      opt.Workload.max_buffer >= 1
+      && opt.Workload.delta >= 1
+      && (opt.Workload.deliveries = 0
+         || (opt.Workload.avg_hops >= 1.
+            && close ~eps:1e-9 opt.Workload.avg_cost
+                 (opt.Workload.total_cost /. float_of_int opt.Workload.deliveries))))
+
+let test_workload_flows_concentrate () =
+  let _, g, _ = overlay_instance 3 in
+  let rng = Prng.create 3 in
+  let w = Workload.flows workload_config ~rng ~graph:g ~cost:Cost.length ~num_flows:2 in
+  let pairs =
+    Array.to_list w.Workload.injections |> List.concat |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "at most 2 distinct pairs" true (List.length pairs <= 2)
+
+let test_workload_single_destination () =
+  let _, g, _ = overlay_instance 4 in
+  let rng = Prng.create 4 in
+  let w =
+    Workload.single_destination workload_config ~rng ~graph:g ~cost:Cost.length ~sink:0
+  in
+  Array.iter
+    (fun l -> List.iter (fun (_, dst) -> Alcotest.(check int) "sink" 0 dst) l)
+    w.Workload.injections
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_conservation =
+  qtest "packets conserved: injected = delivered + remaining" ~count:30 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w =
+        Workload.flows ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let stats = Engine.run_mac_given ~cooldown:100 ~graph:g ~cost:Cost.length ~params w in
+      stats.Engine.injected = stats.Engine.delivered + stats.Engine.remaining
+      && stats.Engine.injected + stats.Engine.dropped
+         = w.Workload.opt.Workload.deliveries)
+
+let test_engine_mac_conservation =
+  qtest "conservation under random MAC with collisions" ~count:20 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w = Workload.flows workload_config ~rng ~graph:g ~cost:Cost.length ~num_flows:2 in
+      let mac = Mac.random_interference ~rng:(Prng.create (seed + 1)) c in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let stats =
+        Engine.run_with_mac ~cooldown:100 ~collisions:c ~graph:g ~cost:Cost.length ~params ~mac w
+      in
+      stats.Engine.injected = stats.Engine.delivered + stats.Engine.remaining
+      && stats.Engine.failed_sends <= stats.Engine.sends)
+
+let test_engine_line_delivers () =
+  (* 0 -- 1 -- 2; inject at 0 toward 2; all edges always active. *)
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let horizon = 50 in
+  let injections = Array.make horizon [] in
+  injections.(0) <- [ (0, 2); (0, 2); (0, 2) ];
+  let activations = Array.make horizon [ 0; 1 ] in
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths = Array.make horizon [];
+      activations;
+      opt =
+        {
+          Workload.deliveries = 3;
+          total_cost = 6.;
+          avg_cost = 2.;
+          avg_hops = 2.;
+          max_buffer = 3;
+          delta = 2;
+        };
+    }
+  in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let stats = Engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
+  Alcotest.(check int) "all delivered" 3 stats.Engine.delivered;
+  Alcotest.(check int) "nothing remains" 0 stats.Engine.remaining;
+  Alcotest.(check bool) "ratios" true (Engine.throughput_ratio stats w.Workload.opt = 1.)
+
+let test_engine_deterministic () =
+  let run () =
+    let _, g, c = overlay_instance 9 in
+    let rng = Prng.create 9 in
+    let w = Workload.flows workload_config ~rng ~graph:g ~cost:Cost.length ~num_flows:2 in
+    let mac = Mac.random_interference ~rng:(Prng.create 10) c in
+    let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+    Engine.run_with_mac ~collisions:c ~graph:g ~cost:Cost.length ~params ~mac w
+  in
+  Alcotest.(check bool) "same stats" true (run () = run ())
+
+let test_engine_capacity_drops () =
+  (* Tiny capacity and an isolated pair with no activations: everything
+     beyond the cap is dropped at injection. *)
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  let horizon = 10 in
+  let injections = Array.make horizon [] in
+  for t = 0 to horizon - 1 do
+    injections.(t) <- [ (0, 1) ]
+  done;
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths = Array.make horizon [];
+      activations = Array.make horizon [];
+      opt =
+        {
+          Workload.deliveries = 10;
+          total_cost = 10.;
+          avg_cost = 1.;
+          avg_hops = 1.;
+          max_buffer = 1;
+          delta = 1;
+        };
+    }
+  in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:3 in
+  let stats = Engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
+  Alcotest.(check int) "admitted up to cap" 3 stats.Engine.injected;
+  Alcotest.(check int) "rest dropped" 7 stats.Engine.dropped
+
+let test_cost_accounting () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 2.) ] in
+  let horizon = 5 in
+  let injections = Array.make horizon [] in
+  injections.(0) <- [ (0, 1) ];
+  let activations = Array.make horizon [ 0 ] in
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths = Array.make horizon [];
+      activations;
+      opt =
+        {
+          Workload.deliveries = 1;
+          total_cost = 4.;
+          avg_cost = 4.;
+          avg_hops = 1.;
+          max_buffer = 1;
+          delta = 1;
+        };
+    }
+  in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let stats = Engine.run_mac_given ~graph:g ~cost:(Cost.energy ~kappa:2.) ~params w in
+  Alcotest.(check int) "delivered" 1 stats.Engine.delivered;
+  check_close "energy cost 2^2" 4. stats.Engine.total_cost;
+  check_close "cost ratio" 1. (Engine.cost_ratio stats w.Workload.opt)
+
+
+(* ------------------------------------------------------------------ *)
+(* Packet / Tracked_engine                                             *)
+
+let test_packet_lifecycle () =
+  let p = Packet.make ~id:7 ~src:1 ~dst:2 ~now:10 in
+  Alcotest.(check bool) "in flight" false (Packet.delivered p);
+  Alcotest.check_raises "latency before delivery"
+    (Invalid_argument "Packet.latency: packet not delivered") (fun () ->
+      ignore (Packet.latency p));
+  p.Packet.delivered_at <- 25;
+  Alcotest.(check bool) "delivered" true (Packet.delivered p);
+  Alcotest.(check int) "latency" 15 (Packet.latency p)
+
+let tracked_line_workload () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let horizon = 50 in
+  let injections = Array.make horizon [] in
+  injections.(0) <- [ (0, 2); (0, 2); (0, 2) ];
+  let activations = Array.make horizon [ 0; 1 ] in
+  ( g,
+    {
+      Workload.horizon;
+      injections;
+      paths = Array.make horizon [];
+      activations;
+      opt =
+        {
+          Workload.deliveries = 3;
+          total_cost = 6.;
+          avg_cost = 2.;
+          avg_hops = 2.;
+          max_buffer = 3;
+          delta = 2;
+        };
+    } )
+
+let test_tracked_engine_matches_engine () =
+  let g, w = tracked_line_workload () in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let plain = Engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
+  let tracked = Tracked_engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
+  Alcotest.(check int) "same deliveries" plain.Engine.delivered
+    tracked.Tracked_engine.base.Engine.delivered;
+  Alcotest.(check int) "same sends" plain.Engine.sends
+    tracked.Tracked_engine.base.Engine.sends;
+  Alcotest.(check bool) "same cost" true
+    (plain.Engine.total_cost = tracked.Tracked_engine.base.Engine.total_cost)
+
+let test_tracked_engine_latency () =
+  let g, w = tracked_line_workload () in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let r = Tracked_engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
+  Alcotest.(check int) "all delivered" 3 r.Tracked_engine.base.Engine.delivered;
+  Alcotest.(check bool) "positive latency" true (r.Tracked_engine.latency_mean > 0.);
+  Alcotest.(check bool) "p95 >= median" true
+    (r.Tracked_engine.latency_p95 >= r.Tracked_engine.latency_median);
+  (* Every packet needs 2 hops on the line. *)
+  check_close "hops" 2. r.Tracked_engine.hops_mean;
+  check_close "energy" 2. r.Tracked_engine.energy_per_delivered;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "delivered" true (Packet.delivered p);
+      Alcotest.(check int) "hop count" 2 p.Packet.hops)
+    r.Tracked_engine.packets
+
+let test_tracked_engine_random =
+  qtest "tracked = plain engine on random instances" ~count:20 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w =
+        Workload.flows ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let plain =
+        Engine.run_mac_given ~cooldown:100 ~graph:g ~cost:Cost.length ~params w
+      in
+      let tracked =
+        Tracked_engine.run_mac_given ~cooldown:100 ~graph:g ~cost:Cost.length ~params w
+      in
+      plain.Engine.delivered = tracked.Tracked_engine.base.Engine.delivered
+      && plain.Engine.sends = tracked.Tracked_engine.base.Engine.sends
+      && plain.Engine.remaining = tracked.Tracked_engine.base.Engine.remaining)
+
+(* ------------------------------------------------------------------ *)
+(* Geographic routing                                                  *)
+
+let geo_instance seed =
+  let points = points_of_seed ~min_n:10 ~max_n:40 seed in
+  let range = 1.5 *. Adhoc_topo.Udg.critical_range points in
+  (points, Adhoc_topo.Udg.build ~range points, Adhoc_topo.Gabriel.build ~range points)
+
+let test_geo_greedy_route_valid =
+  qtest "greedy routes walk graph edges and shrink distance" ~count:60 seed_gen (fun seed ->
+      let points, g, _ = geo_instance seed in
+      let rng = Prng.create (seed + 5) in
+      let n = Array.length points in
+      let src = Prng.int rng n and dst = Prng.int rng n in
+      QCheck2.assume (src <> dst);
+      match Geo.greedy g points ~src ~dst with
+      | None -> true
+      | Some r ->
+          let rec check = function
+            | a :: (b :: _ as rest) ->
+                Graph.mem_edge g a b
+                && Adhoc_geom.Point.dist points.(b) points.(dst)
+                   < Adhoc_geom.Point.dist points.(a) points.(dst)
+                && check rest
+            | _ -> true
+          in
+          List.hd r.Geo.nodes = src
+          && List.nth r.Geo.nodes r.Geo.hops = dst
+          && check r.Geo.nodes
+          && r.Geo.recovery_hops = 0)
+
+let test_geo_face_delivers =
+  qtest "greedy_face always delivers on connected instances" ~count:60 seed_gen (fun seed ->
+      let points, g, gabriel = geo_instance seed in
+      QCheck2.assume (Adhoc_graph.Components.is_connected gabriel);
+      let rng = Prng.create (seed + 6) in
+      let n = Array.length points in
+      let src = Prng.int rng n and dst = Prng.int rng n in
+      QCheck2.assume (src <> dst);
+      match Geo.greedy_face ~planar:gabriel g points ~src ~dst with
+      | None -> false
+      | Some r -> List.hd r.Geo.nodes = src && List.nth r.Geo.nodes r.Geo.hops = dst)
+
+let test_geo_route_metrics () =
+  let points = [| Point.make 0. 0.; Point.make 1. 0.; Point.make 2. 0. |] in
+  let g = Graph.geometric points [ (0, 1); (1, 2) ] in
+  match Geo.greedy g points ~src:0 ~dst:2 with
+  | None -> Alcotest.fail "expected route"
+  | Some r ->
+      Alcotest.(check int) "hops" 2 r.Geo.hops;
+      check_close "length" 2. r.Geo.length;
+      check_close "energy" 2. r.Geo.energy
+
+let test_geo_local_minimum () =
+  (* A void: the source's only neighbour is farther from the destination,
+     so greedy fails; the detour goes up and over. *)
+  let points =
+    [| Point.make 0. 0.; Point.make (-0.5) 1.5; Point.make 1.5 2.0; Point.make 3. 0. |]
+  in
+  let g = Graph.geometric points [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "greedy stuck" true (Geo.greedy g points ~src:0 ~dst:3 = None);
+  match Geo.greedy_face ~planar:g g points ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "face routing should recover"
+  | Some r -> Alcotest.(check bool) "used recovery" true (r.Geo.recovery_hops > 0)
+
+let test_geo_success_rate_bounds =
+  qtest "success rate in [0,1]" ~count:20 seed_gen (fun seed ->
+      let points, g, _ = geo_instance seed in
+      let rate = Geo.success_rate g points ~rng:(Prng.create seed) ~trials:50 in
+      rate >= 0. && rate <= 1.)
+
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic engine / bursty workloads                                   *)
+
+let test_dynamic_engine_static_equals_epochs =
+  qtest "one long epoch = several epochs of the same graph" ~count:15 seed_gen (fun seed ->
+      let points, g, c = overlay_instance seed in
+      ignore points;
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let rng = Prng.create seed in
+      let n = Graph.n g in
+      let flow = (Prng.int rng n, Prng.int rng n) in
+      let injections t = if t < 200 && t mod 3 = 0 then [ flow ] else [] in
+      let mk epochs =
+        Dynamic_engine.run ~epochs ~injections ~cost:Cost.length ~params ()
+      in
+      let one = mk [ { Dynamic_engine.graph = g; conflict = c; steps = 400 } ] in
+      let split =
+        mk
+          [
+            { Dynamic_engine.graph = g; conflict = c; steps = 150 };
+            { Dynamic_engine.graph = g; conflict = c; steps = 250 };
+          ]
+      in
+      one = split)
+
+let test_dynamic_engine_survives_partition () =
+  (* Epoch 1: only edge (0,1); epoch 2: only edge (1,2).  A packet for 2
+     injected at step 0 must cross both epochs. *)
+  let g1 = Graph.of_edges ~n:3 [ (0, 1, 1.) ] in
+  let g2 = Graph.of_edges ~n:3 [ (1, 2, 1.) ] in
+  let points = [| Point.make 0. 0.; Point.make 1. 0.; Point.make 2. 0. |] in
+  let c1 = Conflict.build (Model.make ~delta:0.1) ~points g1 in
+  let c2 = Conflict.build (Model.make ~delta:0.1) ~points g2 in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let injections t = if t = 0 then [ (0, 2) ] else [] in
+  let stats =
+    Dynamic_engine.run
+      ~epochs:
+        [
+          { Dynamic_engine.graph = g1; conflict = c1; steps = 10 };
+          { Dynamic_engine.graph = g2; conflict = c2; steps = 10 };
+        ]
+      ~injections ~cost:Cost.length ~params ()
+  in
+  Alcotest.(check int) "delivered across the change" 1 stats.Engine.delivered;
+  Alcotest.(check int) "nothing stuck" 0 stats.Engine.remaining
+
+let test_dynamic_engine_conservation =
+  qtest "dynamic engine conserves packets" ~count:15 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:20 in
+      let rng = Prng.create (seed + 2) in
+      let n = Graph.n g in
+      let injections t =
+        if t < 100 then [ (Prng.int rng n, Prng.int rng n) ] else []
+      in
+      let stats =
+        Dynamic_engine.run
+          ~epochs:
+            [
+              { Dynamic_engine.graph = g; conflict = c; steps = 150 };
+              { Dynamic_engine.graph = g; conflict = c; steps = 150 };
+            ]
+          ~injections ~cost:Cost.length ~params ()
+      in
+      stats.Engine.injected = stats.Engine.delivered + stats.Engine.remaining)
+
+let test_epoch_of_points () =
+  let rng = Prng.create 3 in
+  let points = Adhoc_pointset.Generators.uniform rng 30 in
+  let e = Dynamic_engine.epoch_of_points ~steps:10 points in
+  Alcotest.(check int) "steps" 10 e.Dynamic_engine.steps;
+  Alcotest.(check bool) "connected overlay" true
+    (Adhoc_graph.Components.is_connected e.Dynamic_engine.graph)
+
+let test_bursty_workload () =
+  let _, g, _ = overlay_instance 8 in
+  let rng = Prng.create 8 in
+  let config = { Workload.horizon = 400; attempts = 300; slack = 10; interference_free = false } in
+  let w =
+    Workload.bursty config ~rng ~graph:g ~cost:Cost.length ~num_flows:2 ~period:100
+      ~burst_width:10
+  in
+  (* All injection times fall inside the first 10 steps of a 100-step window. *)
+  Array.iteri
+    (fun t l ->
+      if l <> [] && t mod 100 >= 10 then
+        Alcotest.failf "injection outside burst window at %d" t)
+    w.Workload.injections;
+  Alcotest.(check bool) "certified some packets" true (w.Workload.opt.Workload.deliveries > 0)
+
+let test_bursty_validation () =
+  let _, g, _ = overlay_instance 9 in
+  let rng = Prng.create 9 in
+  let config = { Workload.horizon = 400; attempts = 10; slack = 10; interference_free = false } in
+  Alcotest.check_raises "bad burst"
+    (Invalid_argument "Workload.bursty: need 0 < burst_width <= period") (fun () ->
+      ignore
+        (Workload.bursty config ~rng ~graph:g ~cost:Cost.length ~num_flows:1 ~period:10
+           ~burst_width:20))
+
+
+(* ------------------------------------------------------------------ *)
+(* Queueing disciplines                                                *)
+
+let queueing_workload seed =
+  let _, g, _ = overlay_instance seed in
+  let rng = Prng.create seed in
+  let config = { Workload.horizon = 300; attempts = 0; slack = 0; interference_free = false } in
+  (g, Workload.path_flows config ~rng ~graph:g ~cost:Cost.length ~num_flows:3 ~rate:0.3)
+
+let test_queueing_all_delivered =
+  qtest "every discipline eventually delivers everything" ~count:15 seed_gen (fun seed ->
+      let g, w = queueing_workload seed in
+      List.for_all
+        (fun d ->
+          let s = Queueing.run ~cooldown:2000 ~graph:g ~cost:Cost.length d w in
+          s.Queueing.delivered = s.Queueing.injected)
+        [
+          Queueing.Fifo;
+          Queueing.Lifo;
+          Queueing.Furthest_to_go;
+          Queueing.Nearest_to_go;
+          Queueing.Longest_in_system;
+        ])
+
+let test_queueing_injection_counts =
+  qtest "injected matches the workload paths" ~count:15 seed_gen (fun seed ->
+      let g, w = queueing_workload seed in
+      let expected = Array.fold_left (fun a l -> a + List.length l) 0 w.Workload.paths in
+      let s = Queueing.run ~graph:g ~cost:Cost.length Queueing.Fifo w in
+      s.Queueing.injected = expected && s.Queueing.delivered <= expected)
+
+let test_queueing_single_path () =
+  (* One flow on a line: FIFO latency equals path length once uncontended. *)
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
+  let horizon = 10 in
+  let injections = Array.make horizon [] in
+  let paths = Array.make horizon [] in
+  injections.(0) <- [ (0, 2) ];
+  paths.(0) <- [ (0, 2, [ 0; 1 ]) ];
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths;
+      activations = Array.make horizon [];
+      opt =
+        {
+          Workload.deliveries = 1;
+          total_cost = 2.;
+          avg_cost = 2.;
+          avg_hops = 2.;
+          max_buffer = 1;
+          delta = 1;
+        };
+    }
+  in
+  let s = Queueing.run ~cooldown:10 ~graph:g ~cost:Cost.length Queueing.Fifo w in
+  Alcotest.(check int) "delivered" 1 s.Queueing.delivered;
+  check_close "two edge costs" 2. s.Queueing.total_cost;
+  (* Injected at end of step 0; crosses at steps 1 and 2. *)
+  check_close "latency" 2. s.Queueing.avg_latency
+
+let test_queueing_ftg_priority () =
+  (* Two packets contend at node 1 for edge (1,2): FTG sends the one with
+     more remaining hops first. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.) ] in
+  let horizon = 5 in
+  let injections = Array.make horizon [] in
+  let paths = Array.make horizon [] in
+  injections.(0) <- [ (1, 3); (1, 2) ];
+  (* Long packet listed second: discipline, not insertion order, must pick. *)
+  paths.(0) <- [ (1, 2, [ 1 ]); (1, 3, [ 1; 2 ]) ];
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths;
+      activations = Array.make horizon [];
+      opt =
+        {
+          Workload.deliveries = 2;
+          total_cost = 3.;
+          avg_cost = 1.5;
+          avg_hops = 1.5;
+          max_buffer = 2;
+          delta = 1;
+        };
+    }
+  in
+  let run d = Queueing.run ~cooldown:10 ~graph:g ~cost:Cost.length d w in
+  let ftg = run Queueing.Furthest_to_go in
+  let ntg = run Queueing.Nearest_to_go in
+  Alcotest.(check int) "both delivered (ftg)" 2 ftg.Queueing.delivered;
+  Alcotest.(check int) "both delivered (ntg)" 2 ntg.Queueing.delivered;
+  (* FTG: long packet goes first, so total latency is smaller for it. *)
+  Alcotest.(check bool) "ftg latency <= ntg latency" true
+    (ftg.Queueing.avg_latency <= ntg.Queueing.avg_latency +. 1e-9)
+
+let test_queueing_names () =
+  Alcotest.(check string) "fifo" "FIFO" (Queueing.discipline_name Queueing.Fifo);
+  Alcotest.(check string) "ftg" "FTG" (Queueing.discipline_name Queueing.Furthest_to_go)
+
+
+(* ------------------------------------------------------------------ *)
+(* Anycast                                                             *)
+
+let test_anycast_line () =
+  (* Line 0-1-2-3-4; group {0, 4}: packets from 1 go left, from 3 go right. *)
+  let g =
+    Graph.of_edges ~n:5 [ (0, 1, 1.); (1, 2, 1.); (2, 3, 1.); (3, 4, 1.) ]
+  in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let injections t = if t = 0 then [ (1, 0); (3, 0) ] else [] in
+  let s =
+    Anycast.run ~cooldown:20 ~graph:g ~cost:Cost.length ~params
+      ~groups:[| [| 0; 4 |] |] ~injections ~horizon:5 ()
+  in
+  Alcotest.(check int) "both delivered" 2 s.Anycast.delivered;
+  Alcotest.(check int) "one hop each" 2 s.Anycast.sends;
+  let absorbed v = Option.value ~default:0 (List.assoc_opt v s.Anycast.per_member) in
+  Alcotest.(check int) "left sink" 1 (absorbed 0);
+  Alcotest.(check int) "right sink" 1 (absorbed 4)
+
+let test_anycast_conservation =
+  qtest "anycast conserves packets" ~count:15 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let n = Graph.n g in
+      QCheck2.assume (n >= 4);
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:30 in
+      let rng = Prng.create seed in
+      let groups = [| [| 0 |]; [| 1; 2 |] |] in
+      let injections t =
+        if t < 100 then [ (Prng.int rng n, Prng.int rng 2) ] else []
+      in
+      let s =
+        Anycast.run ~cooldown:300 ~pad:c ~graph:g ~cost:Cost.length ~params ~groups
+          ~injections ~horizon:100 ()
+      in
+      s.Anycast.injected = s.Anycast.delivered + s.Anycast.remaining
+      && List.for_all (fun (v, _) -> v <= 2) s.Anycast.per_member)
+
+let test_anycast_injection_at_member () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  let injections t = if t = 0 then [ (1, 0) ] else [] in
+  let s =
+    Anycast.run ~graph:g ~cost:Cost.length ~params ~groups:[| [| 1 |] |] ~injections
+      ~horizon:3 ()
+  in
+  Alcotest.(check int) "absorbed immediately" 1 s.Anycast.delivered;
+  Alcotest.(check int) "no transmissions" 0 s.Anycast.sends
+
+let test_anycast_validation () =
+  let g = Graph.of_edges ~n:2 [ (0, 1, 1.) ] in
+  let params = Balancing.params ~threshold:0. ~gamma:0. ~capacity:10 in
+  Alcotest.check_raises "empty group" (Invalid_argument "Anycast.run: empty group")
+    (fun () ->
+      ignore
+        (Anycast.run ~graph:g ~cost:Cost.length ~params ~groups:[| [||] |]
+           ~injections:(fun _ -> [])
+           ~horizon:1 ()))
+
+
+(* ------------------------------------------------------------------ *)
+(* Time-varying edge costs                                             *)
+
+let test_dynamic_costs_steer_packets () =
+  (* Diamond: 0 -(1)- {1,2} -(1)- 3.  The adversary makes the top route
+     expensive in phase A and the bottom route expensive in phase B; the
+     balancing rule must route around whichever side is costly. *)
+  let g =
+    Graph.of_edges ~n:4 [ (0, 1, 1.); (1, 3, 1.); (0, 2, 1.); (2, 3, 1.) ]
+  in
+  (* edge ids: 0 = (0,1) top-in, 1 = (1,3) top-out, 2 = (0,2), 3 = (2,3). *)
+  let top = [ 0; 1 ] in
+  let horizon = 400 in
+  let injections = Array.make horizon [] in
+  for t = 0 to horizon - 1 do
+    if t mod 2 = 0 then injections.(t) <- [ (0, 3) ]
+  done;
+  let w =
+    {
+      Workload.horizon;
+      injections;
+      paths = Array.make horizon [];
+      activations = Array.make horizon [ 0; 1; 2; 3 ];
+      opt =
+        {
+          Workload.deliveries = 200;
+          total_cost = 400.;
+          avg_cost = 2.;
+          avg_hops = 2.;
+          max_buffer = 2;
+          delta = 2;
+        };
+    }
+  in
+  let params = Balancing.params ~threshold:1. ~gamma:1. ~capacity:50 in
+  let run_with ~expensive_top =
+    let cost_at ~step:_ ~edge =
+      if List.mem edge top = expensive_top then 20. else 1.
+    in
+    Engine.run_mac_given ~cooldown:400 ~cost_at ~graph:g ~cost:Cost.length ~params w
+  in
+  let a = run_with ~expensive_top:true in
+  let b = run_with ~expensive_top:false in
+  (* Both deliver; the expensive side is avoided, so total cost is close to
+     the cheap-route cost (2 per packet), far from the expensive one. *)
+  Alcotest.(check bool) "A delivers most" true (a.Engine.delivered > 150);
+  Alcotest.(check bool) "B delivers most" true (b.Engine.delivered > 150);
+  let per_pkt (s : Engine.stats) = s.Engine.total_cost /. float_of_int s.Engine.delivered in
+  Alcotest.(check bool) "A avoids the expensive top" true (per_pkt a < 5.);
+  Alcotest.(check bool) "B avoids the expensive bottom" true (per_pkt b < 5.)
+
+let test_dynamic_costs_default_matches_static () =
+  let _, g, c = overlay_instance 3 in
+  let rng = Prng.create 3 in
+  let w =
+    Workload.flows ~conflict:c
+      { workload_config with Workload.interference_free = true }
+      ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+  in
+  let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+  let plain = Engine.run_mac_given ~cooldown:100 ~graph:g ~cost:Cost.length ~params w in
+  let via_hook =
+    Engine.run_mac_given ~cooldown:100
+      ~cost_at:(fun ~step:_ ~edge -> Cost.length (Graph.length g edge))
+      ~graph:g ~cost:Cost.length ~params w
+  in
+  Alcotest.(check bool) "identical stats" true (plain = via_hook)
+
+
+(* ------------------------------------------------------------------ *)
+(* Quantized control exchange                                          *)
+
+let test_quantized_zero_matches_engine =
+  qtest "quantum 0 = continuous exchange = plain engine" ~count:10 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w =
+        Workload.flows ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let plain = Engine.run_mac_given ~cooldown:200 ~pad:c ~graph:g ~cost:Cost.length ~params w in
+      let q0 =
+        Quantized_engine.run_mac_given ~cooldown:200 ~pad:c ~quantum:0 ~graph:g
+          ~cost:Cost.length ~params w
+      in
+      q0.Quantized_engine.base.Engine.delivered = plain.Engine.delivered
+      && q0.Quantized_engine.base.Engine.sends = plain.Engine.sends)
+
+let test_quantized_control_monotone =
+  qtest "control traffic falls as the quantum grows" ~count:10 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w =
+        Workload.flows ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:2. ~gamma:0.1 ~capacity:50 in
+      let ctrl q =
+        (Quantized_engine.run_mac_given ~cooldown:100 ~pad:c ~quantum:q ~graph:g
+           ~cost:Cost.length ~params w)
+          .Quantized_engine.control_messages
+      in
+      ctrl 0 >= ctrl 2 && ctrl 2 >= ctrl 8)
+
+let test_quantized_conservation =
+  qtest "quantized engine conserves packets" ~count:10 seed_gen (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create (seed + 4) in
+      let w =
+        Workload.flows ~conflict:c
+          { workload_config with Workload.interference_free = true }
+          ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let s =
+        Quantized_engine.run_mac_given ~cooldown:200 ~pad:c ~quantum:3 ~graph:g
+          ~cost:Cost.length ~params w
+      in
+      s.Quantized_engine.base.Engine.injected
+      = s.Quantized_engine.base.Engine.delivered + s.Quantized_engine.base.Engine.remaining)
+
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases                                                          *)
+
+let test_ratios_edge_cases () =
+  let stats =
+    {
+      Engine.steps = 10;
+      injected = 0;
+      dropped = 0;
+      delivered = 0;
+      sends = 0;
+      failed_sends = 0;
+      total_cost = 0.;
+      peak_height = 0;
+      remaining = 0;
+    }
+  in
+  let opt_zero =
+    { Workload.deliveries = 0; total_cost = 0.; avg_cost = 0.; avg_hops = 0.; max_buffer = 1; delta = 1 }
+  in
+  check_close "tput with opt=0" 1. (Engine.throughput_ratio stats opt_zero);
+  check_close "cost with no deliveries" 1. (Engine.cost_ratio stats opt_zero);
+  let opt =
+    { opt_zero with Workload.deliveries = 10; avg_cost = 2. }
+  in
+  check_close "tput zero" 0. (Engine.throughput_ratio stats opt);
+  let stats = { stats with Engine.delivered = 5; total_cost = 30. } in
+  check_close "tput half" 0.5 (Engine.throughput_ratio stats opt);
+  check_close "cost ratio 3" 3. (Engine.cost_ratio stats opt)
+
+let test_flows_max_hops_honored =
+  qtest "max_hops flows stay short when short pairs exist" ~count:20 seed_gen (fun seed ->
+      let _, g, _ = overlay_instance seed in
+      QCheck2.assume (Graph.n g >= 8);
+      let rng = Prng.create seed in
+      let config = { workload_config with Workload.horizon = 100; attempts = 50 } in
+      let w =
+        Workload.flows ~max_hops:2 config ~rng ~graph:g ~cost:Cost.length ~num_flows:3
+      in
+      (* Every injected pair should be within 2 hops (the retry budget is
+         generous and small graphs always have adjacent pairs). *)
+      Array.for_all
+        (fun l ->
+          List.for_all
+            (fun (src, dst) -> (Adhoc_graph.Bfs.hops g ~src).(dst) <= 2)
+            l)
+        w.Workload.injections)
+
+let test_workload_bad_configs () =
+  let _, g, _ = overlay_instance 2 in
+  let rng = Prng.create 2 in
+  Alcotest.check_raises "zero horizon"
+    (Invalid_argument "Workload.generate: horizon must be positive") (fun () ->
+      ignore
+        (Workload.generate
+           { Workload.horizon = 0; attempts = 1; slack = 1; interference_free = false }
+           ~rng ~graph:g ~cost:Cost.length));
+  Alcotest.check_raises "interference-free needs conflict"
+    (Invalid_argument "Workload.generate: interference_free requires a conflict structure")
+    (fun () ->
+      ignore
+        (Workload.generate
+           { Workload.horizon = 10; attempts = 1; slack = 1; interference_free = true }
+           ~rng ~graph:g ~cost:Cost.length));
+  Alcotest.check_raises "path_flows bad rate"
+    (Invalid_argument "Workload.path_flows: rate must be in (0,1]") (fun () ->
+      ignore
+        (Workload.path_flows
+           { Workload.horizon = 10; attempts = 0; slack = 0; interference_free = false }
+           ~rng ~graph:g ~cost:Cost.length ~num_flows:1 ~rate:0.))
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "buffers",
+        [
+          case "inject cap" test_buffers_inject_cap;
+          case "remove" test_buffers_remove;
+          case "force add" test_buffers_force_add;
+          test_buffers_nonzero_iteration;
+        ] );
+      ( "balancing",
+        [
+          case "argmax" test_balancing_picks_argmax;
+          case "strict threshold" test_balancing_threshold_strict;
+          case "apply" test_balancing_apply;
+          case "best either" test_balancing_best_either;
+          case "derive 3.1" test_derive_3_1;
+          case "derive 3.3" test_derive_3_3;
+          case "epsilon monotone" test_derive_epsilon_monotone;
+          case "validation" test_params_validation;
+        ] );
+      ( "workload",
+        [
+          test_workload_counts;
+          test_workload_activations_unique;
+          test_workload_interference_free;
+          test_workload_stats_sane;
+          case "flows concentrate" test_workload_flows_concentrate;
+          case "single destination" test_workload_single_destination;
+        ] );
+      ( "engine",
+        [
+          test_engine_conservation;
+          test_engine_mac_conservation;
+          case "line delivers" test_engine_line_delivers;
+          case "deterministic" test_engine_deterministic;
+          case "capacity drops" test_engine_capacity_drops;
+          case "cost accounting" test_cost_accounting;
+        ] );
+      ( "tracked",
+        [
+          case "packet lifecycle" test_packet_lifecycle;
+          case "matches engine" test_tracked_engine_matches_engine;
+          case "latency metrics" test_tracked_engine_latency;
+          test_tracked_engine_random;
+        ] );
+      ( "dynamic",
+        [
+          test_dynamic_engine_static_equals_epochs;
+          case "survives partition" test_dynamic_engine_survives_partition;
+          test_dynamic_engine_conservation;
+          case "epoch_of_points" test_epoch_of_points;
+          case "bursty windows" test_bursty_workload;
+          case "bursty validation" test_bursty_validation;
+        ] );
+      ( "edge-cases",
+        [
+          case "ratio edge cases" test_ratios_edge_cases;
+          test_flows_max_hops_honored;
+          case "bad configs rejected" test_workload_bad_configs;
+        ] );
+      ( "quantized",
+        [
+          test_quantized_zero_matches_engine;
+          test_quantized_control_monotone;
+          test_quantized_conservation;
+        ] );
+      ( "dynamic-costs",
+        [
+          case "costs steer packets" test_dynamic_costs_steer_packets;
+          case "hook defaults to static" test_dynamic_costs_default_matches_static;
+        ] );
+      ( "anycast",
+        [
+          case "line with two sinks" test_anycast_line;
+          test_anycast_conservation;
+          case "inject at member" test_anycast_injection_at_member;
+          case "validation" test_anycast_validation;
+        ] );
+      ( "queueing",
+        [
+          test_queueing_all_delivered;
+          test_queueing_injection_counts;
+          case "single path" test_queueing_single_path;
+          case "FTG priority" test_queueing_ftg_priority;
+          case "names" test_queueing_names;
+        ] );
+      ( "geo",
+        [
+          test_geo_greedy_route_valid;
+          test_geo_face_delivers;
+          case "route metrics" test_geo_route_metrics;
+          case "local minimum recovery" test_geo_local_minimum;
+          test_geo_success_rate_bounds;
+        ] );
+    ]

@@ -1,0 +1,569 @@
+open Adhoc_topo
+module Graph = Adhoc_graph.Graph
+module Cost = Adhoc_graph.Cost
+module Components = Adhoc_graph.Components
+module Stretch = Adhoc_graph.Stretch
+module Prng = Adhoc_util.Prng
+module Point = Adhoc_geom.Point
+module Sector = Adhoc_geom.Sector
+open Helpers
+
+let theta_default = Float.pi /. 6.
+
+(* A connected instance: random points with range = 2 x critical. *)
+let instance seed =
+  let points = points_of_seed ~min_n:4 ~max_n:40 seed in
+  let range = 2. *. Udg.critical_range points in
+  (points, range)
+
+(* ------------------------------------------------------------------ *)
+(* Udg                                                                 *)
+
+let test_udg_matches_brute =
+  qtest "disk graph edges = brute force" ~count:100 seed_gen (fun seed ->
+      let rng = Prng.create (seed + 17) in
+      let points = points_of_seed seed in
+      let range = Prng.range rng 0.05 1.2 in
+      let g = Udg.build ~range points in
+      let n = Array.length points in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let expected = Point.dist points.(u) points.(v) <= range in
+          if Graph.mem_edge g u v <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let test_critical_range_threshold =
+  qtest "critical range is the connectivity threshold" ~count:60 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:3 seed in
+      let r = Udg.critical_range points in
+      Components.is_connected (Udg.build ~range:r points)
+      && not (Components.is_connected (Udg.build ~range:(r *. 0.999) points)))
+
+let test_udg_zero_range () =
+  let points = [| Point.origin; Point.make 1. 0. |] in
+  Alcotest.(check int) "no edges" 0 (Graph.num_edges (Udg.build ~range:0. points))
+
+(* ------------------------------------------------------------------ *)
+(* Yao                                                                 *)
+
+let test_yao_selection_is_nearest_per_sector =
+  qtest "N(u) = nearest node per sector" ~count:100 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let n = Array.length points in
+      let sel = Yao.selections ~theta:theta_default ~range points in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        (* Brute force: nearest in-range node per sector. *)
+        let sectors = Sector.count theta_default in
+        let best = Array.make sectors (-1) in
+        for v = 0 to n - 1 do
+          if v <> u && Point.dist points.(u) points.(v) <= range then begin
+            let s = Sector.index ~theta:theta_default ~apex:points.(u) points.(v) in
+            if best.(s) = -1 || Yao.closer points u v best.(s) then best.(s) <- v
+          end
+        done;
+        let expected =
+          Array.to_list best |> List.filter (fun v -> v >= 0) |> List.sort_uniq compare
+        in
+        if Array.to_list sel.(u) <> expected then ok := false
+      done;
+      !ok)
+
+let test_yao_out_degree_bound =
+  qtest "selection count <= sector count" ~count:100 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let sel = Yao.selections ~theta:theta_default ~range points in
+      Array.for_all (fun vs -> Array.length vs <= Sector.count theta_default) sel)
+
+let test_yao_graph_spanner =
+  qtest "Yao graph connected with bounded stretch" ~count:60 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let gstar = Udg.build ~range points in
+      let yao = Yao.graph ~theta:theta_default ~range points in
+      Components.is_connected yao
+      && Graph.is_subgraph yao gstar
+      && Stretch.over_base_edges ~sub:yao ~base:gstar ~cost:Cost.length < 3.)
+
+
+let test_yao_analytic_spanner_bound =
+  qtest "Yao graph within the textbook spanner constant" ~count:30 seed_gen (fun seed ->
+      (* For sectors of angle theta < pi/3, the Yao graph is a t-spanner
+         with t = 1 / (1 - 2 sin(theta/2)). *)
+      let points = points_of_seed ~min_n:5 ~max_n:30 seed in
+      let theta = Float.pi /. 6. in
+      let yao = Yao.graph ~theta ~range:infinity points in
+      let bound = 1. /. (1. -. (2. *. sin (theta /. 2.))) in
+      Stretch.vs_euclidean ~sub:yao ~points <= bound +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Theta_alg (Lemma 2.1, Theorems 2.2 / 2.7)                           *)
+
+let test_theta_subgraph_chain =
+  qtest "overlay ⊆ Yao graph ⊆ G*" ~count:100 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let gstar = Udg.build ~range points in
+      let yao = Yao.graph ~theta:theta_default ~range points in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      let ov = Theta_alg.overlay alg in
+      Graph.is_subgraph ov yao && Graph.is_subgraph yao gstar)
+
+let test_theta_connected =
+  qtest "Lemma 2.1: overlay connected" ~count:100 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      Components.is_connected (Theta_alg.overlay alg))
+
+let test_theta_degree_bound =
+  qtest "Lemma 2.1: degree <= 4pi/theta" ~count:100 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let ok = ref true in
+      List.iter
+        (fun theta ->
+          let alg = Theta_alg.build ~theta ~range points in
+          if Graph.max_degree (Theta_alg.overlay alg) > Theta_alg.degree_bound ~theta then
+            ok := false)
+        [ Float.pi /. 3.; Float.pi /. 4.; Float.pi /. 6. ];
+      !ok)
+
+let test_theta_energy_stretch_bounded =
+  qtest "Theorem 2.2: O(1) energy-stretch (empirical bound)" ~count:60 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let gstar = Udg.build ~range points in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      let ov = Theta_alg.overlay alg in
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.) < 4.
+      && Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:4.) < 6.)
+
+let test_theta_distance_stretch_civilized =
+  qtest "Theorem 2.7: O(1) distance-stretch on civilized sets" ~count:30 seed_gen
+    (fun seed ->
+      let rng = Prng.create seed in
+      let points = Adhoc_pointset.Poisson_disk.sample ~min_dist:0.08 rng in
+      QCheck2.assume (Array.length points > 5);
+      let range = 2. *. Udg.critical_range points in
+      let gstar = Udg.build ~range points in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      Stretch.over_base_edges ~sub:(Theta_alg.overlay alg) ~base:gstar ~cost:Cost.length < 4.)
+
+let test_theta_admitted_are_selectors =
+  qtest "phase 2 admits only phase-1 selectors" ~count:60 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      let ok = ref true in
+      Array.iteri
+        (fun u admitted ->
+          List.iter
+            (fun (v, sector) ->
+              if not (Theta_alg.in_yao alg v u) then ok := false;
+              if Sector.index ~theta:theta_default ~apex:points.(u) points.(v) <> sector then
+                ok := false)
+            admitted)
+        alg.Theta_alg.admitted;
+      !ok)
+
+let test_theta_empty_and_tiny () =
+  let alg = Theta_alg.build ~theta:theta_default ~range:1. [| Point.origin |] in
+  Alcotest.(check int) "singleton" 0 (Graph.num_edges (Theta_alg.overlay alg));
+  let two = [| Point.origin; Point.make 0.5 0. |] in
+  let alg2 = Theta_alg.build ~theta:theta_default ~range:1. two in
+  Alcotest.(check int) "pair connected" 1 (Graph.num_edges (Theta_alg.overlay alg2))
+
+let test_degree_bound_value () =
+  Alcotest.(check int) "4pi/theta at pi/6" 24 (Theta_alg.degree_bound ~theta:(Float.pi /. 6.));
+  Alcotest.(check int) "4pi/theta at pi/3" 12 (Theta_alg.degree_bound ~theta:(Float.pi /. 3.))
+
+(* ------------------------------------------------------------------ *)
+(* Theta_protocol                                                      *)
+
+let test_protocol_equals_direct =
+  qtest "3-round protocol = direct construction" ~count:60 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      let g, _ = Theta_protocol.run ~theta:theta_default ~range points in
+      edge_set g = edge_set (Theta_alg.overlay alg))
+
+let test_protocol_message_counts =
+  qtest "message counts consistent" ~count:30 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let n = Array.length points in
+      let g, stats = Theta_protocol.run ~theta:theta_default ~range points in
+      stats.Theta_protocol.position_msgs = n
+      && stats.Theta_protocol.neighborhood_msgs <= n * Sector.count theta_default
+      && stats.Theta_protocol.connection_msgs >= Graph.num_edges g)
+
+(* ------------------------------------------------------------------ *)
+(* Proximity-graph baselines                                           *)
+
+let test_proximity_chain =
+  qtest "MST ⊆ RNG ⊆ Gabriel ⊆ Delaunay" ~count:80 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:30 seed in
+      let mst = Adhoc_graph.Mst.of_points points in
+      let rng_g = Rng_graph.build points in
+      let gg = Gabriel.build points in
+      let dt = Delaunay.build points in
+      Graph.is_subgraph mst rng_g && Graph.is_subgraph rng_g gg && Graph.is_subgraph gg dt)
+
+let test_gabriel_witness_property =
+  qtest "Gabriel edges have empty diametral disks" ~count:60 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:25 seed in
+      let gg = Gabriel.build points in
+      let n = Array.length points in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let disk = Adhoc_geom.Circle.diametral points.(u) points.(v) in
+          let witness = ref false in
+          for w = 0 to n - 1 do
+            if w <> u && w <> v && Adhoc_geom.Circle.contains disk points.(w) then witness := true
+          done;
+          if Graph.mem_edge gg u v = !witness then ok := false
+        done
+      done;
+      !ok)
+
+let test_rng_lune_property =
+  qtest "RNG edges have empty lunes" ~count:60 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:25 seed in
+      let g = Rng_graph.build points in
+      let n = Array.length points in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let d = Point.dist points.(u) points.(v) in
+          let witness = ref false in
+          for w = 0 to n - 1 do
+            if
+              w <> u && w <> v
+              && Point.dist points.(u) points.(w) < d
+              && Point.dist points.(v) points.(w) < d
+            then witness := true
+          done;
+          if Graph.mem_edge g u v = !witness then ok := false
+        done
+      done;
+      !ok)
+
+let test_delaunay_empty_circumcircles =
+  qtest "Delaunay triangles have empty circumcircles" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:20 seed in
+      let tris = Delaunay.triangles points in
+      List.for_all
+        (fun (a, b, c) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i p ->
+              if i <> a && i <> b && i <> c then begin
+                if Adhoc_geom.Circle.in_circumcircle points.(a) points.(b) points.(c) p then
+                  ok := false
+              end)
+            points;
+          !ok)
+        tris)
+
+let test_delaunay_connected =
+  qtest "Delaunay graph connected" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:3 ~max_n:30 seed in
+      Components.is_connected (Delaunay.build points))
+
+let test_gabriel_range_restriction () =
+  let points = [| Point.origin; Point.make 1. 0.; Point.make 5. 0. |] in
+  let g = Gabriel.build ~range:2. points in
+  Alcotest.(check bool) "short edge kept" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "long edge cut" false (Graph.mem_edge g 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Topo_metrics                                                        *)
+
+let test_metrics_fields () =
+  let points, range = instance 5 in
+  let gstar = Udg.build ~range points in
+  let alg = Theta_alg.build ~theta:theta_default ~range points in
+  let m = Topo_metrics.measure ~name:"theta" ~base:gstar (Theta_alg.overlay alg) in
+  Alcotest.(check string) "name" "theta" m.Topo_metrics.name;
+  Alcotest.(check bool) "connected" true m.Topo_metrics.connected;
+  Alcotest.(check bool) "stretch >= 1" true (m.Topo_metrics.energy_stretch >= 1.);
+  Alcotest.(check int) "row width" (List.length Topo_metrics.header)
+    (List.length (Topo_metrics.to_row m))
+
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: kNN, beta-skeletons, theta-graph, power assignment      *)
+
+let test_knn_intro_claim =
+  qtest "kNN can disconnect; theta overlay never does" ~count:40 seed_gen (fun seed ->
+      let points, range = instance seed in
+      (* k = 1 must give a forest with max degree possibly large; the graph
+         need not be connected (the paper's introduction claim). *)
+      let g1 = Knn.build ~k:1 points in
+      let alg = Theta_alg.build ~theta:theta_default ~range points in
+      Graph.num_edges g1 >= (Array.length points / 2)
+      && Components.is_connected (Theta_alg.overlay alg))
+
+let test_knn_edges_are_near =
+  qtest "kNN edges respect k-nearest semantics" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:5 ~max_n:25 seed in
+      let k = 2 in
+      let g = Knn.build ~k points in
+      let n = Array.length points in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if v <> u then begin
+            (* If v within the k nearest of u, edge must exist. *)
+            let closer_count =
+              let c = ref 0 in
+              for w = 0 to n - 1 do
+                if w <> u && w <> v && Yao.closer points u w v then incr c
+              done;
+              !c
+            in
+            if closer_count < k && not (Graph.mem_edge g u v) then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_knn_min_connecting =
+  qtest "min_connecting_k yields a connected graph, k-1 does not" ~count:30 seed_gen
+    (fun seed ->
+      let points = points_of_seed ~min_n:6 ~max_n:30 seed in
+      match Knn.min_connecting_k points with
+      | None -> false
+      | Some k ->
+          Components.is_connected (Knn.build ~k points)
+          && (k = 1 || not (Components.is_connected (Knn.build ~k:(k - 1) points))))
+
+let test_beta_one_is_gabriel =
+  qtest "beta-skeleton(1) = Gabriel graph" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:25 seed in
+      edge_set (Beta_skeleton.build ~beta:1. points) = edge_set (Gabriel.build points))
+
+let test_beta_two_is_rng =
+  qtest "beta-skeleton(2) = relative neighborhood graph" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:25 seed in
+      edge_set (Beta_skeleton.build ~beta:2. points) = edge_set (Rng_graph.build points))
+
+let test_beta_monotone =
+  qtest "beta-skeletons shrink as beta grows" ~count:30 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:4 ~max_n:20 seed in
+      let g05 = Beta_skeleton.build ~beta:0.8 points in
+      let g1 = Beta_skeleton.build ~beta:1. points in
+      let g15 = Beta_skeleton.build ~beta:1.5 points in
+      let g2 = Beta_skeleton.build ~beta:2. points in
+      Graph.is_subgraph g2 g15 && Graph.is_subgraph g15 g1 && Graph.is_subgraph g1 g05)
+
+let test_theta_graph_spanner =
+  qtest "theta-graph connected, bounded out-selection" ~count:40 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let g = Theta_graph.build ~theta:theta_default ~range points in
+      Components.is_connected g
+      && Graph.num_edges g
+         <= Array.length points * Adhoc_geom.Sector.count theta_default)
+
+let test_power_assignment () =
+  let points = [| Point.make 0. 0.; Point.make 1. 0.; Point.make 3. 0. |] in
+  let g = Graph.geometric points [ (0, 1); (1, 2) ] in
+  let p = Power.assign ~kappa:2. g in
+  check_close "node 0" 1. p.Power.per_node.(0);
+  check_close "node 1" 4. p.Power.per_node.(1);
+  check_close "node 2" 4. p.Power.per_node.(2);
+  check_close "max" 4. p.Power.max_power;
+  check_close "total" 9. p.Power.total_power;
+  Alcotest.(check int) "unused" 0 p.Power.unused
+
+let test_power_overlay_saves =
+  qtest "overlay bottleneck power <= G* bottleneck power" ~count:30 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let gstar = Udg.build ~range points in
+      let ov = Theta_alg.overlay (Theta_alg.build ~theta:theta_default ~range points) in
+      Power.max_power_ratio ~kappa:2. ~sub:ov ~base:gstar <= 1. +. 1e-9)
+
+
+
+let test_euclidean_mst_exact =
+  qtest "Delaunay-restricted MST = exact MST" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:3 ~max_n:60 seed in
+      let fast = Euclidean_mst.build points in
+      let exact = Adhoc_graph.Mst.of_points points in
+      (* Same total weight (edge sets can differ only on exact ties). *)
+      close ~eps:1e-9 (Graph.total_length fast) (Graph.total_length exact)
+      && Graph.num_edges fast = Graph.num_edges exact
+      && Components.is_connected fast)
+
+let test_euclidean_mst_tiny () =
+  let two = [| Point.origin; Point.make 1. 0. |] in
+  check_close "pair" 1. (Euclidean_mst.longest_edge two);
+  check_close "singleton" 0. (Euclidean_mst.longest_edge [| Point.origin |])
+
+(* ------------------------------------------------------------------ *)
+(* Planarity / CBTC                                                    *)
+
+let test_gabriel_rng_planar =
+  qtest "Gabriel and RNG embeddings are planar" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:5 ~max_n:30 seed in
+      Planarity.is_planar_embedding points (Gabriel.build points)
+      && Planarity.is_planar_embedding points (Rng_graph.build points))
+
+let test_delaunay_planar =
+  qtest "Delaunay triangulation is planar" ~count:40 seed_gen (fun seed ->
+      let points = points_of_seed ~min_n:5 ~max_n:25 seed in
+      Planarity.is_planar_embedding points (Delaunay.build points))
+
+let test_crossings_detected () =
+  (* Two crossing diagonals of a square. *)
+  let points = [| Point.make 0. 0.; Point.make 1. 1.; Point.make 1. 0.; Point.make 0. 1. |] in
+  let g = Graph.geometric points [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "crossing found" true (Planarity.crossings points g = [ (0, 1) ]);
+  Alcotest.(check bool) "not planar" false (Planarity.is_planar_embedding points g)
+
+let test_cbtc_preserves_connectivity =
+  qtest "CBTC(2pi/3) preserves connectivity" ~count:40 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let c = Cbtc.build ~alpha:(2. *. Float.pi /. 3.) ~range points in
+      Components.is_connected (Udg.build ~range points)
+      = Components.is_connected c.Cbtc.graph)
+
+let test_cbtc_radii_within_range =
+  qtest "CBTC radii bounded by the max range" ~count:40 seed_gen (fun seed ->
+      let points, range = instance seed in
+      let c = Cbtc.build ~alpha:(2. *. Float.pi /. 3.) ~range points in
+      Array.for_all (fun r -> r <= range +. 1e-12) c.Cbtc.radii
+      && Graph.is_subgraph c.Cbtc.graph c.Cbtc.asymmetric)
+
+let test_cbtc_coverage_condition =
+  qtest "chosen radius satisfies the cone condition (or is max power)" ~count:30 seed_gen
+    (fun seed ->
+      let points, range = instance seed in
+      let alpha = 2. *. Float.pi /. 3. in
+      let c = Cbtc.build ~alpha ~range points in
+      let ok = ref true in
+      Array.iteri
+        (fun u r ->
+          if r < range -. 1e-12 then begin
+            if not (Cbtc.coverage_ok ~alpha points u r) then ok := false
+          end)
+        c.Cbtc.radii;
+      !ok)
+
+let test_cbtc_alpha_monotone () =
+  let points = points_of_seed ~min_n:20 ~max_n:40 7 in
+  let range = 2. *. Udg.critical_range points in
+  let small = Cbtc.build ~alpha:(Float.pi /. 2.) ~range points in
+  let large = Cbtc.build ~alpha:(3. *. Float.pi /. 2.) ~range points in
+  (* A stricter (smaller) cone angle needs at least as much power. *)
+  Array.iteri
+    (fun u r ->
+      if r > small.Cbtc.radii.(u) +. 1e-9 then
+        Alcotest.failf "node %d: larger alpha chose more power" u)
+    large.Cbtc.radii
+
+
+let test_maintenance_matches_rebuild =
+  qtest "incremental repair = full rebuild" ~count:25 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let points = points_of_seed ~min_n:10 ~max_n:50 seed in
+      let n = Array.length points in
+      let range = 1.5 *. Udg.critical_range points in
+      let m = Maintenance.create ~theta:theta_default ~range points in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        let i = Prng.int rng n in
+        Maintenance.move m i (Point.make (Prng.uniform rng) (Prng.uniform rng));
+        let full =
+          Theta_alg.overlay (Theta_alg.build ~theta:theta_default ~range (Maintenance.points m))
+        in
+        if edge_set full <> edge_set (Maintenance.overlay m) then ok := false
+      done;
+      !ok)
+
+let test_maintenance_locality () =
+  let rng = Prng.create 6 in
+  let points = Adhoc_pointset.Generators.uniform rng 400 in
+  let range = 1.3 *. Udg.critical_range points in
+  let m = Maintenance.create ~theta:theta_default ~range points in
+  (* A tiny nudge of one node must not touch most of the network. *)
+  let p = (Maintenance.points m).(7) in
+  Maintenance.move m 7 (Point.make (p.Point.x +. (0.1 *. range)) p.Point.y);
+  Alcotest.(check bool) "local repair" true (Maintenance.last_affected m < 200);
+  Alcotest.(check bool) "some repair" true (Maintenance.last_affected m > 0)
+
+let test_maintenance_bounds () =
+  let m = Maintenance.create ~theta:theta_default ~range:1. [| Point.origin; Point.make 0.5 0. |] in
+  Alcotest.check_raises "out of range" (Invalid_argument "Maintenance.move: node out of range")
+    (fun () -> Maintenance.move m 5 Point.origin)
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "udg",
+        [
+          test_udg_matches_brute;
+          test_critical_range_threshold;
+          case "zero range" test_udg_zero_range;
+        ] );
+      ( "yao",
+        [
+          test_yao_selection_is_nearest_per_sector;
+          test_yao_out_degree_bound;
+          test_yao_graph_spanner;
+          test_yao_analytic_spanner_bound;
+        ] );
+      ( "theta_alg",
+        [
+          test_theta_subgraph_chain;
+          test_theta_connected;
+          test_theta_degree_bound;
+          test_theta_energy_stretch_bounded;
+          test_theta_distance_stretch_civilized;
+          test_theta_admitted_are_selectors;
+          case "tiny instances" test_theta_empty_and_tiny;
+          case "degree bound values" test_degree_bound_value;
+        ] );
+      ( "protocol",
+        [ test_protocol_equals_direct; test_protocol_message_counts ] );
+      ( "proximity",
+        [
+          test_proximity_chain;
+          test_gabriel_witness_property;
+          test_rng_lune_property;
+          test_delaunay_empty_circumcircles;
+          test_delaunay_connected;
+          case "gabriel range" test_gabriel_range_restriction;
+        ] );
+      ("metrics", [ case "fields" test_metrics_fields ]);
+      ( "knn",
+        [
+          test_knn_intro_claim;
+          test_knn_edges_are_near;
+          test_knn_min_connecting;
+        ] );
+      ( "beta_skeleton",
+        [ test_beta_one_is_gabriel; test_beta_two_is_rng; test_beta_monotone ] );
+      ("theta_graph", [ test_theta_graph_spanner ]);
+      ( "power",
+        [ case "assignment" test_power_assignment; test_power_overlay_saves ] );
+      ( "euclidean_mst",
+        [ test_euclidean_mst_exact; case "tiny" test_euclidean_mst_tiny ] );
+      ( "planarity",
+        [
+          test_gabriel_rng_planar;
+          test_delaunay_planar;
+          case "crossings detected" test_crossings_detected;
+        ] );
+      ( "maintenance",
+        [
+          test_maintenance_matches_rebuild;
+          case "locality" test_maintenance_locality;
+          case "bounds" test_maintenance_bounds;
+        ] );
+      ( "cbtc",
+        [
+          test_cbtc_preserves_connectivity;
+          test_cbtc_radii_within_range;
+          test_cbtc_coverage_condition;
+          case "alpha monotone" test_cbtc_alpha_monotone;
+        ] );
+    ]

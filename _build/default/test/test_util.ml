@@ -1,0 +1,327 @@
+module Prng = Adhoc_util.Prng
+module Pqueue = Adhoc_util.Pqueue
+module Union_find = Adhoc_util.Union_find
+module Stats = Adhoc_util.Stats
+module Table = Adhoc_util.Table
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let rng = Prng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_uniform_range () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 10_000 do
+    let x = Prng.uniform rng in
+    if x < 0. || x >= 1. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_prng_uniform_mean () =
+  let rng = Prng.create 7 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.uniform rng
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.01 then Alcotest.failf "uniform mean off: %f" mean
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 8 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian rng ~mean:3. ~stddev:2.) in
+  let mean = Stats.mean xs and sd = Stats.stddev xs in
+  if Float.abs (mean -. 3.) > 0.05 then Alcotest.failf "gaussian mean off: %f" mean;
+  if Float.abs (sd -. 2.) > 0.05 then Alcotest.failf "gaussian stddev off: %f" sd
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 9 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Prng.exponential rng ~rate:4.) in
+  let mean = Stats.mean xs in
+  if Float.abs (mean -. 0.25) > 0.01 then Alcotest.failf "exponential mean off: %f" mean
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 10 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_sample_without_replacement () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 100 do
+    let s = Prng.sample_without_replacement rng 10 30 in
+    Alcotest.(check int) "size" 10 (Array.length s);
+    let sorted = List.sort_uniq compare (Array.to_list s) in
+    Alcotest.(check int) "distinct" 10 (List.length sorted);
+    List.iter (fun x -> if x < 0 || x >= 30 then Alcotest.fail "element out of range") sorted
+  done
+
+let test_prng_split_independent () =
+  let rng = Prng.create 12 in
+  let child = Prng.split rng in
+  (* Consuming the child must not change the parent's future stream relative
+     to a replayed parent. *)
+  let replay = Prng.create 12 in
+  let _ = Prng.split replay in
+  ignore (Prng.bits64 child);
+  ignore (Prng.bits64 child);
+  Alcotest.(check int64) "parent unaffected" (Prng.bits64 replay) (Prng.bits64 rng)
+
+let test_prng_copy () =
+  let rng = Prng.create 13 in
+  ignore (Prng.bits64 rng);
+  let dup = Prng.copy rng in
+  Alcotest.(check int64) "copy same next" (Prng.bits64 (Prng.copy rng)) (Prng.bits64 dup)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_sorted_drain =
+  qtest "pqueue drains in key order" QCheck2.Gen.(list (pair (float_bound_exclusive 1000.) small_int))
+    (fun entries ->
+      let q = Pqueue.create () in
+      List.iter (fun (k, v) -> Pqueue.push q k v) entries;
+      let rec drain last acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (k, _) ->
+            if k < last then failwith "out of order";
+            drain k (k :: acc)
+      in
+      let drained = drain neg_infinity [] in
+      List.length drained = List.length entries)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 3. "c";
+  Pqueue.push q 1. "a";
+  Pqueue.push q 2. "b";
+  Alcotest.(check int) "length" 3 (Pqueue.length q);
+  (match Pqueue.peek q with
+  | Some (k, v) ->
+      Alcotest.(check (float 0.)) "peek key" 1. k;
+      Alcotest.(check string) "peek value" "a" v
+  | None -> Alcotest.fail "expected peek");
+  let _, a = Pqueue.pop_exn q in
+  let _, b = Pqueue.pop_exn q in
+  let _, c = Pqueue.pop_exn q in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] [ a; b; c ];
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+let test_pqueue_pop_exn_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.check_raises "pop_exn on empty" (Invalid_argument "Pqueue.pop_exn: empty queue")
+    (fun () -> ignore (Pqueue.pop_exn q))
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1. 1;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial count" 5 (Union_find.count uf);
+  Alcotest.(check bool) "union new" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union repeat" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  Alcotest.(check int) "count after unions" 2 (Union_find.count uf);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 1 2)
+
+let test_union_find_all_merged =
+  qtest "chain union connects everything" QCheck2.Gen.(int_range 2 100) (fun n ->
+      let uf = Union_find.create n in
+      for i = 0 to n - 2 do
+        ignore (Union_find.union uf i (i + 1))
+      done;
+      Union_find.count uf = 1 && Union_find.same uf 0 (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_mean_stddev () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Stats.mean xs);
+  check_close ~eps:1e-6 "stddev" 2.13808993529939 (Stats.stddev xs)
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_close "p0" 1. (Stats.percentile xs 0.);
+  check_close "p100" 4. (Stats.percentile xs 100.);
+  check_close "p50" 2.5 (Stats.percentile xs 50.);
+  check_close "p25" 1.75 (Stats.percentile xs 25.)
+
+let test_stats_summarize () =
+  let s = Stats.summarize [| 5.; 1.; 3. |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  check_close "min" 1. s.Stats.min;
+  check_close "max" 5. s.Stats.max;
+  check_close "median" 3. s.Stats.median;
+  check_close "mean" 3. s.Stats.mean
+
+let test_stats_linear_fit () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> 2. +. (3. *. x)) xs in
+  let a, b = Stats.linear_fit xs ys in
+  check_close "intercept" 2. a;
+  check_close "slope" 3. b
+
+let test_stats_loglog_slope () =
+  let xs = [| 1.; 2.; 4.; 8.; 16. |] in
+  let ys = Array.map (fun x -> 5. *. (x ** 3.)) xs in
+  check_close ~eps:1e-6 "cubic exponent" 3. (Stats.loglog_slope xs ys)
+
+let test_stats_log_fit () =
+  let xs = [| 1.; Float.exp 1.; Float.exp 2. |] in
+  let ys = [| 1.; 3.; 5. |] in
+  let a, b = Stats.log_fit xs ys in
+  check_close ~eps:1e-6 "intercept" 1. a;
+  check_close ~eps:1e-6 "log slope" 2. b
+
+let test_stats_correlation () =
+  let xs = [| 1.; 2.; 3. |] in
+  check_close "perfect" 1. (Stats.correlation xs (Array.map (fun x -> (2. *. x) +. 1.) xs));
+  check_close "anti" (-1.) (Stats.correlation xs (Array.map (fun x -> -.x) xs))
+
+let test_stats_empty_errors () =
+  Alcotest.check_raises "summarize empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_rendering () =
+  let t = Table.create ~title:"demo" [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "demo");
+  (* Right-aligned numbers line up on their last character. *)
+  let lines = String.split_on_char '\n' s in
+  let data = List.filteri (fun i _ -> i >= 3) lines in
+  (match data with
+  | a :: b :: _ ->
+      Alcotest.(check int) "equal widths" (String.length a) (String.length b)
+  | _ -> Alcotest.fail "missing rows")
+
+let test_table_mismatch () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "cell count" (Invalid_argument "Table.add_row: cell count mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_float_row () =
+  let t = Table.create [ ("l", Table.Left); ("x", Table.Right) ] in
+  Table.add_float_row t "row" [ 1.23456 ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "formats floats" true (Helpers.contains s "1.235")
+
+
+let test_stats_percentile_monotone =
+  qtest "percentile is monotone in p" ~count:100 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let xs = Array.init (1 + Prng.int rng 50) (fun _ -> Prng.uniform rng) in
+      let p1 = Prng.range rng 0. 100. and p2 = Prng.range rng 0. 100. in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-12)
+
+let test_pqueue_duplicate_keys () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1. v) [ "a"; "b"; "c" ];
+  Pqueue.push q 0. "first";
+  let _, v = Pqueue.pop_exn q in
+  Alcotest.(check string) "min first" "first" v;
+  Alcotest.(check int) "rest remain" 3 (Pqueue.length q)
+
+let test_prng_bool_balance () =
+  let rng = Prng.create 14 in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  let p = float_of_int !trues /. float_of_int n in
+  if Float.abs (p -. 0.5) > 0.01 then Alcotest.failf "bool biased: %f" p
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          case "determinism" test_prng_determinism;
+          case "seed sensitivity" test_prng_seed_sensitivity;
+          case "int bounds" test_prng_int_bounds;
+          case "int rejects nonpositive" test_prng_int_rejects_nonpositive;
+          case "uniform range" test_prng_uniform_range;
+          case "uniform mean" test_prng_uniform_mean;
+          case "gaussian moments" test_prng_gaussian_moments;
+          case "exponential mean" test_prng_exponential_mean;
+          case "shuffle permutation" test_prng_shuffle_permutation;
+          case "sample without replacement" test_prng_sample_without_replacement;
+          case "split independence" test_prng_split_independent;
+          case "copy" test_prng_copy;
+          case "bool balance" test_prng_bool_balance;
+        ] );
+      ( "pqueue",
+        [
+          test_pqueue_sorted_drain;
+          case "basic order" test_pqueue_basic;
+          case "pop_exn empty" test_pqueue_pop_exn_empty;
+          case "clear" test_pqueue_clear;
+          case "duplicate keys" test_pqueue_duplicate_keys;
+        ] );
+      ( "union_find",
+        [ case "basic" test_union_find_basic; test_union_find_all_merged ] );
+      ( "stats",
+        [
+          case "mean stddev" test_stats_mean_stddev;
+          case "percentile" test_stats_percentile;
+          case "summarize" test_stats_summarize;
+          case "linear fit" test_stats_linear_fit;
+          case "loglog slope" test_stats_loglog_slope;
+          case "log fit" test_stats_log_fit;
+          case "correlation" test_stats_correlation;
+          case "empty errors" test_stats_empty_errors;
+          test_stats_percentile_monotone;
+        ] );
+      ( "table",
+        [
+          case "rendering" test_table_rendering;
+          case "cell mismatch" test_table_mismatch;
+          case "float row" test_table_float_row;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+module Svg = Adhoc_viz.Svg
+module Render = Adhoc_viz.Render
+module Dot = Adhoc_viz.Dot
+module Point = Adhoc_geom.Point
+module Box = Adhoc_geom.Box
+module Prng = Adhoc_util.Prng
+open Helpers
+
+let count_occurrences haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i acc =
+    if i + nn > nh then acc
+    else if String.sub haystack i nn = needle then scan (i + nn) (acc + 1)
+    else scan (i + 1) acc
+  in
+  scan 0 0
+
+let sample_instance () =
+  let rng = Prng.create 3 in
+  let points = Adhoc_pointset.Generators.uniform rng 30 in
+  let range = 1.5 *. Adhoc_topo.Udg.critical_range points in
+  let g = Adhoc_topo.Udg.build ~range points in
+  (points, range, g)
+
+let test_svg_document () =
+  let svg = Svg.create ~width:400 ~world:Box.unit_square () in
+  Svg.circle svg (Point.make 0.5 0.5) 0.1;
+  Svg.line svg (Point.make 0. 0.) (Point.make 1. 1.);
+  Svg.polyline svg [ Point.make 0. 0.; Point.make 0.5 0.5; Point.make 1. 0. ];
+  Svg.polygon svg ~fill:"red" [ Point.make 0. 0.; Point.make 1. 0.; Point.make 0.5 1. ];
+  Svg.text svg (Point.make 0.1 0.9) "a<b&c";
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "svg root" true (contains s "<svg xmlns");
+  Alcotest.(check bool) "closes" true (contains s "</svg>");
+  Alcotest.(check int) "one circle" 1 (count_occurrences s "<circle");
+  Alcotest.(check int) "one line" 1 (count_occurrences s "<line");
+  Alcotest.(check bool) "escaped text" true (contains s "a&lt;b&amp;c")
+
+let test_svg_y_flip () =
+  (* A point at the top of the world must have a *small* pixel y. *)
+  let svg = Svg.create ~margin:0. ~width:100 ~world:Box.unit_square () in
+  Svg.circle svg (Point.make 0.5 1.0) 0.01;
+  let s = Svg.to_string svg in
+  Alcotest.(check bool) "top maps to y=0" true (contains s "cy=\"0.00\"")
+
+let test_svg_save () =
+  let svg = Svg.create ~width:200 ~world:Box.unit_square () in
+  Svg.circle svg (Point.make 0.5 0.5) 0.05;
+  let path = Filename.temp_file "adhoc_test" ".svg" in
+  Svg.save svg path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 100)
+
+let test_render_topology () =
+  let points, _, g = sample_instance () in
+  let svg = Render.topology points g ~highlight:[ 0; 1 ] in
+  let s = Svg.to_string svg in
+  (* 30 node circles + 2 highlight circles. *)
+  Alcotest.(check int) "circles" 32 (count_occurrences s "<circle");
+  Alcotest.(check int) "edges" (Adhoc_graph.Graph.num_edges g) (count_occurrences s "<line");
+  Alcotest.(check int) "highlight path" 1 (count_occurrences s "<polyline")
+
+let test_render_overlay_comparison () =
+  let points, range, g = sample_instance () in
+  let sub = Adhoc_topo.Theta_alg.overlay (Adhoc_topo.Theta_alg.build ~theta:(Float.pi /. 6.) ~range points) in
+  let s = Svg.to_string (Render.overlay_comparison points ~base:g ~sub) in
+  Alcotest.(check int) "both edge sets drawn"
+    (Adhoc_graph.Graph.num_edges g + Adhoc_graph.Graph.num_edges sub)
+    (count_occurrences s "<line")
+
+let test_render_interference () =
+  let points, _, g = sample_instance () in
+  QCheck2.assume (Adhoc_graph.Graph.num_edges g > 0);
+  let s = Svg.to_string (Render.interference_region ~delta:0.5 points g ~edge:0) in
+  (* Two shaded discs plus the node dots. *)
+  Alcotest.(check bool) "has shaded region" true
+    (count_occurrences s "<circle" >= Array.length points + 2);
+  Alcotest.(check bool) "has dashes" true (contains s "stroke-dasharray")
+
+let test_render_hexagons () =
+  let rng = Prng.create 4 in
+  let points = Adhoc_pointset.Generators.uniform ~box:(Box.square 10.) rng 40 in
+  let s = Svg.to_string (Render.hexagons ~side:2. points) in
+  Alcotest.(check bool) "many hexagons" true (count_occurrences s "<polygon" > 10)
+
+let test_dot_output () =
+  let points, _, g = sample_instance () in
+  let dot = Dot.of_graph points g in
+  Alcotest.(check bool) "graph header" true (contains dot "graph topology {");
+  Alcotest.(check int) "node lines" (Array.length points) (count_occurrences dot "pos=");
+  Alcotest.(check int) "edge lines" (Adhoc_graph.Graph.num_edges g) (count_occurrences dot " -- ");
+  let path = Filename.temp_file "adhoc_test" ".dot" in
+  Dot.save points g path;
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  Sys.remove path
+
+
+(* ------------------------------------------------------------------ *)
+(* Persist                                                             *)
+
+module Persist = Adhoc_io.Persist
+
+let test_persist_roundtrip =
+  qtest "network round-trips exactly" ~count:50 seed_gen (fun seed ->
+      let points, _, g = (fun () ->
+        let rng = Prng.create seed in
+        let points = Adhoc_pointset.Generators.uniform rng (5 + Prng.int rng 40) in
+        let range = 1.5 *. Adhoc_topo.Udg.critical_range points in
+        (points, range, Adhoc_topo.Udg.build ~range points)) ()
+      in
+      let net = { Persist.points; graph = g } in
+      let back = Persist.of_string (Persist.to_string net) in
+      back.Persist.points = points
+      && edge_set back.Persist.graph = edge_set g
+      && Adhoc_graph.Graph.fold_edges back.Persist.graph ~init:true ~f:(fun acc id e ->
+             acc && e.Adhoc_graph.Graph.len = Adhoc_graph.Graph.length g id))
+
+let test_persist_file () =
+  let points = [| Point.make 0.25 0.75; Point.make 0.5 0.5 |] in
+  let g = Adhoc_graph.Graph.geometric points [ (0, 1) ] in
+  let path = Filename.temp_file "adhoc_net" ".txt" in
+  Persist.save { Persist.points; graph = g } path;
+  let back = Persist.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "points survive" true (back.Persist.points = points);
+  Alcotest.(check int) "edges survive" 1 (Adhoc_graph.Graph.num_edges back.Persist.graph)
+
+let test_persist_malformed () =
+  List.iter
+    (fun input ->
+      match Persist.of_string input with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" input)
+    [ ""; "wrong"; "adhoc-network 1\nnodes x"; "adhoc-network 1\nnodes 1\n0.5" ]
+
+let test_persist_points_only () =
+  let s = Persist.points_to_string [| Point.make 1. 2. |] in
+  let net = Persist.of_string s in
+  Alcotest.(check int) "one node" 1 (Array.length net.Persist.points);
+  Alcotest.(check int) "no edges" 0 (Adhoc_graph.Graph.num_edges net.Persist.graph)
+
+
+(* ------------------------------------------------------------------ *)
+(* Chart                                                               *)
+
+module Chart = Adhoc_viz.Chart
+
+let test_chart_structure () =
+  let s1 = Chart.series ~color:"#123456" ~label:"a" [| (0., 0.); (1., 2.); (2., 1.) |] in
+  let s2 = Chart.series ~label:"b" [| (0., 1.); (2., 3.) |] in
+  let svg = Chart.render ~title:"t" ~x_label:"x" ~y_label:"y" [ s1; s2 ] in
+  let out = Svg.to_string svg in
+  (* 2 data polylines; axes and gridlines present; legend labels. *)
+  Alcotest.(check int) "two series polylines" 2 (count_occurrences out "<polyline");
+  Alcotest.(check bool) "series color used" true (contains out "#123456");
+  Alcotest.(check bool) "legend a" true (contains out ">a</text>");
+  Alcotest.(check bool) "legend b" true (contains out ">b</text>");
+  Alcotest.(check bool) "title" true (contains out ">t</text>");
+  Alcotest.(check bool) "gridlines" true (contains out "stroke-dasharray")
+
+let test_chart_empty_rejected () =
+  Alcotest.check_raises "no data" (Invalid_argument "Chart.render: no data points")
+    (fun () -> ignore (Chart.render [ Chart.series ~label:"x" [||] ]))
+
+let test_chart_save () =
+  let path = Filename.temp_file "adhoc_chart" ".svg" in
+  Chart.save [ Chart.series ~label:"s" [| (0., 1.); (1., 4.) |] ] path;
+  Alcotest.(check bool) "written" true (Sys.file_exists path);
+  Sys.remove path
+
+
+let test_persist_fuzz =
+  qtest "mutated documents never crash the parser" ~count:200 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let points = Adhoc_pointset.Generators.uniform rng 8 in
+      let g = Adhoc_topo.Udg.build ~range:0.5 points in
+      let doc = Persist.to_string { Persist.points; graph = g } in
+      (* Flip a random byte (or truncate) and require a clean outcome:
+         either a parse or a Failure — never another exception. *)
+      let mutated =
+        if Prng.bool rng then String.sub doc 0 (Prng.int rng (String.length doc))
+        else begin
+          let b = Bytes.of_string doc in
+          Bytes.set b (Prng.int rng (Bytes.length b)) (Char.chr (32 + Prng.int rng 90));
+          Bytes.to_string b
+        end
+      in
+      match Persist.of_string mutated with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "svg",
+        [
+          case "document structure" test_svg_document;
+          case "y axis flip" test_svg_y_flip;
+          case "save" test_svg_save;
+        ] );
+      ( "render",
+        [
+          case "topology" test_render_topology;
+          case "overlay comparison" test_render_overlay_comparison;
+          case "interference region" test_render_interference;
+          case "hexagons" test_render_hexagons;
+        ] );
+      ("dot", [ case "output" test_dot_output ]);
+      ( "chart",
+        [
+          case "structure" test_chart_structure;
+          case "empty rejected" test_chart_empty_rejected;
+          case "save" test_chart_save;
+        ] );
+      ( "persist",
+        [
+          test_persist_roundtrip;
+          case "file round-trip" test_persist_file;
+          case "malformed rejected" test_persist_malformed;
+          case "points only" test_persist_points_only;
+          test_persist_fuzz;
+        ] );
+    ]
