@@ -24,7 +24,93 @@ let fmt2 = Printf.sprintf "%.2f"
 let fmt3 = Printf.sprintf "%.3f"
 let fmt4 = Printf.sprintf "%.4f"
 
+(* Ratios can be undefined (Engine.cost_ratio is nan when nothing was
+   delivered); tables render that as "n/a" rather than a fake number. *)
+let fmt_ratio v = if Float.is_nan v then "n/a" else fmt3 v
+
 let seeds k = List.init k (fun i -> 1000 + (17 * i))
 
 let header title =
   Printf.printf "\n=== %s ===\n\n%!" title
+
+(* --- machine-readable output -------------------------------------- *)
+
+(* Hand-rolled JSON: the toolchain ships no JSON library and the bench
+   schema is tiny.  nan/inf have no JSON encoding and serialize as null. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+        else Buffer.add_string buf "null"
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (String k);
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    write buf t;
+    Buffer.contents buf
+end
+
+(* Headline-metric accumulator.  Experiments call [record_*] while they run;
+   the harness snapshots and clears the list around each experiment and, when
+   --json FILE was given, writes every experiment's metrics at the end. *)
+let metrics : (string * Json.t) list ref = ref []
+
+let record name v = metrics := (name, v) :: !metrics
+
+let record_float name v = record name (Json.Float v)
+
+let record_int name v = record name (Json.Int v)
+
+let take_metrics () =
+  let m = List.rev !metrics in
+  metrics := [];
+  m

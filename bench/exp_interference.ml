@@ -49,9 +49,13 @@ let e5 () =
   Table.print t;
   let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
   let _, logslope = Stats.log_fit xs ys in
+  let power = Stats.loglog_slope xs ys in
   Printf.printf
     "log fit: I ~ %.2f * ln n; power-law exponent (loglog slope) = %.2f\n"
-    logslope (Stats.loglog_slope xs ys);
+    logslope power;
+  record_float "interference_log_fit_coeff" logslope;
+  record_float "interference_loglog_slope" power;
+  record_float "interference_mean_largest_n" ys.(Array.length ys - 1);
   print_endline
     "paper: I = O(log n) whp - I/ln n roughly flat, power-law exponent well below 1."
 

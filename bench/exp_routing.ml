@@ -30,9 +30,10 @@ let e7 () =
       @ List.map (fun s -> (Printf.sprintf "seed %d" s, Table.Right)) (seeds 3)
       @ [ ("cost ratio (max)", Table.Right); ("bound 1+2/eps", Table.Right) ])
   in
+  let last_tput = ref 0. and last_cost = ref Float.nan in
   List.iter
     (fun horizon ->
-      let costs = ref [] in
+      let costs = ref [] and tputs = ref [] in
       let cells =
         List.map
           (fun seed ->
@@ -43,18 +44,21 @@ let e7 () =
             in
             if r.Pipeline.stats.Engine.delivered > 0 then
               costs := r.Pipeline.cost_ratio :: !costs;
+            tputs := r.Pipeline.throughput_ratio :: !tputs;
             fmt3 r.Pipeline.throughput_ratio)
           (seeds 3)
       in
+      last_tput := Stats.mean (Array.of_list !tputs);
+      last_cost :=
+        (match !costs with [] -> Float.nan | c :: cs -> List.fold_left Float.max c cs);
       Table.add_row t
         ([ string_of_int horizon ]
         @ cells
-        @ [
-            fmt3 (List.fold_left Float.max 0. !costs);
-            fmt2 (1. +. (2. /. 0.5));
-          ]))
+        @ [ fmt_ratio !last_cost; fmt2 (1. +. (2. /. 0.5)) ]))
     [ 2000; 8000; 32000; 64000 ];
   Table.print t;
+  record_float "tput_ratio_mean_longest_horizon" !last_tput;
+  record_float "cost_ratio_max_longest_horizon" !last_cost;
   (* Buffer-scale ablation at fixed epsilon: cap the buffers below the
      theorem's H and watch admission control trade throughput away. *)
   let t =
@@ -123,7 +127,7 @@ let e7 () =
             (float_of_int r.Pipeline.params.Balancing.capacity
             /. float_of_int (max 1 r.Pipeline.opt.Workload.max_buffer));
           fmt3 r.Pipeline.throughput_ratio;
-          fmt3 r.Pipeline.cost_ratio;
+          fmt_ratio r.Pipeline.cost_ratio;
           fmt2 (1. +. (2. /. epsilon));
         ])
     [ 0.9; 0.7; 0.5; 0.3 ];
@@ -254,6 +258,9 @@ let e8 () =
         in
         Engine.throughput_ratio stats w.Workload.opt
       in
+      record_float (Printf.sprintf "tput_ratio_random_mac_n%d" n)
+        r.Pipeline.throughput_ratio;
+      record_float (Printf.sprintf "tput_ratio_csma_n%d" n) csma_tput;
       Table.add_row t
         [
           string_of_int n;
@@ -289,6 +296,10 @@ let e9 () =
         Pipeline.run_scenario2 ~epsilon:0.5 ~horizon:80000 ~attempts:80000 ~flows:2
           ~max_flow_hops:3 ~rng b
       in
+      record_float (Printf.sprintf "tput_ratio_n%d" n) r.Pipeline.throughput_ratio;
+      record_float
+        (Printf.sprintf "tput_ratio_times_I_n%d" n)
+        (r.Pipeline.throughput_ratio *. float_of_int b.Pipeline.interference_number);
       Table.add_row t
         [
           string_of_int n;
@@ -334,6 +345,10 @@ let e10 () =
         Pipeline.run_scenario2 ~epsilon:0.5 ~horizon:30000 ~attempts:30000 ~flows:2
           ~max_flow_hops:4 ~rng:(Prng.create 32) b
       in
+      record_float (Printf.sprintf "honeycomb_tput_ratio_n%d" n)
+        r.Pipeline.throughput_ratio;
+      record_float (Printf.sprintf "random_mac_tput_ratio_n%d" n)
+        r2.Pipeline.throughput_ratio;
       Table.add_row t
         [
           fmt2 side;

@@ -1,0 +1,203 @@
+(* Well-formedness check for the bench harness's --json output.
+
+   The toolchain ships no JSON library, so this is a small recursive-descent
+   parser covering the full JSON grammar.  Beyond syntax it checks the
+   adhoc-bench/1 shape: a top-level object whose "experiments" member is a
+   non-empty array of objects each carrying "id", "seconds" and "metrics".
+
+     json_check FILE        exits 0 and prints a summary if the file is valid *)
+
+exception Bad of string
+
+type v =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of v list
+  | Obj of (string * v) list
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let k = String.length lit in
+    if !pos + k <= n && String.sub s !pos k = lit then begin
+      pos := !pos + k;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "truncated escape";
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            (* Code points are validated, not decoded: only syntax matters. *)
+            | Some _ -> Buffer.add_char buf '?'
+            | None -> fail "bad \\u escape")
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else if Char.code c < 0x20 then fail "unescaped control character"
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elements (v :: acc)
+            | Some ']' ->
+                incr pos;
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let experiment_ok = function
+  | Obj fields ->
+      List.mem_assoc "id" fields
+      && List.mem_assoc "seconds" fields
+      && List.mem_assoc "metrics" fields
+  | _ -> false
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ ->
+        prerr_endline "usage: json_check FILE";
+        exit 2
+  in
+  let ic = open_in_bin file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match parse s with
+  | exception Bad msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+      exit 1
+  | Obj fields -> (
+      match List.assoc_opt "experiments" fields with
+      | Some (Arr (_ :: _ as exps)) when List.for_all experiment_ok exps ->
+          Printf.printf "%s: ok (%d experiments)\n" file (List.length exps)
+      | Some (Arr []) ->
+          Printf.eprintf "%s: no experiments recorded\n" file;
+          exit 1
+      | _ ->
+          Printf.eprintf "%s: missing or malformed \"experiments\" array\n" file;
+          exit 1)
+  | _ ->
+      Printf.eprintf "%s: top-level value is not an object\n" file;
+      exit 1

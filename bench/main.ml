@@ -3,8 +3,14 @@
      dune exec bench/main.exe              # run everything
      dune exec bench/main.exe -- e5 e7     # run selected experiments
      dune exec bench/main.exe -- quick     # skip the slowest routing sweeps
+     dune exec bench/main.exe -- quick --json out.json
+                                           # also write machine-readable results
 
-   Experiment ids: e1..e11 (paper claims), b1 (micro-benchmarks). *)
+   Experiment ids: e1..e11 (paper claims), b1 (micro-benchmarks).
+
+   --json FILE writes one object per executed experiment: its id, title,
+   wall-clock seconds, and the headline metrics the experiment recorded
+   (see EXPERIMENTS.md for the schema). *)
 
 let all : (string * string * (unit -> unit)) list =
   [
@@ -38,8 +44,28 @@ let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
 
 let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1" ]
 
+(* Extract "--json FILE" from anywhere in the argument list. *)
+let rec split_json acc = function
+  | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+  | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 1
+  | a :: rest -> split_json (a :: acc) rest
+  | [] -> (None, List.rev acc)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let json_file, args = split_json [] (Array.to_list Sys.argv |> List.tl) in
+  (* Open the output up front so a bad path fails before hours of
+     experiments, not after. *)
+  let json_out =
+    match json_file with
+    | None -> None
+    | Some file -> (
+        try Some (file, open_out file)
+        with Sys_error msg ->
+          Printf.eprintf "--json: %s\n" msg;
+          exit 1)
+  in
   let selected =
     match args with
     | [] -> List.map (fun (id, _, _) -> id) default_set
@@ -48,13 +74,42 @@ let () =
   in
   print_endline "Reproduction harness: Jia, Rajaraman, Scheideler (SPAA 2003),";
   print_endline "\"On Local Algorithms for Topology Control and Routing in Ad Hoc Networks\".";
+  let results = ref [] in
   List.iter
     (fun id ->
       match List.find_opt (fun (i, _, _) -> i = id) all with
-      | Some (_, _, f) -> f ()
+      | Some (_, title, f) ->
+          ignore (Common.take_metrics ());
+          let t0 = Unix.gettimeofday () in
+          f ();
+          let seconds = Unix.gettimeofday () -. t0 in
+          results := (id, title, seconds, Common.take_metrics ()) :: !results
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" id
             (String.concat ", " (List.map (fun (i, _, _) -> i) all));
           exit 1)
     selected;
+  (match json_out with
+  | None -> ()
+  | Some (file, oc) ->
+      let open Common.Json in
+      let experiments =
+        List.rev_map
+          (fun (id, title, seconds, metrics) ->
+            Obj
+              [
+                ("id", String id);
+                ("title", String title);
+                ("seconds", Float seconds);
+                ("metrics", Obj metrics);
+              ])
+          !results
+      in
+      let doc =
+        Obj [ ("schema", String "adhoc-bench/1"); ("experiments", List experiments) ]
+      in
+      output_string oc (to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file);
   print_newline ()

@@ -168,7 +168,9 @@ let route_cmd =
     Printf.printf "OPT deliveries      %d\n" r.Pipeline.opt.Routing.Workload.deliveries;
     Printf.printf "balancing delivered %d\n" r.Pipeline.stats.Routing.Engine.delivered;
     Printf.printf "throughput ratio    %.4f\n" r.Pipeline.throughput_ratio;
-    Printf.printf "avg-cost ratio      %.4f\n" r.Pipeline.cost_ratio;
+    Printf.printf "avg-cost ratio      %s\n"
+      (if Float.is_nan r.Pipeline.cost_ratio then "n/a"
+       else Printf.sprintf "%.4f" r.Pipeline.cost_ratio);
     Printf.printf "sends / failed      %d / %d\n" r.Pipeline.stats.Routing.Engine.sends
       r.Pipeline.stats.Routing.Engine.failed_sends;
     Printf.printf "dropped / remaining %d / %d\n" r.Pipeline.stats.Routing.Engine.dropped

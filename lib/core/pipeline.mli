@@ -27,8 +27,8 @@ val prepare :
 type result = {
   opt : Adhoc_routing.Workload.opt_stats;
   stats : Adhoc_routing.Engine.stats;
-  throughput_ratio : float;  (** delivered / OPT deliveries *)
-  cost_ratio : float;  (** avg cost per delivery / OPT's *)
+  throughput_ratio : float;  (** delivered / OPT deliveries; 0. when OPT is empty *)
+  cost_ratio : float;  (** avg cost per delivery / OPT's; nan when nothing was delivered *)
   params : Adhoc_routing.Balancing.params;
 }
 

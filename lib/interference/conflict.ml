@@ -71,6 +71,8 @@ let interference_number t = Array.fold_left (fun acc l -> max acc (List.length l
 
 let interfere t e e' = List.mem e' t.sets.(e)
 
+let adjacency t = Array.map Array.of_list t.sets
+
 let greedy_coloring t =
   let m = Array.length t.sets in
   let colors = Array.make m (-1) in

@@ -34,6 +34,12 @@ val neighborhood_bounds : t -> int array
 val interfere : t -> int -> int -> bool
 (** Membership in each other's interference sets (by edge id). *)
 
+val adjacency : t -> int array array
+(** The interference sets as arrays, indexable per edge.  Built once per
+    run by the routing engines and MACs so that collision checks walk an
+    edge's interference neighbourhood instead of scanning the whole
+    active set. *)
+
 val greedy_coloring : t -> int array * int
 (** Colours the conflict graph greedily in edge-id order; returns the
     colour per edge and the number of colours used (≤ interference number

@@ -34,30 +34,37 @@ let random_interference ~rng conflict =
   in
   { name = "random-mac"; select }
 
+(* Shared by the carrier-sense MACs: greedily accept a request iff no
+   already-chosen edge interferes with it.  The conflict adjacency is
+   walked against scratch marks over the chosen set, so each candidate
+   costs O(|I(e)|) instead of a scan of everything chosen so far. *)
+let greedy_accept ~adj ~chosen_mark iter =
+  let chosen = ref [] in
+  iter (fun r ->
+      if not (Array.exists (fun e' -> chosen_mark.(e')) adj.(r.edge)) then begin
+        chosen_mark.(r.edge) <- true;
+        chosen := r :: !chosen
+      end);
+  let accepted = List.rev !chosen in
+  List.iter (fun r -> chosen_mark.(r.edge) <- false) accepted;
+  accepted
+
 let greedy_independent conflict =
+  let adj = Conflict.adjacency conflict in
+  let chosen_mark = Array.make (Array.length adj) false in
   let select ~step:_ requests =
     let sorted = List.sort (fun a b -> Float.compare b.benefit a.benefit) requests in
-    let chosen = ref [] in
-    List.iter
-      (fun r ->
-        if List.for_all (fun c -> not (Conflict.interfere conflict r.edge c.edge)) !chosen then
-          chosen := r :: !chosen)
-      sorted;
-    List.rev !chosen
+    greedy_accept ~adj ~chosen_mark (fun f -> List.iter f sorted)
   in
   { name = "greedy-mac"; select }
 
 let csma ~rng conflict =
+  let adj = Conflict.adjacency conflict in
+  let chosen_mark = Array.make (Array.length adj) false in
   let select ~step:_ requests =
     let order = Array.of_list requests in
     Prng.shuffle rng order;
-    let chosen = ref [] in
-    Array.iter
-      (fun r ->
-        if List.for_all (fun c -> not (Conflict.interfere conflict r.edge c.edge)) !chosen
-        then chosen := r :: !chosen)
-      order;
-    List.rev !chosen
+    greedy_accept ~adj ~chosen_mark (fun f -> Array.iter f order)
   in
   { name = "csma"; select }
 

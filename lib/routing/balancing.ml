@@ -17,16 +17,24 @@ type decision = {
   gain : float;
 }
 
+(* The argmax is order-independent: ties on gain prefer the smaller
+   destination index, so the result does not depend on the hash-iteration
+   order of [fold_nonzero] (a qcheck property pins this).  Tracked with
+   mutable locals so the scan allocates exactly one decision record. *)
 let best_toward buffers p ~cost ~src ~dst =
   let penalty = p.gamma *. cost in
-  Buffers.fold_nonzero buffers src ~init:None ~f:(fun best d h_src ->
+  let best_dest = ref (-1) in
+  let best_gain = ref neg_infinity in
+  Buffers.iter_nonzero buffers src (fun d h_src ->
       let gain = float_of_int (h_src - Buffers.height buffers dst d) -. penalty in
-      if gain <= p.threshold then best
-      else begin
-        match best with
-        | Some b when b.gain > gain || (b.gain = gain && b.dest < d) -> best
-        | _ -> Some { src; dst; dest = d; gain }
-      end)
+      if
+        gain > p.threshold
+        && (!best_dest < 0 || gain > !best_gain || (gain = !best_gain && d < !best_dest))
+      then begin
+        best_dest := d;
+        best_gain := gain
+      end);
+  if !best_dest < 0 then None else Some { src; dst; dest = !best_dest; gain = !best_gain }
 
 let best_either buffers p ~cost ~u ~v =
   let fwd = best_toward buffers p ~cost ~src:u ~dst:v in

@@ -3,6 +3,12 @@ type t = {
   h : int array array;  (* h.(v).(d) *)
   nonzero : (int, unit) Hashtbl.t array;  (* destinations with h > 0, per node *)
   mutable total : int;
+  mutable watcher : (int -> int -> unit) option;  (* fires on every height change *)
+  (* Incremental max-height tracking: height_counts.(k) is the number of
+     (v, d) pairs currently at height k (k >= 1), so the maximum can be
+     maintained in amortized O(1) instead of an O(n^2) matrix sweep. *)
+  mutable height_counts : int array;
+  mutable max_h : int;
 }
 
 let create n =
@@ -11,16 +17,54 @@ let create n =
     h = Array.make_matrix n n 0;
     nonzero = Array.init n (fun _ -> Hashtbl.create 8);
     total = 0;
+    watcher = None;
+    height_counts = Array.make 16 0;
+    max_h = 0;
   }
 
 let nodes t = t.n
 
 let height t v d = t.h.(v).(d)
 
+let set_watcher t f = t.watcher <- Some f
+
+let clear_watcher t = t.watcher <- None
+
+let notify t v d = match t.watcher with None -> () | Some f -> f v d
+
+let grow_counts t k =
+  if k >= Array.length t.height_counts then begin
+    let len = ref (Array.length t.height_counts) in
+    while k >= !len do
+      len := 2 * !len
+    done;
+    let counts = Array.make !len 0 in
+    Array.blit t.height_counts 0 counts 0 (Array.length t.height_counts);
+    t.height_counts <- counts
+  end
+
+(* A buffer moved from height [k - 1] to height [k]. *)
+let count_up t k =
+  grow_counts t k;
+  t.height_counts.(k) <- t.height_counts.(k) + 1;
+  if k > 1 then t.height_counts.(k - 1) <- t.height_counts.(k - 1) - 1;
+  if k > t.max_h then t.max_h <- k
+
+(* A buffer moved from height [k] to height [k - 1]. *)
+let count_down t k =
+  t.height_counts.(k) <- t.height_counts.(k) - 1;
+  if k > 1 then t.height_counts.(k - 1) <- t.height_counts.(k - 1) + 1;
+  while t.max_h > 0 && t.height_counts.(t.max_h) = 0 do
+    t.max_h <- t.max_h - 1
+  done
+
 let add t v d =
   if t.h.(v).(d) = 0 then Hashtbl.replace t.nonzero.(v) d ();
-  t.h.(v).(d) <- t.h.(v).(d) + 1;
-  t.total <- t.total + 1
+  let h = t.h.(v).(d) + 1 in
+  t.h.(v).(d) <- h;
+  t.total <- t.total + 1;
+  count_up t h;
+  notify t v d
 
 let inject t ~cap src dest =
   if src = dest then true
@@ -33,10 +77,13 @@ let inject t ~cap src dest =
 let force_add t v d = if v <> d then add t v d
 
 let remove t v d =
-  if t.h.(v).(d) <= 0 then invalid_arg "Buffers.remove: empty buffer";
-  t.h.(v).(d) <- t.h.(v).(d) - 1;
+  let h = t.h.(v).(d) in
+  if h <= 0 then invalid_arg "Buffers.remove: empty buffer";
+  t.h.(v).(d) <- h - 1;
   t.total <- t.total - 1;
-  if t.h.(v).(d) = 0 then Hashtbl.remove t.nonzero.(v) d
+  if h = 1 then Hashtbl.remove t.nonzero.(v) d;
+  count_down t h;
+  notify t v d
 
 let iter_nonzero t v f = Hashtbl.iter (fun d () -> f d t.h.(v).(d)) t.nonzero.(v)
 
@@ -45,7 +92,4 @@ let fold_nonzero t v ~init ~f =
 
 let total t = t.total
 
-let max_height t =
-  let best = ref 0 in
-  Array.iter (fun row -> Array.iter (fun x -> if x > !best then best := x) row) t.h;
-  !best
+let max_height t = t.max_h

@@ -37,4 +37,13 @@ val total : t -> int
 (** Total packets currently buffered. *)
 
 val max_height : t -> int
-(** Largest buffer height present. *)
+(** Largest buffer height present.  O(1): tracked incrementally across
+    adds and removes. *)
+
+val set_watcher : t -> (int -> int -> unit) -> unit
+(** [set_watcher t f] makes every height change call [f v d] (after the
+    change is applied).  At most one watcher is active; setting a new one
+    replaces the old.  The engines use this to maintain dirty-node sets
+    for incremental decision caching. *)
+
+val clear_watcher : t -> unit

@@ -40,30 +40,29 @@ let run ~epochs ~injections ~cost ~params () =
       let g = epoch.graph in
       let edge_cost = Array.init (Graph.num_edges g) (fun e -> cost (Graph.length g e)) in
       let colors, k = Conflict.greedy_coloring epoch.conflict in
+      (* Colour classes precomputed once per epoch, in the descending
+         edge-id order the per-step fold used to produce. *)
+      let by_class = Array.make (max k 1) [] in
+      Array.iteri (fun id c -> by_class.(c) <- id :: by_class.(c)) colors;
+      (* The cache is rebuilt per epoch (the topology changed); buffers
+         persist, and create starts all-invalid, so no stale decisions
+         survive an epoch boundary. *)
+      let cache = Engine.Cache.create ~graph:g ~buffers ~params ~edge_cost in
       for local = 0 to epoch.steps - 1 do
         let t = !steps_total in
         incr steps_total;
         ignore local;
         (* Interference-free TDMA: activate one colour class per step. *)
-        let active =
-          if k = 0 then []
-          else begin
-            let cls = t mod k in
-            Graph.fold_edges g ~init:[] ~f:(fun acc id _ ->
-                if colors.(id) = cls then id :: acc else acc)
-          end
-        in
+        let active = if k = 0 then [] else by_class.(t mod k) in
+        Engine.Cache.flush cache;
         let decisions =
           List.concat_map
             (fun e ->
-              let u, v = Graph.endpoints g e in
-              let c = edge_cost.(e) in
-              List.filter_map
-                (fun d -> Option.map (fun d -> (e, d)) d)
-                [
-                  Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
-                  Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
-                ])
+              match (Engine.Cache.fwd cache e, Engine.Cache.bwd cache e) with
+              | Some a, Some b -> [ (e, a); (e, b) ]
+              | Some a, None -> [ (e, a) ]
+              | None, Some b -> [ (e, b) ]
+              | None, None -> [])
             active
         in
         let decisions =

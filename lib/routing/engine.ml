@@ -15,11 +15,11 @@ type stats = {
 }
 
 let throughput_ratio s (opt : Workload.opt_stats) =
-  if opt.Workload.deliveries = 0 then 1.
+  if opt.Workload.deliveries = 0 then 0.
   else float_of_int s.delivered /. float_of_int opt.Workload.deliveries
 
 let cost_ratio s (opt : Workload.opt_stats) =
-  if s.delivered = 0 || opt.Workload.avg_cost <= 0. then 1.
+  if s.delivered = 0 || opt.Workload.avg_cost <= 0. then Float.nan
   else s.total_cost /. float_of_int s.delivered /. opt.Workload.avg_cost
 
 type counters = {
@@ -42,6 +42,138 @@ let fresh_counters () =
     total_cost = 0.;
     peak_height = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decision cache.
+
+   [Balancing.best_toward] over an edge depends only on the buffer heights
+   at its two endpoints (and the static edge cost), and its argmax is
+   order-independent, so a cached decision stays exact until a height at
+   either endpoint changes.  A watcher on the buffers collects the nodes
+   whose heights changed into a dirty set; flushing at the start of each
+   step invalidates only the edges incident to dirty nodes.  Per-step work
+   therefore tracks what changed in a neighbourhood instead of rescanning
+   every edge's buffers. *)
+module Cache = struct
+  type t = {
+    graph : Graph.t;
+    buffers : Buffers.t;
+    params : Balancing.params;
+    edge_cost : float array;
+    fwd : Balancing.decision option array;  (* u -> v, by edge id *)
+    bwd : Balancing.decision option array;  (* v -> u *)
+    valid : bool array;
+    mutable dirty : int list;  (* nodes whose heights changed since flush *)
+    node_dirty : bool array;
+  }
+
+  let create ~graph ~buffers ~params ~edge_cost =
+    let m = Graph.num_edges graph in
+    let c =
+      {
+        graph;
+        buffers;
+        params;
+        edge_cost;
+        fwd = Array.make m None;
+        bwd = Array.make m None;
+        valid = Array.make m false;
+        dirty = [];
+        node_dirty = Array.make (Graph.n graph) false;
+      }
+    in
+    Buffers.set_watcher buffers (fun v _d ->
+        if not c.node_dirty.(v) then begin
+          c.node_dirty.(v) <- true;
+          c.dirty <- v :: c.dirty
+        end);
+    c
+
+  (* Invalidate the edges incident to nodes touched since the last flush.
+     Called at the start of each step, so within a step every lookup
+     returns the decision on start-of-step heights (the paper's
+     simultaneous rule). *)
+  let flush c =
+    (match c.dirty with
+    | [] -> ()
+    | dirty ->
+        List.iter
+          (fun v ->
+            c.node_dirty.(v) <- false;
+            Graph.iter_neighbors c.graph v (fun _ id -> c.valid.(id) <- false))
+          dirty);
+    c.dirty <- []
+
+  let refresh c e =
+    let u, v = Graph.endpoints c.graph e in
+    let cost = c.edge_cost.(e) in
+    c.fwd.(e) <- Balancing.best_toward c.buffers c.params ~cost ~src:u ~dst:v;
+    c.bwd.(e) <- Balancing.best_toward c.buffers c.params ~cost ~src:v ~dst:u;
+    c.valid.(e) <- true
+
+  let fwd c e =
+    if not c.valid.(e) then refresh c e;
+    c.fwd.(e)
+
+  let bwd c e =
+    if not c.valid.(e) then refresh c e;
+    c.bwd.(e)
+
+  (* Same preference as {!Balancing.best_either}: ties go to u -> v. *)
+  let either c e =
+    if not c.valid.(e) then refresh c e;
+    match (c.fwd.(e), c.bwd.(e)) with
+    | (None, d) | (d, None) -> d
+    | (Some f, Some b) as both ->
+        if b.Balancing.gain > f.Balancing.gain then snd both else fst both
+end
+
+(* ------------------------------------------------------------------ *)
+(* Colour-class padding.  The classes and the conflict adjacency are
+   precomputed once per run; per step, base membership and interference
+   with the base are checked against scratch marks instead of scanning
+   the base list per edge. *)
+module Pad = struct
+  type t = {
+    conflict_adj : int array array;
+    by_class : int list array;  (* ascending edge ids per colour class *)
+    num_classes : int;
+    in_base : bool array;  (* per-edge scratch, cleared after each step *)
+  }
+
+  let create conflict =
+    let colors, k = Conflict.greedy_coloring conflict in
+    let m = Array.length colors in
+    let by_class = Array.make (max k 1) [] in
+    for e = m - 1 downto 0 do
+      by_class.(colors.(e)) <- e :: by_class.(colors.(e))
+    done;
+    {
+      conflict_adj = Conflict.adjacency conflict;
+      by_class;
+      num_classes = k;
+      in_base = Array.make m false;
+    }
+
+  (* [base] plus the step's colour class, skipping base duplicates and
+     class edges that interfere with a base edge; extras in ascending
+     edge-id order after the base. *)
+  let active p ~step base =
+    if p.num_classes = 0 then base
+    else begin
+      let cls = step mod p.num_classes in
+      List.iter (fun e -> p.in_base.(e) <- true) base;
+      let extra =
+        List.filter
+          (fun id ->
+            (not p.in_base.(id))
+            && not (Array.exists (fun e' -> p.in_base.(e')) p.conflict_adj.(id)))
+          p.by_class.(cls)
+      in
+      List.iter (fun e -> p.in_base.(e) <- false) base;
+      base @ extra
+    end
+end
 
 let do_injections buffers (params : Balancing.params) counters injections =
   List.iter
@@ -103,49 +235,57 @@ let finish ~steps buffers counters =
 
 let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w : Workload.t) =
   let n = Graph.n graph in
+  let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
-  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
-  let coloring =
-    match pad with
-    | Some c -> Some (Conflict.greedy_coloring c)
-    | None -> None
+  (* [cost_at] overrides the static costs for every edge and step, so the
+     static table would be dead weight: only build it (and the decision
+     cache keyed on it) when costs are static. *)
+  let edge_cost =
+    match cost_at with
+    | Some _ -> [||]
+    | None -> Array.init m (fun e -> cost (Graph.length graph e))
   in
+  let cache =
+    match cost_at with
+    | Some _ -> None
+    | None -> Some (Cache.create ~graph ~buffers ~params ~edge_cost)
+  in
+  let pad_state = Option.map Pad.create pad in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
     let active =
-      match (pad, coloring) with
-      | Some c, Some (colors, k) when k > 0 ->
-          let cls = t mod k in
-          let extra =
-            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
-                if
-                  colors.(id) = cls
-                  && (not (List.mem id base))
-                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
-                then id :: acc
-                else acc)
-          in
-          base @ List.rev extra
-      | _ -> base
+      match pad_state with Some p -> Pad.active p ~step:t base | None -> base
     in
     (* Decide every send on the step's starting heights, then apply. *)
     let step_cost e =
       match cost_at with Some f -> f ~step:t ~edge:e | None -> edge_cost.(e)
     in
+    (match cache with Some c -> Cache.flush c | None -> ());
     let decisions =
-      List.concat_map
-        (fun e ->
-          let u, v = Graph.endpoints graph e in
-          let c = step_cost e in
-          List.filter_map
-            (fun d -> Option.map (fun d -> (e, d)) d)
-            [
-              Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
-              Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
-            ])
-        active
+      match cache with
+      | Some c ->
+          List.concat_map
+            (fun e ->
+              match (Cache.fwd c e, Cache.bwd c e) with
+              | Some a, Some b -> [ (e, a); (e, b) ]
+              | Some a, None -> [ (e, a) ]
+              | None, Some b -> [ (e, b) ]
+              | None, None -> [])
+            active
+      | None ->
+          List.concat_map
+            (fun e ->
+              let u, v = Graph.endpoints graph e in
+              let c = step_cost e in
+              List.filter_map
+                (fun d -> Option.map (fun d -> (e, d)) d)
+                [
+                  Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
+                  Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
+                ])
+            active
     in
     let decisions =
       List.stable_sort (fun (_, a) (_, b) -> application_order a b) decisions
@@ -163,40 +303,44 @@ let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w
 
 let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac (w : Workload.t) =
   let n = Graph.n graph in
+  let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
-  let m = Graph.num_edges graph in
   let edge_cost = Array.init m (fun e -> cost (Graph.length graph e)) in
+  let cache = Cache.create ~graph ~buffers ~params ~edge_cost in
+  let conflict_adj = Option.map Conflict.adjacency collisions in
+  (* Scratch marks for the granted set, so collision checks walk an edge's
+     interference neighbourhood instead of the whole granted list. *)
+  let granted_mark = Array.make m false in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     (* Requests: the best prospective send per edge, decided on the step's
-       starting heights. *)
-    let decisions = Hashtbl.create 64 in
-    let requests =
-      Graph.fold_edges graph ~init:[] ~f:(fun acc e edge ->
-          match
-            Balancing.best_either buffers params ~cost:edge_cost.(e) ~u:edge.Graph.u
-              ~v:edge.Graph.v
-          with
-          | None -> acc
-          | Some d ->
-              Hashtbl.replace decisions e d;
-              { Mac.edge = e; sender = d.Balancing.src; benefit = d.Balancing.gain } :: acc)
-    in
-    let granted = mac.Mac.select ~step:t (List.rev requests) in
-    let collided r =
-      match collisions with
+       starting heights.  Only edges whose endpoints changed since the
+       last step are recomputed. *)
+    Cache.flush cache;
+    let requests = ref [] in
+    for e = m - 1 downto 0 do
+      match Cache.either cache e with
+      | None -> ()
+      | Some d ->
+          requests :=
+            { Mac.edge = e; sender = d.Balancing.src; benefit = d.Balancing.gain }
+            :: !requests
+    done;
+    let granted = mac.Mac.select ~step:t !requests in
+    if conflict_adj <> None then
+      List.iter (fun (r : Mac.request) -> granted_mark.(r.Mac.edge) <- true) granted;
+    let collided (r : Mac.request) =
+      match conflict_adj with
       | None -> false
-      | Some c ->
-          List.exists
-            (fun (r' : Mac.request) ->
-              r'.Mac.edge <> r.Mac.edge && Conflict.interfere c r.Mac.edge r'.Mac.edge)
-            granted
+      | Some adj ->
+          (* Adjacency lists never contain the edge itself. *)
+          Array.exists (fun e' -> granted_mark.(e')) adj.(r.Mac.edge)
     in
-    let granted =
+    let ordered =
       List.stable_sort
         (fun (a : Mac.request) (b : Mac.request) ->
-          match (Hashtbl.find_opt decisions a.Mac.edge, Hashtbl.find_opt decisions b.Mac.edge) with
+          match (Cache.either cache a.Mac.edge, Cache.either cache b.Mac.edge) with
           | Some da, Some db -> application_order da db
           | _ -> 0)
         granted
@@ -204,10 +348,11 @@ let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac 
     List.iter
       (fun (r : Mac.request) ->
         let e = r.Mac.edge in
-        attempt_send buffers counters ~edge_cost:edge_cost.(e)
-          (Hashtbl.find_opt decisions e)
+        attempt_send buffers counters ~edge_cost:edge_cost.(e) (Cache.either cache e)
           ~collided:(collided r))
-      granted;
+      ordered;
+    if conflict_adj <> None then
+      List.iter (fun (r : Mac.request) -> granted_mark.(r.Mac.edge) <- false) granted;
     if t < w.Workload.horizon then do_injections buffers params counters w.Workload.injections.(t);
     match on_step with
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)

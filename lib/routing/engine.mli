@@ -28,11 +28,62 @@ val application_order : Balancing.decision -> Balancing.decision -> int
     variants (see {!Tracked_engine}). *)
 
 val throughput_ratio : stats -> Workload.opt_stats -> float
-(** [delivered / opt.deliveries] (1. when OPT delivered nothing). *)
+(** [delivered / opt.deliveries].  [0.] when OPT delivered nothing: a run
+    with no certified deliveries to compete against earns nothing, rather
+    than a spuriously perfect ratio. *)
 
 val cost_ratio : stats -> Workload.opt_stats -> float
-(** Average cost per delivery relative to OPT's ([1.] when either side has
-    no deliveries). *)
+(** Average cost per delivery relative to OPT's.  [Float.nan] when the run
+    delivered nothing (or OPT's average cost is not positive): the ratio is
+    undefined, and reporting [1.] would make a run that delivers nothing
+    look perfect.  Bench tables render it as [n/a]. *)
+
+(** Per-edge cached balancing decisions, invalidated incrementally.
+
+    A decision over an edge depends only on the buffer heights at its two
+    endpoints and the (static) edge cost, and the argmax is independent of
+    buffer-iteration order, so cached decisions are exact.  A watcher on
+    the buffers collects changed nodes; {!Cache.flush} invalidates only the
+    edges incident to them.  Engine variants share this structure. *)
+module Cache : sig
+  type t
+
+  val create :
+    graph:Adhoc_graph.Graph.t ->
+    buffers:Buffers.t ->
+    params:Balancing.params ->
+    edge_cost:float array ->
+    t
+  (** Registers a watcher on [buffers] (replacing any previous one). *)
+
+  val flush : t -> unit
+  (** Invalidates edges incident to nodes whose heights changed since the
+      last flush.  Call at the start of each step, before reading. *)
+
+  val fwd : t -> int -> Balancing.decision option
+  (** Best send [u -> v] over the edge, on the heights as of the last
+      flush. *)
+
+  val bwd : t -> int -> Balancing.decision option
+
+  val either : t -> int -> Balancing.decision option
+  (** The better direction, ties preferring [u -> v] — the cached
+      equivalent of {!Balancing.best_either}. *)
+end
+
+(** Precomputed colour-class padding for Scenario-1 engines: colour classes
+    and conflict adjacency are built once per run, and per-step base
+    membership uses scratch marks instead of scanning lists. *)
+module Pad : sig
+  type t
+
+  val create : Adhoc_interference.Conflict.t -> t
+
+  val active : t -> step:int -> int list -> int list
+  (** [active p ~step base] is [base] plus the step's colour class (round
+      robin), minus base duplicates and class edges interfering with a base
+      edge; extras follow the base in ascending edge-id order. *)
+end
 
 val run_mac_given :
   ?cooldown:int ->

@@ -21,38 +21,43 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
   and total_cost = ref 0.
   and peak = ref 0 in
   let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
-  let coloring = Option.map Conflict.greedy_coloring pad in
+  let pad_state = Option.map Engine.Pad.create pad in
+  (* A cell can only drift past the quantum if its true height changed
+     since it was last checked, so the advertisement phase needs to look at
+     changed cells only — not the whole n x n matrix. *)
+  let cell_dirty = Array.make_matrix n n false in
+  let dirty_cells = ref [] in
+  Buffers.set_watcher buffers (fun v d ->
+      if not cell_dirty.(v).(d) then begin
+        cell_dirty.(v).(d) <- true;
+        dirty_cells := (v, d) :: !dirty_cells
+      end);
+  let node_changed = Array.make n false in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     (* Advertisement phase: one broadcast per node whose heights drifted
        beyond the quantum since last advertised. *)
-    for v = 0 to n - 1 do
-      let changed = ref false in
-      for d = 0 to n - 1 do
+    let announced = ref 0 in
+    List.iter
+      (fun (v, d) ->
+        cell_dirty.(v).(d) <- false;
         let h = Buffers.height buffers v d in
         if abs (h - advertised.(v).(d)) > quantum then begin
           advertised.(v).(d) <- h;
-          changed := true
-        end
-      done;
-      if !changed then incr control
-    done;
+          if not node_changed.(v) then begin
+            node_changed.(v) <- true;
+            incr announced
+          end
+        end)
+      !dirty_cells;
+    if !announced > 0 then begin
+      control := !control + !announced;
+      List.iter (fun (v, _) -> node_changed.(v) <- false) !dirty_cells
+    end;
+    dirty_cells := [];
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
     let active =
-      match (pad, coloring) with
-      | Some c, Some (colors, k) when k > 0 ->
-          let cls = t mod k in
-          let extra =
-            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
-                if
-                  colors.(id) = cls
-                  && (not (List.mem id base))
-                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
-                then id :: acc
-                else acc)
-          in
-          base @ List.rev extra
-      | _ -> base
+      match pad_state with Some p -> Engine.Pad.active p ~step:t base | None -> base
     in
     (* Decisions: the sender knows its own buffers exactly but sees only
        the advertised heights of its neighbour. *)

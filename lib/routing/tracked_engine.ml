@@ -1,5 +1,4 @@
 module Graph = Adhoc_graph.Graph
-module Conflict = Adhoc_interference.Conflict
 module Stats = Adhoc_util.Stats
 
 type stats = {
@@ -36,38 +35,24 @@ let run_mac_given ?(cooldown = 0) ?pad ~graph ~cost ~params (w : Workload.t) =
   and total_cost = ref 0.
   and peak = ref 0 in
   let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
-  let coloring = Option.map Conflict.greedy_coloring pad in
+  let cache = Engine.Cache.create ~graph ~buffers ~params ~edge_cost in
+  let pad_state = Option.map Engine.Pad.create pad in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
     let active =
-      match (pad, coloring) with
-      | Some c, Some (colors, k) when k > 0 ->
-          let cls = t mod k in
-          let extra =
-            Graph.fold_edges graph ~init:[] ~f:(fun acc id _ ->
-                if
-                  colors.(id) = cls
-                  && (not (List.mem id base))
-                  && List.for_all (fun e -> not (Conflict.interfere c id e)) base
-                then id :: acc
-                else acc)
-          in
-          base @ List.rev extra
-      | _ -> base
+      match pad_state with Some p -> Engine.Pad.active p ~step:t base | None -> base
     in
     (* Decide on start-of-step heights, apply deliveries-first. *)
+    Engine.Cache.flush cache;
     let decisions =
       List.concat_map
         (fun e ->
-          let u, v = Graph.endpoints graph e in
-          let c = edge_cost.(e) in
-          List.filter_map
-            (fun d -> Option.map (fun d -> (e, d)) d)
-            [
-              Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
-              Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
-            ])
+          match (Engine.Cache.fwd cache e, Engine.Cache.bwd cache e) with
+          | Some a, Some b -> [ (e, a); (e, b) ]
+          | Some a, None -> [ (e, a) ]
+          | None, Some b -> [ (e, b) ]
+          | None, None -> [])
         active
     in
     let decisions =

@@ -74,6 +74,42 @@ let test_buffers_nonzero_iteration =
       && Buffers.max_height b
          = Array.fold_left (fun a row -> Array.fold_left max a row) 0 reference)
 
+let test_buffers_max_height_incremental () =
+  let b = Buffers.create 3 in
+  Alcotest.(check int) "empty" 0 (Buffers.max_height b);
+  (* Push one pile well past the initial histogram capacity. *)
+  for _ = 1 to 100 do
+    Buffers.force_add b 0 1
+  done;
+  for _ = 1 to 40 do
+    Buffers.force_add b 2 0
+  done;
+  Alcotest.(check int) "tall pile" 100 (Buffers.max_height b);
+  (* Draining the tallest pile must walk the maximum down to the next. *)
+  for _ = 1 to 100 do
+    Buffers.remove b 0 1
+  done;
+  Alcotest.(check int) "next pile" 40 (Buffers.max_height b);
+  for _ = 1 to 40 do
+    Buffers.remove b 2 0
+  done;
+  Alcotest.(check int) "empty again" 0 (Buffers.max_height b)
+
+let test_buffers_watcher () =
+  let b = Buffers.create 3 in
+  let events = ref [] in
+  Buffers.set_watcher b (fun v d -> events := (v, d) :: !events);
+  ignore (Buffers.inject b ~cap:5 0 1);
+  Buffers.force_add b 2 1;
+  Buffers.remove b 0 1;
+  (* Self-addressed injections are absorbed without touching a buffer. *)
+  ignore (Buffers.inject b ~cap:5 1 1);
+  Alcotest.(check (list (pair int int)))
+    "every height change reported" [ (0, 1); (2, 1); (0, 1) ] (List.rev !events);
+  Buffers.clear_watcher b;
+  Buffers.force_add b 0 2;
+  Alcotest.(check int) "cleared watcher is silent" 3 (List.length !events)
+
 (* ------------------------------------------------------------------ *)
 (* Balancing                                                           *)
 
@@ -174,6 +210,148 @@ let test_params_validation () =
       ignore
         (Balancing.Derive.theorem_3_1 ~opt_buffer:1 ~opt_avg_hops:1. ~opt_avg_cost:1. ~delta:1
            ~epsilon:1.5))
+
+(* Random height matrices for the balancing properties below. *)
+let random_heights rng n =
+  let heights = Array.make_matrix n n 0 in
+  for v = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if v <> d && Prng.bool rng then heights.(v).(d) <- Prng.int rng 6
+    done
+  done;
+  heights
+
+let buffers_of_heights heights =
+  let n = Array.length heights in
+  let b = Buffers.create n in
+  for v = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      for _ = 1 to heights.(v).(d) do
+        Buffers.force_add b v d
+      done
+    done
+  done;
+  b
+
+(* Decisions must depend only on the height matrix, never on the order the
+   hash-backed buffers happened to be built in — the incremental decision
+   cache relies on this to reuse decisions computed at different times. *)
+let test_balancing_order_independent =
+  qtest "decisions ignore buffer construction order" ~count:150 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let heights = random_heights rng n in
+      let forward = buffers_of_heights heights in
+      (* Same matrix, built backwards with add/remove churn pushing the
+         hashtables through a different insertion history. *)
+      let churned = Buffers.create n in
+      for v = n - 1 downto 0 do
+        for d = n - 1 downto 0 do
+          if v <> d then begin
+            Buffers.force_add churned v d;
+            for _ = 1 to heights.(v).(d) do
+              Buffers.force_add churned v d
+            done;
+            Buffers.remove churned v d
+          end
+        done
+      done;
+      let p =
+        Balancing.params ~threshold:(Prng.uniform rng) ~gamma:(Prng.uniform rng)
+          ~capacity:100
+      in
+      let cost = Prng.uniform rng in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            if
+              Balancing.best_toward forward p ~cost ~src ~dst
+              <> Balancing.best_toward churned p ~cost ~src ~dst
+            then ok := false;
+            if
+              src < dst
+              && Balancing.best_either forward p ~cost ~u:src ~v:dst
+                 <> Balancing.best_either churned p ~cost ~u:src ~v:dst
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* best_toward against a brute-force oracle over the full matrix: the chosen
+   destination is the argmax (ties to the smaller index) and its gain clears
+   the threshold strictly. *)
+let test_balancing_matches_oracle =
+  qtest "best_toward = brute-force argmax, gain > threshold" ~count:150 seed_gen
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let heights = random_heights rng n in
+      let b = buffers_of_heights heights in
+      let p =
+        Balancing.params ~threshold:(Prng.uniform rng *. 2.) ~gamma:(Prng.uniform rng)
+          ~capacity:100
+      in
+      let cost = Prng.uniform rng in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            let expected = ref None in
+            for d = 0 to n - 1 do
+              if heights.(src).(d) > 0 then begin
+                let gain =
+                  float_of_int (heights.(src).(d) - heights.(dst).(d))
+                  -. (p.Balancing.gamma *. cost)
+                in
+                if gain > p.Balancing.threshold then
+                  match !expected with
+                  | Some (_, bg) when bg >= gain -> ()
+                  | _ -> expected := Some (d, gain)
+              end
+            done;
+            match (Balancing.best_toward b p ~cost ~src ~dst, !expected) with
+            | None, None -> ()
+            | Some dec, Some (d, gain)
+              when dec.Balancing.dest = d
+                   && dec.Balancing.gain = gain
+                   && dec.Balancing.gain > p.Balancing.threshold
+                   && dec.Balancing.src = src
+                   && dec.Balancing.dst = dst ->
+                ()
+            | _ -> ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_balancing_apply_conserves =
+  qtest "apply conserves packets (Moved) or absorbs one (Delivered)" ~count:150 seed_gen
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 6 in
+      let b = buffers_of_heights (random_heights rng n) in
+      let p = Balancing.params ~threshold:0. ~gamma:(Prng.uniform rng) ~capacity:100 in
+      let cost = Prng.uniform rng in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            match Balancing.best_toward b p ~cost ~src ~dst with
+            | None -> ()
+            | Some d ->
+                let before = Buffers.total b in
+                (match Balancing.apply b d with
+                | `Moved ->
+                    if Buffers.total b <> before then ok := false;
+                    if d.Balancing.dest = dst then ok := false
+                | `Delivered ->
+                    if Buffers.total b <> before - 1 then ok := false;
+                    if d.Balancing.dest <> dst then ok := false)
+        done
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
@@ -932,6 +1110,9 @@ let test_quantized_conservation =
 (* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)
 
+(* Regression: a run that delivers nothing must not report a *perfect*
+   ratio.  cost_ratio is undefined (nan) without deliveries; throughput
+   against an empty OPT is 0, not 1. *)
 let test_ratios_edge_cases () =
   let stats =
     {
@@ -949,12 +1130,19 @@ let test_ratios_edge_cases () =
   let opt_zero =
     { Workload.deliveries = 0; total_cost = 0.; avg_cost = 0.; avg_hops = 0.; max_buffer = 1; delta = 1 }
   in
-  check_close "tput with opt=0" 1. (Engine.throughput_ratio stats opt_zero);
-  check_close "cost with no deliveries" 1. (Engine.cost_ratio stats opt_zero);
+  check_close "tput with opt=0" 0. (Engine.throughput_ratio stats opt_zero);
+  Alcotest.(check bool) "cost undefined with no deliveries" true
+    (Float.is_nan (Engine.cost_ratio stats opt_zero));
   let opt =
     { opt_zero with Workload.deliveries = 10; avg_cost = 2. }
   in
   check_close "tput zero" 0. (Engine.throughput_ratio stats opt);
+  Alcotest.(check bool) "no deliveries, real OPT: still undefined" true
+    (Float.is_nan (Engine.cost_ratio stats opt));
+  (* Costs spent on failed sends alone must not look perfect either. *)
+  let wasted = { stats with Engine.sends = 7; failed_sends = 7; total_cost = 30. } in
+  Alcotest.(check bool) "wasted cost, no deliveries: undefined" true
+    (Float.is_nan (Engine.cost_ratio wasted opt));
   let stats = { stats with Engine.delivered = 5; total_cost = 30. } in
   check_close "tput half" 0.5 (Engine.throughput_ratio stats opt);
   check_close "cost ratio 3" 3. (Engine.cost_ratio stats opt)
@@ -1000,6 +1188,77 @@ let test_workload_bad_configs () =
            { Workload.horizon = 10; attempts = 0; slack = 0; interference_free = false }
            ~rng ~graph:g ~cost:Cost.length ~num_flows:1 ~rate:0.))
 
+(* ------------------------------------------------------------------ *)
+(* Pinned stats: the incremental decision cache, conflict-adjacency MAC
+   and scratch-array rewrites must reproduce the original engine
+   bit-for-bit.  These values were recorded from the pre-rewrite engine
+   on a fixed instance (uniform seed 77, n = 24). *)
+
+let pinned_instance () =
+  let points = Adhoc_pointset.Generators.uniform (Prng.create 77) 24 in
+  let range = 2. *. Udg.critical_range points in
+  let g = Theta_alg.overlay (Theta_alg.build ~theta:(Float.pi /. 6.) ~range points) in
+  let c = Conflict.build (Model.make ~delta:0.5) ~points g in
+  (g, c)
+
+let check_pinned name (s : Engine.stats) ~injected ~dropped ~delivered ~sends ~failed
+    ~cost ~peak ~remaining =
+  Alcotest.(check int) (name ^ ": steps") 500 s.Engine.steps;
+  Alcotest.(check int) (name ^ ": injected") injected s.Engine.injected;
+  Alcotest.(check int) (name ^ ": dropped") dropped s.Engine.dropped;
+  Alcotest.(check int) (name ^ ": delivered") delivered s.Engine.delivered;
+  Alcotest.(check int) (name ^ ": sends") sends s.Engine.sends;
+  Alcotest.(check int) (name ^ ": failed") failed s.Engine.failed_sends;
+  check_close ~eps:1e-12 (name ^ ": cost") cost s.Engine.total_cost;
+  Alcotest.(check int) (name ^ ": peak") peak s.Engine.peak_height;
+  Alcotest.(check int) (name ^ ": remaining") remaining s.Engine.remaining
+
+let pinned_params = lazy (Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50)
+
+let test_engine_pinned_given () =
+  let g, c = pinned_instance () in
+  let config =
+    { Workload.horizon = 300; attempts = 200; slack = 10; interference_free = true }
+  in
+  let w =
+    Workload.flows ~conflict:c config ~rng:(Prng.create 77) ~graph:g ~cost:Cost.length
+      ~num_flows:2
+  in
+  let s =
+    Engine.run_mac_given ~cooldown:200 ~pad:c ~graph:g ~cost:Cost.length
+      ~params:(Lazy.force pinned_params) w
+  in
+  check_pinned "given+pad" s ~injected:155 ~dropped:0 ~delivered:132 ~sends:296 ~failed:0
+    ~cost:80.380614734523775 ~peak:7 ~remaining:23
+
+let pinned_mac_workload (g, _c) =
+  let config =
+    { Workload.horizon = 300; attempts = 200; slack = 10; interference_free = false }
+  in
+  Workload.flows config ~rng:(Prng.create 78) ~graph:g ~cost:Cost.length ~num_flows:2
+
+let test_engine_pinned_csma () =
+  let g, c = pinned_instance () in
+  let w = pinned_mac_workload (g, c) in
+  let mac = Mac.csma ~rng:(Prng.create 79) c in
+  let s =
+    Engine.run_with_mac ~cooldown:200 ~collisions:c ~graph:g ~cost:Cost.length
+      ~params:(Lazy.force pinned_params) ~mac w
+  in
+  check_pinned "csma+collisions" s ~injected:200 ~dropped:0 ~delivered:152 ~sends:279
+    ~failed:0 ~cost:74.551424651997593 ~peak:6 ~remaining:48
+
+let test_engine_pinned_random_mac () =
+  let g, c = pinned_instance () in
+  let w = pinned_mac_workload (g, c) in
+  let mac = Mac.random_interference ~rng:(Prng.create 80) c in
+  let s =
+    Engine.run_with_mac ~cooldown:200 ~collisions:c ~graph:g ~cost:Cost.length
+      ~params:(Lazy.force pinned_params) ~mac w
+  in
+  check_pinned "random-mac" s ~injected:123 ~dropped:77 ~delivered:6 ~sends:59 ~failed:4
+    ~cost:14.846177076478661 ~peak:50 ~remaining:117
+
 let () =
   Alcotest.run "routing"
     [
@@ -1009,6 +1268,8 @@ let () =
           case "remove" test_buffers_remove;
           case "force add" test_buffers_force_add;
           test_buffers_nonzero_iteration;
+          case "incremental max height" test_buffers_max_height_incremental;
+          case "watcher" test_buffers_watcher;
         ] );
       ( "balancing",
         [
@@ -1016,6 +1277,9 @@ let () =
           case "strict threshold" test_balancing_threshold_strict;
           case "apply" test_balancing_apply;
           case "best either" test_balancing_best_either;
+          test_balancing_order_independent;
+          test_balancing_matches_oracle;
+          test_balancing_apply_conserves;
           case "derive 3.1" test_derive_3_1;
           case "derive 3.3" test_derive_3_3;
           case "epsilon monotone" test_derive_epsilon_monotone;
@@ -1038,6 +1302,9 @@ let () =
           case "deterministic" test_engine_deterministic;
           case "capacity drops" test_engine_capacity_drops;
           case "cost accounting" test_cost_accounting;
+          case "pinned stats: given+pad" test_engine_pinned_given;
+          case "pinned stats: csma" test_engine_pinned_csma;
+          case "pinned stats: random mac" test_engine_pinned_random_mac;
         ] );
       ( "tracked",
         [
