@@ -9,12 +9,20 @@ module Stats = Util.Stats
 
 let theta_default = Float.pi /. 6.
 
+(* Ambient observability sink.  The harness installs a fresh sink around
+   each experiment; experiments thread [current_obs ()] into the pipeline
+   so the v2 JSON output can embed span timings, metric snapshots and a
+   trace pointer per experiment. *)
+let obs_sink : Obs.sink option ref = ref None
+
+let current_obs () = !obs_sink
+
 (* Build a connected instance on [n] uniform nodes. *)
 let uniform_instance ?(range_factor = 1.5) ?(theta = theta_default) ?(delta = 0.5) seed n =
   let rng = Prng.create seed in
   let points = Pointset.Generators.uniform rng n in
   let range = range_factor *. Topo.Udg.critical_range points in
-  (rng, Pipeline.prepare ~delta ~theta ~range points)
+  (rng, Pipeline.prepare ~delta ~theta ?obs:(current_obs ()) ~range points)
 
 let mean_and_max values =
   let s = Stats.summarize values in

@@ -180,7 +180,8 @@ let e13 () =
           ~delta:w.Routing.Workload.opt.Routing.Workload.delta ~epsilon:0.5
       in
       let r =
-        Routing.Tracked_engine.run_mac_given ~cooldown:horizon ~pad:b.Pipeline.conflict
+        Routing.Tracked_engine.run_mac_given ~cooldown:horizon ?obs:(current_obs ())
+          ~pad:b.Pipeline.conflict
           ~graph:b.Pipeline.overlay ~cost ~params w
       in
       Table.add_row t

@@ -39,7 +39,7 @@ let e7 () =
           (fun seed ->
             let rng, b = uniform_instance seed 150 in
             let r =
-              Pipeline.run_scenario1 ~epsilon:0.5 ~horizon ~attempts:(2 * horizon) ~flows:2
+              Pipeline.run_scenario1 ?obs:(current_obs ()) ~epsilon:0.5 ~horizon ~attempts:(2 * horizon) ~flows:2
                 ~rng b
             in
             if r.Pipeline.stats.Engine.delivered > 0 then
@@ -119,7 +119,7 @@ let e7 () =
   List.iter
     (fun epsilon ->
       let rng, b = uniform_instance 1000 150 in
-      let r = Pipeline.run_scenario1 ~epsilon ~horizon:16000 ~attempts:32000 ~flows:2 ~rng b in
+      let r = Pipeline.run_scenario1 ?obs:(current_obs ()) ~epsilon ~horizon:16000 ~attempts:32000 ~flows:2 ~rng b in
       Table.add_row t
         [
           fmt2 epsilon;
@@ -228,7 +228,7 @@ let e8 () =
     (fun n ->
       let rng, b = uniform_instance ~range_factor:1.1 ~delta:0.2 11 n in
       let r =
-        Pipeline.run_scenario2 ~epsilon:0.5 ~horizon:80000 ~attempts:80000 ~flows:2
+        Pipeline.run_scenario2 ?obs:(current_obs ()) ~epsilon:0.5 ~horizon:80000 ~attempts:80000 ~flows:2
           ~max_flow_hops:3 ~rng b
       in
       (* The same certified workload under a carrier-sense MAC: grants are
@@ -293,7 +293,7 @@ let e9 () =
     (fun n ->
       let rng, b = uniform_instance ~range_factor:1.1 ~delta:0.2 23 n in
       let r =
-        Pipeline.run_scenario2 ~epsilon:0.5 ~horizon:80000 ~attempts:80000 ~flows:2
+        Pipeline.run_scenario2 ?obs:(current_obs ()) ~epsilon:0.5 ~horizon:80000 ~attempts:80000 ~flows:2
           ~max_flow_hops:3 ~rng b
       in
       record_float (Printf.sprintf "tput_ratio_n%d" n) r.Pipeline.throughput_ratio;
@@ -338,11 +338,11 @@ let e10 () =
         Geom.Hexgrid.group_points (Geom.Hexgrid.make ~side:4.) points |> List.length
       in
       let r =
-        Pipeline.run_honeycomb ~epsilon:0.5 ~horizon:30000 ~attempts:30000 ~flows:2
+        Pipeline.run_honeycomb ?obs:(current_obs ()) ~epsilon:0.5 ~horizon:30000 ~attempts:30000 ~flows:2
           ~max_flow_hops:4 ~rng:(Prng.create 32) b
       in
       let r2 =
-        Pipeline.run_scenario2 ~epsilon:0.5 ~horizon:30000 ~attempts:30000 ~flows:2
+        Pipeline.run_scenario2 ?obs:(current_obs ()) ~epsilon:0.5 ~horizon:30000 ~attempts:30000 ~flows:2
           ~max_flow_hops:4 ~rng:(Prng.create 32) b
       in
       record_float (Printf.sprintf "honeycomb_tput_ratio_n%d" n)

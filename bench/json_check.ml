@@ -1,11 +1,18 @@
-(* Well-formedness check for the bench harness's --json output.
+(* Well-formedness check for the bench harness's --json output and the
+   engines' JSONL traces.
 
    The toolchain ships no JSON library, so this is a small recursive-descent
    parser covering the full JSON grammar.  Beyond syntax it checks the
-   adhoc-bench/1 shape: a top-level object whose "experiments" member is a
-   non-empty array of objects each carrying "id", "seconds" and "metrics".
+   adhoc-bench/2 shape: a top-level object whose "schema" is
+   "adhoc-bench/2" and whose "experiments" member is a non-empty array of
+   objects each carrying "id", "seconds", "metrics", well-formed "spans"
+   (label / count / seconds), an "obs" metric snapshot and a "trace"
+   pointer (string or null).  Version-1 documents are rejected with a
+   dedicated error.
 
-     json_check FILE        exits 0 and prints a summary if the file is valid *)
+     json_check FILE          exits 0 and prints a summary if the file is valid
+     json_check --jsonl FILE  validates a per-step trace: every line one JSON
+                              object with a numeric "step" member *)
 
 exception Bad of string
 
@@ -166,29 +173,57 @@ let parse s =
   if !pos <> n then fail "trailing garbage";
   v
 
+let span_ok = function
+  | Obj fields -> (
+      match
+        ( List.assoc_opt "label" fields,
+          List.assoc_opt "count" fields,
+          List.assoc_opt "seconds" fields )
+      with
+      | Some (Str _), Some (Num _), Some (Num _) -> true
+      | _ -> false)
+  | _ -> false
+
 let experiment_ok = function
   | Obj fields ->
       List.mem_assoc "id" fields
       && List.mem_assoc "seconds" fields
       && List.mem_assoc "metrics" fields
+      && (match List.assoc_opt "spans" fields with
+         | Some (Arr spans) -> List.for_all span_ok spans
+         | _ -> false)
+      && (match List.assoc_opt "obs" fields with Some (Obj _) -> true | _ -> false)
+      && (match List.assoc_opt "trace" fields with
+         | Some (Str _ | Null) -> true
+         | _ -> false)
   | _ -> false
 
-let () =
-  let file =
-    match Sys.argv with
-    | [| _; f |] -> f
-    | _ ->
-        prerr_endline "usage: json_check FILE";
-        exit 2
-  in
+let read_file file =
   let ic = open_in_bin file in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  match parse s with
+  s
+
+let check_document file =
+  match parse (read_file file) with
   | exception Bad msg ->
       Printf.eprintf "%s: invalid JSON: %s\n" file msg;
       exit 1
   | Obj fields -> (
+      (match List.assoc_opt "schema" fields with
+      | Some (Str "adhoc-bench/2") -> ()
+      | Some (Str "adhoc-bench/1") ->
+          Printf.eprintf
+            "%s: version-1 document (adhoc-bench/1); this checker validates \
+             adhoc-bench/2 — regenerate with the current bench harness\n"
+            file;
+          exit 1
+      | Some (Str other) ->
+          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/2\")\n" file other;
+          exit 1
+      | _ ->
+          Printf.eprintf "%s: missing \"schema\" member\n" file;
+          exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr (_ :: _ as exps)) when List.for_all experiment_ok exps ->
           Printf.printf "%s: ok (%d experiments)\n" file (List.length exps)
@@ -201,3 +236,38 @@ let () =
   | _ ->
       Printf.eprintf "%s: top-level value is not an object\n" file;
       exit 1
+
+(* One JSON object per non-empty line, each with a numeric "step". *)
+let check_jsonl file =
+  let lines =
+    String.split_on_char '\n' (read_file file) |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then begin
+    Printf.eprintf "%s: empty trace\n" file;
+    exit 1
+  end;
+  List.iteri
+    (fun i line ->
+      match parse line with
+      | exception Bad msg ->
+          Printf.eprintf "%s:%d: invalid JSON: %s\n" file (i + 1) msg;
+          exit 1
+      | Obj fields -> (
+          match List.assoc_opt "step" fields with
+          | Some (Num _) -> ()
+          | _ ->
+              Printf.eprintf "%s:%d: sample lacks a numeric \"step\"\n" file (i + 1);
+              exit 1)
+      | _ ->
+          Printf.eprintf "%s:%d: line is not a JSON object\n" file (i + 1);
+          exit 1)
+    lines;
+  Printf.printf "%s: ok (%d samples)\n" file (List.length lines)
+
+let () =
+  match Sys.argv with
+  | [| _; f |] -> check_document f
+  | [| _; "--jsonl"; f |] -> check_jsonl f
+  | _ ->
+      prerr_endline "usage: json_check [--jsonl] FILE";
+      exit 2

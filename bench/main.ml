@@ -5,12 +5,18 @@
      dune exec bench/main.exe -- quick     # skip the slowest routing sweeps
      dune exec bench/main.exe -- quick --json out.json
                                            # also write machine-readable results
+     dune exec bench/main.exe -- e7 --json out.json --trace-dir traces
+                                           # + one per-step JSONL trace per experiment
 
    Experiment ids: e1..e11 (paper claims), b1 (micro-benchmarks).
 
-   --json FILE writes one object per executed experiment: its id, title,
-   wall-clock seconds, and the headline metrics the experiment recorded
-   (see EXPERIMENTS.md for the schema). *)
+   --json FILE writes one object per executed experiment (schema
+   adhoc-bench/2): its id, title, wall-clock seconds, the headline metrics
+   the experiment recorded, the observability layer's span timings and
+   metric snapshot, and a pointer to the experiment's trace file when
+   --trace-dir was given (see EXPERIMENTS.md for the schema). *)
+
+module Obs = Adhoc.Obs
 
 let all : (string * string * (unit -> unit)) list =
   [
@@ -44,17 +50,66 @@ let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
 
 let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1" ]
 
-(* Extract "--json FILE" from anywhere in the argument list. *)
-let rec split_json acc = function
-  | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
-  | [ "--json" ] ->
-      prerr_endline "--json requires a file argument";
+(* Extract "--opt VALUE" from anywhere in the argument list. *)
+let rec split_opt name acc = function
+  | flag :: value :: rest when flag = name -> (Some value, List.rev_append acc rest)
+  | [ flag ] when flag = name ->
+      Printf.eprintf "%s requires an argument\n" name;
       exit 1
-  | a :: rest -> split_json (a :: acc) rest
+  | a :: rest -> split_opt name (a :: acc) rest
   | [] -> (None, List.rev acc)
 
+(* One executed experiment, with everything the v2 schema embeds. *)
+type outcome = {
+  id : string;
+  title : string;
+  seconds : float;
+  metrics : (string * Common.Json.t) list;  (* the experiment's headline numbers *)
+  spans : Obs.Span.total list;
+  obs_snapshot : (string * Obs.Metrics.value) list;
+  trace_file : string option;
+}
+
+let span_json (s : Obs.Span.total) =
+  let open Common.Json in
+  Obj
+    [
+      ("label", String s.Obs.Span.label);
+      ("count", Int s.Obs.Span.count);
+      ("seconds", Float s.Obs.Span.seconds);
+    ]
+
+let metric_value_json v =
+  let open Common.Json in
+  match v with
+  | Obs.Metrics.Counter c -> Int c
+  | Obs.Metrics.Gauge g -> Float g
+  | Obs.Metrics.Histogram { buckets; counts; total; sum } ->
+      Obj
+        [
+          ("buckets", List (Array.to_list (Array.map (fun b -> Float b) buckets)));
+          ("counts", List (Array.to_list (Array.map (fun c -> Int c) counts)));
+          ("total", Int total);
+          ("sum", Float sum);
+        ]
+
+let outcome_json o =
+  let open Common.Json in
+  Obj
+    [
+      ("id", String o.id);
+      ("title", String o.title);
+      ("seconds", Float o.seconds);
+      ("metrics", Obj o.metrics);
+      ("spans", List (List.map span_json o.spans));
+      ("obs", Obj (List.map (fun (n, v) -> (n, metric_value_json v)) o.obs_snapshot));
+      ("trace", match o.trace_file with None -> Null | Some f -> String f);
+    ]
+
 let () =
-  let json_file, args = split_json [] (Array.to_list Sys.argv |> List.tl) in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let json_file, args = split_opt "--json" [] args in
+  let trace_dir, args = split_opt "--trace-dir" [] args in
   (* Open the output up front so a bad path fails before hours of
      experiments, not after. *)
   let json_out =
@@ -66,6 +121,13 @@ let () =
           Printf.eprintf "--json: %s\n" msg;
           exit 1)
   in
+  (match trace_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "--trace-dir: %s: %s\n" dir (Unix.error_message e);
+        exit 1)
+  | _ -> ());
   let selected =
     match args with
     | [] -> List.map (fun (id, _, _) -> id) default_set
@@ -80,10 +142,37 @@ let () =
       match List.find_opt (fun (i, _, _) -> i = id) all with
       | Some (_, title, f) ->
           ignore (Common.take_metrics ());
+          (* A fresh sink per experiment so spans, metrics and traces are
+             attributed to exactly one run; experiments pick it up through
+             Common.current_obs. *)
+          let trace =
+            Option.map (fun _ -> Obs.Trace.create ~stride:10 ()) trace_dir
+          in
+          let sink = Obs.create ?trace () in
+          Common.obs_sink := Some sink;
           let t0 = Unix.gettimeofday () in
           f ();
           let seconds = Unix.gettimeofday () -. t0 in
-          results := (id, title, seconds, Common.take_metrics ()) :: !results
+          Common.obs_sink := None;
+          let trace_file =
+            match (trace_dir, sink.Obs.trace) with
+            | Some dir, Some tr when Obs.Trace.length tr > 0 ->
+                let file = Filename.concat dir (id ^ ".jsonl") in
+                Obs.Trace.save_jsonl tr file;
+                Some file
+            | _ -> None
+          in
+          results :=
+            {
+              id;
+              title;
+              seconds;
+              metrics = Common.take_metrics ();
+              spans = Obs.Span.totals sink.Obs.spans;
+              obs_snapshot = Obs.Metrics.snapshot sink.Obs.metrics;
+              trace_file;
+            }
+            :: !results
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" id
             (String.concat ", " (List.map (fun (i, _, _) -> i) all));
@@ -93,20 +182,12 @@ let () =
   | None -> ()
   | Some (file, oc) ->
       let open Common.Json in
-      let experiments =
-        List.rev_map
-          (fun (id, title, seconds, metrics) ->
-            Obj
-              [
-                ("id", String id);
-                ("title", String title);
-                ("seconds", Float seconds);
-                ("metrics", Obj metrics);
-              ])
-          !results
-      in
       let doc =
-        Obj [ ("schema", String "adhoc-bench/1"); ("experiments", List experiments) ]
+        Obj
+          [
+            ("schema", String "adhoc-bench/2");
+            ("experiments", List (List.rev_map outcome_json !results));
+          ]
       in
       output_string oc (to_string doc);
       output_char oc '\n';

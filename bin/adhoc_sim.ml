@@ -56,11 +56,11 @@ let make_points dist rng n =
   | `Clusters -> Pointset.Generators.clusters ~num_clusters:5 ~spread:0.05 rng n
   | `Ring -> Pointset.Generators.ring ~width:0.25 rng n
 
-let build seed n theta range_factor delta dist =
+let build ?obs seed n theta range_factor delta dist =
   let rng = Prng.create seed in
   let points = make_points dist rng n in
   let range = range_factor *. Topo.Udg.critical_range points in
-  (rng, points, range, Pipeline.prepare ~delta ~theta ~range points)
+  (rng, points, range, Pipeline.prepare ~delta ~theta ?obs ~range points)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
@@ -153,16 +153,70 @@ let route_cmd =
   let epsilon_t =
     Arg.(value & opt float 0.5 & info [ "epsilon" ] ~docv:"E" ~doc:"Throughput slack ε ∈ (0,1).")
   in
-  let run seed n theta range_factor delta dist scenario horizon flows epsilon =
-    let rng, _, range, b = build seed n theta range_factor delta dist in
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a per-step trace and write it to $(docv) after the run — JSONL by \
+             default, CSV when $(docv) ends in .csv.")
+  in
+  let trace_stride_t =
+    Arg.(
+      value & opt int 1
+      & info [ "trace-stride" ] ~docv:"S"
+          ~doc:"Record every $(docv)-th step of the trace (default 1: every step).")
+  in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the observability layer's span timings and metric snapshot after the run.")
+  in
+  let print_observability (o : Obs.sink) =
+    let spans = Obs.Span.totals o.Obs.spans in
+    if spans <> [] then begin
+      let t =
+        Table.create [ ("span", Table.Left); ("calls", Table.Right); ("seconds", Table.Right) ]
+      in
+      List.iter
+        (fun (s : Obs.Span.total) ->
+          Table.add_row t
+            [ s.Obs.Span.label; string_of_int s.Obs.Span.count; Printf.sprintf "%.6f" s.Obs.Span.seconds ])
+        spans;
+      print_newline ();
+      Table.print t
+    end;
+    let t = Table.create [ ("metric", Table.Left); ("value", Table.Right) ] in
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Obs.Metrics.Counter c -> Table.add_row t [ name; string_of_int c ]
+        | Obs.Metrics.Gauge g -> Table.add_row t [ name; Printf.sprintf "%g" g ]
+        | Obs.Metrics.Histogram { counts; total; _ } ->
+            Table.add_row t
+              [
+                name;
+                Printf.sprintf "n=%d overflow=%d" total counts.(Array.length counts - 1);
+              ])
+      (Obs.Metrics.snapshot o.Obs.metrics);
+    print_newline ();
+    Table.print t
+  in
+  let run seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
+      trace_stride metrics =
+    let trace = Option.map (fun _ -> Obs.Trace.create ~stride:trace_stride ()) trace_file in
+    let obs = if trace <> None || metrics then Some (Obs.create ?trace ()) else None in
+    let rng, _, range, b = build ?obs seed n theta range_factor delta dist in
     let r =
       match scenario with
       | `S1 ->
-          Pipeline.run_scenario1 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+          Pipeline.run_scenario1 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
       | `S2 ->
-          Pipeline.run_scenario2 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+          Pipeline.run_scenario2 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
       | `S3 ->
-          Pipeline.run_honeycomb ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ~rng b
+          Pipeline.run_honeycomb ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
     in
     Printf.printf "range=%.4f  I=%d\n" range b.Pipeline.interference_number;
     Printf.printf "OPT deliveries      %d\n" r.Pipeline.opt.Routing.Workload.deliveries;
@@ -174,13 +228,21 @@ let route_cmd =
     Printf.printf "sends / failed      %d / %d\n" r.Pipeline.stats.Routing.Engine.sends
       r.Pipeline.stats.Routing.Engine.failed_sends;
     Printf.printf "dropped / remaining %d / %d\n" r.Pipeline.stats.Routing.Engine.dropped
-      r.Pipeline.stats.Routing.Engine.remaining
+      r.Pipeline.stats.Routing.Engine.remaining;
+    (match (obs, trace_file) with
+    | Some { Obs.trace = Some tr; _ }, Some file ->
+        if Filename.check_suffix file ".csv" then Obs.Trace.save_csv tr file
+        else Obs.Trace.save_jsonl tr file;
+        Printf.printf "wrote %s (%d samples, stride %d)\n" file (Obs.Trace.length tr)
+          (Obs.Trace.stride tr)
+    | _ -> ());
+    match obs with Some o when metrics -> print_observability o | _ -> ()
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Run a balancing-routing scenario against a certified adversary.")
     Term.(
       const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ scenario_t
-      $ horizon_t $ flows_t $ epsilon_t)
+      $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* geo                                                                 *)

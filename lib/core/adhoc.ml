@@ -11,6 +11,7 @@ module Topo = Adhoc_topo
 module Interference = Adhoc_interference
 module Mac_protocols = Adhoc_mac
 module Routing = Adhoc_routing
+module Obs = Adhoc_obs
 module Viz = Adhoc_viz
 module Io = Adhoc_io
 module Pipeline = Pipeline

@@ -23,12 +23,21 @@ type built = {
   interference_number : int;
 }
 
-let prepare ?(delta = 0.5) ?kappa:_ ~theta ~range points =
-  let gstar = Udg.build ~range points in
-  let alg = Theta_alg.build ~theta ~range points in
+let prepare ?(delta = 0.5) ?kappa:_ ?obs ~theta ~range points =
+  let time label f = Adhoc_obs.time obs label f in
+  let gstar = time "prepare/gstar" (fun () -> Udg.build ~range points) in
+  let alg = time "prepare/theta-alg" (fun () -> Theta_alg.build ~theta ~range points) in
   let overlay = Theta_alg.overlay alg in
   let model = Model.make ~delta in
-  let conflict = Conflict.build model ~points overlay in
+  let conflict = time "prepare/conflict" (fun () -> Conflict.build model ~points overlay) in
+  let interference_number = Conflict.interference_number conflict in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      let g name v = Adhoc_obs.Metrics.set (Adhoc_obs.Metrics.gauge o.Adhoc_obs.metrics name) v in
+      g "topo.nodes" (float_of_int (Array.length points));
+      g "topo.overlay_edges" (float_of_int (Graph.num_edges overlay));
+      g "topo.interference_number" (float_of_int interference_number));
   {
     points;
     range;
@@ -38,7 +47,7 @@ let prepare ?(delta = 0.5) ?kappa:_ ~theta ~range points =
     alg;
     overlay;
     conflict;
-    interference_number = Conflict.interference_number conflict;
+    interference_number;
   }
 
 type result = {
@@ -60,7 +69,7 @@ let make_result opt stats params =
 
 let default_flows b = max 4 (Graph.n b.overlay / 32)
 
-let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ~rng b =
+let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   let cost = Cost.energy ~kappa in
@@ -68,17 +77,24 @@ let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
     { Workload.horizon; attempts; slack = 12; interference_free = true }
   in
   let num_flows = Option.value flows ~default:(default_flows b) in
-  let w = Workload.flows ~conflict:b.conflict ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let w =
+    Adhoc_obs.time obs "workload/certify" (fun () ->
+        Workload.flows ~conflict:b.conflict ?max_hops:max_flow_hops config ~rng
+          ~graph:b.overlay ~cost ~num_flows)
+  in
   let params =
     Balancing.Derive.theorem_3_1 ~opt_buffer:w.Workload.opt.Workload.max_buffer
       ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
       ~opt_avg_cost:(Float.max w.Workload.opt.Workload.avg_cost 1e-9)
       ~delta:w.Workload.opt.Workload.delta ~epsilon
   in
-  let stats = Engine.run_mac_given ~cooldown ~pad:b.conflict ~graph:b.overlay ~cost ~params w in
+  let stats =
+    Adhoc_obs.time obs "run/scenario1" (fun () ->
+        Engine.run_mac_given ~cooldown ?obs ~pad:b.conflict ~graph:b.overlay ~cost ~params w)
+  in
   make_result w.Workload.opt stats params
 
-let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ~rng b =
+let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   let cost = Cost.energy ~kappa in
@@ -86,7 +102,10 @@ let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
     { Workload.horizon; attempts; slack = 12; interference_free = false }
   in
   let num_flows = Option.value flows ~default:(default_flows b) in
-  let w = Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let w =
+    Adhoc_obs.time obs "workload/certify" (fun () ->
+        Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows)
+  in
   let params =
     Balancing.Derive.theorem_3_3 ~opt_buffer:w.Workload.opt.Workload.max_buffer
       ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
@@ -95,11 +114,13 @@ let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
   in
   let mac = Mac.random_interference ~rng:(Prng.split rng) b.conflict in
   let stats =
-    Engine.run_with_mac ~cooldown ~collisions:b.conflict ~graph:b.overlay ~cost ~params ~mac w
+    Adhoc_obs.time obs "run/scenario2" (fun () ->
+        Engine.run_with_mac ~cooldown ?obs ~collisions:b.conflict ~graph:b.overlay ~cost
+          ~params ~mac w)
   in
   make_result w.Workload.opt stats params
 
-let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ~rng b =
+let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?obs ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   (* Fixed transmission strength: every hop costs the same. *)
@@ -108,7 +129,10 @@ let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
     { Workload.horizon; attempts; slack = 12; interference_free = false }
   in
   let num_flows = Option.value flows ~default:(default_flows b) in
-  let w = Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows in
+  let w =
+    Adhoc_obs.time obs "workload/certify" (fun () ->
+        Workload.flows ?max_hops:max_flow_hops config ~rng ~graph:b.overlay ~cost ~num_flows)
+  in
   let params =
     Balancing.Derive.theorem_3_3 ~opt_buffer:w.Workload.opt.Workload.max_buffer
       ~opt_avg_hops:w.Workload.opt.Workload.avg_hops
@@ -120,7 +144,8 @@ let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
       ~rng:(Prng.split rng) b.points
   in
   let stats =
-    Engine.run_with_mac ~cooldown ~collisions:b.conflict ~graph:b.overlay ~cost ~params
-      ~mac:(Honeycomb.mac hc) w
+    Adhoc_obs.time obs "run/honeycomb" (fun () ->
+        Engine.run_with_mac ~cooldown ?obs ~collisions:b.conflict ~graph:b.overlay ~cost
+          ~params ~mac:(Honeycomb.mac hc) w)
   in
   make_result w.Workload.opt stats params

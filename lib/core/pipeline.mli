@@ -19,10 +19,18 @@ type built = {
 }
 
 val prepare :
-  ?delta:float -> ?kappa:float -> theta:float -> range:float -> Adhoc_geom.Point.t array -> built
+  ?delta:float ->
+  ?kappa:float ->
+  ?obs:Adhoc_obs.sink ->
+  theta:float ->
+  range:float ->
+  Adhoc_geom.Point.t array ->
+  built
 (** Builds G*, 𝒩 and the conflict structure.  [delta] defaults to [0.5];
     [kappa] (default 2.) is recorded for the cost model used by the
-    runs. *)
+    runs.  [obs] attributes the build phases to spans ([prepare/gstar],
+    [prepare/theta-alg], [prepare/conflict]) and records topology gauges
+    ([topo.nodes], [topo.overlay_edges], [topo.interference_number]). *)
 
 type result = {
   opt : Adhoc_routing.Workload.opt_stats;
@@ -40,6 +48,7 @@ val run_scenario1 :
   ?flows:int ->
   ?max_flow_hops:int ->
   ?kappa:float ->
+  ?obs:Adhoc_obs.sink ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result
@@ -47,7 +56,9 @@ val run_scenario1 :
     non-interfering each step, padded with colour classes) drive the
     balancing algorithm with the Theorem-3.1 parameter derivation.
     Defaults: ε = 0.5, horizon 2000, attempts ≈ horizon, cooldown =
-    horizon. *)
+    horizon.  [obs] times certification ([workload/certify]) and the run
+    ([run/scenario1]) and is passed through to the engine — see
+    {!Adhoc_routing.Engine.run_mac_given}. *)
 
 val run_scenario2 :
   ?epsilon:float ->
@@ -57,13 +68,15 @@ val run_scenario2 :
   ?flows:int ->
   ?max_flow_hops:int ->
   ?kappa:float ->
+  ?obs:Adhoc_obs.sink ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result
 (** Theorem 3.3 / Corollaries 3.4–3.5: no MAC given.  Random
     [1/(2Iₑ)] symmetry breaking with collisions; OPT is certified without
     interference constraints (it may use interfering edges
-    simultaneously). *)
+    simultaneously).  [obs] as in {!run_scenario1} (run span
+    [run/scenario2]; the MAC additionally reports under [mac/random-mac]). *)
 
 val run_honeycomb :
   ?epsilon:float ->
@@ -72,9 +85,11 @@ val run_honeycomb :
   ?cooldown:int ->
   ?flows:int ->
   ?max_flow_hops:int ->
+  ?obs:Adhoc_obs.sink ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result
 (** Theorem 3.8: fixed transmission strength.  Requires [built.range = 1.]
     conceptually (hexagon side is [3 + 2Δ] in range units); uses hop costs
-    (uniform transmission power). *)
+    (uniform transmission power).  [obs] as in {!run_scenario1} (run span
+    [run/honeycomb]). *)

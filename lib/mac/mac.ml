@@ -69,3 +69,15 @@ let csma ~rng conflict =
   { name = "csma"; select }
 
 let all = { name = "all"; select = (fun ~step:_ requests -> requests) }
+
+let instrument (obs : Adhoc_obs.sink) mac =
+  let requests_c = Adhoc_obs.Metrics.counter obs.metrics ("mac." ^ mac.name ^ ".requests") in
+  let granted_c = Adhoc_obs.Metrics.counter obs.metrics ("mac." ^ mac.name ^ ".granted") in
+  let label = "mac/" ^ mac.name in
+  let select ~step requests =
+    let granted = Adhoc_obs.Span.time obs.spans label (fun () -> mac.select ~step requests) in
+    Adhoc_obs.Metrics.add requests_c (List.length requests);
+    Adhoc_obs.Metrics.add granted_c (List.length granted);
+    granted
+  in
+  { mac with select }

@@ -48,3 +48,10 @@ val csma : rng:Adhoc_util.Prng.t -> Adhoc_interference.Conflict.t -> t
 
 val all : t
 (** Grants everything — for interference-free models and tests. *)
+
+val instrument : Adhoc_obs.sink -> t -> t
+(** [instrument obs mac] wraps [mac] so every [select] is timed under span
+    ["mac/<name>"] and the per-step request / grant counts accumulate in
+    [obs]'s metrics as counters ["mac.<name>.requests"] and
+    ["mac.<name>.granted"].  The engines apply this automatically when
+    given a sink; the arbitration itself is unchanged. *)

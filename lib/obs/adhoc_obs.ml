@@ -1,0 +1,14 @@
+module Metrics = Metrics
+module Span = Span
+module Trace = Trace
+
+type sink = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  trace : Trace.t option;
+}
+
+let create ?trace () = { metrics = Metrics.create (); spans = Span.create (); trace }
+
+let time obs label f =
+  match obs with None -> f () | Some o -> Span.time o.spans label f

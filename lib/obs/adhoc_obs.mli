@@ -1,0 +1,40 @@
+(** Observability: a zero-dependency metrics / profiling / tracing layer.
+
+    The engines, MACs and the pipeline accept an optional {!sink}; passing
+    [None] (the default everywhere) keeps the hot paths allocation-free
+    and bit-identical to the uninstrumented behaviour — instrumentation
+    sites are a single [match] on the option.  A sink bundles:
+
+    - {!Metrics} — named counters, gauges and fixed-bucket histograms,
+      O(1) updates, exported with [Metrics.snapshot];
+    - {!Span} — nestable wall-clock timing scopes accumulated per label
+      ([prepare], [workload/certify], [engine/…], [mac/…]);
+    - {!Trace} — an optional per-step sample recorder with JSONL and CSV
+      sinks (see [adhoc_sim route --trace]).
+
+    Typical use:
+    {[
+      let obs = Adhoc_obs.create ~trace:(Adhoc_obs.Trace.create ~stride:10 ()) () in
+      let r = Pipeline.run_scenario1 ~obs ~rng built in
+      Adhoc_obs.Trace.save_jsonl (Option.get obs.trace) "trace.jsonl";
+      List.iter … (Adhoc_obs.Span.totals obs.spans)
+    ]} *)
+
+module Metrics = Metrics
+module Span = Span
+module Trace = Trace
+
+type sink = {
+  metrics : Metrics.t;
+  spans : Span.t;
+  trace : Trace.t option;  (** no per-step trace unless provided *)
+}
+
+val create : ?trace:Trace.t -> unit -> sink
+(** A sink with fresh metrics and span state. *)
+
+val time : sink option -> string -> (unit -> 'a) -> 'a
+(** [time obs label f] runs [f] inside a span when [obs] is [Some], and
+    just runs it otherwise.  For coarse scopes; inside per-step loops the
+    engines match on the option and use {!Span.enter} / {!Span.leave}
+    directly to stay allocation-free when disabled. *)

@@ -1,0 +1,110 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  buckets : float array;
+  counts : int array;  (* length buckets + 1; last bin is overflow *)
+  mutable total : int;
+  mutable sum : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = (string, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make match_existing =
+  match Hashtbl.find_opt t name with
+  | None ->
+      let i = make () in
+      Hashtbl.add t name i;
+      i
+  | Some existing -> (
+      match match_existing existing with
+      | Some i -> i
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already a %s" name (kind_name existing)))
+
+let counter t name =
+  match register t name (fun () -> C { count = 0 }) (function C _ as i -> Some i | _ -> None)
+  with
+  | C c -> c
+  | _ -> assert false
+
+let incr c = c.count <- c.count + 1
+
+let add c k =
+  if k < 0 then invalid_arg "Metrics.add: negative increment";
+  c.count <- c.count + k
+
+let gauge t name =
+  match register t name (fun () -> G { value = 0. }) (function G _ as i -> Some i | _ -> None)
+  with
+  | G g -> g
+  | _ -> assert false
+
+let set g v = g.value <- v
+
+let histogram t name ~buckets =
+  let k = Array.length buckets in
+  if k = 0 then invalid_arg "Metrics.histogram: no buckets";
+  for i = 1 to k - 1 do
+    if not (buckets.(i) > buckets.(i - 1)) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done;
+  let make () =
+    H { buckets = Array.copy buckets; counts = Array.make (k + 1) 0; total = 0; sum = 0. }
+  in
+  let match_existing = function
+    | H h as i -> if h.buckets = buckets then Some i else None
+    | _ -> None
+  in
+  match register t name make match_existing with H h -> h | _ -> assert false
+
+(* Index of the first bound >= x, or the overflow bin. *)
+let bin h x =
+  let k = Array.length h.buckets in
+  if x > h.buckets.(k - 1) then k
+  else begin
+    let lo = ref 0 and hi = ref (k - 1) in
+    (* Invariant: buckets.(hi) >= x and (lo = 0 or buckets.(lo-1) < x). *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if h.buckets.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe h x =
+  h.counts.(bin h x) <- h.counts.(bin h x) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : float array; counts : int array; total : int; sum : float }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | C c -> Counter c.count
+        | G g -> Gauge g.value
+        | H h ->
+            Histogram
+              {
+                buckets = Array.copy h.buckets;
+                counts = Array.copy h.counts;
+                total = h.total;
+                sum = h.sum;
+              }
+      in
+      (name, v) :: acc)
+    t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

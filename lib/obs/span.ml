@@ -1,0 +1,45 @@
+type acc = { mutable count : int; mutable seconds : float }
+
+type t = {
+  mutable stack : (string * float) list;  (* innermost first: label, start time *)
+  by_label : (string, acc) Hashtbl.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () = { stack = []; by_label = Hashtbl.create 16 }
+
+let enter t label = t.stack <- (label, now ()) :: t.stack
+
+let leave t =
+  match t.stack with
+  | [] -> invalid_arg "Span.leave: no open span"
+  | (label, start) :: rest ->
+      t.stack <- rest;
+      let elapsed = now () -. start in
+      let acc =
+        match Hashtbl.find_opt t.by_label label with
+        | Some a -> a
+        | None ->
+            let a = { count = 0; seconds = 0. } in
+            Hashtbl.add t.by_label label a;
+            a
+      in
+      acc.count <- acc.count + 1;
+      acc.seconds <- acc.seconds +. elapsed
+
+let time t label f =
+  enter t label;
+  Fun.protect ~finally:(fun () -> leave t) f
+
+type total = { label : string; count : int; seconds : float }
+
+let totals t =
+  Hashtbl.fold
+    (fun label (a : acc) out -> { label; count = a.count; seconds = a.seconds } :: out)
+    t.by_label []
+  |> List.sort (fun a b -> String.compare a.label b.label)
+
+let reset t =
+  t.stack <- [];
+  Hashtbl.reset t.by_label

@@ -1,0 +1,36 @@
+(** Span profiler: nestable named timing scopes.
+
+    A profiler holds a stack of open spans and, per label, the accumulated
+    wall-clock (inclusive) and call count of closed spans.  Scopes nest
+    freely — a label's time includes the time of everything opened inside
+    it — and the same label may recur at any depth; occurrences accumulate
+    under one entry.  Timing uses [Unix.gettimeofday] (the portable choice
+    given the toolchain; sub-microsecond resolution on Linux). *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> string -> unit
+(** Open a span.  Must be balanced by {!leave}. *)
+
+val leave : t -> unit
+(** Close the innermost open span and accumulate its elapsed time under
+    its label.  Raises [Invalid_argument] when no span is open. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t label f] runs [f] inside a span, closing it even when [f]
+    raises. *)
+
+type total = {
+  label : string;
+  count : int;  (** closed occurrences *)
+  seconds : float;  (** accumulated inclusive wall-clock *)
+}
+
+val totals : t -> total list
+(** Accumulated closed spans, sorted by label.  Open spans are not
+    included until they close. *)
+
+val reset : t -> unit
+(** Drops accumulated totals and any open spans. *)

@@ -1,0 +1,82 @@
+type sample = {
+  step : int;
+  buffered : int;
+  max_height : int;
+  mean_height : float;
+  injected : int;
+  delivered : int;
+  dropped : int;
+  sends : int;
+  failed_sends : int;
+  active_edges : int;
+}
+
+let dummy =
+  {
+    step = 0;
+    buffered = 0;
+    max_height = 0;
+    mean_height = 0.;
+    injected = 0;
+    delivered = 0;
+    dropped = 0;
+    sends = 0;
+    failed_sends = 0;
+    active_edges = 0;
+  }
+
+type t = { stride : int; mutable buf : sample array; mutable len : int }
+
+let create ?(stride = 1) ?(initial_capacity = 1024) () =
+  if stride < 1 then invalid_arg "Trace.create: stride must be >= 1";
+  if initial_capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { stride; buf = Array.make initial_capacity dummy; len = 0 }
+
+let stride t = t.stride
+
+let wants t ~step = step mod t.stride = 0
+
+let record t s =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- s;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let samples t = Array.sub t.buf 0 t.len
+
+(* Floats print as valid JSON numbers ("%.12g" never yields a bare "1e5"
+   problem, but "inf"/"nan" would not parse — the engines only record
+   finite means, and we guard anyway). *)
+let float_field f = if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let write_jsonl t oc =
+  iter t (fun s ->
+      Printf.fprintf oc
+        "{\"step\":%d,\"buffered\":%d,\"max_height\":%d,\"mean_height\":%s,\"injected\":%d,\"delivered\":%d,\"dropped\":%d,\"sends\":%d,\"failed_sends\":%d,\"active_edges\":%d}\n"
+        s.step s.buffered s.max_height (float_field s.mean_height) s.injected s.delivered
+        s.dropped s.sends s.failed_sends s.active_edges)
+
+let write_csv t oc =
+  output_string oc
+    "step,buffered,max_height,mean_height,injected,delivered,dropped,sends,failed_sends,active_edges\n";
+  iter t (fun s ->
+      Printf.fprintf oc "%d,%d,%d,%s,%d,%d,%d,%d,%d,%d\n" s.step s.buffered s.max_height
+        (float_field s.mean_height) s.injected s.delivered s.dropped s.sends s.failed_sends
+        s.active_edges)
+
+let save_with writer t file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> writer t oc)
+
+let save_jsonl = save_with write_jsonl
+let save_csv = save_with write_csv

@@ -1,0 +1,51 @@
+(** Per-step trace recorder: a growable buffer of simulation-step samples
+    with a configurable sampling stride and JSONL / CSV sinks.
+
+    The engines fill one {!sample} per recorded step (per-step deltas for
+    the counters, instantaneous values for the buffer statistics); the
+    recorder only stores them — writing happens after the run, so tracing
+    adds no I/O to the hot loop.  With stride [s], steps [0, s, 2s, …] are
+    recorded ({!wants} is the gate the engines use, so skipped steps cost
+    one modulo). *)
+
+type sample = {
+  step : int;
+  buffered : int;  (** packets buffered at end of step *)
+  max_height : int;  (** largest buffer height *)
+  mean_height : float;  (** buffered / nodes *)
+  injected : int;  (** admissions this step *)
+  delivered : int;  (** deliveries this step *)
+  dropped : int;  (** admission drops this step *)
+  sends : int;  (** transmission attempts this step *)
+  failed_sends : int;  (** collided attempts this step *)
+  active_edges : int;  (** edges active / granted this step *)
+}
+
+type t
+
+val create : ?stride:int -> ?initial_capacity:int -> unit -> t
+(** [stride] ≥ 1 (default 1: every step); [initial_capacity] (default
+    1024) sizes the buffer, which grows by doubling. *)
+
+val stride : t -> int
+
+val wants : t -> step:int -> bool
+(** Whether [step] falls on the sampling stride. *)
+
+val record : t -> sample -> unit
+
+val length : t -> int
+(** Samples recorded so far. *)
+
+val samples : t -> sample array
+(** A copy of the recorded samples, in recording order. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** One JSON object per sample, one per line, keys matching the {!sample}
+    field names. *)
+
+val write_csv : t -> out_channel -> unit
+(** A header line followed by one comma-separated row per sample. *)
+
+val save_jsonl : t -> string -> unit
+val save_csv : t -> string -> unit

@@ -175,23 +175,27 @@ module Pad = struct
     end
 end
 
-let do_injections buffers (params : Balancing.params) counters injections =
+let do_injections ~on_inject ~step buffers (params : Balancing.params) counters injections =
   List.iter
     (fun (src, dst) ->
       if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
         counters.injected <- counters.injected + 1;
         (* A packet injected at its destination is absorbed immediately. *)
         if src = dst then counters.delivered <- counters.delivered + 1
-        else counters.peak_height <- max counters.peak_height (Buffers.height buffers src dst)
+        else counters.peak_height <- max counters.peak_height (Buffers.height buffers src dst);
+        match on_inject with None -> () | Some f -> f ~step ~src ~dst true
       end
-      else counters.dropped <- counters.dropped + 1)
+      else begin
+        counters.dropped <- counters.dropped + 1;
+        match on_inject with None -> () | Some f -> f ~step ~src ~dst false
+      end)
     injections
 
 (* Decisions are taken on start-of-step heights (the paper's rule is
    simultaneous across edges); application checks that the source buffer
    still holds a packet, since several edges may have decided to drain the
    same buffer.  An unavailable send does not transmit and costs nothing. *)
-let attempt_send buffers counters ~edge_cost decision_opt ~collided =
+let attempt_send buffers counters ~on_send ~step ~edge ~edge_cost decision_opt ~collided =
   match decision_opt with
   | None -> ()
   | Some d ->
@@ -200,14 +204,84 @@ let attempt_send buffers counters ~edge_cost decision_opt ~collided =
         counters.total_cost <- counters.total_cost +. edge_cost;
         if collided then counters.failed_sends <- counters.failed_sends + 1
         else begin
-          match Balancing.apply buffers d with
+          let outcome = Balancing.apply buffers d in
+          (match outcome with
           | `Delivered -> counters.delivered <- counters.delivered + 1
           | `Moved ->
               counters.peak_height <-
                 max counters.peak_height
-                  (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
+                  (Buffers.height buffers d.Balancing.dst d.Balancing.dest));
+          match on_send with None -> () | Some f -> f ~step ~edge d outcome
         end
       end
+
+(* ------------------------------------------------------------------ *)
+(* Observability.  Every instrumentation site is a single [match] on the
+   optional sink, so a run without one stays allocation-free on the hot
+   path and bit-identical in behaviour (pinned by test). *)
+
+let span_enter obs label =
+  match obs with None -> () | Some o -> Adhoc_obs.Span.enter o.Adhoc_obs.spans label
+
+let span_leave obs =
+  match obs with None -> () | Some o -> Adhoc_obs.Span.leave o.Adhoc_obs.spans
+
+(* Counter state as of the previous recorded trace sample, so each sample
+   carries the deltas over its stride window and no event is lost between
+   recorded steps. *)
+type trace_prev = {
+  mutable p_injected : int;
+  mutable p_delivered : int;
+  mutable p_dropped : int;
+  mutable p_sends : int;
+  mutable p_failed : int;
+}
+
+let fresh_prev () =
+  { p_injected = 0; p_delivered = 0; p_dropped = 0; p_sends = 0; p_failed = 0 }
+
+let record_sample tr ~n ~buffers ~counters ~prev ~step ~active_edges =
+  let buffered = Buffers.total buffers in
+  Adhoc_obs.Trace.record tr
+    {
+      Adhoc_obs.Trace.step;
+      buffered;
+      max_height = Buffers.max_height buffers;
+      mean_height = float_of_int buffered /. float_of_int n;
+      injected = counters.injected - prev.p_injected;
+      delivered = counters.delivered - prev.p_delivered;
+      dropped = counters.dropped - prev.p_dropped;
+      sends = counters.sends - prev.p_sends;
+      failed_sends = counters.failed_sends - prev.p_failed;
+      active_edges;
+    };
+  prev.p_injected <- counters.injected;
+  prev.p_delivered <- counters.delivered;
+  prev.p_dropped <- counters.dropped;
+  prev.p_sends <- counters.sends;
+  prev.p_failed <- counters.failed_sends
+
+(* End-of-run snapshot into the metrics registry: totals as counters (they
+   accumulate across runs sharing a sink), extrema and leftovers as
+   gauges. *)
+let flush_metrics obs ~steps buffers counters =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let m = o.Adhoc_obs.metrics in
+      let c name v = Adhoc_obs.Metrics.add (Adhoc_obs.Metrics.counter m name) v in
+      let g name v = Adhoc_obs.Metrics.set (Adhoc_obs.Metrics.gauge m name) v in
+      c "engine.steps" steps;
+      c "engine.injected" counters.injected;
+      c "engine.dropped" counters.dropped;
+      c "engine.delivered" counters.delivered;
+      c "engine.sends" counters.sends;
+      c "engine.failed_sends" counters.failed_sends;
+      g "engine.total_cost" counters.total_cost;
+      g "engine.peak_height" (float_of_int counters.peak_height);
+      g "engine.remaining" (float_of_int (Buffers.total buffers))
+
+let height_buckets = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
 (* When several simultaneous decisions contend for the same source buffer,
    application order decides who wins.  Deliveries first, then larger gains:
@@ -233,11 +307,21 @@ let finish ~steps buffers counters =
     remaining = Buffers.total buffers;
   }
 
-let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w : Workload.t) =
+let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pad ~graph
+    ~cost ~params (w : Workload.t) =
   let n = Graph.n graph in
   let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
+  let prev = fresh_prev () in
+  let height_hist =
+    match obs with
+    | None -> None
+    | Some o ->
+        Some
+          (Adhoc_obs.Metrics.histogram o.Adhoc_obs.metrics "engine.step_max_height"
+             ~buckets:height_buckets)
+  in
   (* [cost_at] overrides the static costs for every edge and step, so the
      static table would be dead weight: only build it (and the decision
      cache keyed on it) when costs are static. *)
@@ -262,6 +346,7 @@ let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w
     let step_cost e =
       match cost_at with Some f -> f ~step:t ~edge:e | None -> edge_cost.(e)
     in
+    span_enter obs "engine/decide";
     (match cache with Some c -> Cache.flush c | None -> ());
     let decisions =
       match cache with
@@ -290,22 +375,47 @@ let run_mac_given ?(cooldown = 0) ?on_step ?cost_at ?pad ~graph ~cost ~params (w
     let decisions =
       List.stable_sort (fun (_, a) (_, b) -> application_order a b) decisions
     in
+    span_leave obs;
+    span_enter obs "engine/apply";
     List.iter
       (fun (e, d) ->
-        attempt_send buffers counters ~edge_cost:(step_cost e) (Some d) ~collided:false)
+        attempt_send buffers counters ~on_send ~step:t ~edge:e ~edge_cost:(step_cost e)
+          (Some d) ~collided:false)
       decisions;
-    if t < w.Workload.horizon then do_injections buffers params counters w.Workload.injections.(t);
+    if t < w.Workload.horizon then
+      do_injections ~on_inject ~step:t buffers params counters w.Workload.injections.(t);
+    span_leave obs;
+    (match height_hist with
+    | None -> ()
+    | Some h -> Adhoc_obs.Metrics.observe h (float_of_int (Buffers.max_height buffers)));
+    (match obs with
+    | Some { Adhoc_obs.trace = Some tr; _ } when Adhoc_obs.Trace.wants tr ~step:t ->
+        record_sample tr ~n ~buffers ~counters ~prev ~step:t
+          ~active_edges:(List.length active)
+    | _ -> ());
     match on_step with
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
     | None -> ()
   done;
+  flush_metrics obs ~steps buffers counters;
   finish ~steps buffers counters
 
-let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac (w : Workload.t) =
+let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~graph ~cost
+    ~params ~mac (w : Workload.t) =
   let n = Graph.n graph in
   let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
+  let prev = fresh_prev () in
+  let height_hist =
+    match obs with
+    | None -> None
+    | Some o ->
+        Some
+          (Adhoc_obs.Metrics.histogram o.Adhoc_obs.metrics "engine.step_max_height"
+             ~buckets:height_buckets)
+  in
+  let mac = match obs with None -> mac | Some o -> Mac.instrument o mac in
   let edge_cost = Array.init m (fun e -> cost (Graph.length graph e)) in
   let cache = Cache.create ~graph ~buffers ~params ~edge_cost in
   let conflict_adj = Option.map Conflict.adjacency collisions in
@@ -317,6 +427,7 @@ let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac 
     (* Requests: the best prospective send per edge, decided on the step's
        starting heights.  Only edges whose endpoints changed since the
        last step are recomputed. *)
+    span_enter obs "engine/decide";
     Cache.flush cache;
     let requests = ref [] in
     for e = m - 1 downto 0 do
@@ -327,7 +438,9 @@ let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac 
             { Mac.edge = e; sender = d.Balancing.src; benefit = d.Balancing.gain }
             :: !requests
     done;
+    span_leave obs;
     let granted = mac.Mac.select ~step:t !requests in
+    span_enter obs "engine/apply";
     if conflict_adj <> None then
       List.iter (fun (r : Mac.request) -> granted_mark.(r.Mac.edge) <- true) granted;
     let collided (r : Mac.request) =
@@ -348,14 +461,25 @@ let run_with_mac ?(cooldown = 0) ?on_step ?collisions ~graph ~cost ~params ~mac 
     List.iter
       (fun (r : Mac.request) ->
         let e = r.Mac.edge in
-        attempt_send buffers counters ~edge_cost:edge_cost.(e) (Cache.either cache e)
-          ~collided:(collided r))
+        attempt_send buffers counters ~on_send ~step:t ~edge:e ~edge_cost:edge_cost.(e)
+          (Cache.either cache e) ~collided:(collided r))
       ordered;
     if conflict_adj <> None then
       List.iter (fun (r : Mac.request) -> granted_mark.(r.Mac.edge) <- false) granted;
-    if t < w.Workload.horizon then do_injections buffers params counters w.Workload.injections.(t);
+    if t < w.Workload.horizon then
+      do_injections ~on_inject ~step:t buffers params counters w.Workload.injections.(t);
+    span_leave obs;
+    (match height_hist with
+    | None -> ()
+    | Some h -> Adhoc_obs.Metrics.observe h (float_of_int (Buffers.max_height buffers)));
+    (match obs with
+    | Some { Adhoc_obs.trace = Some tr; _ } when Adhoc_obs.Trace.wants tr ~step:t ->
+        record_sample tr ~n ~buffers ~counters ~prev ~step:t
+          ~active_edges:(List.length granted)
+    | _ -> ());
     match on_step with
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
     | None -> ()
   done;
+  flush_metrics obs ~steps buffers counters;
   finish ~steps buffers counters

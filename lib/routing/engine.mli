@@ -87,7 +87,11 @@ end
 
 val run_mac_given :
   ?cooldown:int ->
+  ?obs:Adhoc_obs.sink ->
   ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
+  ?on_send:
+    (step:int -> edge:int -> Balancing.decision -> [ `Delivered | `Moved ] -> unit) ->
+  ?on_inject:(step:int -> src:int -> dst:int -> bool -> unit) ->
   ?cost_at:(step:int -> edge:int -> float) ->
   ?pad:Adhoc_interference.Conflict.t ->
   graph:Adhoc_graph.Graph.t ->
@@ -103,11 +107,28 @@ val run_mac_given :
     [cooldown] extra steps after the horizon let in-flight packets drain;
     during them (and, padded, during the horizon) [pad]'s colour classes
     are activated round-robin, always keeping each step's active set
-    non-interfering.  Default cooldown 0. *)
+    non-interfering.  Default cooldown 0.
+
+    [obs] turns on observability: phase spans ([engine/decide],
+    [engine/apply]), end-of-run counters and gauges ([engine.*]), a
+    per-step max-height histogram, and — when the sink carries a
+    {!Adhoc_obs.Trace.t} — one trace sample per stride step.  With [None]
+    (the default) every instrumentation site reduces to a single [match],
+    keeping the hot path allocation-free and the stats bit-identical.
+
+    [on_send] fires after each {e successful} (uncollided, non-empty)
+    transmission with the applied decision and whether it delivered;
+    [on_inject] fires per injection attempt with [true] when admitted.
+    Together they let variants mirror the run's packet movements without
+    duplicating the loop — {!Tracked_engine} is built on them. *)
 
 val run_with_mac :
   ?cooldown:int ->
+  ?obs:Adhoc_obs.sink ->
   ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
+  ?on_send:
+    (step:int -> edge:int -> Balancing.decision -> [ `Delivered | `Moved ] -> unit) ->
+  ?on_inject:(step:int -> src:int -> dst:int -> bool -> unit) ->
   ?collisions:Adhoc_interference.Conflict.t ->
   graph:Adhoc_graph.Graph.t ->
   cost:Adhoc_graph.Cost.t ->
@@ -117,4 +138,7 @@ val run_with_mac :
   stats
 (** The workload's activations are ignored: every edge is a candidate each
     step, the MAC arbitrates.  With [collisions], granted attempts that
-    interfere with other granted attempts fail. *)
+    interfere with other granted attempts fail.  [obs], [on_send] and
+    [on_inject] behave as in {!run_mac_given}; a sink additionally wraps
+    the MAC with {!Adhoc_mac.Mac.instrument}, so arbitration gets its own
+    [mac/<name>] span and request / grant counters. *)

@@ -22,97 +22,40 @@ let queue_of (q : queues) v d =
       Hashtbl.add q (v, d) queue;
       queue
 
-let run_mac_given ?(cooldown = 0) ?pad ~graph ~cost ~params (w : Workload.t) =
-  let n = Graph.n graph in
-  let buffers = Buffers.create n in
+(* The run loop is {!Engine.run_mac_given}'s: the [on_send] / [on_inject]
+   hooks mirror every buffer mutation onto the identity queues, so the
+   queue lengths track the height matrix move-for-move and the aggregate
+   stats are the engine's own. *)
+let run_mac_given ?(cooldown = 0) ?obs ?pad ~graph ~cost ~params (w : Workload.t) =
   let queues : queues = Hashtbl.create 64 in
   let all_packets = ref [] in
   let next_id = ref 0 in
-  let injected = ref 0
-  and dropped = ref 0
-  and delivered = ref 0
-  and sends = ref 0
-  and total_cost = ref 0.
-  and peak = ref 0 in
   let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
-  let cache = Engine.Cache.create ~graph ~buffers ~params ~edge_cost in
-  let pad_state = Option.map Engine.Pad.create pad in
-  let steps = w.Workload.horizon + cooldown in
-  for t = 0 to steps - 1 do
-    let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
-    let active =
-      match pad_state with Some p -> Engine.Pad.active p ~step:t base | None -> base
-    in
-    (* Decide on start-of-step heights, apply deliveries-first. *)
-    Engine.Cache.flush cache;
-    let decisions =
-      List.concat_map
-        (fun e ->
-          match (Engine.Cache.fwd cache e, Engine.Cache.bwd cache e) with
-          | Some a, Some b -> [ (e, a); (e, b) ]
-          | Some a, None -> [ (e, a) ]
-          | None, Some b -> [ (e, b) ]
-          | None, None -> [])
-        active
-    in
-    let decisions =
-      List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) decisions
-    in
-    List.iter
-      (fun (e, (d : Balancing.decision)) ->
-        if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
-          incr sends;
-          total_cost := !total_cost +. edge_cost.(e);
-          Buffers.remove buffers d.Balancing.src d.Balancing.dest;
-          let q = queue_of queues d.Balancing.src d.Balancing.dest in
-          let pkt = Queue.pop q in
-          pkt.Packet.hops <- pkt.Packet.hops + 1;
-          pkt.Packet.energy <- pkt.Packet.energy +. edge_cost.(e);
-          if d.Balancing.dst = d.Balancing.dest then begin
-            pkt.Packet.delivered_at <- t;
-            incr delivered
-          end
-          else begin
-            Buffers.force_add buffers d.Balancing.dst d.Balancing.dest;
-            Queue.push pkt (queue_of queues d.Balancing.dst d.Balancing.dest);
-            peak := max !peak (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
-          end
-        end)
-      decisions;
-    if t < w.Workload.horizon then
-      List.iter
-        (fun (src, dst) ->
-          if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
-            incr injected;
-            if src <> dst then begin
-              let pkt = Packet.make ~id:!next_id ~src ~dst ~now:t in
-              incr next_id;
-              all_packets := pkt :: !all_packets;
-              Queue.push pkt (queue_of queues src dst);
-              peak := max !peak (Buffers.height buffers src dst)
-            end
-            else incr delivered
-          end
-          else incr dropped)
-        w.Workload.injections.(t)
-  done;
+  let on_send ~step ~edge (d : Balancing.decision) outcome =
+    let q = queue_of queues d.Balancing.src d.Balancing.dest in
+    let pkt = Queue.pop q in
+    pkt.Packet.hops <- pkt.Packet.hops + 1;
+    pkt.Packet.energy <- pkt.Packet.energy +. edge_cost.(edge);
+    match outcome with
+    | `Delivered -> pkt.Packet.delivered_at <- step
+    | `Moved -> Queue.push pkt (queue_of queues d.Balancing.dst d.Balancing.dest)
+  in
+  let on_inject ~step ~src ~dst admitted =
+    (* Self-injections are absorbed on admission and never become packets. *)
+    if admitted && src <> dst then begin
+      let pkt = Packet.make ~id:!next_id ~src ~dst ~now:step in
+      incr next_id;
+      all_packets := pkt :: !all_packets;
+      Queue.push pkt (queue_of queues src dst)
+    end
+  in
+  let base =
+    Engine.run_mac_given ~cooldown ?obs ~on_send ~on_inject ?pad ~graph ~cost ~params w
+  in
   let packets = List.rev !all_packets in
   let delivered_packets = List.filter Packet.delivered packets in
   let latencies =
     Array.of_list (List.map (fun p -> float_of_int (Packet.latency p)) delivered_packets)
-  in
-  let base =
-    {
-      Engine.steps;
-      injected = !injected;
-      dropped = !dropped;
-      delivered = !delivered;
-      sends = !sends;
-      failed_sends = 0;
-      total_cost = !total_cost;
-      peak_height = !peak;
-      remaining = Buffers.total buffers;
-    }
   in
   if Array.length latencies = 0 then
     {

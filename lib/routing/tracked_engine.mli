@@ -1,11 +1,9 @@
-(** Packet-tracking variant of {!Engine}: identical balancing decisions,
-    but buffers are FIFO queues of {!Packet.t}, so the run reports
-    per-packet latency, hop and energy distributions on top of the
-    aggregate counters.
-
-    The height matrix driving the (T, γ) rule always equals the queue
-    lengths (tested); results therefore match {!Engine} delivery-for-
-    delivery under the same inputs. *)
+(** Packet-tracking variant of {!Engine}: the run {e is}
+    {!Engine.run_mac_given} — same loop, same decisions, same stats — with
+    the engine's [on_send] / [on_inject] hooks mirroring every buffer
+    mutation onto FIFO identity queues of {!Packet.t}.  The run therefore
+    additionally reports per-packet latency, hop and energy distributions,
+    and matches {!Engine} bit-for-bit under the same inputs (tested). *)
 
 type stats = {
   base : Engine.stats;
@@ -19,11 +17,13 @@ type stats = {
 
 val run_mac_given :
   ?cooldown:int ->
+  ?obs:Adhoc_obs.sink ->
   ?pad:Adhoc_interference.Conflict.t ->
   graph:Adhoc_graph.Graph.t ->
   cost:Adhoc_graph.Cost.t ->
   params:Balancing.params ->
   Workload.t ->
   stats
-(** Scenario 1 with packet tracking (see {!Engine.run_mac_given}).
-    Latency fields are [0.] when nothing was delivered. *)
+(** Scenario 1 with packet tracking (see {!Engine.run_mac_given}; [obs]
+    is passed straight through to it).  Latency fields are [0.] when
+    nothing was delivered. *)

@@ -21,31 +21,56 @@ let stddev xs =
     sqrt (ss /. float_of_int (n - 1))
   end
 
+(* nan poisons order statistics: polymorphic [compare] sorts it
+   inconsistently and min/max folds propagate it.  Percentiles and
+   summaries are therefore computed over the non-nan subsample. *)
+let drop_nans xs =
+  if Array.exists Float.is_nan xs then
+    Array.of_seq (Seq.filter (fun x -> not (Float.is_nan x)) (Array.to_seq xs))
+  else xs
+
 let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty sample";
+  let xs = drop_nans xs in
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
-  let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then sorted.(lo)
+  if n = 0 then Float.nan
   else begin
-    let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+    end
   end
 
 let summarize xs =
   if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
-  {
-    n = Array.length xs;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = Array.fold_left Float.min xs.(0) xs;
-    max = Array.fold_left Float.max xs.(0) xs;
-    median = percentile xs 50.;
-    p95 = percentile xs 95.;
-  }
+  let clean = drop_nans xs in
+  let n = Array.length clean in
+  if n = 0 then
+    {
+      n = 0;
+      mean = Float.nan;
+      stddev = Float.nan;
+      min = Float.nan;
+      max = Float.nan;
+      median = Float.nan;
+      p95 = Float.nan;
+    }
+  else
+    {
+      n;
+      mean = mean clean;
+      stddev = stddev clean;
+      min = Array.fold_left Float.min clean.(0) clean;
+      max = Array.fold_left Float.max clean.(0) clean;
+      median = percentile clean 50.;
+      p95 = percentile clean 95.;
+    }
 
 let linear_fit xs ys =
   let n = Array.length xs in

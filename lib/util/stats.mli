@@ -15,10 +15,14 @@ val mean : float array -> float
 val stddev : float array -> float
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]; linear interpolation between order
-    statistics.  Requires a non-empty array. *)
+    statistics sorted with [Float.compare].  nan samples are ignored; if
+    every sample is nan the result is nan.  Requires a non-empty array. *)
 
 val summarize : float array -> summary
-(** Requires a non-empty array. *)
+(** Requires a non-empty array.  nan samples are ignored: [n] counts the
+    non-nan samples and all fields are computed over them; if every sample
+    is nan, [n = 0] and every float field is nan.  ({!mean} and {!stddev}
+    applied directly do {e not} filter — they remain plain folds.) *)
 
 val linear_fit : float array -> float array -> float * float
 (** [linear_fit xs ys] least-squares line [ys ≈ a + b·xs]; returns [(a, b)].

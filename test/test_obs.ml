@@ -1,0 +1,409 @@
+(* Observability layer: metrics registry, span profiler, trace recorder,
+   and the engine-level guarantee that an attached sink never changes the
+   simulation (bit-identical stats, pinned below). *)
+
+module Obs = Adhoc_obs
+module Metrics = Adhoc_obs.Metrics
+module Span = Adhoc_obs.Span
+module Trace = Adhoc_obs.Trace
+module Prng = Adhoc_util.Prng
+module Graph = Adhoc_graph.Graph
+module Cost = Adhoc_graph.Cost
+module Pipeline = Adhoc.Pipeline
+open Adhoc_routing
+open Helpers
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_counter () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hits" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  (* Registration under an existing name returns the same instrument. *)
+  Metrics.incr (Metrics.counter m "hits");
+  (match Metrics.snapshot m with
+  | [ ("hits", Metrics.Counter 6) ] -> ()
+  | _ -> Alcotest.fail "counter snapshot mismatch");
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.add: negative increment") (fun () -> Metrics.add c (-1))
+
+let test_metrics_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "height" in
+  Metrics.set g 3.;
+  Metrics.set g 1.5;
+  match Metrics.snapshot m with
+  | [ ("height", Metrics.Gauge v) ] -> check_close "last write wins" 1.5 v
+  | _ -> Alcotest.fail "gauge snapshot mismatch"
+
+let test_metrics_histogram_boundaries () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" ~buckets:[| 1.; 2.; 5. |] in
+  (* le-semantics: bin i counts observations in (b(i-1), b(i)]. *)
+  Metrics.observe h 0.5 (* bin 0 *);
+  Metrics.observe h 1.0 (* bin 0: equal to a bound lands at that bound *);
+  Metrics.observe h 1.5 (* bin 1 *);
+  Metrics.observe h 2.0 (* bin 1 *);
+  Metrics.observe h 5.0 (* bin 2 *);
+  Metrics.observe h 7.0 (* overflow *);
+  match Metrics.snapshot m with
+  | [ ("lat", Metrics.Histogram { buckets; counts; total; sum }) ] ->
+      Alcotest.(check (array (float 0.))) "buckets" [| 1.; 2.; 5. |] buckets;
+      Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] counts;
+      Alcotest.(check int) "total" 6 total;
+      check_close "sum" 17. sum
+  | _ -> Alcotest.fail "histogram snapshot mismatch"
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "gauge under counter name"
+    (Invalid_argument "Metrics: \"x\" is already a counter") (fun () ->
+      ignore (Metrics.gauge m "x"))
+
+let test_metrics_bad_buckets () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "non-increasing buckets"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
+    (fun () -> ignore (Metrics.histogram m "h" ~buckets:[| 1.; 1. |]))
+
+let test_metrics_snapshot_sorted () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "b");
+  ignore (Metrics.counter m "a");
+  ignore (Metrics.counter m "c");
+  Alcotest.(check (list string)) "sorted by name" [ "a"; "b"; "c" ]
+    (List.map fst (Metrics.snapshot m))
+
+(* ------------------------------------------------------------------ *)
+(* Span                                                                *)
+
+let test_span_nesting () =
+  let s = Span.create () in
+  Span.enter s "outer";
+  Span.enter s "inner";
+  Span.leave s;
+  Span.enter s "inner";
+  Span.leave s;
+  Span.leave s;
+  match Span.totals s with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner label" "inner" inner.Span.label;
+      Alcotest.(check int) "inner count" 2 inner.Span.count;
+      Alcotest.(check string) "outer label" "outer" outer.Span.label;
+      Alcotest.(check int) "outer count" 1 outer.Span.count;
+      (* Inclusive timing: the outer span contains both inner spans. *)
+      Alcotest.(check bool) "outer >= inner" true
+        (outer.Span.seconds >= inner.Span.seconds);
+      Alcotest.(check bool) "non-negative" true (inner.Span.seconds >= 0.)
+  | ts -> Alcotest.failf "expected 2 labels, got %d" (List.length ts)
+
+let test_span_unbalanced_leave () =
+  let s = Span.create () in
+  Alcotest.check_raises "leave without enter"
+    (Invalid_argument "Span.leave: no open span") (fun () -> Span.leave s)
+
+let test_span_time_exception_safe () =
+  let s = Span.create () in
+  (try Span.time s "work" (fun () -> failwith "boom") with Failure _ -> ());
+  (* The span closed despite the exception: totals has it and the stack is
+     balanced, so a fresh leave still raises. *)
+  (match Span.totals s with
+  | [ t ] ->
+      Alcotest.(check string) "label" "work" t.Span.label;
+      Alcotest.(check int) "count" 1 t.Span.count
+  | _ -> Alcotest.fail "span not accumulated");
+  Alcotest.check_raises "stack balanced"
+    (Invalid_argument "Span.leave: no open span") (fun () -> Span.leave s)
+
+let test_span_reset () =
+  let s = Span.create () in
+  Span.time s "a" (fun () -> ());
+  Span.reset s;
+  Alcotest.(check int) "empty after reset" 0 (List.length (Span.totals s))
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let sample step =
+  {
+    Trace.step;
+    buffered = step;
+    max_height = 1;
+    mean_height = 0.5;
+    injected = 0;
+    delivered = 0;
+    dropped = 0;
+    sends = 0;
+    failed_sends = 0;
+    active_edges = 0;
+  }
+
+let test_trace_stride () =
+  let tr = Trace.create ~stride:3 () in
+  let recorded = ref [] in
+  for step = 0 to 10 do
+    if Trace.wants tr ~step then begin
+      Trace.record tr (sample step);
+      recorded := step :: !recorded
+    end
+  done;
+  Alcotest.(check (list int)) "steps on stride" [ 0; 3; 6; 9 ] (List.rev !recorded);
+  Alcotest.(check int) "length" 4 (Trace.length tr);
+  Alcotest.(check (list int)) "samples in order" [ 0; 3; 6; 9 ]
+    (Array.to_list (Array.map (fun s -> s.Trace.step) (Trace.samples tr)))
+
+let test_trace_growth () =
+  let tr = Trace.create ~initial_capacity:2 () in
+  for step = 0 to 99 do
+    Trace.record tr (sample step)
+  done;
+  Alcotest.(check int) "grows past capacity" 100 (Trace.length tr);
+  let ss = Trace.samples tr in
+  Alcotest.(check int) "first" 0 ss.(0).Trace.step;
+  Alcotest.(check int) "last" 99 ss.(99).Trace.step
+
+let test_trace_jsonl_lines () =
+  let tr = Trace.create () in
+  for step = 0 to 4 do
+    Trace.record tr (sample step)
+  done;
+  let file = Filename.temp_file "trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.save_jsonl tr file;
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per sample" 5 (List.length lines);
+      List.iteri
+        (fun i line ->
+          let want = Printf.sprintf "{\"step\":%d," i in
+          Alcotest.(check bool)
+            (Printf.sprintf "line %d starts with its step" i)
+            true
+            (String.length line > String.length want
+            && String.sub line 0 (String.length want) = want
+            && line.[String.length line - 1] = '}'))
+        lines)
+
+let test_trace_csv_shape () =
+  let tr = Trace.create () in
+  Trace.record tr (sample 0);
+  Trace.record tr (sample 1);
+  let file = Filename.temp_file "trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.save_csv tr file;
+      let ic = open_in file in
+      let header = input_line ic in
+      let row0 = input_line ic in
+      let _row1 = input_line ic in
+      let eof = try ignore (input_line ic); false with End_of_file -> true in
+      close_in ic;
+      Alcotest.(check bool) "eof after rows" true eof;
+      let cols s = List.length (String.split_on_char ',' s) in
+      Alcotest.(check int) "header arity matches rows" (cols header) (cols row0);
+      Alcotest.(check string) "step column first" "step"
+        (List.hd (String.split_on_char ',' header)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine golden: a sink never changes the simulation                  *)
+
+(* Fixed instance + workloads; the stats below were captured from the
+   pre-observability engine and pin both "obs disabled" and "obs enabled"
+   runs bit-identically. *)
+let fixture =
+  lazy
+    (let rng = Prng.create 42 in
+     let points = Adhoc_pointset.Generators.uniform rng 80 in
+     let range = 1.5 *. Adhoc_topo.Udg.critical_range points in
+     let b = Pipeline.prepare ~theta:(Float.pi /. 6.) ~range points in
+     let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:100 in
+     let config =
+       { Workload.horizon = 600; attempts = 400; slack = 12; interference_free = false }
+     in
+     let w =
+       Workload.flows config ~rng:(Prng.create 5) ~graph:b.Pipeline.overlay
+         ~cost:Cost.length ~num_flows:3
+     in
+     let wq =
+       Workload.flows ~conflict:b.Pipeline.conflict
+         { config with Workload.interference_free = true }
+         ~rng:(Prng.create 6) ~graph:b.Pipeline.overlay ~cost:Cost.length ~num_flows:3
+     in
+     (b, params, w, wq))
+
+let golden_pad =
+  {
+    Engine.steps = 800;
+    injected = 252;
+    dropped = 0;
+    delivered = 145;
+    sends = 710;
+    failed_sends = 0;
+    total_cost = 106.59489637196208;
+    peak_height = 8;
+    remaining = 107;
+  }
+
+let golden_plain =
+  {
+    Engine.steps = 800;
+    injected = 399;
+    dropped = 0;
+    delivered = 364;
+    sends = 1093;
+    failed_sends = 0;
+    total_cost = 156.08249602281123;
+    peak_height = 13;
+    remaining = 35;
+  }
+
+let golden_csma =
+  {
+    Engine.steps = 800;
+    injected = 399;
+    dropped = 0;
+    delivered = 217;
+    sends = 983;
+    failed_sends = 0;
+    total_cost = 142.52346657104204;
+    peak_height = 10;
+    remaining = 182;
+  }
+
+let check_stats name (expected : Engine.stats) (got : Engine.stats) =
+  Alcotest.(check int) (name ^ " steps") expected.Engine.steps got.Engine.steps;
+  Alcotest.(check int) (name ^ " injected") expected.Engine.injected got.Engine.injected;
+  Alcotest.(check int) (name ^ " dropped") expected.Engine.dropped got.Engine.dropped;
+  Alcotest.(check int) (name ^ " delivered") expected.Engine.delivered got.Engine.delivered;
+  Alcotest.(check int) (name ^ " sends") expected.Engine.sends got.Engine.sends;
+  Alcotest.(check int) (name ^ " failed") expected.Engine.failed_sends got.Engine.failed_sends;
+  (* Bit-identical, not approximately equal. *)
+  Alcotest.(check bool)
+    (name ^ " total_cost bit-identical")
+    true
+    (Int64.equal
+       (Int64.bits_of_float expected.Engine.total_cost)
+       (Int64.bits_of_float got.Engine.total_cost));
+  Alcotest.(check int) (name ^ " peak") expected.Engine.peak_height got.Engine.peak_height;
+  Alcotest.(check int) (name ^ " remaining") expected.Engine.remaining got.Engine.remaining
+
+let run_pad ?obs () =
+  let b, params, _, wq = Lazy.force fixture in
+  Engine.run_mac_given ~cooldown:200 ?obs ~pad:b.Pipeline.conflict
+    ~graph:b.Pipeline.overlay ~cost:Cost.length ~params wq
+
+let run_plain ?obs () =
+  let b, params, w, _ = Lazy.force fixture in
+  Engine.run_mac_given ~cooldown:200 ?obs ~graph:b.Pipeline.overlay ~cost:Cost.length
+    ~params w
+
+let run_csma ?obs () =
+  let b, params, w, _ = Lazy.force fixture in
+  let mac = Adhoc_mac.Mac.csma ~rng:(Prng.create 7) b.Pipeline.conflict in
+  Engine.run_with_mac ~cooldown:200 ?obs ~collisions:b.Pipeline.conflict
+    ~graph:b.Pipeline.overlay ~cost:Cost.length ~params ~mac w
+
+let test_golden_disabled () =
+  check_stats "pad" golden_pad (run_pad ());
+  check_stats "plain" golden_plain (run_plain ());
+  check_stats "csma" golden_csma (run_csma ())
+
+let test_golden_enabled () =
+  (* A full sink — metrics, spans and a stride-1 trace — must not perturb
+     the run: same golden numbers, one trace sample per step. *)
+  let obs = Obs.create ~trace:(Trace.create ()) () in
+  check_stats "pad+obs" golden_pad (run_pad ~obs ());
+  Alcotest.(check int) "one sample per step" 800
+    (Trace.length (Option.get obs.Obs.trace));
+  let labels = List.map (fun t -> t.Span.label) (Span.totals obs.Obs.spans) in
+  Alcotest.(check bool) "decide span" true (List.mem "engine/decide" labels);
+  Alcotest.(check bool) "apply span" true (List.mem "engine/apply" labels);
+  (match List.assoc_opt "engine.delivered" (Metrics.snapshot obs.Obs.metrics) with
+  | Some (Metrics.Counter d) -> Alcotest.(check int) "delivered counter" 145 d
+  | _ -> Alcotest.fail "engine.delivered counter missing")
+
+let test_golden_enabled_csma () =
+  let obs = Obs.create ~trace:(Trace.create ~stride:10 ()) () in
+  check_stats "csma+obs" golden_csma (run_csma ~obs ());
+  Alcotest.(check int) "stride-10 sample count" 80
+    (Trace.length (Option.get obs.Obs.trace));
+  let labels = List.map (fun t -> t.Span.label) (Span.totals obs.Obs.spans) in
+  Alcotest.(check bool) "mac span" true
+    (List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "mac/") labels)
+
+let test_trace_deltas_sum () =
+  (* Per-sample deltas must partition the run totals: summing the stride-1
+     trace reproduces the aggregate stats. *)
+  let obs = Obs.create ~trace:(Trace.create ()) () in
+  let stats = run_plain ~obs () in
+  let tr = Option.get obs.Obs.trace in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 (Trace.samples tr) in
+  Alcotest.(check int) "injected" stats.Engine.injected (sum (fun s -> s.Trace.injected));
+  Alcotest.(check int) "delivered" stats.Engine.delivered
+    (sum (fun s -> s.Trace.delivered));
+  Alcotest.(check int) "sends" stats.Engine.sends (sum (fun s -> s.Trace.sends));
+  Alcotest.(check int) "dropped" stats.Engine.dropped (sum (fun s -> s.Trace.dropped));
+  let peak = Array.fold_left (fun a s -> max a s.Trace.max_height) 0 (Trace.samples tr) in
+  Alcotest.(check int) "peak via trace" stats.Engine.peak_height peak
+
+let test_tracked_engine_obs_identical () =
+  let b, params, _, wq = Lazy.force fixture in
+  let run ?obs () =
+    Tracked_engine.run_mac_given ~cooldown:200 ?obs ~pad:b.Pipeline.conflict
+      ~graph:b.Pipeline.overlay ~cost:Cost.length ~params wq
+  in
+  let plain = run () in
+  let obs = Obs.create () in
+  let with_obs = run ~obs () in
+  check_stats "tracked base" plain.Tracked_engine.base with_obs.Tracked_engine.base;
+  check_stats "tracked vs engine" golden_pad plain.Tracked_engine.base
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          case "counter" test_metrics_counter;
+          case "gauge" test_metrics_gauge;
+          case "histogram boundaries" test_metrics_histogram_boundaries;
+          case "kind clash" test_metrics_kind_clash;
+          case "bad buckets" test_metrics_bad_buckets;
+          case "snapshot sorted" test_metrics_snapshot_sorted;
+        ] );
+      ( "span",
+        [
+          case "nesting" test_span_nesting;
+          case "unbalanced leave" test_span_unbalanced_leave;
+          case "time is exception-safe" test_span_time_exception_safe;
+          case "reset" test_span_reset;
+        ] );
+      ( "trace",
+        [
+          case "stride" test_trace_stride;
+          case "growth" test_trace_growth;
+          case "jsonl lines" test_trace_jsonl_lines;
+          case "csv shape" test_trace_csv_shape;
+        ] );
+      ( "engine golden",
+        [
+          case "obs disabled pins seed stats" test_golden_disabled;
+          case "obs enabled is bit-identical" test_golden_enabled;
+          case "csma with obs + stride" test_golden_enabled_csma;
+          case "trace deltas sum to stats" test_trace_deltas_sum;
+          case "tracked engine unchanged" test_tracked_engine_obs_identical;
+        ] );
+    ]

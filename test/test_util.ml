@@ -220,7 +220,46 @@ let test_stats_correlation () =
 
 let test_stats_empty_errors () =
   Alcotest.check_raises "summarize empty" (Invalid_argument "Stats.summarize: empty sample")
-    (fun () -> ignore (Stats.summarize [||]))
+    (fun () -> ignore (Stats.summarize [||]));
+  Alcotest.check_raises "percentile empty" (Invalid_argument "Stats.percentile: empty sample")
+    (fun () -> ignore (Stats.percentile [||] 50.))
+
+let test_stats_single_element () =
+  check_close "p0" 7. (Stats.percentile [| 7. |] 0.);
+  check_close "p50" 7. (Stats.percentile [| 7. |] 50.);
+  check_close "p100" 7. (Stats.percentile [| 7. |] 100.);
+  let s = Stats.summarize [| 7. |] in
+  Alcotest.(check int) "n" 1 s.Stats.n;
+  check_close "mean" 7. s.Stats.mean;
+  check_close "stddev" 0. s.Stats.stddev;
+  check_close "min" 7. s.Stats.min;
+  check_close "max" 7. s.Stats.max;
+  check_close "median" 7. s.Stats.median;
+  check_close "p95" 7. s.Stats.p95
+
+let test_stats_nan_handling () =
+  (* nans are dropped; the order statistics come from the clean subsample. *)
+  let xs = [| Float.nan; 3.; Float.nan; 1.; 2.; 4.; Float.nan |] in
+  check_close "p0 skips nan" 1. (Stats.percentile xs 0.);
+  check_close "p100 skips nan" 4. (Stats.percentile xs 100.);
+  check_close "p50 skips nan" 2.5 (Stats.percentile xs 50.);
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "n counts non-nan" 4 s.Stats.n;
+  check_close "mean over non-nan" 2.5 s.Stats.mean;
+  check_close "min over non-nan" 1. s.Stats.min;
+  check_close "max over non-nan" 4. s.Stats.max;
+  check_close "median over non-nan" 2.5 s.Stats.median
+
+let test_stats_all_nan () =
+  let xs = [| Float.nan; Float.nan |] in
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Stats.percentile xs 50.));
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "n zero" 0 s.Stats.n;
+  Alcotest.(check bool) "mean nan" true (Float.is_nan s.Stats.mean);
+  Alcotest.(check bool) "min nan" true (Float.is_nan s.Stats.min);
+  Alcotest.(check bool) "max nan" true (Float.is_nan s.Stats.max);
+  Alcotest.(check bool) "median nan" true (Float.is_nan s.Stats.median);
+  Alcotest.(check bool) "p95 nan" true (Float.is_nan s.Stats.p95)
 
 (* ------------------------------------------------------------------ *)
 (* Table                                                               *)
@@ -316,6 +355,9 @@ let () =
           case "log fit" test_stats_log_fit;
           case "correlation" test_stats_correlation;
           case "empty errors" test_stats_empty_errors;
+          case "single element" test_stats_single_element;
+          case "nan handling" test_stats_nan_handling;
+          case "all nan" test_stats_all_nan;
           test_stats_percentile_monotone;
         ] );
       ( "table",
