@@ -12,7 +12,10 @@
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
-                              object with a numeric "step" member *)
+                              object with a numeric "step" member
+     json_check --compare BASELINE CURRENT [--span-tolerance R]
+                              diffs two adhoc-bench/2 documents: stats must
+                              match exactly, wall-clock timings only warn *)
 
 exception Bad of string
 
@@ -237,6 +240,163 @@ let check_document file =
       Printf.eprintf "%s: top-level value is not an object\n" file;
       exit 1
 
+(* --------------------------------------------------------------------- *)
+(* Baseline comparison: did the simulation's numbers drift?
+
+   Stats in adhoc-bench/2 documents are deterministic (seeded PRNG), so a
+   current run's metrics must match a committed baseline exactly; the only
+   legitimately machine-dependent members are wall-clock timings — the
+   experiment's "seconds", span timings, and micro-benchmark metrics
+   (named "ns_per_run:*").  Those are compared within a relative tolerance
+   and reported as warnings; everything else drifting is an error. *)
+
+let is_timing_metric name =
+  String.length name >= 11 && String.sub name 0 11 = "ns_per_run:"
+
+let load_doc file =
+  match parse (read_file file) with
+  | exception Bad msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n" file msg;
+      exit 1
+  | Obj fields -> (
+      (match List.assoc_opt "schema" fields with
+      | Some (Str "adhoc-bench/2") -> ()
+      | _ ->
+          Printf.eprintf "%s: not an adhoc-bench/2 document\n" file;
+          exit 1);
+      match List.assoc_opt "experiments" fields with
+      | Some (Arr exps) ->
+          List.filter_map
+            (function
+              | Obj f -> (
+                  match List.assoc_opt "id" f with
+                  | Some (Str id) -> Some (id, f)
+                  | _ -> None)
+              | _ -> None)
+            exps
+      | _ ->
+          Printf.eprintf "%s: missing \"experiments\" array\n" file;
+          exit 1)
+  | _ ->
+      Printf.eprintf "%s: top-level value is not an object\n" file;
+      exit 1
+
+let rec render = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> Printf.sprintf "%.12g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Arr vs -> "[" ^ String.concat ", " (List.map render vs) ^ "]"
+  | Obj fs -> "{" ^ String.concat ", " (List.map (fun (k, v) -> k ^ ": " ^ render v) fs) ^ "}"
+
+let within_tolerance tol a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  scale = 0. || Float.abs (a -. b) <= tol *. scale
+
+let compare_docs ~tolerance base_file cur_file =
+  let base = load_doc base_file and cur = load_doc cur_file in
+  let drift = ref 0 and warnings = ref 0 in
+  let error id fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr drift;
+        Printf.printf "DRIFT %s: %s\n" id msg)
+      fmt
+  in
+  let warn id fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr warnings;
+        Printf.printf "  warn %s: %s\n" id msg)
+      fmt
+  in
+  let timing id name b c =
+    if not (within_tolerance tolerance b c) then
+      warn id "%s: %.4g -> %.4g (beyond %.0f%% tolerance)" name b c (100. *. tolerance)
+  in
+  let obj_fields = function Obj f -> f | _ -> [] in
+  List.iter
+    (fun (id, bf) ->
+      match List.assoc_opt id cur with
+      | None -> error id "experiment missing from %s" cur_file
+      | Some cf ->
+          (* Headline metrics: exact unless the name marks a timing. *)
+          let bm = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "metrics" bf))
+          and cm = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "metrics" cf)) in
+          List.iter
+            (fun (name, bv) ->
+              match List.assoc_opt name cm with
+              | None -> error id "metric %s missing from current run" name
+              | Some cv -> (
+                  match (bv, cv) with
+                  | Num b, Num c when is_timing_metric name -> timing id name b c
+                  | _ ->
+                      if bv <> cv then
+                        error id "metric %s: %s -> %s" name (render bv) (render cv)))
+            bm;
+          List.iter
+            (fun (name, _) ->
+              if not (List.mem_assoc name bm) then
+                error id "metric %s absent from baseline" name)
+            cm;
+          (* Observability snapshot: deterministic, exact. *)
+          let bo = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "obs" bf))
+          and co = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "obs" cf)) in
+          List.iter
+            (fun (name, bv) ->
+              match List.assoc_opt name co with
+              | None -> error id "obs metric %s missing from current run" name
+              | Some cv ->
+                  if bv <> cv then
+                    error id "obs metric %s: %s -> %s" name (render bv) (render cv))
+            bo;
+          (* Span timings: machine-dependent; counts are deterministic. *)
+          let spans v =
+            match List.assoc_opt "spans" v with
+            | Some (Arr ss) ->
+                List.filter_map
+                  (fun s ->
+                    let f = obj_fields s in
+                    match
+                      ( List.assoc_opt "label" f,
+                        List.assoc_opt "count" f,
+                        List.assoc_opt "seconds" f )
+                    with
+                    | Some (Str l), Some (Num n), Some (Num sec) -> Some (l, (n, sec))
+                    | _ -> None)
+                  ss
+            | _ -> []
+          in
+          let bs = spans bf and cs = spans cf in
+          List.iter
+            (fun (label, (bn, bsec)) ->
+              match List.assoc_opt label cs with
+              | None -> error id "span %s missing from current run" label
+              | Some (cn, csec) ->
+                  if bn <> cn then
+                    error id "span %s count: %g -> %g" label bn cn
+                  else timing id ("span " ^ label) bsec csec)
+            bs;
+          (match (List.assoc_opt "seconds" bf, List.assoc_opt "seconds" cf) with
+          | Some (Num b), Some (Num c) -> timing id "seconds" b c
+          | _ -> ()))
+    base;
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id base) then error id "experiment absent from baseline")
+    cur;
+  if !drift = 0 then begin
+    Printf.printf "%s vs %s: ok (%d experiments, %d timing warning%s)\n" base_file cur_file
+      (List.length base) !warnings
+      (if !warnings = 1 then "" else "s");
+    exit 0
+  end
+  else begin
+    Printf.printf "%s vs %s: %d stat drift%s\n" base_file cur_file !drift
+      (if !drift = 1 then "" else "s");
+    exit 1
+  end
+
 (* One JSON object per non-empty line, each with a numeric "step". *)
 let check_jsonl file =
   let lines =
@@ -268,6 +428,16 @@ let () =
   match Sys.argv with
   | [| _; f |] -> check_document f
   | [| _; "--jsonl"; f |] -> check_jsonl f
+  | [| _; "--compare"; base; cur |] -> compare_docs ~tolerance:0.25 base cur
+  | [| _; "--compare"; base; cur; "--span-tolerance"; r |] -> (
+      match float_of_string_opt r with
+      | Some tol when tol >= 0. -> compare_docs ~tolerance:tol base cur
+      | _ ->
+          prerr_endline "json_check: --span-tolerance expects a non-negative float";
+          exit 2)
   | _ ->
-      prerr_endline "usage: json_check [--jsonl] FILE";
+      prerr_endline
+        "usage: json_check FILE\n\
+        \       json_check --jsonl FILE\n\
+        \       json_check --compare BASELINE CURRENT [--span-tolerance R]";
       exit 2

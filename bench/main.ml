@@ -77,6 +77,7 @@ let span_json (s : Obs.Span.total) =
       ("label", String s.Obs.Span.label);
       ("count", Int s.Obs.Span.count);
       ("seconds", Float s.Obs.Span.seconds);
+      ("self_seconds", Float s.Obs.Span.self_seconds);
     ]
 
 let metric_value_json v =

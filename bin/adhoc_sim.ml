@@ -5,6 +5,7 @@
      stretch       energy/distance stretch of the overlay vs. G*
      interference  interference number and colouring of a topology
      route         run a balancing-routing scenario end to end
+     analyze       offline per-packet analytics from a recorded event log
 *)
 
 open Adhoc
@@ -178,12 +179,23 @@ let route_cmd =
     let spans = Obs.Span.totals o.Obs.spans in
     if spans <> [] then begin
       let t =
-        Table.create [ ("span", Table.Left); ("calls", Table.Right); ("seconds", Table.Right) ]
+        Table.create
+          [
+            ("span", Table.Left);
+            ("calls", Table.Right);
+            ("seconds", Table.Right);
+            ("self", Table.Right);
+          ]
       in
       List.iter
         (fun (s : Obs.Span.total) ->
           Table.add_row t
-            [ s.Obs.Span.label; string_of_int s.Obs.Span.count; Printf.sprintf "%.6f" s.Obs.Span.seconds ])
+            [
+              s.Obs.Span.label;
+              string_of_int s.Obs.Span.count;
+              Printf.sprintf "%.6f" s.Obs.Span.seconds;
+              Printf.sprintf "%.6f" s.Obs.Span.self_seconds;
+            ])
         spans;
       print_newline ();
       Table.print t
@@ -204,11 +216,42 @@ let route_cmd =
     print_newline ();
     Table.print t
   in
+  let events_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Record the packet-journey event log and write it to $(docv) as \
+             adhoc-events/1 JSONL after the run (see the analyze subcommand).")
+  in
+  let check_invariants_t =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:
+            "Check the event stream online against the packet-conservation invariants and \
+             reconcile it with the final stats; exit non-zero on any violation.")
+  in
   let run seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
-      trace_stride metrics =
+      trace_stride metrics events_file check_invariants =
     let trace = Option.map (fun _ -> Obs.Trace.create ~stride:trace_stride ()) trace_file in
-    let obs = if trace <> None || metrics then Some (Obs.create ?trace ()) else None in
+    let events =
+      if events_file <> None || check_invariants then Some (Obs.Event.create ()) else None
+    in
+    let obs =
+      if trace <> None || metrics || events <> None then Some (Obs.create ?trace ?events ())
+      else None
+    in
     let rng, _, range, b = build ?obs seed n theta range_factor delta dist in
+    let checker =
+      if check_invariants then begin
+        let c = Obs.Invariants.create ~endpoints:(Graph.endpoints b.Pipeline.overlay) () in
+        Option.iter (Obs.Invariants.attach c) events;
+        Some c
+      end
+      else None
+    in
     let r =
       match scenario with
       | `S1 ->
@@ -236,13 +279,197 @@ let route_cmd =
         Printf.printf "wrote %s (%d samples, stride %d)\n" file (Obs.Trace.length tr)
           (Obs.Trace.stride tr)
     | _ -> ());
-    match obs with Some o when metrics -> print_observability o | _ -> ()
+    (match (events, events_file) with
+    | Some log, Some file ->
+        Obs.Event.save_jsonl log file;
+        Printf.printf "wrote %s (%d events)\n" file (Obs.Event.length log)
+    | _ -> ());
+    (match obs with Some o when metrics -> print_observability o | _ -> ());
+    match checker with
+    | None -> ()
+    | Some c ->
+        let s = r.Pipeline.stats in
+        Obs.Invariants.final_check c ~injected:s.Routing.Engine.injected
+          ~dropped:s.Routing.Engine.dropped ~delivered:s.Routing.Engine.delivered
+          ~sends:s.Routing.Engine.sends ~failed_sends:s.Routing.Engine.failed_sends
+          ~total_cost:s.Routing.Engine.total_cost ~remaining:s.Routing.Engine.remaining;
+        print_endline (String.trim (Obs.Invariants.report c));
+        if not (Obs.Invariants.ok c) then exit 1
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Run a balancing-routing scenario against a certified adversary.")
     Term.(
       const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ scenario_t
-      $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t)
+      $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t $ events_t
+      $ check_invariants_t)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS" ~doc:"adhoc-events/1 JSONL file (route --events FILE).")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"K" ~doc:"Rows in the busiest-edges table (default 15).")
+  in
+  let svg_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Write a deliveries-over-time / buffer-occupancy chart to $(docv).")
+  in
+  let check_invariants_t =
+    Arg.(
+      value & flag
+      & info [ "check-invariants" ]
+          ~doc:"Replay the per-event invariants offline; exit non-zero on any violation.")
+  in
+  let run file top svg check_invariants =
+    match Obs.Event.load_jsonl file with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok events ->
+        let j = Routing.Journey.analyze events in
+        let t = j.Routing.Journey.totals in
+        Printf.printf "%s: %d events, %d observed steps\n" file (Array.length events)
+          t.Routing.Journey.steps;
+        Printf.printf "injected / dropped   %d / %d\n" t.Routing.Journey.injected
+          t.Routing.Journey.dropped;
+        Printf.printf "delivered            %d (self %d)\n" t.Routing.Journey.delivered
+          t.Routing.Journey.self_deliveries;
+        Printf.printf "sends / collisions   %d / %d\n" t.Routing.Journey.sends
+          t.Routing.Journey.collisions;
+        Printf.printf "energy               %.6g\n" t.Routing.Journey.energy;
+        if t.Routing.Journey.epochs > 0 then
+          Printf.printf "epochs               %d\n" t.Routing.Journey.epochs;
+        if t.Routing.Journey.height_adverts > 0 then
+          Printf.printf "height adverts       %d\n" t.Routing.Journey.height_adverts;
+        if j.Routing.Journey.anomalies > 0 then
+          Printf.printf "REPLAY ANOMALIES     %d (corrupt or truncated log)\n"
+            j.Routing.Journey.anomalies;
+        let delivered_pkts =
+          List.filter Routing.Packet.delivered j.Routing.Journey.packets
+        in
+        if delivered_pkts <> [] then begin
+          (* Latency row uses Journey's pinned fields (they match
+             Tracked_engine bit-for-bit); the hop / energy spread columns
+             are computed here over the same delivered packets. *)
+          let farr f = Array.of_list (List.map f delivered_pkts) in
+          let hops = farr (fun p -> float_of_int p.Routing.Packet.hops) in
+          let energy = farr (fun p -> p.Routing.Packet.energy) in
+          let tb =
+            Table.create
+              [
+                ("per delivered packet", Table.Left);
+                ("mean", Table.Right);
+                ("median", Table.Right);
+                ("p95", Table.Right);
+              ]
+          in
+          Table.add_float_row tb "latency (steps)"
+            [
+              j.Routing.Journey.latency_mean;
+              j.Routing.Journey.latency_median;
+              j.Routing.Journey.latency_p95;
+            ];
+          Table.add_float_row tb "hops"
+            [
+              j.Routing.Journey.hops_mean;
+              Util.Stats.percentile hops 50.;
+              Util.Stats.percentile hops 95.;
+            ];
+          Table.add_float_row tb "energy"
+            [
+              j.Routing.Journey.energy_per_delivered;
+              Util.Stats.percentile energy 50.;
+              Util.Stats.percentile energy 95.;
+            ];
+          print_newline ();
+          Table.print tb
+        end;
+        if Array.length j.Routing.Journey.edges > 0 then begin
+          let edges = Array.copy j.Routing.Journey.edges in
+          Array.sort
+            (fun (a : Routing.Journey.edge_use) b ->
+              compare
+                (b.Routing.Journey.sends + b.Routing.Journey.collisions, a.Routing.Journey.edge)
+                (a.Routing.Journey.sends + a.Routing.Journey.collisions, b.Routing.Journey.edge))
+            edges;
+          let tb =
+            Table.create
+              [
+                ("edge", Table.Left);
+                ("sends", Table.Right);
+                ("collisions", Table.Right);
+                ("energy", Table.Right);
+                ("hol wait", Table.Right);
+              ]
+          in
+          Array.iteri
+            (fun i (e : Routing.Journey.edge_use) ->
+              if i < top then
+                Table.add_row tb
+                  [
+                    Printf.sprintf "%d (%d-%d)" e.Routing.Journey.edge e.Routing.Journey.u
+                      e.Routing.Journey.v;
+                    string_of_int e.Routing.Journey.sends;
+                    string_of_int e.Routing.Journey.collisions;
+                    Printf.sprintf "%.4f" e.Routing.Journey.energy;
+                    Printf.sprintf "%.2f" (Routing.Journey.mean_wait e);
+                  ])
+            edges;
+          print_newline ();
+          Printf.printf "busiest edges (%d of %d used):\n" (min top (Array.length edges))
+            (Array.length edges);
+          Table.print tb
+        end;
+        (match svg with
+        | Some out when Array.length j.Routing.Journey.timeline > 0 ->
+            let pts f =
+              Array.map
+                (fun (step, del, buf) -> (float_of_int step, float_of_int (f del buf)))
+                j.Routing.Journey.timeline
+            in
+            Viz.Chart.save ~title:"packet journeys" ~x_label:"step" ~y_label:"packets"
+              [
+                Viz.Chart.series ~label:"delivered (cumulative)" (pts (fun d _ -> d));
+                Viz.Chart.series ~label:"buffered" (pts (fun _ b -> b));
+              ]
+              out;
+            Printf.printf "wrote %s\n" out
+        | Some _ -> prerr_endline "no timeline to chart (empty event log)"
+        | None -> ());
+        let bad = ref (j.Routing.Journey.anomalies > 0) in
+        if check_invariants then begin
+          match Obs.Invariants.run events with
+          | [] ->
+              Printf.printf "invariants ok (%d events checked)\n" (Array.length events)
+          | vs ->
+              bad := true;
+              Printf.printf "%d invariant violation%s:\n" (List.length vs)
+                (if List.length vs = 1 then "" else "s");
+              List.iter
+                (fun (v : Obs.Invariants.violation) ->
+                  Printf.printf "  event %d: %s\n" v.Obs.Invariants.index
+                    v.Obs.Invariants.reason)
+                vs
+        end;
+        if !bad then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct per-packet journeys from a recorded event log: latency / hop / \
+          energy distributions, per-edge utilization, optional SVG time series.")
+    Term.(const run $ file_t $ top_t $ svg_t $ check_invariants_t)
 
 (* ------------------------------------------------------------------ *)
 (* geo                                                                 *)
@@ -330,4 +557,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topology_cmd; stretch_cmd; interference_cmd; route_cmd; geo_cmd; export_cmd ]))
+          [
+            topology_cmd;
+            stretch_cmd;
+            interference_cmd;
+            route_cmd;
+            analyze_cmd;
+            geo_cmd;
+            export_cmd;
+          ]))

@@ -1,14 +1,20 @@
 module Metrics = Metrics
 module Span = Span
 module Trace = Trace
+module Event = Event
+module Invariants = Invariants
 
 type sink = {
   metrics : Metrics.t;
   spans : Span.t;
   trace : Trace.t option;
+  events : Event.log option;
 }
 
-let create ?trace () = { metrics = Metrics.create (); spans = Span.create (); trace }
+let create ?trace ?events () =
+  { metrics = Metrics.create (); spans = Span.create (); trace; events }
 
 let time obs label f =
   match obs with None -> f () | Some o -> Span.time o.spans label f
+
+let events obs = match obs with Some { events = Some log; _ } -> Some log | _ -> None

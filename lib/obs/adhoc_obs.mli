@@ -10,7 +10,10 @@
     - {!Span} — nestable wall-clock timing scopes accumulated per label
       ([prepare], [workload/certify], [engine/…], [mac/…]);
     - {!Trace} — an optional per-step sample recorder with JSONL and CSV
-      sinks (see [adhoc_sim route --trace]).
+      sinks (see [adhoc_sim route --trace]);
+    - {!Event} — an optional per-packet event log (inject / send /
+      deliver / collide / epoch / advert), the flight recorder behind
+      [adhoc_sim analyze] and the {!Invariants} checker.
 
     Typical use:
     {[
@@ -23,15 +26,22 @@
 module Metrics = Metrics
 module Span = Span
 module Trace = Trace
+module Event = Event
+module Invariants = Invariants
 
 type sink = {
   metrics : Metrics.t;
   spans : Span.t;
   trace : Trace.t option;  (** no per-step trace unless provided *)
+  events : Event.log option;  (** no per-packet event log unless provided *)
 }
 
-val create : ?trace:Trace.t -> unit -> sink
+val create : ?trace:Trace.t -> ?events:Event.log -> unit -> sink
 (** A sink with fresh metrics and span state. *)
+
+val events : sink option -> Event.log option
+(** The sink's event log, when both are present — the single [match] the
+    engines hoist out of their hot loops. *)
 
 val time : sink option -> string -> (unit -> 'a) -> 'a
 (** [time obs label f] runs [f] inside a span when [obs] is [Some], and

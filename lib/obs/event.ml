@@ -1,0 +1,318 @@
+type outcome = Moved | Delivered
+
+type t =
+  | Inject of { step : int; src : int; dst : int; admitted : bool }
+  | Send of {
+      step : int;
+      edge : int;
+      src : int;
+      dst : int;
+      dest : int;
+      cost : float;
+      outcome : outcome;
+    }
+  | Collide of { step : int; edge : int; src : int; dst : int; dest : int; cost : float }
+  | Deliver of { step : int; dst : int; self : bool }
+  | Epoch_change of { step : int; epoch : int }
+  | Height_advert of { step : int; node : int }
+
+let step = function
+  | Inject { step; _ }
+  | Send { step; _ }
+  | Collide { step; _ }
+  | Deliver { step; _ }
+  | Epoch_change { step; _ }
+  | Height_advert { step; _ } -> step
+
+(* Flat encoding: 7 ints per event (tag, step, a..e) plus one float (the
+   cost; 0 for costless events).  Tags: 0 Inject (a=src b=dst c=admitted),
+   1 Send (a=edge b=src c=dst d=dest e=outcome), 2 Collide (a=edge b=src
+   c=dst d=dest), 3 Deliver (a=dst b=self), 4 Epoch_change (a=epoch),
+   5 Height_advert (a=node). *)
+let stride = 7
+
+type log = {
+  mutable ints : int array;
+  mutable costs : float array;
+  mutable len : int;  (* events recorded *)
+  mutable observer : (int -> t -> unit) option;
+}
+
+let create ?(initial_capacity = 1024) () =
+  if initial_capacity < 1 then invalid_arg "Event.create: capacity must be >= 1";
+  {
+    ints = Array.make (stride * initial_capacity) 0;
+    costs = Array.make initial_capacity 0.;
+    len = 0;
+    observer = None;
+  }
+
+let length log = log.len
+
+let decode log i =
+  let o = stride * i in
+  let v = log.ints in
+  let step = v.(o + 1) and a = v.(o + 2) and b = v.(o + 3) in
+  match v.(o) with
+  | 0 -> Inject { step; src = a; dst = b; admitted = v.(o + 4) = 1 }
+  | 1 ->
+      Send
+        {
+          step;
+          edge = a;
+          src = b;
+          dst = v.(o + 4);
+          dest = v.(o + 5);
+          cost = log.costs.(i);
+          outcome = (if v.(o + 6) = 1 then Delivered else Moved);
+        }
+  | 2 ->
+      Collide
+        { step; edge = a; src = b; dst = v.(o + 4); dest = v.(o + 5); cost = log.costs.(i) }
+  | 3 -> Deliver { step; dst = a; self = b = 1 }
+  | 4 -> Epoch_change { step; epoch = a }
+  | _ -> Height_advert { step; node = a }
+
+let get log i =
+  if i < 0 || i >= log.len then invalid_arg "Event.get: index out of bounds";
+  decode log i
+
+let set_observer log f = log.observer <- Some f
+
+let clear_observer log = log.observer <- None
+
+let grow log =
+  let cap = Array.length log.costs in
+  let ints = Array.make (2 * stride * cap) 0 in
+  Array.blit log.ints 0 ints 0 (stride * cap);
+  log.ints <- ints;
+  let costs = Array.make (2 * cap) 0. in
+  Array.blit log.costs 0 costs 0 cap;
+  log.costs <- costs
+
+(* Reserve one slot; returns the int-array offset to fill.  The observer,
+   when any, sees the event only after [commit]. *)
+let reserve log =
+  if log.len = Array.length log.costs then grow log;
+  stride * log.len
+
+let commit log =
+  let i = log.len in
+  log.len <- i + 1;
+  match log.observer with None -> () | Some f -> f i (decode log i)
+
+let emit6 log tag step a b c d e cost =
+  let o = reserve log in
+  let v = log.ints in
+  v.(o) <- tag;
+  v.(o + 1) <- step;
+  v.(o + 2) <- a;
+  v.(o + 3) <- b;
+  v.(o + 4) <- c;
+  v.(o + 5) <- d;
+  v.(o + 6) <- e;
+  log.costs.(log.len) <- cost;
+  commit log
+
+let inject log ~step ~src ~dst ~admitted =
+  emit6 log 0 step src dst (if admitted then 1 else 0) 0 0 0.
+
+let send log ~step ~edge ~src ~dst ~dest ~cost ~outcome =
+  emit6 log 1 step edge src dst dest (match outcome with Delivered -> 1 | Moved -> 0) cost
+
+let collide log ~step ~edge ~src ~dst ~dest ~cost = emit6 log 2 step edge src dst dest 0 cost
+
+let deliver log ~step ~dst ~self = emit6 log 3 step dst (if self then 1 else 0) 0 0 0 0.
+
+let epoch_change log ~step ~epoch = emit6 log 4 step epoch 0 0 0 0 0.
+
+let height_advert log ~step ~node = emit6 log 5 step node 0 0 0 0 0.
+
+let record log = function
+  | Inject { step; src; dst; admitted } -> inject log ~step ~src ~dst ~admitted
+  | Send { step; edge; src; dst; dest; cost; outcome } ->
+      send log ~step ~edge ~src ~dst ~dest ~cost ~outcome
+  | Collide { step; edge; src; dst; dest; cost } ->
+      collide log ~step ~edge ~src ~dst ~dest ~cost
+  | Deliver { step; dst; self } -> deliver log ~step ~dst ~self
+  | Epoch_change { step; epoch } -> epoch_change log ~step ~epoch
+  | Height_advert { step; node } -> height_advert log ~step ~node
+
+let iter log f =
+  for i = 0 to log.len - 1 do
+    f i (decode log i)
+  done
+
+let to_array log = Array.init log.len (decode log)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL (schema adhoc-events/1)                                       *)
+
+let schema = "adhoc-events/1"
+
+(* %.17g round-trips every finite double exactly, which is what lets the
+   offline replay reproduce in-memory statistics bit-for-bit. *)
+let cost_field f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let bool_field b = if b then "true" else "false"
+
+let write_event oc = function
+  | Inject { step; src; dst; admitted } ->
+      Printf.fprintf oc "{\"ev\":\"inject\",\"step\":%d,\"src\":%d,\"dst\":%d,\"admitted\":%s}\n"
+        step src dst (bool_field admitted)
+  | Send { step; edge; src; dst; dest; cost; outcome } ->
+      Printf.fprintf oc
+        "{\"ev\":\"send\",\"step\":%d,\"edge\":%d,\"src\":%d,\"dst\":%d,\"dest\":%d,\"cost\":%s,\"outcome\":\"%s\"}\n"
+        step edge src dst dest (cost_field cost)
+        (match outcome with Moved -> "moved" | Delivered -> "delivered")
+  | Collide { step; edge; src; dst; dest; cost } ->
+      Printf.fprintf oc
+        "{\"ev\":\"collide\",\"step\":%d,\"edge\":%d,\"src\":%d,\"dst\":%d,\"dest\":%d,\"cost\":%s}\n"
+        step edge src dst dest (cost_field cost)
+  | Deliver { step; dst; self } ->
+      Printf.fprintf oc "{\"ev\":\"deliver\",\"step\":%d,\"dst\":%d,\"self\":%s}\n" step dst
+        (bool_field self)
+  | Epoch_change { step; epoch } ->
+      Printf.fprintf oc "{\"ev\":\"epoch\",\"step\":%d,\"epoch\":%d}\n" step epoch
+  | Height_advert { step; node } ->
+      Printf.fprintf oc "{\"ev\":\"advert\",\"step\":%d,\"node\":%d}\n" step node
+
+let write_jsonl log oc =
+  Printf.fprintf oc "{\"schema\":%S}\n" schema;
+  iter log (fun _ e -> write_event oc e)
+
+let save_jsonl log file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl log oc)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  The format is machine-written (fixed keys, no nesting), so
+   a keyed field scanner covers it without a general JSON parser; field
+   order is not assumed. *)
+
+exception Parse of string
+
+let find_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let n = String.length line and k = String.length pat in
+  let rec scan i =
+    if i + k > n then raise (Parse (Printf.sprintf "missing field %S" key))
+    else if String.sub line i k = pat then i + k
+    else scan (i + 1)
+  in
+  scan 0
+
+let field_end line start =
+  let n = String.length line in
+  let rec go i depth_in_string =
+    if i >= n then i
+    else
+      match line.[i] with
+      | '"' -> go (i + 1) (not depth_in_string)
+      | (',' | '}') when not depth_in_string -> i
+      | _ -> go (i + 1) depth_in_string
+  in
+  go start false
+
+let raw_field line key =
+  let s = find_field line key in
+  String.sub line s (field_end line s - s)
+
+let int_field line key =
+  match int_of_string_opt (raw_field line key) with
+  | Some i -> i
+  | None -> raise (Parse (Printf.sprintf "field %S is not an integer" key))
+
+let float_field line key =
+  match float_of_string_opt (raw_field line key) with
+  | Some f -> f
+  | None -> raise (Parse (Printf.sprintf "field %S is not a number" key))
+
+let bool_field_of line key =
+  match raw_field line key with
+  | "true" -> true
+  | "false" -> false
+  | _ -> raise (Parse (Printf.sprintf "field %S is not a boolean" key))
+
+let string_field line key =
+  let r = raw_field line key in
+  let n = String.length r in
+  if n >= 2 && r.[0] = '"' && r.[n - 1] = '"' then String.sub r 1 (n - 2)
+  else raise (Parse (Printf.sprintf "field %S is not a string" key))
+
+let parse_event line =
+  match string_field line "ev" with
+  | "inject" ->
+      Inject
+        {
+          step = int_field line "step";
+          src = int_field line "src";
+          dst = int_field line "dst";
+          admitted = bool_field_of line "admitted";
+        }
+  | "send" ->
+      Send
+        {
+          step = int_field line "step";
+          edge = int_field line "edge";
+          src = int_field line "src";
+          dst = int_field line "dst";
+          dest = int_field line "dest";
+          cost = float_field line "cost";
+          outcome =
+            (match string_field line "outcome" with
+            | "moved" -> Moved
+            | "delivered" -> Delivered
+            | o -> raise (Parse (Printf.sprintf "unknown outcome %S" o)));
+        }
+  | "collide" ->
+      Collide
+        {
+          step = int_field line "step";
+          edge = int_field line "edge";
+          src = int_field line "src";
+          dst = int_field line "dst";
+          dest = int_field line "dest";
+          cost = float_field line "cost";
+        }
+  | "deliver" ->
+      Deliver
+        {
+          step = int_field line "step";
+          dst = int_field line "dst";
+          self = bool_field_of line "self";
+        }
+  | "epoch" -> Epoch_change { step = int_field line "step"; epoch = int_field line "epoch" }
+  | "advert" -> Height_advert { step = int_field line "step"; node = int_field line "node" }
+  | ev -> raise (Parse (Printf.sprintf "unknown event kind %S" ev))
+
+let load_jsonl file =
+  match open_in file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let header = try Some (input_line ic) with End_of_file -> None in
+          match header with
+          | None -> Error (file ^ ": empty file")
+          | Some h -> (
+              match string_field h "schema" with
+              | exception Parse _ -> Error (file ^ ":1: missing \"schema\" header line")
+              | s when s <> schema ->
+                  Error
+                    (Printf.sprintf "%s:1: schema %S, expected %S" file s schema)
+              | _ -> (
+                  let events = ref [] in
+                  let line_no = ref 1 in
+                  try
+                    (try
+                       while true do
+                         let line = input_line ic in
+                         incr line_no;
+                         if line <> "" then events := parse_event line :: !events
+                       done
+                     with End_of_file -> ());
+                    Ok (Array.of_list (List.rev !events))
+                  with Parse msg ->
+                    Error (Printf.sprintf "%s:%d: %s" file !line_no msg))))

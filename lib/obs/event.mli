@@ -1,0 +1,109 @@
+(** Packet-journey event log: a compact, typed flight recorder.
+
+    Aggregate metrics and per-step traces (PR 2) cannot express the
+    paper's per-packet guarantees — Theorem 3.1 bounds individual
+    deliveries, not step averages.  This log records every packet-level
+    action an engine takes, in order, as one of six typed events.  The
+    in-memory representation is a pair of growable flat arrays (7 ints +
+    1 float per event), so recording costs a handful of stores and no
+    per-event allocation; the variant view is materialized only on read.
+
+    Event semantics (what a well-formed engine emits):
+    - [Inject]: one per injection attempt; [admitted = false] means the
+      admission cap dropped the packet.  A packet admitted at its own
+      destination ([src = dst]) is absorbed immediately and is followed
+      by a [Deliver] with [self = true].
+    - [Send]: one per {e successful} transmission; [outcome] says whether
+      the packet was absorbed at [dst] ([Delivered], requires
+      [dst = dest]) or enqueued there ([Moved]).  A delivering send is
+      followed by a [Deliver] with [self = false].
+    - [Collide]: a transmission attempt that spent [cost] energy but
+      moved nothing (MAC scenarios); buffers are unchanged.
+    - [Deliver]: one per delivered packet, immediately after the event
+      that caused it.
+    - [Epoch_change]: the topology switched to epoch [epoch]
+      ({!Adhoc_routing.Dynamic_engine}).
+    - [Height_advert]: [node] broadcast its buffer heights
+      ({!Adhoc_routing.Quantized_engine}).
+
+    The JSONL sink writes schema [adhoc-events/1]: a header line
+    [{"schema":"adhoc-events/1"}] followed by one event object per line.
+    Floats are written with enough digits to round-trip exactly, so
+    offline analytics ({!Adhoc_routing.Journey}) reproduce in-memory
+    results bit-for-bit. *)
+
+type outcome = Moved | Delivered
+
+type t =
+  | Inject of { step : int; src : int; dst : int; admitted : bool }
+  | Send of {
+      step : int;
+      edge : int;
+      src : int;
+      dst : int;
+      dest : int;  (** destination whose packet moved *)
+      cost : float;
+      outcome : outcome;
+    }
+  | Collide of { step : int; edge : int; src : int; dst : int; dest : int; cost : float }
+  | Deliver of { step : int; dst : int; self : bool }
+  | Epoch_change of { step : int; epoch : int }
+  | Height_advert of { step : int; node : int }
+
+val step : t -> int
+(** The step any event occurred at. *)
+
+type log
+
+val create : ?initial_capacity:int -> unit -> log
+(** An empty log; the backing arrays grow by doubling (default initial
+    capacity 1024 events). *)
+
+val length : log -> int
+
+val get : log -> int -> t
+(** [get log i] decodes the [i]-th recorded event (0-based).  Raises
+    [Invalid_argument] out of bounds. *)
+
+val record : log -> t -> unit
+(** Append a decoded event (tests, corrupt-log construction).  The
+    engines use the specialized emitters below, which skip the variant. *)
+
+(** {2 Allocation-free emitters}
+
+    One per constructor; these write the flat fields directly.  When an
+    observer is attached (see {!set_observer}) the event is decoded once
+    and handed to it — the cost of online checking is only paid when
+    checking is on. *)
+
+val inject : log -> step:int -> src:int -> dst:int -> admitted:bool -> unit
+val send :
+  log -> step:int -> edge:int -> src:int -> dst:int -> dest:int -> cost:float ->
+  outcome:outcome -> unit
+val collide :
+  log -> step:int -> edge:int -> src:int -> dst:int -> dest:int -> cost:float -> unit
+val deliver : log -> step:int -> dst:int -> self:bool -> unit
+val epoch_change : log -> step:int -> epoch:int -> unit
+val height_advert : log -> step:int -> node:int -> unit
+
+val iter : log -> (int -> t -> unit) -> unit
+(** [iter log f] calls [f i event] for every recorded event in order. *)
+
+val to_array : log -> t array
+
+val set_observer : log -> (int -> t -> unit) -> unit
+(** [set_observer log f] makes every subsequent record call [f i event]
+    (after the event is stored).  At most one observer; setting replaces.
+    {!Adhoc_obs.Invariants.attach} uses this for online checking. *)
+
+val clear_observer : log -> unit
+
+val write_jsonl : log -> out_channel -> unit
+(** Schema header line, then one JSON object per event. *)
+
+val save_jsonl : log -> string -> unit
+
+val load_jsonl : string -> (t array, string) result
+(** Parse a file written by {!save_jsonl}.  Checks the schema header and
+    every line; [Error msg] carries the file/line of the first problem.
+    Costs round-trip exactly. *)

@@ -1,7 +1,12 @@
-type acc = { mutable count : int; mutable seconds : float }
+type acc = { mutable count : int; mutable seconds : float; mutable self_seconds : float }
+
+(* One frame per open span: [child] accumulates the inclusive time of the
+   spans closed directly underneath it, so on leave the frame's exclusive
+   (self) time is [elapsed - child] without any per-label bookkeeping. *)
+type frame = { label : string; start : float; mutable child : float }
 
 type t = {
-  mutable stack : (string * float) list;  (* innermost first: label, start time *)
+  mutable stack : frame list;  (* innermost first *)
   by_label : (string, acc) Hashtbl.t;
 }
 
@@ -9,34 +14,38 @@ let now () = Unix.gettimeofday ()
 
 let create () = { stack = []; by_label = Hashtbl.create 16 }
 
-let enter t label = t.stack <- (label, now ()) :: t.stack
+let enter t label = t.stack <- { label; start = now (); child = 0. } :: t.stack
 
 let leave t =
   match t.stack with
   | [] -> invalid_arg "Span.leave: no open span"
-  | (label, start) :: rest ->
+  | f :: rest ->
       t.stack <- rest;
-      let elapsed = now () -. start in
+      let elapsed = now () -. f.start in
+      (match rest with [] -> () | parent :: _ -> parent.child <- parent.child +. elapsed);
       let acc =
-        match Hashtbl.find_opt t.by_label label with
+        match Hashtbl.find_opt t.by_label f.label with
         | Some a -> a
         | None ->
-            let a = { count = 0; seconds = 0. } in
-            Hashtbl.add t.by_label label a;
+            let a = { count = 0; seconds = 0.; self_seconds = 0. } in
+            Hashtbl.add t.by_label f.label a;
             a
       in
       acc.count <- acc.count + 1;
-      acc.seconds <- acc.seconds +. elapsed
+      acc.seconds <- acc.seconds +. elapsed;
+      acc.self_seconds <- acc.self_seconds +. (elapsed -. f.child)
 
 let time t label f =
   enter t label;
   Fun.protect ~finally:(fun () -> leave t) f
 
-type total = { label : string; count : int; seconds : float }
+type total = { label : string; count : int; seconds : float; self_seconds : float }
 
 let totals t =
   Hashtbl.fold
-    (fun label (a : acc) out -> { label; count = a.count; seconds = a.seconds } :: out)
+    (fun label (a : acc) out ->
+      { label; count = a.count; seconds = a.seconds; self_seconds = a.self_seconds }
+      :: out)
     t.by_label []
   |> List.sort (fun a b -> String.compare a.label b.label)
 

@@ -26,6 +26,11 @@ type total = {
   label : string;
   count : int;  (** closed occurrences *)
   seconds : float;  (** accumulated inclusive wall-clock *)
+  self_seconds : float;
+      (** accumulated exclusive wall-clock: inclusive time minus the
+          inclusive time of spans opened directly inside — so a nested
+          label ([engine/decide] inside [engine/step]) stops
+          double-counting when totals are summed *)
 }
 
 val totals : t -> total list

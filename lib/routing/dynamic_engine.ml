@@ -1,6 +1,7 @@
 module Graph = Adhoc_graph.Graph
 module Conflict = Adhoc_interference.Conflict
 module Model = Adhoc_interference.Model
+module Event = Adhoc_obs.Event
 
 type epoch = {
   graph : Graph.t;
@@ -15,7 +16,7 @@ let epoch_of_points ?(delta = 0.5) ?(theta = Float.pi /. 6.) ?(range_factor = 1.
   let conflict = Conflict.build (Model.make ~delta) ~points overlay in
   { graph = overlay; conflict; steps }
 
-let run ~epochs ~injections ~cost ~params () =
+let run ?obs ~epochs ~injections ~cost ~params () =
   let n =
     match epochs with
     | [] -> invalid_arg "Dynamic_engine.run: no epochs"
@@ -28,6 +29,8 @@ let run ~epochs ~injections ~cost ~params () =
         Graph.n e.graph
   in
   let buffers = Buffers.create n in
+  let robs = Engine.Run_obs.create obs ~n in
+  let events = Adhoc_obs.events obs in
   let injected = ref 0
   and dropped = ref 0
   and delivered = ref 0
@@ -35,9 +38,12 @@ let run ~epochs ~injections ~cost ~params () =
   and total_cost = ref 0.
   and peak = ref 0 in
   let steps_total = ref 0 in
-  List.iter
-    (fun epoch ->
+  List.iteri
+    (fun epoch_idx epoch ->
       let g = epoch.graph in
+      (match events with
+      | None -> ()
+      | Some log -> Event.epoch_change log ~step:!steps_total ~epoch:epoch_idx);
       let edge_cost = Array.init (Graph.num_edges g) (fun e -> cost (Graph.length g e)) in
       let colors, k = Conflict.greedy_coloring epoch.conflict in
       (* Colour classes precomputed once per epoch, in the descending
@@ -54,6 +60,7 @@ let run ~epochs ~injections ~cost ~params () =
         ignore local;
         (* Interference-free TDMA: activate one colour class per step. *)
         let active = if k = 0 then [] else by_class.(t mod k) in
+        Engine.Run_obs.enter robs "engine/decide";
         Engine.Cache.flush cache;
         let decisions =
           List.concat_map
@@ -68,37 +75,70 @@ let run ~epochs ~injections ~cost ~params () =
         let decisions =
           List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) decisions
         in
+        Engine.Run_obs.leave robs;
+        Engine.Run_obs.enter robs "engine/apply";
         List.iter
           (fun (e, (d : Balancing.decision)) ->
             if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
               incr sends;
               total_cost := !total_cost +. edge_cost.(e);
-              match Balancing.apply buffers d with
+              let outcome = Balancing.apply buffers d in
+              (match outcome with
               | `Delivered -> incr delivered
               | `Moved ->
                   peak :=
-                    max !peak (Buffers.height buffers d.Balancing.dst d.Balancing.dest)
+                    max !peak (Buffers.height buffers d.Balancing.dst d.Balancing.dest));
+              match events with
+              | None -> ()
+              | Some log -> (
+                  Event.send log ~step:t ~edge:e ~src:d.Balancing.src ~dst:d.Balancing.dst
+                    ~dest:d.Balancing.dest ~cost:edge_cost.(e)
+                    ~outcome:
+                      (match outcome with
+                      | `Delivered -> Event.Delivered
+                      | `Moved -> Event.Moved);
+                  match outcome with
+                  | `Delivered -> Event.deliver log ~step:t ~dst:d.Balancing.dest ~self:false
+                  | `Moved -> ())
             end)
           decisions;
         List.iter
           (fun (src, dst) ->
             if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
               incr injected;
+              (match events with
+              | None -> ()
+              | Some log ->
+                  Event.inject log ~step:t ~src ~dst ~admitted:true;
+                  if src = dst then Event.deliver log ~step:t ~dst ~self:true);
               if src = dst then incr delivered
               else peak := max !peak (Buffers.height buffers src dst)
             end
-            else incr dropped)
-          (injections t)
+            else begin
+              incr dropped;
+              match events with
+              | None -> ()
+              | Some log -> Event.inject log ~step:t ~src ~dst ~admitted:false
+            end)
+          (injections t);
+        Engine.Run_obs.leave robs;
+        Engine.Run_obs.sample robs ~buffers ~step:t ~injected:!injected
+          ~delivered:!delivered ~dropped:!dropped ~sends:!sends ~failed_sends:0
+          ~active_edges:(List.length active)
       done)
     epochs;
-  {
-    Engine.steps = !steps_total;
-    injected = !injected;
-    dropped = !dropped;
-    delivered = !delivered;
-    sends = !sends;
-    failed_sends = 0;
-    total_cost = !total_cost;
-    peak_height = !peak;
-    remaining = Buffers.total buffers;
-  }
+  let stats =
+    {
+      Engine.steps = !steps_total;
+      injected = !injected;
+      dropped = !dropped;
+      delivered = !delivered;
+      sends = !sends;
+      failed_sends = 0;
+      total_cost = !total_cost;
+      peak_height = !peak;
+      remaining = Buffers.total buffers;
+    }
+  in
+  Engine.Run_obs.finish robs stats;
+  stats

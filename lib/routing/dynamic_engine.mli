@@ -28,6 +28,7 @@ val epoch_of_points :
     (defaults: Δ = 0.5, θ = π/6, range = 1.5 × connectivity threshold). *)
 
 val run :
+  ?obs:Adhoc_obs.sink ->
   epochs:epoch list ->
   injections:(int -> (int * int) list) ->
   cost:Adhoc_graph.Cost.t ->
@@ -38,4 +39,11 @@ val run :
     [t]; steps count across all epochs.  Packets buffered at a node whose
     current epoch offers no useful edge simply wait — exactly the paper's
     model, where progress resumes whenever the adversary re-enables a
-    path. *)
+    path.
+
+    [obs] behaves as in {!Engine.run_mac_given}: [engine/decide] /
+    [engine/apply] spans, [engine.*] counters, the max-height histogram
+    and stride-gated trace samples; an attached event log additionally
+    gets one [Epoch_change] per epoch (at the global step it starts),
+    and the usual inject / send / deliver events.  [None] leaves the run
+    bit-identical. *)

@@ -175,11 +175,17 @@ module Pad = struct
     end
 end
 
-let do_injections ~on_inject ~step buffers (params : Balancing.params) counters injections =
+let do_injections ?(events : Adhoc_obs.Event.log option) ~on_inject ~step buffers
+    (params : Balancing.params) counters injections =
   List.iter
     (fun (src, dst) ->
       if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
         counters.injected <- counters.injected + 1;
+        (match events with
+        | None -> ()
+        | Some log ->
+            Adhoc_obs.Event.inject log ~step ~src ~dst ~admitted:true;
+            if src = dst then Adhoc_obs.Event.deliver log ~step ~dst ~self:true);
         (* A packet injected at its destination is absorbed immediately. *)
         if src = dst then counters.delivered <- counters.delivered + 1
         else counters.peak_height <- max counters.peak_height (Buffers.height buffers src dst);
@@ -187,6 +193,9 @@ let do_injections ~on_inject ~step buffers (params : Balancing.params) counters 
       end
       else begin
         counters.dropped <- counters.dropped + 1;
+        (match events with
+        | None -> ()
+        | Some log -> Adhoc_obs.Event.inject log ~step ~src ~dst ~admitted:false);
         match on_inject with None -> () | Some f -> f ~step ~src ~dst false
       end)
     injections
@@ -195,14 +204,22 @@ let do_injections ~on_inject ~step buffers (params : Balancing.params) counters 
    simultaneous across edges); application checks that the source buffer
    still holds a packet, since several edges may have decided to drain the
    same buffer.  An unavailable send does not transmit and costs nothing. *)
-let attempt_send buffers counters ~on_send ~step ~edge ~edge_cost decision_opt ~collided =
+let attempt_send ?(events : Adhoc_obs.Event.log option) buffers counters ~on_send ~step
+    ~edge ~edge_cost decision_opt ~collided =
   match decision_opt with
   | None -> ()
   | Some d ->
       if Buffers.height buffers d.Balancing.src d.Balancing.dest > 0 then begin
         counters.sends <- counters.sends + 1;
         counters.total_cost <- counters.total_cost +. edge_cost;
-        if collided then counters.failed_sends <- counters.failed_sends + 1
+        if collided then begin
+          counters.failed_sends <- counters.failed_sends + 1;
+          match events with
+          | None -> ()
+          | Some log ->
+              Adhoc_obs.Event.collide log ~step ~edge ~src:d.Balancing.src
+                ~dst:d.Balancing.dst ~dest:d.Balancing.dest ~cost:edge_cost
+        end
         else begin
           let outcome = Balancing.apply buffers d in
           (match outcome with
@@ -211,6 +228,19 @@ let attempt_send buffers counters ~on_send ~step ~edge ~edge_cost decision_opt ~
               counters.peak_height <-
                 max counters.peak_height
                   (Buffers.height buffers d.Balancing.dst d.Balancing.dest));
+          (match events with
+          | None -> ()
+          | Some log -> (
+              Adhoc_obs.Event.send log ~step ~edge ~src:d.Balancing.src ~dst:d.Balancing.dst
+                ~dest:d.Balancing.dest ~cost:edge_cost
+                ~outcome:
+                  (match outcome with
+                  | `Delivered -> Adhoc_obs.Event.Delivered
+                  | `Moved -> Adhoc_obs.Event.Moved);
+              match outcome with
+              | `Delivered ->
+                  Adhoc_obs.Event.deliver log ~step ~dst:d.Balancing.dest ~self:false
+              | `Moved -> ()));
           match on_send with None -> () | Some f -> f ~step ~edge d outcome
         end
       end
@@ -261,26 +291,6 @@ let record_sample tr ~n ~buffers ~counters ~prev ~step ~active_edges =
   prev.p_sends <- counters.sends;
   prev.p_failed <- counters.failed_sends
 
-(* End-of-run snapshot into the metrics registry: totals as counters (they
-   accumulate across runs sharing a sink), extrema and leftovers as
-   gauges. *)
-let flush_metrics obs ~steps buffers counters =
-  match obs with
-  | None -> ()
-  | Some o ->
-      let m = o.Adhoc_obs.metrics in
-      let c name v = Adhoc_obs.Metrics.add (Adhoc_obs.Metrics.counter m name) v in
-      let g name v = Adhoc_obs.Metrics.set (Adhoc_obs.Metrics.gauge m name) v in
-      c "engine.steps" steps;
-      c "engine.injected" counters.injected;
-      c "engine.dropped" counters.dropped;
-      c "engine.delivered" counters.delivered;
-      c "engine.sends" counters.sends;
-      c "engine.failed_sends" counters.failed_sends;
-      g "engine.total_cost" counters.total_cost;
-      g "engine.peak_height" (float_of_int counters.peak_height);
-      g "engine.remaining" (float_of_int (Buffers.total buffers))
-
 let height_buckets = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. |]
 
 (* When several simultaneous decisions contend for the same source buffer,
@@ -307,6 +317,84 @@ let finish ~steps buffers counters =
     remaining = Buffers.total buffers;
   }
 
+(* End-of-run snapshot into the metrics registry: totals as counters (they
+   accumulate across runs sharing a sink), extrema and leftovers as
+   gauges. *)
+let record_stats obs (s : stats) =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let m = o.Adhoc_obs.metrics in
+      let c name v = Adhoc_obs.Metrics.add (Adhoc_obs.Metrics.counter m name) v in
+      let g name v = Adhoc_obs.Metrics.set (Adhoc_obs.Metrics.gauge m name) v in
+      c "engine.steps" s.steps;
+      c "engine.injected" s.injected;
+      c "engine.dropped" s.dropped;
+      c "engine.delivered" s.delivered;
+      c "engine.sends" s.sends;
+      c "engine.failed_sends" s.failed_sends;
+      g "engine.total_cost" s.total_cost;
+      g "engine.peak_height" (float_of_int s.peak_height);
+      g "engine.remaining" (float_of_int s.remaining)
+
+(* Per-run observability bundle shared with the engine variants
+   ({!Dynamic_engine}, {!Quantized_engine}): span scopes, the per-step
+   max-height histogram, stride-gated trace samples with delta counters,
+   and the end-of-run metrics flush — so a variant gets PR 2 parity from
+   four calls instead of reimplementing the bookkeeping. *)
+module Run_obs = struct
+  type t = {
+    obs : Adhoc_obs.sink option;
+    n : int;
+    height_hist : Adhoc_obs.Metrics.histogram option;
+    prev : trace_prev;
+  }
+
+  let create obs ~n =
+    let height_hist =
+      match obs with
+      | None -> None
+      | Some o ->
+          Some
+            (Adhoc_obs.Metrics.histogram o.Adhoc_obs.metrics "engine.step_max_height"
+               ~buckets:height_buckets)
+    in
+    { obs; n; height_hist; prev = fresh_prev () }
+
+  let enter t label = span_enter t.obs label
+  let leave t = span_leave t.obs
+
+  let sample t ~buffers ~step ~injected ~delivered ~dropped ~sends ~failed_sends
+      ~active_edges =
+    (match t.height_hist with
+    | None -> ()
+    | Some h -> Adhoc_obs.Metrics.observe h (float_of_int (Buffers.max_height buffers)));
+    match t.obs with
+    | Some { Adhoc_obs.trace = Some tr; _ } when Adhoc_obs.Trace.wants tr ~step ->
+        let buffered = Buffers.total buffers in
+        Adhoc_obs.Trace.record tr
+          {
+            Adhoc_obs.Trace.step;
+            buffered;
+            max_height = Buffers.max_height buffers;
+            mean_height = float_of_int buffered /. float_of_int t.n;
+            injected = injected - t.prev.p_injected;
+            delivered = delivered - t.prev.p_delivered;
+            dropped = dropped - t.prev.p_dropped;
+            sends = sends - t.prev.p_sends;
+            failed_sends = failed_sends - t.prev.p_failed;
+            active_edges;
+          };
+        t.prev.p_injected <- injected;
+        t.prev.p_delivered <- delivered;
+        t.prev.p_dropped <- dropped;
+        t.prev.p_sends <- sends;
+        t.prev.p_failed <- failed_sends
+    | _ -> ()
+
+  let finish t stats = record_stats t.obs stats
+end
+
 let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pad ~graph
     ~cost ~params (w : Workload.t) =
   let n = Graph.n graph in
@@ -314,6 +402,7 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
   let prev = fresh_prev () in
+  let events = Adhoc_obs.events obs in
   let height_hist =
     match obs with
     | None -> None
@@ -379,11 +468,12 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
     span_enter obs "engine/apply";
     List.iter
       (fun (e, d) ->
-        attempt_send buffers counters ~on_send ~step:t ~edge:e ~edge_cost:(step_cost e)
-          (Some d) ~collided:false)
+        attempt_send ?events buffers counters ~on_send ~step:t ~edge:e
+          ~edge_cost:(step_cost e) (Some d) ~collided:false)
       decisions;
     if t < w.Workload.horizon then
-      do_injections ~on_inject ~step:t buffers params counters w.Workload.injections.(t);
+      do_injections ?events ~on_inject ~step:t buffers params counters
+        w.Workload.injections.(t);
     span_leave obs;
     (match height_hist with
     | None -> ()
@@ -397,8 +487,9 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
     | None -> ()
   done;
-  flush_metrics obs ~steps buffers counters;
-  finish ~steps buffers counters
+  let stats = finish ~steps buffers counters in
+  record_stats obs stats;
+  stats
 
 let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~graph ~cost
     ~params ~mac (w : Workload.t) =
@@ -407,6 +498,7 @@ let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~
   let buffers = Buffers.create n in
   let counters = fresh_counters () in
   let prev = fresh_prev () in
+  let events = Adhoc_obs.events obs in
   let height_hist =
     match obs with
     | None -> None
@@ -461,13 +553,14 @@ let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~
     List.iter
       (fun (r : Mac.request) ->
         let e = r.Mac.edge in
-        attempt_send buffers counters ~on_send ~step:t ~edge:e ~edge_cost:edge_cost.(e)
-          (Cache.either cache e) ~collided:(collided r))
+        attempt_send ?events buffers counters ~on_send ~step:t ~edge:e
+          ~edge_cost:edge_cost.(e) (Cache.either cache e) ~collided:(collided r))
       ordered;
     if conflict_adj <> None then
       List.iter (fun (r : Mac.request) -> granted_mark.(r.Mac.edge) <- false) granted;
     if t < w.Workload.horizon then
-      do_injections ~on_inject ~step:t buffers params counters w.Workload.injections.(t);
+      do_injections ?events ~on_inject ~step:t buffers params counters
+        w.Workload.injections.(t);
     span_leave obs;
     (match height_hist with
     | None -> ()
@@ -481,5 +574,6 @@ let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
     | None -> ()
   done;
-  flush_metrics obs ~steps buffers counters;
-  finish ~steps buffers counters
+  let stats = finish ~steps buffers counters in
+  record_stats obs stats;
+  stats

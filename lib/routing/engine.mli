@@ -27,6 +27,45 @@ val application_order : Balancing.decision -> Balancing.decision -> int
     a buffer: deliveries first, then descending gain.  Exposed for engine
     variants (see {!Tracked_engine}). *)
 
+val record_stats : Adhoc_obs.sink option -> stats -> unit
+(** End-of-run flush of a stats record into the sink's metrics registry:
+    totals as [engine.*] counters (accumulating across runs sharing a
+    sink), extrema and leftovers as gauges.  No-op on [None].  Exposed for
+    engine variants. *)
+
+(** The per-run observability bundle the engine variants share
+    ({!Dynamic_engine}, {!Quantized_engine}): [engine/*] span scopes, the
+    per-step max-height histogram, stride-gated trace samples whose
+    counters are deltas since the previous sample, and the end-of-run
+    metrics flush.  All calls are no-ops when the sink is [None]. *)
+module Run_obs : sig
+  type t
+
+  val create : Adhoc_obs.sink option -> n:int -> t
+  (** Registers the [engine.step_max_height] histogram when a sink is
+      present.  [n] is the node count (for the trace's mean height). *)
+
+  val enter : t -> string -> unit
+  val leave : t -> unit
+
+  val sample :
+    t ->
+    buffers:Buffers.t ->
+    step:int ->
+    injected:int ->
+    delivered:int ->
+    dropped:int ->
+    sends:int ->
+    failed_sends:int ->
+    active_edges:int ->
+    unit
+  (** Call once at the end of every step with the cumulative counters;
+      records the height histogram observation and, when the sink carries
+      a trace wanting [step], one sample. *)
+
+  val finish : t -> stats -> unit
+end
+
 val throughput_ratio : stats -> Workload.opt_stats -> float
 (** [delivered / opt.deliveries].  [0.] when OPT delivered nothing: a run
     with no certified deliveries to compete against earns nothing, rather
@@ -112,9 +151,14 @@ val run_mac_given :
     [obs] turns on observability: phase spans ([engine/decide],
     [engine/apply]), end-of-run counters and gauges ([engine.*]), a
     per-step max-height histogram, and — when the sink carries a
-    {!Adhoc_obs.Trace.t} — one trace sample per stride step.  With [None]
-    (the default) every instrumentation site reduces to a single [match],
-    keeping the hot path allocation-free and the stats bit-identical.
+    {!Adhoc_obs.Trace.t} — one trace sample per stride step.  When the
+    sink carries an {!Adhoc_obs.Event.log}, every packet-level action is
+    recorded into it ([Inject] per attempt, [Send] + [Deliver] per
+    successful transmission, [Collide] per collided attempt) — the
+    flight-recorder stream behind [adhoc_sim analyze] and
+    {!Adhoc_obs.Invariants}.  With [None] (the default) every
+    instrumentation site reduces to a single [match], keeping the hot
+    path allocation-free and the stats bit-identical.
 
     [on_send] fires after each {e successful} (uncollided, non-empty)
     transmission with the applied decision and whether it delivered;

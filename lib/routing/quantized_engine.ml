@@ -1,5 +1,6 @@
 module Graph = Adhoc_graph.Graph
 module Conflict = Adhoc_interference.Conflict
+module Event = Adhoc_obs.Event
 
 type stats = {
   base : Engine.stats;
@@ -7,10 +8,12 @@ type stats = {
   full_exchange_messages : int;
 }
 
-let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Workload.t) =
+let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : Workload.t) =
   if quantum < 0 then invalid_arg "Quantized_engine.run_mac_given: negative quantum";
   let n = Graph.n graph in
   let buffers = Buffers.create n in
+  let robs = Engine.Run_obs.create obs ~n in
+  let events = Adhoc_obs.events obs in
   (* Advertised heights: what neighbours believe about each buffer. *)
   let advertised = Array.make_matrix n n 0 in
   let control = ref 0 in
@@ -37,6 +40,7 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
   for t = 0 to steps - 1 do
     (* Advertisement phase: one broadcast per node whose heights drifted
        beyond the quantum since last advertised. *)
+    Engine.Run_obs.enter robs "engine/advertise";
     let announced = ref 0 in
     List.iter
       (fun (v, d) ->
@@ -46,7 +50,10 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
           advertised.(v).(d) <- h;
           if not node_changed.(v) then begin
             node_changed.(v) <- true;
-            incr announced
+            incr announced;
+            match events with
+            | None -> ()
+            | Some log -> Event.height_advert log ~step:t ~node:v
           end
         end)
       !dirty_cells;
@@ -55,12 +62,14 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
       List.iter (fun (v, _) -> node_changed.(v) <- false) !dirty_cells
     end;
     dirty_cells := [];
+    Engine.Run_obs.leave robs;
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
     let active =
       match pad_state with Some p -> Engine.Pad.active p ~step:t base | None -> base
     in
     (* Decisions: the sender knows its own buffers exactly but sees only
        the advertised heights of its neighbour. *)
+    Engine.Run_obs.enter robs "engine/decide";
     let best_toward src dst c =
       Buffers.fold_nonzero buffers src ~init:None ~f:(fun best d h_src ->
           let gain = float_of_int (h_src - advertised.(dst).(d)) -. (params.Balancing.gamma *. c) in
@@ -93,12 +102,20 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
           | _ -> Float.compare b a)
         decisions
     in
+    Engine.Run_obs.leave robs;
+    Engine.Run_obs.enter robs "engine/apply";
     List.iter
       (fun (e, src, dst, d, _) ->
         if Buffers.height buffers src d > 0 then begin
           incr sends;
           total_cost := !total_cost +. edge_cost.(e);
           Buffers.remove buffers src d;
+          (match events with
+          | None -> ()
+          | Some log ->
+              Event.send log ~step:t ~edge:e ~src ~dst ~dest:d ~cost:edge_cost.(e)
+                ~outcome:(if dst = d then Event.Delivered else Event.Moved);
+              if dst = d then Event.deliver log ~step:t ~dst:d ~self:false);
           if dst = d then incr delivered
           else begin
             Buffers.force_add buffers dst d;
@@ -111,25 +128,43 @@ let run_mac_given ?(cooldown = 0) ?pad ~quantum ~graph ~cost ~params (w : Worklo
         (fun (src, dst) ->
           if Buffers.inject buffers ~cap:params.Balancing.capacity src dst then begin
             incr injected;
+            (match events with
+            | None -> ()
+            | Some log ->
+                Event.inject log ~step:t ~src ~dst ~admitted:true;
+                if src = dst then Event.deliver log ~step:t ~dst ~self:true);
             if src = dst then incr delivered
             else peak := max !peak (Buffers.height buffers src dst)
           end
-          else incr dropped)
-        w.Workload.injections.(t)
+          else begin
+            incr dropped;
+            match events with
+            | None -> ()
+            | Some log -> Event.inject log ~step:t ~src ~dst ~admitted:false
+          end)
+        w.Workload.injections.(t);
+    Engine.Run_obs.leave robs;
+    Engine.Run_obs.sample robs ~buffers ~step:t ~injected:!injected ~delivered:!delivered
+      ~dropped:!dropped ~sends:!sends ~failed_sends:0 ~active_edges:(List.length active)
   done;
-  {
-    base =
-      {
-        Engine.steps;
-        injected = !injected;
-        dropped = !dropped;
-        delivered = !delivered;
-        sends = !sends;
-        failed_sends = 0;
-        total_cost = !total_cost;
-        peak_height = !peak;
-        remaining = Buffers.total buffers;
-      };
-    control_messages = !control;
-    full_exchange_messages = steps * n;
-  }
+  let base =
+    {
+      Engine.steps;
+      injected = !injected;
+      dropped = !dropped;
+      delivered = !delivered;
+      sends = !sends;
+      failed_sends = 0;
+      total_cost = !total_cost;
+      peak_height = !peak;
+      remaining = Buffers.total buffers;
+    }
+  in
+  Engine.Run_obs.finish robs base;
+  (match obs with
+  | None -> ()
+  | Some o ->
+      Adhoc_obs.Metrics.add
+        (Adhoc_obs.Metrics.counter o.Adhoc_obs.metrics "quantized.control_messages")
+        !control);
+  { base; control_messages = !control; full_exchange_messages = steps * n }

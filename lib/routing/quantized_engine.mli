@@ -27,6 +27,7 @@ type stats = {
 
 val run_mac_given :
   ?cooldown:int ->
+  ?obs:Adhoc_obs.sink ->
   ?pad:Adhoc_interference.Conflict.t ->
   quantum:int ->
   graph:Adhoc_graph.Graph.t ->
@@ -34,4 +35,10 @@ val run_mac_given :
   params:Balancing.params ->
   Workload.t ->
   stats
-(** Requires [quantum >= 0]. *)
+(** Requires [quantum >= 0].
+
+    [obs] behaves as in {!Engine.run_mac_given} — spans (with an extra
+    [engine/advertise] scope around the advertisement phase), [engine.*]
+    counters, histogram and trace — plus a [quantized.control_messages]
+    counter, and one [Height_advert] event per announcing node when the
+    sink carries an event log.  [None] leaves the run bit-identical. *)

@@ -372,6 +372,577 @@ let test_tracked_engine_obs_identical () =
   check_stats "tracked base" plain.Tracked_engine.base with_obs.Tracked_engine.base;
   check_stats "tracked vs engine" golden_pad plain.Tracked_engine.base
 
+(* ------------------------------------------------------------------ *)
+(* Span self time                                                      *)
+
+let test_span_self_time () =
+  let s = Span.create () in
+  Span.enter s "outer";
+  Span.enter s "inner";
+  (* Busy-wait so the inner span has measurable width. *)
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < 1e-4 do
+    ()
+  done;
+  Span.leave s;
+  Span.leave s;
+  match Span.totals s with
+  | [ inner; outer ] ->
+      (* A leaf's exclusive time is its inclusive time. *)
+      Alcotest.(check bool) "leaf self = seconds" true
+        (inner.Span.self_seconds = inner.Span.seconds);
+      Alcotest.(check bool) "parent self excludes child" true
+        (outer.Span.self_seconds <= outer.Span.seconds -. inner.Span.seconds +. 1e-12);
+      Alcotest.(check bool) "self non-negative" true (outer.Span.self_seconds >= 0.)
+  | ts -> Alcotest.failf "expected 2 labels, got %d" (List.length ts)
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+
+module Event = Obs.Event
+module Invariants = Obs.Invariants
+
+let sample_events =
+  [
+    Event.Inject { step = 0; src = 1; dst = 2; admitted = true };
+    Event.Inject { step = 0; src = 3; dst = 3; admitted = false };
+    Event.Send
+      {
+        step = 1;
+        edge = 7;
+        src = 1;
+        dst = 4;
+        dest = 2;
+        cost = 0.1 +. 0.2 (* not representable: exercises exact round-trip *);
+        outcome = Event.Moved;
+      };
+    Event.Collide { step = 1; edge = 9; src = 4; dst = 5; dest = 2; cost = 1. /. 3. };
+    Event.Deliver { step = 2; dst = 2; self = false };
+    Event.Epoch_change { step = 3; epoch = 1 };
+    Event.Height_advert { step = 3; node = 6 };
+    Event.Send
+      {
+        step = 4;
+        edge = 0;
+        src = 4;
+        dst = 2;
+        dest = 2;
+        cost = 106.59489637196208;
+        outcome = Event.Delivered;
+      };
+  ]
+
+let test_event_roundtrip () =
+  let log = Event.create () in
+  List.iter (Event.record log) sample_events;
+  Alcotest.(check int) "length" (List.length sample_events) (Event.length log);
+  List.iteri
+    (fun i ev ->
+      if Event.get log i <> ev then Alcotest.failf "event %d decoded differently" i)
+    sample_events;
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Event.get: index out of bounds")
+    (fun () -> ignore (Event.get log 8))
+
+let test_event_growth () =
+  let log = Event.create ~initial_capacity:2 () in
+  for i = 0 to 999 do
+    Event.send log ~step:i ~edge:i ~src:0 ~dst:1 ~dest:2 ~cost:(float_of_int i /. 7.)
+      ~outcome:(if i mod 2 = 0 then Event.Moved else Event.Delivered)
+  done;
+  Alcotest.(check int) "grows past capacity" 1000 (Event.length log);
+  match Event.get log 999 with
+  | Event.Send { step = 999; edge = 999; cost; outcome = Event.Delivered; _ } ->
+      Alcotest.(check bool) "cost survives growth" true
+        (Int64.equal (Int64.bits_of_float cost) (Int64.bits_of_float (999. /. 7.)))
+  | _ -> Alcotest.fail "last event mangled"
+
+let test_event_observer () =
+  let log = Event.create () in
+  let seen = ref [] in
+  Event.set_observer log (fun i e -> seen := (i, e) :: !seen);
+  List.iter (Event.record log) sample_events;
+  Alcotest.(check int) "observer saw every record" (List.length sample_events)
+    (List.length !seen);
+  List.iteri
+    (fun i ev ->
+      let j, got = List.nth (List.rev !seen) i in
+      Alcotest.(check int) "index" i j;
+      if got <> ev then Alcotest.failf "observer got a different event at %d" i)
+    sample_events;
+  Event.clear_observer log;
+  Event.deliver log ~step:9 ~dst:0 ~self:true;
+  Alcotest.(check int) "cleared observer fires no more" (List.length sample_events)
+    (List.length !seen)
+
+let with_temp_file suffix f =
+  let file = Filename.temp_file "events" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove file) (fun () -> f file)
+
+let test_event_jsonl_roundtrip () =
+  let log = Event.create () in
+  List.iter (Event.record log) sample_events;
+  with_temp_file ".jsonl" (fun file ->
+      Event.save_jsonl log file;
+      let ic = open_in file in
+      let header = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "schema header" "{\"schema\":\"adhoc-events/1\"}" header;
+      match Event.load_jsonl file with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok events ->
+          Alcotest.(check int) "count" (List.length sample_events) (Array.length events);
+          List.iteri
+            (fun i ev ->
+              (* Costs must survive the text round-trip bit-for-bit; the
+                 variant comparison covers them since floats are compared
+                 structurally and none is nan. *)
+              if events.(i) <> ev then Alcotest.failf "event %d changed in flight" i)
+            sample_events)
+
+let test_event_jsonl_rejects () =
+  let write file lines =
+    let oc = open_out file in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc
+  in
+  with_temp_file ".jsonl" (fun file ->
+      write file [ "{\"schema\":\"adhoc-events/2\"}" ];
+      (match Event.load_jsonl file with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "wrong schema accepted");
+      write file
+        [ "{\"schema\":\"adhoc-events/1\"}"; "{\"type\":\"send\",\"step\":0}" ];
+      (match Event.load_jsonl file with
+      | Error msg ->
+          Alcotest.(check bool) "error names the line" true (contains msg ":2")
+      | Ok _ -> Alcotest.fail "truncated send accepted");
+      write file [ "{\"schema\":\"adhoc-events/1\"}"; "not json" ];
+      match Event.load_jsonl file with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage line accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Invariants: seeded corrupt logs must be caught                      *)
+
+let clean_events =
+  [
+    Event.Inject { step = 0; src = 0; dst = 2; admitted = true };
+    Event.Send
+      { step = 1; edge = 0; src = 0; dst = 1; dest = 2; cost = 1.; outcome = Event.Moved };
+    Event.Send
+      {
+        step = 2;
+        edge = 1;
+        src = 1;
+        dst = 2;
+        dest = 2;
+        cost = 0.5;
+        outcome = Event.Delivered;
+      };
+    Event.Deliver { step = 2; dst = 2; self = false };
+  ]
+
+let violations_of events = Invariants.run (Array.of_list events)
+
+let expect_violation name events fragment =
+  match violations_of events with
+  | [] -> Alcotest.failf "%s: corrupt log passed" name
+  | v :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: reason mentions %S (got %S)" name fragment
+           v.Invariants.reason)
+        true
+        (contains v.Invariants.reason fragment)
+
+let test_invariants_clean () =
+  Alcotest.(check int) "clean log has no violations" 0
+    (List.length (violations_of clean_events))
+
+let test_invariants_monotone () =
+  expect_violation "step regression"
+    (clean_events
+    @ [ Event.Inject { step = 0; src = 0; dst = 1; admitted = true } ])
+    "non-monotone"
+
+let test_invariants_empty_buffer () =
+  expect_violation "send with nothing buffered"
+    [
+      Event.Send
+        { step = 0; edge = 0; src = 0; dst = 1; dest = 2; cost = 1.; outcome = Event.Moved };
+    ]
+    "buffer is empty"
+
+let test_invariants_delivered_wrong_node () =
+  expect_violation "delivered away from the destination"
+    [
+      Event.Inject { step = 0; src = 0; dst = 2; admitted = true };
+      Event.Send
+        {
+          step = 1;
+          edge = 0;
+          src = 0;
+          dst = 1;
+          dest = 2;
+          cost = 1.;
+          outcome = Event.Delivered;
+        };
+    ]
+    "not the destination"
+
+let test_invariants_moved_at_destination () =
+  expect_violation "moved into the destination without delivering"
+    [
+      Event.Inject { step = 0; src = 0; dst = 1; admitted = true };
+      Event.Send
+        { step = 1; edge = 0; src = 0; dst = 1; dest = 1; cost = 1.; outcome = Event.Moved };
+    ]
+    "should deliver"
+
+let test_invariants_spurious_deliver () =
+  expect_violation "Deliver from nowhere"
+    [ Event.Deliver { step = 0; dst = 1; self = false } ]
+    "no delivering send"
+
+let test_invariants_missing_deliver () =
+  (* Two delivering events with no Deliver between them: the second opens
+     while the first is still owed. *)
+  expect_violation "missing Deliver"
+    [
+      Event.Inject { step = 0; src = 1; dst = 1; admitted = true };
+      Event.Inject { step = 0; src = 2; dst = 2; admitted = true };
+    ]
+    "still lacks"
+
+let test_invariants_endpoints () =
+  let c = Invariants.create ~endpoints:(fun _ -> (5, 6)) () in
+  List.iteri (fun i e -> Invariants.check c i e) clean_events;
+  Alcotest.(check bool) "mismatched endpoints flagged" false (Invariants.ok c)
+
+let test_invariants_edge_active () =
+  let c = Invariants.create ~is_active:(fun ~step:_ ~edge -> edge <> 1) () in
+  List.iteri (fun i e -> Invariants.check c i e) clean_events;
+  (match Invariants.violations c with
+  | [ v ] ->
+      Alcotest.(check bool) "names the inactive edge" true
+        (contains v.Invariants.reason "edge 1")
+  | vs -> Alcotest.failf "expected exactly 1 violation, got %d" (List.length vs));
+  let ok = Invariants.create ~is_active:(fun ~step:_ ~edge:_ -> true) () in
+  List.iteri (fun i e -> Invariants.check ok i e) clean_events;
+  Alcotest.(check bool) "always-active passes" true (Invariants.ok ok)
+
+let test_invariants_final_check () =
+  let feed () =
+    let c = Invariants.create () in
+    List.iteri (fun i e -> Invariants.check c i e) clean_events;
+    c
+  in
+  let c = feed () in
+  Invariants.final_check c ~injected:1 ~dropped:0 ~delivered:1 ~sends:2 ~failed_sends:0
+    ~total_cost:1.5 ~remaining:0;
+  Alcotest.(check bool) "faithful stats reconcile" true (Invariants.ok c);
+  let c = feed () in
+  Invariants.final_check c ~injected:1 ~dropped:0 ~delivered:2 ~sends:2 ~failed_sends:0
+    ~total_cost:1.5 ~remaining:0;
+  Alcotest.(check bool) "delivered mismatch caught" false (Invariants.ok c);
+  let c = feed () in
+  Invariants.final_check c ~injected:1 ~dropped:0 ~delivered:1 ~sends:2 ~failed_sends:0
+    ~total_cost:(1.5 +. 1e-12) ~remaining:0;
+  Alcotest.(check bool) "energy compared bit-for-bit" false (Invariants.ok c)
+
+let test_invariants_cap () =
+  let log =
+    List.init 200 (fun i -> Event.Deliver { step = i; dst = 0; self = false })
+  in
+  let c = Invariants.create () in
+  List.iteri (fun i e -> Invariants.check c i e) log;
+  Alcotest.(check int) "every violation counted" 200 (Invariants.violation_count c);
+  Alcotest.(check int) "kept list capped" Invariants.max_kept
+    (List.length (Invariants.violations c))
+
+(* ------------------------------------------------------------------ *)
+(* Engine event emission: golden runs with an event log attached       *)
+
+let count p events = Array.fold_left (fun acc e -> if p e then acc + 1 else acc) 0 events
+
+let is_send = function Event.Send _ -> true | _ -> false
+let is_collide = function Event.Collide _ -> true | _ -> false
+let is_deliver = function Event.Deliver _ -> true | _ -> false
+
+let checked_run name golden run =
+  let b, _, _, _ = Lazy.force fixture in
+  let log = Event.create () in
+  let obs = Obs.create ~events:log () in
+  let checker =
+    Invariants.create ~endpoints:(Graph.endpoints b.Pipeline.overlay) ()
+  in
+  Invariants.attach checker log;
+  let stats = run ?obs:(Some obs) () in
+  check_stats (name ^ "+events") golden stats;
+  Invariants.final_check checker ~injected:stats.Engine.injected
+    ~dropped:stats.Engine.dropped ~delivered:stats.Engine.delivered
+    ~sends:stats.Engine.sends ~failed_sends:stats.Engine.failed_sends
+    ~total_cost:stats.Engine.total_cost ~remaining:stats.Engine.remaining;
+  if not (Invariants.ok checker) then
+    Alcotest.failf "%s: %s" name (Invariants.report checker);
+  let events = Event.to_array log in
+  Alcotest.(check int)
+    (name ^ " one Deliver per delivery")
+    stats.Engine.delivered (count is_deliver events);
+  Alcotest.(check int)
+    (name ^ " one Send per successful attempt")
+    (stats.Engine.sends - stats.Engine.failed_sends)
+    (count is_send events);
+  Alcotest.(check int)
+    (name ^ " one Collide per failed attempt")
+    stats.Engine.failed_sends (count is_collide events);
+  events
+
+let test_events_golden_pad () = ignore (checked_run "pad" golden_pad run_pad)
+let test_events_golden_plain () = ignore (checked_run "plain" golden_plain run_plain)
+let test_events_golden_csma () = ignore (checked_run "csma" golden_csma run_csma)
+
+let test_events_collisions_checked () =
+  (* Mac.all with a collision structure forces interfering grants to
+     collide, exercising the Collide emission and its invariants. *)
+  let b, params, w, _ = Lazy.force fixture in
+  let log = Event.create () in
+  let obs = Obs.create ~events:log () in
+  let checker = Invariants.create ~endpoints:(Graph.endpoints b.Pipeline.overlay) () in
+  Invariants.attach checker log;
+  let stats =
+    Engine.run_with_mac ~cooldown:200 ~obs ~collisions:b.Pipeline.conflict
+      ~graph:b.Pipeline.overlay ~cost:Cost.length ~params ~mac:Adhoc_mac.Mac.all w
+  in
+  Alcotest.(check bool) "collisions actually happened" true (stats.Engine.failed_sends > 0);
+  Invariants.final_check checker ~injected:stats.Engine.injected
+    ~dropped:stats.Engine.dropped ~delivered:stats.Engine.delivered
+    ~sends:stats.Engine.sends ~failed_sends:stats.Engine.failed_sends
+    ~total_cost:stats.Engine.total_cost ~remaining:stats.Engine.remaining;
+  if not (Invariants.ok checker) then Alcotest.fail (Invariants.report checker);
+  Alcotest.(check int) "collide events" stats.Engine.failed_sends
+    (count is_collide (Event.to_array log))
+
+(* ------------------------------------------------------------------ *)
+(* Journey: offline replay reproduces the tracked engine exactly       *)
+
+let bits = Int64.bits_of_float
+
+let check_journey_matches name (t : Tracked_engine.stats) (j : Journey.t) =
+  let same field a b =
+    if not (Int64.equal (bits a) (bits b)) then
+      Alcotest.failf "%s %s: tracked %.17g, journey %.17g" name field a b
+  in
+  same "latency mean" t.Tracked_engine.latency_mean j.Journey.latency_mean;
+  same "latency median" t.Tracked_engine.latency_median j.Journey.latency_median;
+  same "latency p95" t.Tracked_engine.latency_p95 j.Journey.latency_p95;
+  same "hops mean" t.Tracked_engine.hops_mean j.Journey.hops_mean;
+  same "energy per delivered" t.Tracked_engine.energy_per_delivered
+    j.Journey.energy_per_delivered;
+  same "total energy" t.Tracked_engine.base.Engine.total_cost j.Journey.totals.Journey.energy;
+  Alcotest.(check int) (name ^ " delivered") t.Tracked_engine.base.Engine.delivered
+    j.Journey.totals.Journey.delivered;
+  Alcotest.(check int) (name ^ " injected") t.Tracked_engine.base.Engine.injected
+    j.Journey.totals.Journey.injected;
+  Alcotest.(check int) (name ^ " dropped") t.Tracked_engine.base.Engine.dropped
+    j.Journey.totals.Journey.dropped;
+  Alcotest.(check int) (name ^ " anomalies") 0 j.Journey.anomalies;
+  Alcotest.(check int)
+    (name ^ " packet count")
+    (List.length t.Tracked_engine.packets)
+    (List.length j.Journey.packets)
+
+let tracked_with_events () =
+  let b, params, _, wq = Lazy.force fixture in
+  let log = Event.create () in
+  let obs = Obs.create ~events:log () in
+  let t =
+    Tracked_engine.run_mac_given ~cooldown:200 ~obs ~pad:b.Pipeline.conflict
+      ~graph:b.Pipeline.overlay ~cost:Cost.length ~params wq
+  in
+  (t, log)
+
+let test_journey_matches_tracked () =
+  let t, log = tracked_with_events () in
+  check_journey_matches "golden" t (Journey.analyze (Event.to_array log))
+
+let test_journey_survives_jsonl () =
+  (* The analytics must be reproducible from the file, not just the
+     in-memory log — %.17g costs make the round trip exact. *)
+  let t, log = tracked_with_events () in
+  with_temp_file ".jsonl" (fun file ->
+      Event.save_jsonl log file;
+      match Event.load_jsonl file with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok events -> check_journey_matches "jsonl" t (Journey.analyze events))
+
+let test_journey_matches_tracked_random =
+  qtest "journey replay = tracked engine on random workloads" ~count:15 seed_gen
+    (fun seed ->
+      let points = points_of_seed ~min_n:6 ~max_n:25 seed in
+      let range = 2. *. Adhoc_topo.Udg.critical_range points in
+      let g =
+        Adhoc_topo.Theta_alg.overlay
+          (Adhoc_topo.Theta_alg.build ~theta:(Float.pi /. 6.) ~range points)
+      in
+      let config =
+        { Workload.horizon = 300; attempts = 200; slack = 10; interference_free = false }
+      in
+      let w =
+        Workload.flows config ~rng:(Prng.create seed) ~graph:g ~cost:Cost.length
+          ~num_flows:2
+      in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      let log = Event.create () in
+      let obs = Obs.create ~events:log () in
+      let t =
+        Tracked_engine.run_mac_given ~cooldown:150 ~obs ~graph:g ~cost:Cost.length ~params w
+      in
+      let j = Journey.analyze (Event.to_array log) in
+      Int64.equal (bits t.Tracked_engine.latency_mean) (bits j.Journey.latency_mean)
+      && Int64.equal (bits t.Tracked_engine.latency_median) (bits j.Journey.latency_median)
+      && Int64.equal (bits t.Tracked_engine.latency_p95) (bits j.Journey.latency_p95)
+      && Int64.equal (bits t.Tracked_engine.hops_mean) (bits j.Journey.hops_mean)
+      && Int64.equal
+           (bits t.Tracked_engine.energy_per_delivered)
+           (bits j.Journey.energy_per_delivered)
+      && Int64.equal (bits t.Tracked_engine.base.Engine.total_cost)
+           (bits j.Journey.totals.Journey.energy)
+      && j.Journey.anomalies = 0)
+
+let test_journey_flags_corrupt_log () =
+  let j =
+    Journey.analyze
+      [|
+        Event.Send
+          {
+            step = 0;
+            edge = 0;
+            src = 0;
+            dst = 1;
+            dest = 2;
+            cost = 1.;
+            outcome = Event.Moved;
+          };
+      |]
+  in
+  Alcotest.(check bool) "uninjected send is an anomaly" true (j.Journey.anomalies > 0)
+
+let test_journey_edge_table () =
+  let t, log = tracked_with_events () in
+  let j = Journey.analyze (Event.to_array log) in
+  let edge_sends =
+    Array.fold_left (fun a (e : Journey.edge_use) -> a + e.Journey.sends) 0 j.Journey.edges
+  in
+  Alcotest.(check int) "per-edge sends partition the total"
+    t.Tracked_engine.base.Engine.sends edge_sends;
+  Array.iter
+    (fun (e : Journey.edge_use) ->
+      let u, v = Graph.endpoints (let b, _, _, _ = Lazy.force fixture in b.Pipeline.overlay) e.Journey.edge in
+      if not ((u, v) = (e.Journey.u, e.Journey.v) || (v, u) = (e.Journey.u, e.Journey.v))
+      then Alcotest.failf "edge %d endpoints wrong" e.Journey.edge;
+      if Journey.mean_wait e < 0. then Alcotest.fail "negative head-of-line wait")
+    j.Journey.edges;
+  match j.Journey.timeline with
+  | [||] -> Alcotest.fail "no timeline"
+  | tl ->
+      let _, final_delivered, _ = tl.(Array.length tl - 1) in
+      Alcotest.(check int) "timeline converges to the delivery total"
+        t.Tracked_engine.base.Engine.delivered final_delivered
+
+(* ------------------------------------------------------------------ *)
+(* Engine variants: obs parity                                         *)
+
+let small_instance seed =
+  let points = points_of_seed ~min_n:8 ~max_n:20 seed in
+  let range = 2. *. Adhoc_topo.Udg.critical_range points in
+  let g =
+    Adhoc_topo.Theta_alg.overlay
+      (Adhoc_topo.Theta_alg.build ~theta:(Float.pi /. 6.) ~range points)
+  in
+  let c =
+    Adhoc_interference.Conflict.build (Adhoc_interference.Model.make ~delta:0.5) ~points g
+  in
+  (g, c)
+
+let test_dynamic_obs_parity () =
+  let g, c = small_instance 11 in
+  let n = Graph.n g in
+  let rng = Prng.create 11 in
+  let flow = (Prng.int rng n, Prng.int rng n) in
+  let injections t = if t < 200 && t mod 3 = 0 then [ flow ] else [] in
+  let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+  let epochs =
+    [
+      { Dynamic_engine.graph = g; conflict = c; steps = 150 };
+      { Dynamic_engine.graph = g; conflict = c; steps = 250 };
+    ]
+  in
+  let run ?obs () = Dynamic_engine.run ?obs ~epochs ~injections ~cost:Cost.length ~params () in
+  let plain = run () in
+  let log = Event.create () in
+  let checker = Invariants.create ~endpoints:(Graph.endpoints g) () in
+  Invariants.attach checker log;
+  let obs = Obs.create ~trace:(Trace.create ()) ~events:log () in
+  let with_obs = run ~obs () in
+  check_stats "dynamic obs parity" plain with_obs;
+  Invariants.final_check checker ~injected:with_obs.Engine.injected
+    ~dropped:with_obs.Engine.dropped ~delivered:with_obs.Engine.delivered
+    ~sends:with_obs.Engine.sends ~failed_sends:with_obs.Engine.failed_sends
+    ~total_cost:with_obs.Engine.total_cost ~remaining:with_obs.Engine.remaining;
+  if not (Invariants.ok checker) then Alcotest.fail (Invariants.report checker);
+  let events = Event.to_array log in
+  Alcotest.(check int) "one Epoch_change per epoch" 2
+    (count (function Event.Epoch_change _ -> true | _ -> false) events);
+  Alcotest.(check int) "trace samples every step" 400
+    (Trace.length (Option.get obs.Obs.trace));
+  let labels = List.map (fun t -> t.Span.label) (Span.totals obs.Obs.spans) in
+  Alcotest.(check bool) "decide span" true (List.mem "engine/decide" labels);
+  match List.assoc_opt "engine.delivered" (Metrics.snapshot obs.Obs.metrics) with
+  | Some (Metrics.Counter d) ->
+      Alcotest.(check int) "delivered counter" with_obs.Engine.delivered d
+  | _ -> Alcotest.fail "engine.delivered counter missing"
+
+let test_quantized_obs_parity () =
+  let g, c = small_instance 13 in
+  let config =
+    { Workload.horizon = 300; attempts = 200; slack = 10; interference_free = true }
+  in
+  let w =
+    Workload.flows ~conflict:c config ~rng:(Prng.create 13) ~graph:g ~cost:Cost.length
+      ~num_flows:2
+  in
+  let params = Balancing.params ~threshold:2. ~gamma:0.1 ~capacity:50 in
+  let run ?obs () =
+    Quantized_engine.run_mac_given ~cooldown:100 ?obs ~pad:c ~quantum:2 ~graph:g
+      ~cost:Cost.length ~params w
+  in
+  let plain = run () in
+  let log = Event.create () in
+  let checker = Invariants.create ~endpoints:(Graph.endpoints g) () in
+  Invariants.attach checker log;
+  let obs = Obs.create ~events:log () in
+  let with_obs = run ~obs () in
+  check_stats "quantized obs parity" plain.Quantized_engine.base
+    with_obs.Quantized_engine.base;
+  Alcotest.(check int) "control messages unchanged"
+    plain.Quantized_engine.control_messages with_obs.Quantized_engine.control_messages;
+  let s = with_obs.Quantized_engine.base in
+  Invariants.final_check checker ~injected:s.Engine.injected ~dropped:s.Engine.dropped
+    ~delivered:s.Engine.delivered ~sends:s.Engine.sends
+    ~failed_sends:s.Engine.failed_sends ~total_cost:s.Engine.total_cost
+    ~remaining:s.Engine.remaining;
+  if not (Invariants.ok checker) then Alcotest.fail (Invariants.report checker);
+  Alcotest.(check int) "one Height_advert per control message"
+    with_obs.Quantized_engine.control_messages
+    (count (function Event.Height_advert _ -> true | _ -> false) (Event.to_array log));
+  (match List.assoc_opt "quantized.control_messages" (Metrics.snapshot obs.Obs.metrics) with
+  | Some (Metrics.Counter cm) ->
+      Alcotest.(check int) "control counter matches stats"
+        with_obs.Quantized_engine.control_messages cm
+  | _ -> Alcotest.fail "quantized.control_messages counter missing");
+  let labels = List.map (fun t -> t.Span.label) (Span.totals obs.Obs.spans) in
+  Alcotest.(check bool) "advertise span" true (List.mem "engine/advertise" labels)
+
 let () =
   Alcotest.run "obs"
     [
@@ -390,6 +961,49 @@ let () =
           case "unbalanced leave" test_span_unbalanced_leave;
           case "time is exception-safe" test_span_time_exception_safe;
           case "reset" test_span_reset;
+          case "self (exclusive) time" test_span_self_time;
+        ] );
+      ( "event log",
+        [
+          case "record/get roundtrip" test_event_roundtrip;
+          case "growth" test_event_growth;
+          case "observer" test_event_observer;
+          case "jsonl roundtrip is exact" test_event_jsonl_roundtrip;
+          case "jsonl rejects bad input" test_event_jsonl_rejects;
+        ] );
+      ( "invariants",
+        [
+          case "clean log passes" test_invariants_clean;
+          case "non-monotone steps" test_invariants_monotone;
+          case "send from empty buffer" test_invariants_empty_buffer;
+          case "delivered away from destination" test_invariants_delivered_wrong_node;
+          case "moved at destination" test_invariants_moved_at_destination;
+          case "spurious Deliver" test_invariants_spurious_deliver;
+          case "missing Deliver" test_invariants_missing_deliver;
+          case "endpoints mismatch" test_invariants_endpoints;
+          case "inactive edge" test_invariants_edge_active;
+          case "final stats reconciliation" test_invariants_final_check;
+          case "violation cap" test_invariants_cap;
+        ] );
+      ( "engine events",
+        [
+          case "pad golden with events + checker" test_events_golden_pad;
+          case "plain golden with events + checker" test_events_golden_plain;
+          case "csma golden with events + checker" test_events_golden_csma;
+          case "collisions are checked" test_events_collisions_checked;
+        ] );
+      ( "journey",
+        [
+          case "replay matches tracked engine" test_journey_matches_tracked;
+          case "replay survives the jsonl roundtrip" test_journey_survives_jsonl;
+          test_journey_matches_tracked_random;
+          case "corrupt log flagged" test_journey_flags_corrupt_log;
+          case "edge table and timeline" test_journey_edge_table;
+        ] );
+      ( "engine variants",
+        [
+          case "dynamic engine obs parity" test_dynamic_obs_parity;
+          case "quantized engine obs parity" test_quantized_obs_parity;
         ] );
       ( "trace",
         [
