@@ -13,6 +13,8 @@
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
                               object with a numeric "step" member
+     json_check --lint FILE   validates an adhoc-lint/1 static-analysis
+                              report (rules / diagnostics / waivers shape)
      json_check --compare BASELINE CURRENT [--span-tolerance R]
                               diffs two adhoc-bench/2 documents: stats must
                               match exactly, wall-clock timings only warn *)
@@ -291,7 +293,7 @@ let rec render = function
 
 let within_tolerance tol a b =
   let scale = Float.max (Float.abs a) (Float.abs b) in
-  scale = 0. || Float.abs (a -. b) <= tol *. scale
+  Float.equal scale 0. || Float.abs (a -. b) <= tol *. scale
 
 let compare_docs ~tolerance base_file cur_file =
   let base = load_doc base_file and cur = load_doc cur_file in
@@ -397,6 +399,108 @@ let compare_docs ~tolerance base_file cur_file =
     exit 1
   end
 
+(* --------------------------------------------------------------------- *)
+(* adhoc-lint/1: the static-analysis report written by
+   `dune build @lint` (lint/adhoc_lint.ml).  Shape:
+
+     { schema: "adhoc-lint/1", files: n, errors: n, warnings: n,
+       rules:       [ {id, severity: "error"|"warning", count} ... ],
+       diagnostics: [ {file, line, col, rule, severity, message} ... ],
+       waivers:     [ {file, line, rule, reason} ... ] }
+
+   Every diagnostic's rule must be declared in "rules", every waiver must
+   carry a non-empty reason, and the error/warning totals must equal the
+   diagnostics actually listed. *)
+
+let check_lint_report file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1)
+      fmt
+  in
+  let fields =
+    match parse (read_file file) with
+    | exception Bad msg -> fail "invalid JSON: %s" msg
+    | Obj fields -> fields
+    | _ -> fail "top-level value is not an object"
+  in
+  (match List.assoc_opt "schema" fields with
+  | Some (Str "adhoc-lint/1") -> ()
+  | Some (Str other) -> fail "unknown schema %S (expected \"adhoc-lint/1\")" other
+  | _ -> fail "missing \"schema\" member");
+  let num name =
+    match List.assoc_opt name fields with
+    | Some (Num f) when Float.is_integer f && f >= 0. -> int_of_float f
+    | _ -> fail "missing or malformed numeric %S" name
+  in
+  let files = num "files" and errors = num "errors" and warnings = num "warnings" in
+  let arr name =
+    match List.assoc_opt name fields with
+    | Some (Arr vs) -> vs
+    | _ -> fail "missing or malformed %S array" name
+  in
+  let severity_ok = function Str ("error" | "warning") -> true | _ -> false in
+  let rule_ids =
+    List.map
+      (fun v ->
+        match v with
+        | Obj f -> (
+            match (List.assoc_opt "id" f, List.assoc_opt "severity" f, List.assoc_opt "count" f)
+            with
+            | Some (Str id), Some sev, Some (Num _) when severity_ok sev -> id
+            | _ -> fail "malformed rule entry")
+        | _ -> fail "rule entry is not an object")
+      (arr "rules")
+  in
+  if rule_ids = [] then fail "empty \"rules\" array";
+  let counted = (ref 0, ref 0) in
+  List.iter
+    (fun v ->
+      match v with
+      | Obj f -> (
+          match
+            ( List.assoc_opt "file" f,
+              List.assoc_opt "line" f,
+              List.assoc_opt "col" f,
+              List.assoc_opt "rule" f,
+              List.assoc_opt "severity" f,
+              List.assoc_opt "message" f )
+          with
+          | Some (Str _), Some (Num _), Some (Num _), Some (Str rule), Some sev, Some (Str _)
+            when severity_ok sev ->
+              if not (List.mem rule rule_ids) then
+                fail "diagnostic references undeclared rule %S" rule;
+              let e, w = counted in
+              if sev = Str "error" then incr e else incr w
+          | _ -> fail "malformed diagnostic entry")
+      | _ -> fail "diagnostic entry is not an object")
+    (arr "diagnostics");
+  let e, w = counted in
+  if !e <> errors || !w <> warnings then
+    fail "totals disagree with diagnostics: %d/%d declared, %d/%d listed" errors warnings !e !w;
+  let waivers = arr "waivers" in
+  List.iter
+    (fun v ->
+      match v with
+      | Obj f -> (
+          match
+            ( List.assoc_opt "file" f,
+              List.assoc_opt "line" f,
+              List.assoc_opt "rule" f,
+              List.assoc_opt "reason" f )
+          with
+          | Some (Str _), Some (Num _), Some (Str rule), Some (Str reason) ->
+              if not (List.mem rule rule_ids) then
+                fail "waiver references undeclared rule %S" rule;
+              if reason = "" then fail "waiver carries an empty reason"
+          | _ -> fail "malformed waiver entry")
+      | _ -> fail "waiver entry is not an object")
+    waivers;
+  Printf.printf "%s: ok (%d files, %d errors, %d warnings, %d waivers)\n" file files errors
+    warnings (List.length waivers)
+
 (* One JSON object per non-empty line, each with a numeric "step". *)
 let check_jsonl file =
   let lines =
@@ -428,6 +532,7 @@ let () =
   match Sys.argv with
   | [| _; f |] -> check_document f
   | [| _; "--jsonl"; f |] -> check_jsonl f
+  | [| _; "--lint"; f |] -> check_lint_report f
   | [| _; "--compare"; base; cur |] -> compare_docs ~tolerance:0.25 base cur
   | [| _; "--compare"; base; cur; "--span-tolerance"; r |] -> (
       match float_of_string_opt r with
@@ -439,5 +544,6 @@ let () =
       prerr_endline
         "usage: json_check FILE\n\
         \       json_check --jsonl FILE\n\
+        \       json_check --lint FILE\n\
         \       json_check --compare BASELINE CURRENT [--span-tolerance R]";
       exit 2

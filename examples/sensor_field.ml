@@ -10,7 +10,6 @@
 
 open Adhoc
 module Prng = Util.Prng
-module Graph = Graphs.Graph
 module Cost = Graphs.Cost
 module Table = Util.Table
 module Workload = Routing.Workload

@@ -1,0 +1,17 @@
+(** Facade: the whole library under one namespace.
+
+    {!Pipeline} ties the layers together; the per-subsystem libraries are
+    re-exported here so downstream code can depend on [adhoc] alone. *)
+
+module Util = Adhoc_util
+module Geom = Adhoc_geom
+module Graphs = Adhoc_graph
+module Pointset = Adhoc_pointset
+module Topo = Adhoc_topo
+module Interference = Adhoc_interference
+module Mac_protocols = Adhoc_mac
+module Routing = Adhoc_routing
+module Obs = Adhoc_obs
+module Viz = Adhoc_viz
+module Io = Adhoc_io
+module Pipeline = Pipeline

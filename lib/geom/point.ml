@@ -25,7 +25,7 @@ let dist2 a b =
 let dist a b = sqrt (dist2 a b)
 
 let energy ?(kappa = 2.) u v =
-  if kappa = 2. then dist2 u v else Float.pow (dist u v) kappa
+  if Float.equal kappa 2. then dist2 u v else Float.pow (dist u v) kappa
 
 let midpoint a b = { x = (a.x +. b.x) /. 2.; y = (a.y +. b.y) /. 2. }
 
@@ -38,7 +38,7 @@ let angle_of u v =
 let angle_between a apex b =
   let u = a -@ apex and v = b -@ apex in
   let nu = norm u and nv = norm v in
-  if nu = 0. || nv = 0. then 0.
+  if Float.equal nu 0. || Float.equal nv 0. then 0.
   else begin
     let c = dot u v /. (nu *. nv) in
     Float.acos (Float.max (-1.) (Float.min 1. c))

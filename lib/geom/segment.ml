@@ -33,7 +33,7 @@ let distance_to_point a b p =
   let open Point in
   let ab = b -@ a in
   let len2 = norm2 ab in
-  if len2 = 0. then dist a p
+  if Float.equal len2 0. then dist a p
   else begin
     let t = Float.max 0. (Float.min 1. (dot (p -@ a) ab /. len2)) in
     dist p (lerp a b t)

@@ -4,4 +4,4 @@ let hops _ = 1.
 
 let length len = len
 
-let energy ~kappa len = if kappa = 2. then len *. len else Float.pow len kappa
+let energy ~kappa len = if Float.equal kappa 2. then len *. len else Float.pow len kappa

@@ -16,7 +16,7 @@ let per_edge_profile ~sub ~base ~cost =
       List.iter
         (fun (id, v, len) ->
           let c = cost len in
-          ratios.(id) <- (if c = 0. then 1. else r.Dijkstra.dist.(v) /. c))
+          ratios.(id) <- (if Float.equal c 0. then 1. else r.Dijkstra.dist.(v) /. c))
         by_src.(u)
     end
   done;

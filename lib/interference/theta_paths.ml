@@ -83,4 +83,5 @@ let max_multiplicity t edges =
           Hashtbl.replace count key (1 + Option.value ~default:0 (Hashtbl.find_opt count key)))
         (replace_edges t u v))
     edges;
+  (* lint: allow hashtbl-order — max over ints is commutative and associative; any traversal order yields the same result *)
   Hashtbl.fold (fun _ c acc -> max acc c) count 0

@@ -90,6 +90,7 @@ type value =
   | Histogram of { buckets : float array; counts : int array; total : int; sum : float }
 
 let snapshot t =
+  (* lint: allow hashtbl-order — fold only collects bindings; the list is sorted by name below, so the snapshot is order-independent *)
   Hashtbl.fold
     (fun name i acc ->
       let v =

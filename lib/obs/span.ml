@@ -10,6 +10,7 @@ type t = {
   by_label : (string, acc) Hashtbl.t;
 }
 
+(* lint: allow wall-clock — measuring wall-clock time is this module's purpose; span timings are reported as machine-dependent and excluded from baseline comparison *)
 let now () = Unix.gettimeofday ()
 
 let create () = { stack = []; by_label = Hashtbl.create 16 }
@@ -42,6 +43,7 @@ let time t label f =
 type total = { label : string; count : int; seconds : float; self_seconds : float }
 
 let totals t =
+  (* lint: allow hashtbl-order — fold only collects per-label totals; the list is sorted by label below, so it is order-independent *)
   Hashtbl.fold
     (fun label (a : acc) out ->
       { label; count = a.count; seconds = a.seconds; self_seconds = a.self_seconds }

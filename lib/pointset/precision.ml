@@ -26,7 +26,7 @@ let lambda points =
   if Array.length points < 2 then 1.
   else begin
     let mx = max_pairwise points in
-    if mx = 0. then 0.
+    if Float.equal mx 0. then 0.
     else begin
       let mn = min_pairwise points in
       if mn = infinity then 1. else mn /. mx

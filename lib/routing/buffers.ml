@@ -85,9 +85,11 @@ let remove t v d =
   count_down t h;
   notify t v d
 
+(* lint: allow hashtbl-order — callers reduce with commutative operations; pinned by the qcheck "balancing decisions are iteration-order independent" property in test_routing *)
 let iter_nonzero t v f = Hashtbl.iter (fun d () -> f d t.h.(v).(d)) t.nonzero.(v)
 
 let fold_nonzero t v ~init ~f =
+  (* lint: allow hashtbl-order — same order-independence contract as iter_nonzero above, qcheck-pinned in test_routing *)
   Hashtbl.fold (fun d () acc -> f acc d t.h.(v).(d)) t.nonzero.(v) init
 
 let total t = t.total

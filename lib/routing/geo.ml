@@ -17,7 +17,7 @@ let two_pi = 2. *. Float.pi
 let cw_delta ~from_angle ~to_angle =
   let d = Float.rem (from_angle -. to_angle) two_pi in
   let d = if d < 0. then d +. two_pi else d in
-  if d = 0. then two_pi else d
+  if Float.equal d 0. then two_pi else d
 
 (* Right-hand rule: the neighbour reached by the smallest clockwise
    rotation from the reference direction. *)

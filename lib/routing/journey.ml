@@ -167,9 +167,8 @@ let analyze (events : Event.t array) =
     }
   in
   let edges =
-    let a = Array.of_seq (Seq.map snd (Hashtbl.to_seq edge_tbl)) in
-    Array.sort (fun a b -> compare a.edge b.edge) a;
-    a
+    (* Ascending edge-id order, independent of Hashtbl internals. *)
+    Array.of_list (List.map snd (Adhoc_util.Det.sorted_bindings edge_tbl))
   in
   let timeline = Array.of_list (List.rev !snapshots) in
   let packets = List.rev !all_packets in

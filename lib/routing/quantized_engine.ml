@@ -1,5 +1,4 @@
 module Graph = Adhoc_graph.Graph
-module Conflict = Adhoc_interference.Conflict
 module Event = Adhoc_obs.Event
 
 type stats = {

@@ -28,7 +28,7 @@ type packet = {
   mutable at : int;  (** current node *)
   mutable remaining : int list;  (** edge ids still to traverse *)
   mutable arrived_at_queue : int;  (** step it joined the current queue *)
-  mutable seq : int;  (** tie-breaker: injection sequence number *)
+  seq : int;  (** tie-breaker: injection sequence number *)
 }
 
 let run ?(cooldown = 0) ?(use_activations = false) ~graph ~cost discipline (w : Workload.t) =
@@ -74,9 +74,11 @@ let run ?(cooldown = 0) ?(use_activations = false) ~graph ~cost discipline (w : 
       (not use_activations) || (t < horizon && List.mem e w.Workload.activations.(t))
     in
     (* Collect this step's winners: per (node, edge) queue with a usable
-       edge, the discipline's minimum.  At most one packet per direction. *)
+       edge, the discipline's minimum.  At most one packet per direction.
+       Queues are visited in ascending (node, edge) order so the float cost
+       accumulation below never depends on Hashtbl traversal order. *)
     let winners = ref [] in
-    Hashtbl.iter
+    Adhoc_util.Det.iter_sorted
       (fun (_node, e) q ->
         if usable e && !q <> [] then begin
           max_queue := max !max_queue (List.length !q);
@@ -88,6 +90,7 @@ let run ?(cooldown = 0) ?(use_activations = false) ~graph ~cost discipline (w : 
           match best with Some p -> winners := (e, p) :: !winners | None -> ()
         end)
       queues;
+    let winners = List.rev !winners in
     (* Apply moves simultaneously. *)
     List.iter
       (fun (e, p) ->
@@ -101,7 +104,7 @@ let run ?(cooldown = 0) ?(use_activations = false) ~graph ~cost discipline (w : 
           latencies := float_of_int (t - p.injected_at) :: !latencies
         end
         else enqueue t p)
-      !winners;
+      winners;
     (* Injections. *)
     if t < horizon then
       List.iter

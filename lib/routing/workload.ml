@@ -125,9 +125,11 @@ let generate_with ~pick_pair ?pick_time ?conflict config ~rng ~graph ~cost =
           end
     end
   done;
-  (* Max buffer occupancy across (node, dest) pairs. *)
+  (* Max buffer occupancy across (node, dest) pairs.  Sorted-key traversal:
+     the max itself is commutative, but keeping every reduction order-free
+     by construction is cheaper than proving it per call site. *)
   let max_buffer = ref 1 in
-  Hashtbl.iter
+  Adhoc_util.Det.iter_sorted
     (fun _ l ->
       let sorted = List.sort compare !l in
       let h = ref 0 in

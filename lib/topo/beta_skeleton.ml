@@ -4,7 +4,7 @@ module Graph = Adhoc_graph.Graph
 let region_contains ~beta u v w =
   if beta <= 0. then invalid_arg "Beta_skeleton: beta must be positive";
   let d = Point.dist u v in
-  if d = 0. then false
+  if Float.equal d 0. then false
   else if beta >= 1. then begin
     (* Lune: disks of radius βd/2 centred on the segment, β/2 of the way
        from each endpoint toward the other. *)

@@ -65,8 +65,11 @@ let triangles points =
                 Hashtbl.replace tally e (1 + Option.value ~default:0 (Hashtbl.find_opt tally e)))
               (tri_edges t))
           bad;
+        (* Sorted-key traversal: the retriangulated cavity is a set, but the
+           list order decides edge ids downstream — keep it a function of
+           the tally's contents, not of Hashtbl internals. *)
         let fresh =
-          Hashtbl.fold
+          Adhoc_util.Det.fold_sorted
             (fun (u, v) count acc -> if count = 1 then { a = u; b = v; c = i } :: acc else acc)
             tally []
         in

@@ -74,29 +74,41 @@ let move t i new_pos =
   let old_pos = t.points.(i) in
   t.points.(i) <- new_pos;
   (* Nodes whose in-range neighbourhood changed: near the old or the new
-     position (plus the moved node itself). *)
-  let affected_select = Hashtbl.create 32 in
-  Hashtbl.replace affected_select i ();
+     position (plus the moved node itself).  Dense membership arrays walked
+     in ascending node order keep the repair deterministic — no reduction
+     here may depend on Hashtbl traversal order. *)
+  let n = Array.length t.points in
+  let affected_select = Array.make n false in
+  affected_select.(i) <- true;
   Array.iteri
     (fun u p ->
       if u <> i && (Point.dist p old_pos <= t.range || Point.dist p new_pos <= t.range) then
-        Hashtbl.replace affected_select u ())
+        affected_select.(u) <- true)
     t.points;
-  Hashtbl.iter (fun u () -> t.selections.(u) <- select_one t u) affected_select;
+  for u = 0 to n - 1 do
+    if affected_select.(u) then t.selections.(u) <- select_one t u
+  done;
   (* Nodes whose selector set may have changed: within range of any
      re-selected node (at either endpoint of its move radius). *)
-  let affected_admit = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun u () ->
-      Hashtbl.replace affected_admit u ();
+  let affected_admit = Array.make n false in
+  for u = 0 to n - 1 do
+    if affected_select.(u) then begin
+      affected_admit.(u) <- true;
       Array.iteri
         (fun v p ->
           if Point.dist p t.points.(u) <= t.range || (u = i && Point.dist p old_pos <= t.range)
-          then Hashtbl.replace affected_admit v ())
-        t.points)
-    affected_select;
-  Hashtbl.iter (fun v () -> t.admitted.(v) <- admit_one t v) affected_admit;
-  t.last_affected <- Hashtbl.length affected_admit;
+          then affected_admit.(v) <- true)
+        t.points
+    end
+  done;
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if affected_admit.(v) then begin
+      t.admitted.(v) <- admit_one t v;
+      incr count
+    end
+  done;
+  t.last_affected <- !count;
   rebuild_graph t
 
 let last_affected t = t.last_affected

@@ -15,17 +15,17 @@ let assign ?(kappa = 2.) g =
     (Graph.fold_edges g ~init:() ~f:(fun () _ e ->
          longest.(e.Graph.u) <- Float.max longest.(e.Graph.u) e.Graph.len;
          longest.(e.Graph.v) <- Float.max longest.(e.Graph.v) e.Graph.len));
-  let per_node = Array.map (fun l -> if l = 0. then 0. else Float.pow l kappa) longest in
+  let per_node = Array.map (fun l -> if Float.equal l 0. then 0. else Float.pow l kappa) longest in
   let total_power = Array.fold_left ( +. ) 0. per_node in
   {
     per_node;
     max_power = Array.fold_left Float.max 0. per_node;
     total_power;
     mean_power = (if n = 0 then 0. else total_power /. float_of_int n);
-    unused = Array.fold_left (fun acc p -> if p = 0. then acc + 1 else acc) 0 per_node;
+    unused = Array.fold_left (fun acc p -> if Float.equal p 0. then acc + 1 else acc) 0 per_node;
   }
 
 let max_power_ratio ~kappa ~sub ~base =
   let ps = assign ~kappa sub in
   let pb = assign ~kappa base in
-  if pb.max_power = 0. then 1. else ps.max_power /. pb.max_power
+  if Float.equal pb.max_power 0. then 1. else ps.max_power /. pb.max_power

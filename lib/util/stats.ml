@@ -81,7 +81,7 @@ let linear_fit xs ys =
     sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
     sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
   done;
-  let b = if !sxx = 0. then 0. else !sxy /. !sxx in
+  let b = if Float.equal !sxx 0. then 0. else !sxy /. !sxx in
   (my -. (b *. mx), b)
 
 let loglog_slope xs ys =
@@ -103,4 +103,4 @@ let correlation xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+  if Float.equal !sxx 0. || Float.equal !syy 0. then 0. else !sxy /. sqrt (!sxx *. !syy)

@@ -59,4 +59,5 @@ let to_string t =
   List.iter emit_row rows;
   Buffer.contents buf
 
+(* lint: allow obs-purity — explicit opt-in stdout rendering for bench/bin tables; library code never calls it *)
 let print t = print_string (to_string t)

@@ -30,7 +30,7 @@ let data_box all =
       let xmin = List.fold_left Float.min x xs' and xmax = List.fold_left Float.max x xs' in
       let ymin = List.fold_left Float.min y ys' and ymax = List.fold_left Float.max y ys' in
       let ymin = if ymin > 0. then 0. else ymin in
-      let pad v = if v = 0. then 1. else Float.abs v *. 0.05 in
+      let pad v = if Float.equal v 0. then 1. else Float.abs v *. 0.05 in
       Box.make
         ~xmin:(xmin -. pad (xmax -. xmin))
         ~ymin

@@ -1,0 +1,74 @@
+(* adhoc_lint — static analysis over the simulator's sources.
+
+     adhoc_lint [--json FILE] [--warn RULE]... [ROOT...]
+
+   Parses every .ml/.mli under the given roots (default: lib bench bin
+   test lint) with compiler-libs and enforces the determinism, float-safety
+   and obs-purity invariants documented in DESIGN.md.  Exits non-zero when
+   any unwaived error-severity diagnostic remains.  --warn demotes a rule
+   to warning severity (reported, does not fail the build); --json also
+   writes an adhoc-lint/1 report. *)
+
+open Adhoc_lint_engine
+
+let usage () =
+  prerr_endline
+    "usage: adhoc_lint [--json FILE] [--warn RULE] [--list-rules] [ROOT...]\n\
+     default roots: lib bench bin test lint";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint_rules.rule) ->
+      let scope =
+        match r.r_scope with Some Lint_rules.Lib -> "lib/ " | _ -> "all  "
+      in
+      Printf.printf "%-15s %s %s\n" r.id scope r.doc)
+    Lint_rules.rules;
+  exit 0
+
+let () =
+  let json = ref None and demote = ref [] and roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse_args rest
+    | "--warn" :: rule :: rest ->
+        if not (Lint_rules.known_rule rule) then begin
+          Printf.eprintf "adhoc_lint: unknown rule %S (see --list-rules)\n" rule;
+          exit 2
+        end;
+        demote := rule :: !demote;
+        parse_args rest
+    | "--list-rules" :: _ -> list_rules ()
+    | ("--json" | "--warn") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bench"; "bin"; "test"; "lint" ] | rs -> rs
+  in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "adhoc_lint: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let report = Lint_driver.run ~demote:!demote roots in
+  List.iter (fun d -> print_endline (Lint_diag.to_string d)) report.Lint_diag.diags;
+  (match !json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Lint_diag.to_json report);
+      close_out oc);
+  let errors = Lint_diag.errors report and warnings = Lint_diag.warnings report in
+  Printf.printf "adhoc_lint: %d files, %d errors, %d warnings, %d waivers\n"
+    report.Lint_diag.files errors warnings
+    (List.length report.Lint_diag.used_waivers);
+  if errors > 0 then exit 1

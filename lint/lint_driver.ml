@@ -1,0 +1,150 @@
+(* Orchestration: walk the requested roots, parse each .ml/.mli with
+   compiler-libs, run the rule pass, apply waivers, and assemble a report.
+
+   The walk skips _build, .git and any directory named lint_fixtures (the
+   test corpus contains deliberately bad sources).  Files are processed in
+   sorted path order so output and report are stable across filesystems. *)
+
+let skip_dirs = [ "_build"; ".git"; ".hg"; "lint_fixtures" ]
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if List.mem entry skip_dirs then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then path :: acc
+  else acc
+
+let collect roots = List.fold_left walk [] roots |> List.sort String.compare
+
+let scope_of_path path =
+  let segs = String.split_on_char '/' path in
+  if List.mem "lib" segs then Lint_rules.Lib else Lint_rules.Tool
+
+(* Files whose dominant value type is float: bare polymorphic compare is
+   banned outright there (see float-cmp). *)
+let float_flagged_files = [ "stats.ml"; "cost.ml" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+type outcome = {
+  diags : Lint_diag.diag list;  (* post-waiver, unsorted *)
+  used_waivers : Lint_diag.waiver list;
+}
+
+(* Check one compilation unit given its source text.  [scope] and [has_mli]
+   are injected so the test suite can lint fixture files as if they lived
+   under lib/. *)
+let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ~file source =
+  let raw = ref [] in
+  let emit loc rule message =
+    let p = loc.Location.loc_start in
+    raw :=
+      {
+        Lint_diag.file;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        rule;
+        severity = Lint_diag.Error;
+        message;
+      }
+      :: !raw
+  in
+  let ctx =
+    {
+      Lint_rules.scope;
+      float_flagged = List.mem (Filename.basename file) float_flagged_files;
+      emit;
+    }
+  in
+  let emit_at ~line ~col rule message =
+    raw := { Lint_diag.file; line; col; rule; severity = Lint_diag.Error; message } :: !raw
+  in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  (if Filename.check_suffix file ".mli" then
+     match Parse.interface lexbuf with
+     | sg -> Lint_rules.run_signature ctx sg
+     | exception Syntaxerr.Error err ->
+         let p = (Syntaxerr.location_of_error err).Location.loc_start in
+         emit_at ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) "parse-error"
+           "syntax error"
+     | exception Lexer.Error (_, loc) ->
+         let p = loc.Location.loc_start in
+         emit_at ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) "parse-error"
+           "lexical error"
+   else
+     match Parse.implementation lexbuf with
+     | str ->
+         Lint_rules.run_structure ctx str;
+         if scope = Lint_rules.Lib && not has_mli then
+           emit_at ~line:1 ~col:0 "mli-required"
+             "library module has no .mli interface; its whole surface is public API"
+     | exception Syntaxerr.Error err ->
+         let p = (Syntaxerr.location_of_error err).Location.loc_start in
+         emit_at ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) "parse-error"
+           "syntax error"
+     | exception Lexer.Error (_, loc) ->
+         let p = loc.Location.loc_start in
+         emit_at ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) "parse-error"
+           "lexical error");
+  (* Waivers: suppress matching diagnostics, then audit the waivers
+     themselves.  A malformed or unused waiver is never silently ignored. *)
+  let waivers = Lint_diag.scan_waivers ~file source in
+  let kept = Lint_diag.apply_waivers waivers (List.rev !raw) in
+  let hygiene =
+    List.concat_map
+      (fun w ->
+        let bad fmt = Printf.ksprintf (fun m -> [ (w.Lint_diag.w_line, m) ]) fmt in
+        let open Lint_diag in
+        if w.w_rule = "" then bad "waiver names no rule; syntax: lint: allow <rule> -- <reason>"
+        else if not (Lint_rules.known_rule w.w_rule) then bad "waiver names unknown rule %S" w.w_rule
+        else if w.w_reason = "" then bad "waiver for %s carries no reason; justify it after a dash" w.w_rule
+        else if not w.w_used then bad "unused waiver for %s; delete it or move it to the offending line" w.w_rule
+        else [])
+      waivers
+    |> List.map (fun (line, message) ->
+           { Lint_diag.file; line; col = 0; rule = "waiver-hygiene"; severity = Lint_diag.Error; message })
+  in
+  {
+    diags = kept @ hygiene;
+    used_waivers = List.filter (fun w -> w.Lint_diag.w_used) waivers;
+  }
+
+let check_file path =
+  let scope = scope_of_path path in
+  let has_mli =
+    (not (Filename.check_suffix path ".ml"))
+    || Sys.file_exists (Filename.remove_extension path ^ ".mli")
+  in
+  check_source ~scope ~has_mli ~file:path (read_file path)
+
+(* [demote] lists rule ids whose diagnostics count as warnings. *)
+let run ?(demote = []) roots =
+  let files = collect roots in
+  let outcomes = List.map check_file files in
+  let adjust d =
+    if List.mem d.Lint_diag.rule demote then { d with Lint_diag.severity = Lint_diag.Warning }
+    else d
+  in
+  let diags =
+    List.concat_map (fun o -> o.diags) outcomes
+    |> List.map adjust
+    |> List.sort Lint_diag.compare_diag
+  in
+  let used_waivers = List.concat_map (fun o -> o.used_waivers) outcomes in
+  let rule_counts =
+    List.map
+      (fun (r : Lint_rules.rule) ->
+        let sev = if List.mem r.id demote then Lint_diag.Warning else Lint_diag.Error in
+        (r.id, sev, List.length (List.filter (fun d -> d.Lint_diag.rule = r.id) diags)))
+      Lint_rules.rules
+  in
+  { Lint_diag.files = List.length files; diags; used_waivers; rule_counts }

@@ -1,0 +1,3 @@
+(* Fixture: catch-all exception handler swallowing everything. *)
+
+let parse s = try Some (int_of_string s) with _ -> None

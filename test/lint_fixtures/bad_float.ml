@@ -1,0 +1,10 @@
+(* Fixture: float comparison rules — polymorphic =, <>, compare, min and
+   max applied to float operands. *)
+
+let is_zero x = x = 0.
+
+let differs x = x <> 1.5
+
+let order x = compare x 2.5
+
+let clamp x = min 1.0 (max 0.0 x)

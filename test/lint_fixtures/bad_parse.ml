@@ -1,0 +1,3 @@
+(* Fixture: does not parse. *)
+
+let = 3

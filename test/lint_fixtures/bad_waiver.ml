@@ -1,0 +1,7 @@
+(* lint: allow hashtbl-order *)
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let id x = x (* lint: allow no-such-rule -- the rule does not exist *)
+
+(* lint: allow float-cmp -- nothing on this line or the next compares floats *)
+let succ_int x = x + 1

@@ -1,0 +1,3 @@
+(* Fixture: named exception handling — no diagnostics. *)
+
+let parse s = try Some (int_of_string s) with Failure _ -> None

@@ -1,0 +1,10 @@
+(* Fixture: nan-aware float handling, plus min/max on non-float operands —
+   no diagnostics. *)
+
+let is_zero x = Float.equal x 0.
+
+let order x = Float.compare x 2.5
+
+let clamp x = Float.min 1.0 (Float.max 0.0 x)
+
+let widest a b = max a b

@@ -1,0 +1,11 @@
+(* Fixture: determinism rules fire on every binding below. *)
+
+let pick n = Random.int n
+
+let stamp () = Sys.time ()
+
+let wall () = Unix.gettimeofday ()
+
+let spread tbl = Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+
+let visit tbl f = Hashtbl.iter f tbl

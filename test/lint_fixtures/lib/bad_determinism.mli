@@ -1,0 +1,5 @@
+val pick : int -> int
+val stamp : unit -> float
+val wall : unit -> float
+val spread : (int, float) Hashtbl.t -> float
+val visit : (int, float) Hashtbl.t -> (int -> float -> unit) -> unit

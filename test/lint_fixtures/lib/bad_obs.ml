@@ -1,0 +1,6 @@
+(* Fixture: obs-purity violations — library code writing to std streams. *)
+
+let shout x =
+  print_endline "result:";
+  Printf.printf "%d\n" x;
+  prerr_endline "done"

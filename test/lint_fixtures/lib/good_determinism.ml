@@ -1,0 +1,9 @@
+(* Fixture: deterministic counterparts of bad_determinism — no diagnostics.
+   Randomness is injected, time comes from the caller, and hash tables are
+   only probed point-wise. *)
+
+let pick rng n = rng n
+
+let lookup tbl k = Hashtbl.find_opt tbl k
+
+let record tbl k v = Hashtbl.replace tbl k v

@@ -1,0 +1,3 @@
+val pick : (int -> int) -> int -> int
+val lookup : (int, float) Hashtbl.t -> int -> float option
+val record : (int, float) Hashtbl.t -> int -> float -> unit

@@ -1,0 +1,3 @@
+(* Fixture: pure rendering — strings are returned, never printed. *)
+
+let render x = Printf.sprintf "result: %d" x

@@ -1,0 +1,1 @@
+val render : int -> string

@@ -1,0 +1,3 @@
+(* Fixture: a library module without an interface — mli-required fires. *)
+
+let answer = 42

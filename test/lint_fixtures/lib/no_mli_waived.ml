@@ -1,0 +1,3 @@
+(* lint: allow mli-required -- fixture: facade whose whole surface is public *)
+
+let answer = 42

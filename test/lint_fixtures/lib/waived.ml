@@ -1,0 +1,12 @@
+(* Fixture: every waiver below is well-formed, carries a reason and is
+   used, so this module lints clean despite the flagged constructs. *)
+
+let total tbl =
+  (* lint: allow hashtbl-order -- int sum is commutative; fixture *)
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let stamp () = Sys.time () (* lint: allow wall-clock -- fixture timing helper *)
+
+let roll n = Random.int n (* lint: allow ambient-rng -- fixture: nonce, not simulation state *)
+
+let shout s = print_endline s (* lint: allow obs-purity -- fixture CLI entry point *)

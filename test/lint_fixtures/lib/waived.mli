@@ -1,0 +1,4 @@
+val total : (int, int) Hashtbl.t -> int
+val stamp : unit -> float
+val roll : int -> int
+val shout : string -> unit

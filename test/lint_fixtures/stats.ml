@@ -1,0 +1,4 @@
+(* Fixture: this basename is float-flagged (like lib/util/stats.ml), so a
+   bare polymorphic [compare] passed as an argument trips float-cmp. *)
+
+let rank xs = List.sort compare xs

@@ -1,5 +1,4 @@
 open Adhoc_geom
-module Prng = Adhoc_util.Prng
 open Helpers
 
 let pt = Point.make
@@ -75,7 +74,7 @@ let test_sector_index_in_range =
   qtest "sector index in range"
     QCheck2.Gen.(triple (float_range 0.1 2.) (float_range (-5.) 5.) (float_range (-5.) 5.))
     (fun (theta, x, y) ->
-      QCheck2.assume (x <> 0. || y <> 0.);
+      QCheck2.assume (not (Float.equal x 0.) || not (Float.equal y 0.));
       let i = Sector.index ~theta ~apex:Point.origin (pt x y) in
       i >= 0 && i < Sector.count theta)
 

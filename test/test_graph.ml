@@ -6,8 +6,6 @@ module Components = Adhoc_graph.Components
 module Mst = Adhoc_graph.Mst
 module Floyd_warshall = Adhoc_graph.Floyd_warshall
 module Stretch = Adhoc_graph.Stretch
-module Prng = Adhoc_util.Prng
-module Point = Adhoc_geom.Point
 open Helpers
 
 (* Random sparse graph from a seed: n nodes, each node linked to a few

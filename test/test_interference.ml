@@ -2,8 +2,6 @@ open Adhoc_interference
 module Graph = Adhoc_graph.Graph
 module Udg = Adhoc_topo.Udg
 module Theta_alg = Adhoc_topo.Theta_alg
-module Prng = Adhoc_util.Prng
-module Point = Adhoc_geom.Point
 open Helpers
 
 let pt = Point.make

@@ -4,7 +4,6 @@
    and check the conclusion numerically. *)
 
 open Adhoc_geom
-module Prng = Adhoc_util.Prng
 open Helpers
 
 let pt = Point.make
@@ -82,7 +81,7 @@ let segment_circle_intersections (p : Point.t) (q : Point.t) (c : Circle.t) =
   let b = 2. *. dot f d in
   let cc = dot f f -. (c.Circle.radius *. c.Circle.radius) in
   let disc = (b *. b) -. (4. *. a *. cc) in
-  if disc < 0. || a = 0. then []
+  if disc < 0. || Float.equal a 0. then []
   else begin
     let sq = sqrt disc in
     let t1 = (-.b -. sq) /. (2. *. a) and t2 = (-.b +. sq) /. (2. *. a) in

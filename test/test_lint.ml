@@ -1,0 +1,290 @@
+(* adhoc_lint engine tests.
+
+   The corpus under lint_fixtures/ gives every rule a triggering fixture, a
+   non-triggering fixture and a waiver fixture.  Fixtures under
+   lint_fixtures/lib/ are scope-inferred as library code (the path contains
+   a "lib" segment), the rest lint as tool code.  Diagnostics are
+   golden-diffed against their rendered [file:line:col [rule] message] form,
+   and the adhoc-lint/1 JSON report is shape-checked. *)
+
+open Adhoc_lint_engine
+
+(* Under `dune runtest` the cwd is the test directory; under a bare
+   `dune exec` it is the workspace root.  Accept both. *)
+let fixture_root =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixture_root name
+
+(* Golden strings always use the runtest-relative "lint_fixtures/" prefix;
+   rebase diagnostics when running from the workspace root. *)
+let rebase file =
+  if fixture_root = "lint_fixtures" then file
+  else
+    let n = String.length fixture_root in
+    "lint_fixtures" ^ String.sub file n (String.length file - n)
+
+let lint path =
+  let o = Lint_driver.check_file path in
+  List.sort Lint_diag.compare_diag o.Lint_driver.diags
+  |> List.map (fun d -> Lint_diag.to_string { d with Lint_diag.file = rebase d.Lint_diag.file })
+
+let check_diags name path expected () =
+  Alcotest.(check (list string)) name expected (lint (fixture path))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism rules (lib scope)                                       *)
+
+let test_bad_determinism =
+  check_diags "all determinism rules fire" "lib/bad_determinism.ml"
+    [
+      "lint_fixtures/lib/bad_determinism.ml:3:13 [ambient-rng] ambient PRNG in library code; \
+       thread an explicit Adhoc_util.Prng.t instead";
+      "lint_fixtures/lib/bad_determinism.ml:5:15 [wall-clock] wall-clock read Sys.time in \
+       library code breaks reproducibility; take time as input or go through Adhoc_obs.Span";
+      "lint_fixtures/lib/bad_determinism.ml:7:14 [wall-clock] wall-clock read Unix.gettimeofday \
+       in library code breaks reproducibility; take time as input or go through Adhoc_obs.Span";
+      "lint_fixtures/lib/bad_determinism.ml:9:17 [hashtbl-order] Hashtbl.fold traverses in \
+       unspecified order; iterate sorted keys (Adhoc_util.Det) or justify order-independence \
+       in a waiver";
+      "lint_fixtures/lib/bad_determinism.ml:11:18 [hashtbl-order] Hashtbl.iter traverses in \
+       unspecified order; iterate sorted keys (Adhoc_util.Det) or justify order-independence \
+       in a waiver";
+    ]
+
+let test_good_determinism =
+  check_diags "injected rng and point-wise Hashtbl are clean" "lib/good_determinism.ml" []
+
+let test_scope_sensitivity () =
+  let source = "let pick n = Random.int n\n" in
+  let as_lib =
+    Lint_driver.check_source ~scope:Lint_rules.Lib ~has_mli:true ~file:"inline.ml" source
+  in
+  let as_tool =
+    Lint_driver.check_source ~scope:Lint_rules.Tool ~has_mli:true ~file:"inline.ml" source
+  in
+  Alcotest.(check int) "lib scope flags ambient rng" 1 (List.length as_lib.Lint_driver.diags);
+  Alcotest.(check int) "tool scope allows ambient rng" 0 (List.length as_tool.Lint_driver.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Float safety (any scope)                                            *)
+
+let test_bad_float =
+  check_diags "polymorphic comparisons on floats" "bad_float.ml"
+    [
+      "lint_fixtures/bad_float.ml:4:16 [float-cmp] polymorphic = on a float operand; use \
+       Float.equal (nan-aware, monomorphic)";
+      "lint_fixtures/bad_float.ml:6:16 [float-cmp] polymorphic <> on a float operand; use \
+       Float.equal (nan-aware, monomorphic)";
+      "lint_fixtures/bad_float.ml:8:14 [float-cmp] polymorphic compare on a float operand; use \
+       Float.compare (nan-aware, monomorphic)";
+      "lint_fixtures/bad_float.ml:10:14 [float-minmax] polymorphic min on a float operand; use \
+       Float.min";
+      "lint_fixtures/bad_float.ml:10:22 [float-minmax] polymorphic max on a float operand; use \
+       Float.max";
+    ]
+
+let test_good_float = check_diags "Float.* comparisons are clean" "good_float.ml" []
+
+let test_float_flagged_module =
+  check_diags "bare compare in a float-flagged basename" "stats.ml"
+    [
+      "lint_fixtures/stats.ml:4:24 [float-cmp] bare polymorphic compare in a float-flagged \
+       module; use Float.compare";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Obs purity and catch hygiene                                        *)
+
+let test_bad_obs =
+  check_diags "std-stream writes in lib scope" "lib/bad_obs.ml"
+    [
+      "lint_fixtures/lib/bad_obs.ml:4:2 [obs-purity] print_endline in library code; return \
+       data or emit through an Adhoc_obs sink";
+      "lint_fixtures/lib/bad_obs.ml:5:2 [obs-purity] Printf.printf in library code; return \
+       data or emit through an Adhoc_obs sink";
+      "lint_fixtures/lib/bad_obs.ml:6:2 [obs-purity] prerr_endline in library code; return \
+       data or emit through an Adhoc_obs sink";
+    ]
+
+let test_good_obs = check_diags "Printf.sprintf is pure" "lib/good_obs.ml" []
+
+let test_bad_catch =
+  check_diags "catch-all handler" "bad_catch.ml"
+    [
+      "lint_fixtures/bad_catch.ml:3:46 [catch-all] catch-all handler swallows every exception \
+       (including Out_of_memory and asserts); match the exceptions you mean";
+    ]
+
+let test_good_catch = check_diags "named handler is clean" "good_catch.ml" []
+
+(* ------------------------------------------------------------------ *)
+(* Interface hygiene                                                   *)
+
+let test_no_mli =
+  check_diags "library module without interface" "lib/no_mli.ml"
+    [
+      "lint_fixtures/lib/no_mli.ml:1:0 [mli-required] library module has no .mli interface; \
+       its whole surface is public API";
+    ]
+
+let test_no_mli_waived = check_diags "mli-required waiver on line 1" "lib/no_mli_waived.ml" []
+
+let test_mli_presence_clears () =
+  let o =
+    Lint_driver.check_source ~scope:Lint_rules.Lib ~has_mli:true ~file:"inline.ml"
+      "let answer = 42\n"
+  in
+  Alcotest.(check int) "has_mli suppresses mli-required" 0 (List.length o.Lint_driver.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Waivers                                                             *)
+
+let used_waiver_rules path =
+  let o = Lint_driver.check_file (fixture path) in
+  Alcotest.(check (list string)) (path ^ " lints clean") [] (List.map Lint_diag.to_string o.diags);
+  List.map (fun w -> w.Lint_diag.w_rule) o.Lint_driver.used_waivers |> List.sort String.compare
+
+let test_waived_lib () =
+  Alcotest.(check (list string)) "lib waivers all used"
+    [ "ambient-rng"; "hashtbl-order"; "obs-purity"; "wall-clock" ]
+    (used_waiver_rules "lib/waived.ml")
+
+let test_waived_tool () =
+  Alcotest.(check (list string)) "tool waivers all used"
+    [ "catch-all"; "float-cmp"; "float-minmax" ]
+    (used_waiver_rules "waived_tool.ml")
+
+let test_waiver_reasons_kept () =
+  let o = Lint_driver.check_file (fixture "lib/waived.ml") in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "waiver %s has a reason" w.Lint_diag.w_rule)
+        true
+        (String.length w.Lint_diag.w_reason > 0))
+    o.Lint_driver.used_waivers
+
+let test_bad_waiver =
+  check_diags "malformed, unknown and unused waivers" "bad_waiver.ml"
+    [
+      "lint_fixtures/bad_waiver.ml:1:0 [waiver-hygiene] waiver for hashtbl-order carries no \
+       reason; justify it after a dash";
+      "lint_fixtures/bad_waiver.ml:4:0 [waiver-hygiene] waiver names unknown rule \
+       \"no-such-rule\"";
+      "lint_fixtures/bad_waiver.ml:6:0 [waiver-hygiene] unused waiver for float-cmp; delete it \
+       or move it to the offending line";
+    ]
+
+let test_waiver_covers_next_line () =
+  (* The marker is split so this source string is not itself scanned as a
+     waiver when adhoc_lint runs over the test suite. *)
+  let source =
+    "(* li" ^ "nt: allow float-cmp -- next-line coverage under test *)\nlet z x = x = 0.\n"
+  in
+  let o = Lint_driver.check_source ~file:"inline.ml" source in
+  Alcotest.(check int) "diag on line below waiver suppressed" 0 (List.length o.Lint_driver.diags);
+  Alcotest.(check int) "waiver marked used" 1 (List.length o.Lint_driver.used_waivers)
+
+(* ------------------------------------------------------------------ *)
+(* Parse failures                                                      *)
+
+let test_bad_parse =
+  check_diags "syntax error surfaces as parse-error" "bad_parse.ml"
+    [ "lint_fixtures/bad_parse.ml:3:4 [parse-error] syntax error" ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-corpus run and JSON report shape                              *)
+
+let corpus_files = 20
+let corpus_errors = 20
+let corpus_waivers = 8
+
+let test_run_totals () =
+  let r = Lint_driver.run [ fixture_root ] in
+  Alcotest.(check int) "files walked" corpus_files r.Lint_diag.files;
+  Alcotest.(check int) "errors" corpus_errors (Lint_diag.errors r);
+  Alcotest.(check int) "warnings" 0 (Lint_diag.warnings r);
+  Alcotest.(check int) "used waivers" corpus_waivers (List.length r.Lint_diag.used_waivers);
+  let count rule =
+    match List.find_opt (fun (id, _, _) -> id = rule) r.Lint_diag.rule_counts with
+    | Some (_, _, n) -> n
+    | None -> Alcotest.failf "rule %s missing from report" rule
+  in
+  Alcotest.(check int) "float-cmp count" 4 (count "float-cmp");
+  Alcotest.(check int) "hashtbl-order count" 2 (count "hashtbl-order");
+  Alcotest.(check int) "waiver-hygiene count" 3 (count "waiver-hygiene");
+  Alcotest.(check int) "every registered rule reported"
+    (List.length Lint_rules.rules)
+    (List.length r.Lint_diag.rule_counts)
+
+let test_run_demote () =
+  let r = Lint_driver.run ~demote:[ "float-cmp" ] [ fixture_root ] in
+  Alcotest.(check int) "demoted diags become warnings" 4 (Lint_diag.warnings r);
+  Alcotest.(check int) "remaining errors" (corpus_errors - 4) (Lint_diag.errors r)
+
+let test_json_shape () =
+  let r = Lint_driver.run [ fixture_root ] in
+  let json = Lint_diag.to_json r in
+  let has needle =
+    Alcotest.(check bool) (Printf.sprintf "report contains %s" needle) true
+      (Lint_diag.find_sub json needle 0 <> None)
+  in
+  has "\"schema\": \"adhoc-lint/1\"";
+  has (Printf.sprintf "\"files\": %d" corpus_files);
+  has (Printf.sprintf "\"errors\": %d" corpus_errors);
+  has "\"rules\": [";
+  has "\"diagnostics\": [";
+  has "\"waivers\": [";
+  has "{\"id\": \"float-cmp\", \"severity\": \"error\", \"count\": 4}";
+  (* Escaping: the unknown-rule message carries quotes. *)
+  has "unknown rule \\\"no-such-rule\\\""
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "bad fixture" `Quick test_bad_determinism;
+          Alcotest.test_case "good fixture" `Quick test_good_determinism;
+          Alcotest.test_case "scope sensitivity" `Quick test_scope_sensitivity;
+        ] );
+      ( "float-safety",
+        [
+          Alcotest.test_case "bad fixture" `Quick test_bad_float;
+          Alcotest.test_case "good fixture" `Quick test_good_float;
+          Alcotest.test_case "float-flagged module" `Quick test_float_flagged_module;
+        ] );
+      ( "obs-and-catch",
+        [
+          Alcotest.test_case "bad obs" `Quick test_bad_obs;
+          Alcotest.test_case "good obs" `Quick test_good_obs;
+          Alcotest.test_case "bad catch" `Quick test_bad_catch;
+          Alcotest.test_case "good catch" `Quick test_good_catch;
+        ] );
+      ( "interfaces",
+        [
+          Alcotest.test_case "missing mli" `Quick test_no_mli;
+          Alcotest.test_case "waived missing mli" `Quick test_no_mli_waived;
+          Alcotest.test_case "present mli" `Quick test_mli_presence_clears;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "lib waivers used" `Quick test_waived_lib;
+          Alcotest.test_case "tool waivers used" `Quick test_waived_tool;
+          Alcotest.test_case "reasons kept" `Quick test_waiver_reasons_kept;
+          Alcotest.test_case "hygiene diagnostics" `Quick test_bad_waiver;
+          Alcotest.test_case "next-line coverage" `Quick test_waiver_covers_next_line;
+        ] );
+      ( "parsing",
+        [ Alcotest.test_case "syntax error" `Quick test_bad_parse ] );
+      ( "report",
+        [
+          Alcotest.test_case "run totals" `Quick test_run_totals;
+          Alcotest.test_case "demotion" `Quick test_run_demote;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
+    ]

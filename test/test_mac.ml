@@ -6,8 +6,6 @@ module Graph = Adhoc_graph.Graph
 module Udg = Adhoc_topo.Udg
 module Theta_alg = Adhoc_topo.Theta_alg
 module Hexgrid = Adhoc_geom.Hexgrid
-module Point = Adhoc_geom.Point
-module Prng = Adhoc_util.Prng
 open Helpers
 
 let overlay_instance seed =

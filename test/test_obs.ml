@@ -6,7 +6,6 @@ module Obs = Adhoc_obs
 module Metrics = Adhoc_obs.Metrics
 module Span = Adhoc_obs.Span
 module Trace = Adhoc_obs.Trace
-module Prng = Adhoc_util.Prng
 module Graph = Adhoc_graph.Graph
 module Cost = Adhoc_graph.Cost
 module Pipeline = Adhoc.Pipeline

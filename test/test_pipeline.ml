@@ -1,6 +1,5 @@
 open Adhoc
 module Graph = Adhoc_graph.Graph
-module Prng = Adhoc_util.Prng
 open Helpers
 
 let build seed =

@@ -1,6 +1,4 @@
 open Adhoc_pointset
-module Prng = Adhoc_util.Prng
-module Point = Adhoc_geom.Point
 module Box = Adhoc_geom.Box
 open Helpers
 
@@ -123,7 +121,7 @@ let test_precision_known () =
   Alcotest.(check bool) "not at 0.9" false (Precision.is_civilized ~lambda:0.9 pts)
 
 let test_precision_degenerate () =
-  Alcotest.(check bool) "single point" true (Precision.lambda [| Point.origin |] = 1.);
+  Alcotest.(check bool) "single point" true (Float.equal (Precision.lambda [| Point.origin |]) 1.);
   let dup = [| Point.origin; Point.origin; Point.make 1. 0. |] in
   check_close "coincident lambda" 0. (Precision.lambda dup)
 

@@ -6,8 +6,6 @@ module Model = Adhoc_interference.Model
 module Mac = Adhoc_mac.Mac
 module Udg = Adhoc_topo.Udg
 module Theta_alg = Adhoc_topo.Theta_alg
-module Prng = Adhoc_util.Prng
-module Point = Adhoc_geom.Point
 open Helpers
 
 (* ------------------------------------------------------------------ *)
@@ -486,7 +484,7 @@ let test_engine_line_delivers () =
   let stats = Engine.run_mac_given ~graph:g ~cost:Cost.length ~params w in
   Alcotest.(check int) "all delivered" 3 stats.Engine.delivered;
   Alcotest.(check int) "nothing remains" 0 stats.Engine.remaining;
-  Alcotest.(check bool) "ratios" true (Engine.throughput_ratio stats w.Workload.opt = 1.)
+  Alcotest.(check bool) "ratios" true (Float.equal (Engine.throughput_ratio stats w.Workload.opt) 1.)
 
 let test_engine_deterministic () =
   let run () =

@@ -3,8 +3,6 @@ module Graph = Adhoc_graph.Graph
 module Cost = Adhoc_graph.Cost
 module Components = Adhoc_graph.Components
 module Stretch = Adhoc_graph.Stretch
-module Prng = Adhoc_util.Prng
-module Point = Adhoc_geom.Point
 module Sector = Adhoc_geom.Sector
 open Helpers
 

@@ -1,4 +1,3 @@
-module Prng = Adhoc_util.Prng
 module Pqueue = Adhoc_util.Pqueue
 module Union_find = Adhoc_util.Union_find
 module Stats = Adhoc_util.Stats

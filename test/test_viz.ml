@@ -1,9 +1,7 @@
 module Svg = Adhoc_viz.Svg
 module Render = Adhoc_viz.Render
 module Dot = Adhoc_viz.Dot
-module Point = Adhoc_geom.Point
 module Box = Adhoc_geom.Box
-module Prng = Adhoc_util.Prng
 open Helpers
 
 let count_occurrences haystack needle =
