@@ -17,12 +17,39 @@ let obs_sink : Obs.sink option ref = ref None
 
 let current_obs () = !obs_sink
 
+(* Ambient domain pool.  The harness creates one from --jobs and installs
+   it here; experiments thread [current_pool ()] into ?pool-taking kernels
+   and fan independent per-seed trials out with [map_seeds]. *)
+let pool : Util.Pool.t option ref = ref None
+
+let current_pool () = !pool
+
+(* Per-seed fan-out.  Trials are independent (each creates its own PRNG
+   from its seed), so with a pool installed they run across domains;
+   results come back in seed order, so any downstream fold is identical
+   to the sequential loop.  The ambient obs sink is detached for the
+   duration — trial bodies would otherwise mutate it concurrently — which
+   also keeps the recorded obs snapshot identical for every --jobs value,
+   an invariant json_check --compare relies on. *)
+let map_seeds f seed_list =
+  match !pool with
+  | None -> List.map f seed_list
+  | Some p ->
+      let arr = Array.of_list seed_list in
+      let saved = !obs_sink in
+      obs_sink := None;
+      Fun.protect
+        ~finally:(fun () -> obs_sink := saved)
+        (fun () ->
+          Util.Pool.parallel_init p ~label:"bench/seeds" (Array.length arr) (fun i -> f arr.(i)))
+      |> Array.to_list
+
 (* Build a connected instance on [n] uniform nodes. *)
 let uniform_instance ?(range_factor = 1.5) ?(theta = theta_default) ?(delta = 0.5) seed n =
   let rng = Prng.create seed in
   let points = Pointset.Generators.uniform rng n in
   let range = range_factor *. Topo.Udg.critical_range points in
-  (rng, Pipeline.prepare ~delta ~theta ?obs:(current_obs ()) ~range points)
+  (rng, Pipeline.prepare ~delta ~theta ?obs:(current_obs ()) ?pool:(current_pool ()) ~range points)
 
 let mean_and_max values =
   let s = Stats.summarize values in

@@ -20,8 +20,12 @@ let e11 () =
     Hashtbl.replace acc (name, field)
       (value :: Option.value ~default:[] (Hashtbl.find_opt acc (name, field)))
   in
-  List.iter
-    (fun seed ->
+  (* Seeds fan out across the harness pool; each trial returns its
+     measurements and the sequential replay below reproduces the exact
+     accumulation order of the old per-seed loop. *)
+  let trials =
+    map_seeds
+      (fun seed ->
       let rng = Util.Prng.create seed in
       let points = Pointset.Generators.uniform rng n in
       let range = 1.5 *. Topo.Udg.critical_range points in
@@ -44,20 +48,27 @@ let e11 () =
         in
         (g, Unix.gettimeofday () -. t0)
       in
-      List.iter
+      List.map
         (fun name ->
           let g, dt = build name in
           let m = Topo.Topo_metrics.measure ~name ~base:gstar g in
           let conflict = Conflict.build (Model.make ~delta:0.5) ~points g in
-          record name "connected" (if m.Topo.Topo_metrics.connected then 1. else 0.);
-          record name "edges" (float_of_int m.Topo.Topo_metrics.edges);
-          record name "maxdeg" (float_of_int m.Topo.Topo_metrics.max_degree);
-          record name "I" (float_of_int (Conflict.interference_number conflict));
-          record name "estretch" m.Topo.Topo_metrics.energy_stretch;
-          record name "dstretch" m.Topo.Topo_metrics.distance_stretch;
-          record name "build_ms" (dt *. 1000.))
+          ( name,
+            [
+              ("connected", if m.Topo.Topo_metrics.connected then 1. else 0.);
+              ("edges", float_of_int m.Topo.Topo_metrics.edges);
+              ("maxdeg", float_of_int m.Topo.Topo_metrics.max_degree);
+              ("I", float_of_int (Conflict.interference_number conflict));
+              ("estretch", m.Topo.Topo_metrics.energy_stretch);
+              ("dstretch", m.Topo.Topo_metrics.distance_stretch);
+              ("build_ms", dt *. 1000.);
+            ] ))
         names)
-    (seeds 3);
+      (seeds 3)
+  in
+  List.iter
+    (List.iter (fun (name, fields) -> List.iter (fun (f, v) -> record name f v) fields))
+    trials;
   let t =
     Table.create
       [

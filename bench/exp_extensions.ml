@@ -110,8 +110,8 @@ let e13 () =
           es :=
             !es
             +. Graphs.Stretch.over_base_edges ~sub:ov ~base:gstar
-                 ~cost:(Cost.energy ~kappa:2.);
-          ds := !ds +. Graphs.Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:Cost.length;
+                 ~cost:(Cost.energy ~kappa:2.) ();
+          ds := !ds +. Graphs.Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:Cost.length ();
           inum := !inum +. float_of_int (Conflict.interference_number conflict);
           msgs :=
             !msgs

@@ -28,14 +28,18 @@ let e5 () =
   let xs = ref [] and ys = ref [] in
   List.iter
     (fun n ->
-      let is = ref [] and edges = ref 0 in
-      List.iter
-        (fun seed ->
-          let _, b = uniform_instance ~range_factor:1.2 seed n in
-          is := float_of_int b.Pipeline.interference_number :: !is;
-          edges := Graph.num_edges b.Pipeline.overlay)
-        (seeds 5);
-      let mean_i = Stats.mean (Array.of_list !is) in
+      let trials =
+        map_seeds
+          (fun seed ->
+            let _, b = uniform_instance ~range_factor:1.2 seed n in
+            (float_of_int b.Pipeline.interference_number, Graph.num_edges b.Pipeline.overlay))
+          (seeds 5)
+      in
+      (* Reversed like the old prepend loop, so the mean sums in the same
+         float order. *)
+      let is = List.rev_map fst trials in
+      let edges = List.fold_left (fun _ (_, e) -> e) 0 trials in
+      let mean_i = Stats.mean (Array.of_list is) in
       xs := float_of_int n :: !xs;
       ys := mean_i :: !ys;
       Table.add_row t
@@ -43,7 +47,7 @@ let e5 () =
           string_of_int n;
           fmt2 mean_i;
           fmt2 (mean_i /. log (float_of_int n));
-          string_of_int !edges;
+          string_of_int edges;
         ])
     ns;
   Table.print t;

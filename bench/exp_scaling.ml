@@ -1,0 +1,100 @@
+(* B2: multicore scaling sweep.
+
+   Times the pool-parallelized kernels — ΘALG construction, UDG
+   construction and all-pairs stretch — across an n × jobs grid, each
+   configuration on its own fixed-size pool, and prints the speedup
+   relative to jobs = 1.  Every kernel is bit-identical for every jobs
+   value (the qcheck suite pins this), so the sweep also records one
+   structural metric per instance (edge counts) that --compare checks
+   exactly: any drift across machines or pool sizes is a regression,
+   while the "ns_per_run:*" timings only warn.
+
+   Speedup expectations are hardware-honest: on a single-core container
+   every jobs > 1 row shows ~1x (plus scheduling overhead); the ≥3x
+   targets only apply on machines that actually have the cores. *)
+
+open Adhoc
+open Common
+module Prng = Util.Prng
+module Pool = Util.Pool
+
+let theta = Float.pi /. 6.
+
+(* Min-of-reps wall-clock, in nanoseconds; one warm-up run. *)
+let time_ns ?(reps = 2) f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9
+
+let jobs_grid () =
+  List.sort_uniq compare (1 :: 2 :: 4 :: 8 :: [ Pool.default_jobs () ])
+
+let instance n =
+  let rng = Prng.create 2024 in
+  let points = Pointset.Generators.uniform rng n in
+  let range = 1.5 *. Topo.Udg.critical_range points in
+  (points, range)
+
+let fmt_speedup base ns = Printf.sprintf "%.2fx" (base /. ns)
+
+let run () =
+  header "B2: multicore scaling (pool-parallelized kernels, n x jobs)";
+  Printf.printf "recommended domain count here: %d\n\n" (Pool.default_jobs ());
+  let grid = jobs_grid () in
+  let pools = List.map (fun j -> (j, Pool.create ~jobs:j ())) grid in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, p) -> Pool.shutdown p) pools)
+    (fun () ->
+      let t =
+        Table.create
+          ([ ("kernel", Table.Left); ("n", Table.Right) ]
+          @ List.map (fun j -> (Printf.sprintf "jobs=%d" j, Table.Right)) grid)
+      in
+      let sweep name n f check =
+        let base = ref nan in
+        let cells =
+          List.map
+            (fun (j, p) ->
+              let ns = time_ns (fun () -> f p) in
+              record_float (Printf.sprintf "ns_per_run:%s/n=%d/jobs=%d" name n j) ns;
+              if j = 1 then begin
+                base := ns;
+                Printf.sprintf "%.0f ms" (ns /. 1e6)
+              end
+              else fmt_speedup !base ns)
+            pools
+        in
+        Table.add_row t ((name :: string_of_int n :: cells) : string list);
+        (* One structural metric per instance, identical for every jobs
+           value and every machine: --compare flags any drift as an
+           error. *)
+        record_int (Printf.sprintf "edges:%s/n=%d" name n) check
+      in
+      List.iter
+        (fun n ->
+          let points, range = instance n in
+          sweep "theta-alg" n
+            (fun p -> Topo.Theta_alg.build ~pool:p ~theta ~range points)
+            (Graphs.Graph.num_edges (Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points)));
+          sweep "udg" n
+            (fun p -> Topo.Udg.build ~pool:p ~range points)
+            (Graphs.Graph.num_edges (Topo.Udg.build ~range points)))
+        [ 1024; 4096 ];
+      List.iter
+        (fun n ->
+          let points, range = instance n in
+          let gstar = Topo.Udg.build ~range points in
+          let sub = Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points) in
+          let cost = Graphs.Cost.energy ~kappa:2. in
+          sweep "stretch" n
+            (fun p -> Graphs.Stretch.over_base_edges ~pool:p ~sub ~base:gstar ~cost ())
+            (Graphs.Graph.num_edges gstar))
+        [ 256; 1024 ];
+      Table.print t;
+      print_endline "cells: jobs=1 wall-clock, then speedup vs jobs=1 (same pool-built output).")

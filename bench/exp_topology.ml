@@ -29,23 +29,27 @@ let e1 () =
     (fun (name, theta) ->
       List.iter
         (fun n ->
-          let worst_deg = ref 0 and all_connected = ref true in
-          List.iter
-            (fun seed ->
-              let rng = Prng.create seed in
-              let points = Pointset.Generators.uniform rng n in
-              let range = 1.5 *. Topo.Udg.critical_range points in
-              let overlay = Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points) in
-              worst_deg := max !worst_deg (Graph.max_degree overlay);
-              if not (Graphs.Components.is_connected overlay) then all_connected := false)
-            (seeds 5);
+          let trials =
+            map_seeds
+              (fun seed ->
+                let rng = Prng.create seed in
+                let points = Pointset.Generators.uniform rng n in
+                let range = 1.5 *. Topo.Udg.critical_range points in
+                let overlay =
+                  Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points)
+                in
+                (Graph.max_degree overlay, Graphs.Components.is_connected overlay))
+              (seeds 5)
+          in
+          let worst_deg = List.fold_left (fun w (d, _) -> max w d) 0 trials in
+          let all_connected = List.for_all snd trials in
           Table.add_row t
             [
               name;
               string_of_int (Topo.Theta_alg.degree_bound ~theta);
               string_of_int n;
-              string_of_int !worst_deg;
-              (if !all_connected then "yes" else "NO");
+              string_of_int worst_deg;
+              (if all_connected then "yes" else "NO");
             ])
         [ 64; 128; 256; 512; 1024 ])
     [ ("pi/3", Float.pi /. 3.); ("pi/4", Float.pi /. 4.); ("pi/6", Float.pi /. 6.) ];
@@ -69,7 +73,7 @@ let stretch_of ~cost seed gen n =
   let range = 1.5 *. Topo.Udg.critical_range points in
   let gstar = Topo.Udg.build ~range points in
   let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
-  Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar ~cost
+  Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar ~cost ()
 
 let e2 () =
   header "E2 (Theorem 2.2): O(1) energy-stretch for arbitrary distributions";
@@ -88,7 +92,7 @@ let e2 () =
               (fun n ->
                 let vals =
                   Array.of_list
-                    (List.map
+                    (map_seeds
                        (fun seed -> stretch_of ~cost:(Cost.energy ~kappa) seed gen n)
                        (seeds 3))
                 in
@@ -122,21 +126,28 @@ let e3 () =
   let overall = ref 0. in
   List.iter
     (fun min_dist ->
+      let trials =
+        map_seeds
+          (fun seed ->
+            let rng = Prng.create seed in
+            let points = Pointset.Poisson_disk.sample ~min_dist rng in
+            let range = 1.5 *. Topo.Udg.critical_range points in
+            let gstar = Topo.Udg.build ~range points in
+            let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
+            ( Array.length points,
+              Pointset.Precision.lambda points,
+              Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar
+                ~cost:Cost.length () ))
+          (seeds 3)
+      in
+      (* Same reversed accumulation order as the old ref-based loop. *)
       let ns = ref [] and lambdas = ref [] and stretches = ref [] in
       List.iter
-        (fun seed ->
-          let rng = Prng.create seed in
-          let points = Pointset.Poisson_disk.sample ~min_dist rng in
-          let range = 1.5 *. Topo.Udg.critical_range points in
-          let gstar = Topo.Udg.build ~range points in
-          let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
-          ns := Array.length points :: !ns;
-          lambdas := Pointset.Precision.lambda points :: !lambdas;
-          stretches :=
-            Stretch.over_base_edges ~sub:(Topo.Theta_alg.overlay alg) ~base:gstar
-              ~cost:Cost.length
-            :: !stretches)
-        (seeds 3);
+        (fun (n, lambda, stretch) ->
+          ns := n :: !ns;
+          lambdas := lambda :: !lambdas;
+          stretches := stretch :: !stretches)
+        trials;
       let worst = List.fold_left Float.max 0. !stretches in
       overall := Float.max !overall worst;
       Table.add_row t
@@ -161,8 +172,8 @@ let e4 () =
     let alg = Topo.Theta_alg.build ~theta:theta_default ~range points in
     let ov = Topo.Theta_alg.overlay alg in
     ( Pointset.Precision.lambda points,
-      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.),
-      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:Cost.length )
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.) (),
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:Cost.length () )
   in
   let t =
     Table.create

@@ -73,7 +73,7 @@ let theta_frontier () =
         in
         ( float_of_int (Interference.Conflict.interference_number c),
           Graphs.Stretch.over_base_edges ~sub:ov ~base:gstar
-            ~cost:(Graphs.Cost.energy ~kappa:2.) ))
+            ~cost:(Graphs.Cost.energy ~kappa:2.) () ))
       [ Float.pi /. 3.; Float.pi /. 4.; Float.pi /. 6.; Float.pi /. 12.; Float.pi /. 24. ]
   in
   Chart.save

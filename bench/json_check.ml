@@ -3,12 +3,13 @@
 
    The toolchain ships no JSON library, so this is a small recursive-descent
    parser covering the full JSON grammar.  Beyond syntax it checks the
-   adhoc-bench/2 shape: a top-level object whose "schema" is
-   "adhoc-bench/2" and whose "experiments" member is a non-empty array of
+   adhoc-bench/3 shape: a top-level object whose "schema" is
+   "adhoc-bench/3", whose "jobs" member is the numeric domain-pool size
+   the run used, and whose "experiments" member is a non-empty array of
    objects each carrying "id", "seconds", "metrics", well-formed "spans"
    (label / count / seconds), an "obs" metric snapshot and a "trace"
-   pointer (string or null).  Version-1 documents are rejected with a
-   dedicated error.
+   pointer (string or null).  Version-1 and version-2 documents are
+   rejected with dedicated errors.
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
@@ -16,8 +17,9 @@
      json_check --lint FILE   validates an adhoc-lint/1 static-analysis
                               report (rules / diagnostics / waivers shape)
      json_check --compare BASELINE CURRENT [--span-tolerance R]
-                              diffs two adhoc-bench/2 documents: stats must
-                              match exactly, wall-clock timings only warn *)
+                              diffs two adhoc-bench/3 documents: stats must
+                              match exactly (whatever --jobs either run
+                              used), wall-clock timings only warn *)
 
 exception Bad of string
 
@@ -216,18 +218,33 @@ let check_document file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/2") -> ()
+      | Some (Str "adhoc-bench/3") -> ()
       | Some (Str "adhoc-bench/1") ->
           Printf.eprintf
             "%s: version-1 document (adhoc-bench/1); this checker validates \
-             adhoc-bench/2 — regenerate with the current bench harness\n"
+             adhoc-bench/3 — regenerate with the current bench harness\n"
+            file;
+          exit 1
+      | Some (Str "adhoc-bench/2") ->
+          Printf.eprintf
+            "%s: version-2 document (adhoc-bench/2, no \"jobs\" member); this \
+             checker validates adhoc-bench/3 — regenerate with the current \
+             bench harness\n"
             file;
           exit 1
       | Some (Str other) ->
-          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/2\")\n" file other;
+          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/3\")\n" file other;
           exit 1
       | _ ->
           Printf.eprintf "%s: missing \"schema\" member\n" file;
+          exit 1);
+      (match List.assoc_opt "jobs" fields with
+      | Some (Num j) when Float.is_integer j && j >= 1. -> ()
+      | Some _ ->
+          Printf.eprintf "%s: \"jobs\" must be a positive integer\n" file;
+          exit 1
+      | None ->
+          Printf.eprintf "%s: missing \"jobs\" member (domain-pool size)\n" file;
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr (_ :: _ as exps)) when List.for_all experiment_ok exps ->
@@ -245,7 +262,9 @@ let check_document file =
 (* --------------------------------------------------------------------- *)
 (* Baseline comparison: did the simulation's numbers drift?
 
-   Stats in adhoc-bench/2 documents are deterministic (seeded PRNG), so a
+   Stats in adhoc-bench/3 documents are deterministic (seeded PRNG), and
+   — pool kernels being bit-identical for any jobs — independent of the
+   "jobs" the two runs used, so a
    current run's metrics must match a committed baseline exactly; the only
    legitimately machine-dependent members are wall-clock timings — the
    experiment's "seconds", span timings, and micro-benchmark metrics
@@ -262,9 +281,9 @@ let load_doc file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/2") -> ()
+      | Some (Str "adhoc-bench/3") -> ()
       | _ ->
-          Printf.eprintf "%s: not an adhoc-bench/2 document\n" file;
+          Printf.eprintf "%s: not an adhoc-bench/3 document\n" file;
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr exps) ->

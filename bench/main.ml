@@ -8,10 +8,16 @@
      dune exec bench/main.exe -- e7 --json out.json --trace-dir traces
                                            # + one per-step JSONL trace per experiment
 
-   Experiment ids: e1..e11 (paper claims), b1 (micro-benchmarks).
+   Experiment ids: e1..e20 (paper claims and extensions), b1
+   (micro-benchmarks), b2 (multicore scaling sweep).
+
+   --jobs N sizes the shared domain pool (default
+   Pool.default_jobs (), i.e. the machine's recommended domain count
+   clamped).  Every metric is bit-identical for every N; only wall-clock
+   changes.
 
    --json FILE writes one object per executed experiment (schema
-   adhoc-bench/2): its id, title, wall-clock seconds, the headline metrics
+   adhoc-bench/3): its id, title, wall-clock seconds, the headline metrics
    the experiment recorded, the observability layer's span timings and
    metric snapshot, and a pointer to the experiment's trace file when
    --trace-dir was given (see EXPERIMENTS.md for the schema). *)
@@ -41,6 +47,7 @@ let all : (string * string * (unit -> unit)) list =
     ("e19", "Section 3.2 remark: reduced control traffic", Exp_extensions.e19);
     ("e20", "context: Gupta-Kumar capacity scaling", Exp_extensions.e20);
     ("b1", "micro-benchmarks", Micro.run);
+    ("b2", "multicore scaling sweep", Exp_scaling.run);
     ("figures", "SVG figures for key experiments", Figures.run);
   ]
 
@@ -111,6 +118,17 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json_file, args = split_opt "--json" [] args in
   let trace_dir, args = split_opt "--trace-dir" [] args in
+  let jobs_arg, args = split_opt "--jobs" [] args in
+  let jobs =
+    match jobs_arg with
+    | None -> Adhoc.Util.Pool.default_jobs ()
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some j when j >= 1 -> j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" s;
+            exit 1)
+  in
   (* Open the output up front so a bad path fails before hours of
      experiments, not after. *)
   let json_out =
@@ -137,6 +155,10 @@ let () =
   in
   print_endline "Reproduction harness: Jia, Rajaraman, Scheideler (SPAA 2003),";
   print_endline "\"On Local Algorithms for Topology Control and Routing in Ad Hoc Networks\".";
+  let pool = Adhoc.Util.Pool.create ~jobs () in
+  Common.pool := Some pool;
+  Printf.printf "domain pool: %d job%s\n" (Adhoc.Util.Pool.jobs pool)
+    (if Adhoc.Util.Pool.jobs pool = 1 then "" else "s");
   let results = ref [] in
   List.iter
     (fun id ->
@@ -151,9 +173,14 @@ let () =
           in
           let sink = Obs.create ?trace () in
           Common.obs_sink := Some sink;
+          (* Pool regions surface as "pool/<label>" spans and counters in
+             this experiment's snapshot; only top-level owner-domain
+             regions fire hooks, so the snapshot is jobs-invariant. *)
+          Obs.attach_pool sink pool;
           let t0 = Unix.gettimeofday () in
           f ();
           let seconds = Unix.gettimeofday () -. t0 in
+          Obs.detach_pool pool;
           Common.obs_sink := None;
           let trace_file =
             match (trace_dir, sink.Obs.trace) with
@@ -186,7 +213,8 @@ let () =
       let doc =
         Obj
           [
-            ("schema", String "adhoc-bench/2");
+            ("schema", String "adhoc-bench/3");
+            ("jobs", Int (Adhoc.Util.Pool.jobs pool));
             ("experiments", List (List.rev_map outcome_json !results));
           ]
       in
@@ -194,4 +222,6 @@ let () =
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote %s\n" file);
+  Common.pool := None;
+  Adhoc.Util.Pool.shutdown pool;
   print_newline ()

@@ -64,7 +64,7 @@ let tests () =
       Test.make ~name:"energy-stretch"
         (Staged.stage (fun () ->
              Graphs.Stretch.over_base_edges ~sub:overlay ~base:gstar
-               ~cost:(Graphs.Cost.energy ~kappa:2.)));
+               ~cost:(Graphs.Cost.energy ~kappa:2.) ()));
       Test.make ~name:"engine-1000-steps"
         (Staged.stage (fun () ->
              let rng = Prng.create 5 in

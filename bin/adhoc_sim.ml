@@ -50,6 +50,21 @@ let dist_t =
     value & opt dist_conv `Uniform
     & info [ "dist" ] ~docv:"DIST" ~doc:"Node distribution: uniform, grid, clusters or ring.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int (Util.Pool.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Domain-pool size for the parallelized kernels (default: the \
+           machine's recommended domain count).  Every result is \
+           bit-identical for every N; only wall-clock changes.")
+
+(* Each subcommand body runs inside [with_jobs]: the pool is created from
+   --jobs, threaded through the construction kernels, and torn down on
+   exit. *)
+let with_jobs jobs f = Util.Pool.with_pool ~jobs f
+
 let make_points dist rng n =
   match dist with
   | `Uniform -> Pointset.Generators.uniform rng n
@@ -57,18 +72,19 @@ let make_points dist rng n =
   | `Clusters -> Pointset.Generators.clusters ~num_clusters:5 ~spread:0.05 rng n
   | `Ring -> Pointset.Generators.ring ~width:0.25 rng n
 
-let build ?obs seed n theta range_factor delta dist =
+let build ?obs ?pool seed n theta range_factor delta dist =
   let rng = Prng.create seed in
   let points = make_points dist rng n in
   let range = range_factor *. Topo.Udg.critical_range points in
-  (rng, points, range, Pipeline.prepare ~delta ~theta ?obs ~range points)
+  (rng, points, range, Pipeline.prepare ~delta ~theta ?obs ?pool ~range points)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
 
 let topology_cmd =
-  let run seed n theta range_factor delta dist =
-    let _, points, range, b = build seed n theta range_factor delta dist in
+  let run jobs seed n theta range_factor delta dist =
+    with_jobs jobs @@ fun pool ->
+    let _, points, range, b = build ~pool seed n theta range_factor delta dist in
     Printf.printf "n=%d range=%.4f theta=%.4f\n\n" n range theta;
     let gstar = b.Pipeline.gstar in
     let t = Table.create Topo.Topo_metrics.header in
@@ -77,10 +93,10 @@ let topology_cmd =
         Table.add_row t (Topo.Topo_metrics.to_row (Topo.Topo_metrics.measure ~name ~base:gstar g)))
       [
         ("G*", gstar);
-        ("yao", Topo.Yao.graph ~theta ~range points);
+        ("yao", Topo.Yao.graph ~pool ~theta ~range points);
         ("theta-overlay", b.Pipeline.overlay);
-        ("gabriel", Topo.Gabriel.build ~range points);
-        ("rng", Topo.Rng_graph.build ~range points);
+        ("gabriel", Topo.Gabriel.build ~pool ~range points);
+        ("rng", Topo.Rng_graph.build ~pool ~range points);
         ("delaunay", Topo.Delaunay.build ~range points);
         ("mst", Graphs.Mst.of_points points);
       ];
@@ -88,7 +104,7 @@ let topology_cmd =
   in
   Cmd.v
     (Cmd.info "topology" ~doc:"Build topologies on a random deployment and print their metrics.")
-    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
+    Term.(const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
 
 (* ------------------------------------------------------------------ *)
 (* stretch                                                             *)
@@ -97,28 +113,31 @@ let stretch_cmd =
   let kappa_t =
     Arg.(value & opt float 2. & info [ "kappa" ] ~docv:"K" ~doc:"Path-loss exponent κ ≥ 2.")
   in
-  let run seed n theta range_factor delta dist kappa =
-    let _, _, _, b = build seed n theta range_factor delta dist in
+  let run jobs seed n theta range_factor delta dist kappa =
+    with_jobs jobs @@ fun pool ->
+    let _, _, _, b = build ~pool seed n theta range_factor delta dist in
     let es =
-      Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
-        ~cost:(Graphs.Cost.energy ~kappa)
+      Graphs.Stretch.over_base_edges ~pool ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+        ~cost:(Graphs.Cost.energy ~kappa) ()
     in
     let ds =
-      Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
-        ~cost:Graphs.Cost.length
+      Graphs.Stretch.over_base_edges ~pool ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
+        ~cost:Graphs.Cost.length ()
     in
     Printf.printf "energy-stretch (kappa=%.1f) = %.4f\ndistance-stretch = %.4f\n" kappa es ds
   in
   Cmd.v
     (Cmd.info "stretch" ~doc:"Energy/distance stretch of the ΘALG overlay vs. the transmission graph.")
-    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ kappa_t)
+    Term.(
+      const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ kappa_t)
 
 (* ------------------------------------------------------------------ *)
 (* interference                                                        *)
 
 let interference_cmd =
-  let run seed n theta range_factor delta dist =
-    let _, _, _, b = build seed n theta range_factor delta dist in
+  let run jobs seed n theta range_factor delta dist =
+    with_jobs jobs @@ fun pool ->
+    let _, _, _, b = build ~pool seed n theta range_factor delta dist in
     let sizes = Interference.Conflict.set_sizes b.Pipeline.conflict in
     let _, colors = Interference.Conflict.greedy_coloring b.Pipeline.conflict in
     let mean =
@@ -132,7 +151,7 @@ let interference_cmd =
   in
   Cmd.v
     (Cmd.info "interference" ~doc:"Interference structure of the ΘALG overlay.")
-    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
+    Term.(const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t)
 
 (* ------------------------------------------------------------------ *)
 (* route                                                               *)
@@ -233,8 +252,9 @@ let route_cmd =
             "Check the event stream online against the packet-conservation invariants and \
              reconcile it with the final stats; exit non-zero on any violation.")
   in
-  let run seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
+  let run jobs seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
       trace_stride metrics events_file check_invariants =
+    with_jobs jobs @@ fun pool ->
     let trace = Option.map (fun _ -> Obs.Trace.create ~stride:trace_stride ()) trace_file in
     let events =
       if events_file <> None || check_invariants then Some (Obs.Event.create ()) else None
@@ -243,7 +263,8 @@ let route_cmd =
       if trace <> None || metrics || events <> None then Some (Obs.create ?trace ?events ())
       else None
     in
-    let rng, _, range, b = build ?obs seed n theta range_factor delta dist in
+    Option.iter (fun o -> Obs.attach_pool o pool) obs;
+    let rng, _, range, b = build ?obs ~pool seed n theta range_factor delta dist in
     let checker =
       if check_invariants then begin
         let c = Obs.Invariants.create ~endpoints:(Graph.endpoints b.Pipeline.overlay) () in
@@ -299,9 +320,9 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Run a balancing-routing scenario against a certified adversary.")
     Term.(
-      const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ scenario_t
-      $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t $ events_t
-      $ check_invariants_t)
+      const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t
+      $ scenario_t $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t
+      $ events_t $ check_invariants_t)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -478,10 +499,11 @@ let geo_cmd =
   let trials_t =
     Arg.(value & opt int 500 & info [ "trials" ] ~docv:"K" ~doc:"Random connected pairs to route.")
   in
-  let run seed n theta range_factor delta dist trials =
-    let rng, points, range, b = build seed n theta range_factor delta dist in
+  let run jobs seed n theta range_factor delta dist trials =
+    with_jobs jobs @@ fun pool ->
+    let rng, points, range, b = build ~pool seed n theta range_factor delta dist in
     ignore rng;
-    let gabriel = Topo.Gabriel.build ~range points in
+    let gabriel = Topo.Gabriel.build ~pool ~range points in
     let t = Table.create [ ("router", Table.Left); ("delivery rate", Table.Right) ] in
     Table.add_row t
       [
@@ -518,7 +540,9 @@ let geo_cmd =
   in
   Cmd.v
     (Cmd.info "geo" ~doc:"Geographic (greedy / greedy+face) routing success rates.")
-    Term.(const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ trials_t)
+    Term.(
+      const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t
+      $ trials_t)
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
@@ -533,8 +557,9 @@ let export_cmd =
       value & opt what_conv `Net
       & info [ "format" ] ~docv:"FMT" ~doc:"network (text, reloadable), svg or dot.")
   in
-  let run seed n theta range_factor delta dist out what =
-    let _, points, _, b = build seed n theta range_factor delta dist in
+  let run jobs seed n theta range_factor delta dist out what =
+    with_jobs jobs @@ fun pool ->
+    let _, points, _, b = build ~pool seed n theta range_factor delta dist in
     (match what with
     | `Net -> Io.Persist.save { Io.Persist.points; graph = b.Pipeline.overlay } out
     | `Svg ->
@@ -547,7 +572,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Write the ΘALG overlay as a reloadable network file, SVG or DOT.")
     Term.(
-      const run $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ out_t $ what_t)
+      const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t $ out_t
+      $ what_t)
 
 let () =
   let info =

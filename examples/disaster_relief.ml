@@ -78,7 +78,7 @@ let () =
         (if Graphs.Components.is_connected overlay then "yes" else "NO");
         Printf.sprintf "%.3f"
           (Graphs.Stretch.over_base_edges ~sub:overlay ~base:gstar
-             ~cost:(Graphs.Cost.energy ~kappa:2.));
+             ~cost:(Graphs.Cost.energy ~kappa:2.) ());
         Printf.sprintf "%.2f" msgs_per_node;
         Printf.sprintf "%.2f" churn;
       ];

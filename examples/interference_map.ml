@@ -60,9 +60,9 @@ let () =
           string_of_int colors;
           Printf.sprintf "%.3f"
             (Graphs.Stretch.over_base_edges ~sub:g ~base:gstar
-               ~cost:(Graphs.Cost.energy ~kappa:2.));
+               ~cost:(Graphs.Cost.energy ~kappa:2.) ());
           Printf.sprintf "%.3f"
-            (Graphs.Stretch.over_base_edges ~sub:g ~base:gstar ~cost:Graphs.Cost.length);
+            (Graphs.Stretch.over_base_edges ~sub:g ~base:gstar ~cost:Graphs.Cost.length ());
         ])
     topologies;
   Table.print t;

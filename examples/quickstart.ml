@@ -37,14 +37,14 @@ let () =
       "energy stretch (kappa=2)";
       Printf.sprintf "%.3f"
         (Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
-           ~cost:(Graphs.Cost.energy ~kappa:2.));
+           ~cost:(Graphs.Cost.energy ~kappa:2.) ());
     ];
   Table.add_row t
     [
       "distance stretch";
       Printf.sprintf "%.3f"
         (Graphs.Stretch.over_base_edges ~sub:b.Pipeline.overlay ~base:b.Pipeline.gstar
-           ~cost:Graphs.Cost.length);
+           ~cost:Graphs.Cost.length ());
     ];
   Table.add_row t [ "interference number I"; string_of_int b.Pipeline.interference_number ];
   Table.print t;

@@ -23,13 +23,13 @@ type built = {
   interference_number : int;
 }
 
-let prepare ?(delta = 0.5) ?kappa:_ ?obs ~theta ~range points =
+let prepare ?(delta = 0.5) ?kappa:_ ?obs ?pool ~theta ~range points =
   let time label f = Adhoc_obs.time obs label f in
-  let gstar = time "prepare/gstar" (fun () -> Udg.build ~range points) in
-  let alg = time "prepare/theta-alg" (fun () -> Theta_alg.build ~theta ~range points) in
+  let gstar = time "prepare/gstar" (fun () -> Udg.build ?pool ~range points) in
+  let alg = time "prepare/theta-alg" (fun () -> Theta_alg.build ?pool ~theta ~range points) in
   let overlay = Theta_alg.overlay alg in
   let model = Model.make ~delta in
-  let conflict = time "prepare/conflict" (fun () -> Conflict.build model ~points overlay) in
+  let conflict = time "prepare/conflict" (fun () -> Conflict.build ?pool model ~points overlay) in
   let interference_number = Conflict.interference_number conflict in
   (match obs with
   | None -> ()

@@ -22,6 +22,7 @@ val prepare :
   ?delta:float ->
   ?kappa:float ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   theta:float ->
   range:float ->
   Adhoc_geom.Point.t array ->
@@ -30,7 +31,9 @@ val prepare :
     [kappa] (default 2.) is recorded for the cost model used by the
     runs.  [obs] attributes the build phases to spans ([prepare/gstar],
     [prepare/theta-alg], [prepare/conflict]) and records topology gauges
-    ([topo.nodes], [topo.overlay_edges], [topo.interference_number]). *)
+    ([topo.nodes], [topo.overlay_edges], [topo.interference_number]).
+    [pool] parallelizes the three build phases' per-node/per-edge loops;
+    the built structures are bit-identical for any pool size. *)
 
 type result = {
   opt : Adhoc_routing.Workload.opt_stats;

@@ -63,8 +63,10 @@ let nearest_other t i =
             else begin
               let d = Point.dist2 t.points.(j) p in
               match best with
-              | Some (bd, bj) when bd < d || (bd = d && bj < j) -> best
-              | _ -> Some (d, j)
+              | Some (bd, bj) ->
+                  let c = Float.compare bd d in
+                  if c < 0 || (c = 0 && bj < j) then best else Some (d, j)
+              | None -> Some (d, j)
             end)
       in
       match best with

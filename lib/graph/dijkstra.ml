@@ -57,4 +57,6 @@ let path_edges r dst =
     Some (walk [] dst)
   end
 
-let all_pairs g ~cost = Array.init (Graph.n g) (fun src -> (run g ~cost ~src).dist)
+let all_pairs ?pool g ~cost =
+  Adhoc_util.Pool.opt_init pool ~label:"dijkstra/all-pairs" (Graph.n g) (fun src ->
+      (run g ~cost ~src).dist)

@@ -1,7 +1,9 @@
+module Pool = Adhoc_util.Pool
+
 let check_compatible sub base =
   if Graph.n sub <> Graph.n base then invalid_arg "Stretch: node count mismatch"
 
-let per_edge_profile ~sub ~base ~cost =
+let per_edge_profile ?pool ~sub ~base ~cost () =
   check_compatible sub base;
   let n = Graph.n base in
   (* Group base edges by endpoint so each Dijkstra run in [sub] is reused. *)
@@ -10,20 +12,21 @@ let per_edge_profile ~sub ~base ~cost =
     (Graph.fold_edges base ~init:() ~f:(fun () id e ->
          by_src.(e.Graph.u) <- (id, e.Graph.v, e.Graph.len) :: by_src.(e.Graph.u)));
   let ratios = Array.make (Graph.num_edges base) nan in
-  for u = 0 to n - 1 do
-    if by_src.(u) <> [] then begin
-      let r = Dijkstra.run sub ~cost ~src:u in
-      List.iter
-        (fun (id, v, len) ->
-          let c = cost len in
-          ratios.(id) <- (if Float.equal c 0. then 1. else r.Dijkstra.dist.(v) /. c))
-        by_src.(u)
-    end
-  done;
+  (* Each edge id is grouped under exactly one source, so the per-source
+     bodies write disjoint cells. *)
+  Pool.opt_for pool ~label:"stretch/profile" n (fun u ->
+      if by_src.(u) <> [] then begin
+        let r = Dijkstra.run sub ~cost ~src:u in
+        List.iter
+          (fun (id, v, len) ->
+            let c = cost len in
+            ratios.(id) <- (if Float.equal c 0. then 1. else r.Dijkstra.dist.(v) /. c))
+          by_src.(u)
+      end);
   ratios
 
-let over_base_edges ~sub ~base ~cost =
-  let ratios = per_edge_profile ~sub ~base ~cost in
+let over_base_edges ?pool ~sub ~base ~cost () =
+  let ratios = per_edge_profile ?pool ~sub ~base ~cost () in
   Array.fold_left Float.max 1. ratios
 
 let exact_small ~sub ~base ~cost =
@@ -40,15 +43,25 @@ let exact_small ~sub ~base ~cost =
   done;
   !worst
 
-let vs_euclidean ~sub ~points =
+let vs_euclidean ?pool ~sub ~points () =
   let n = Graph.n sub in
   if Array.length points <> n then invalid_arg "Stretch.vs_euclidean: size mismatch";
-  let worst = ref 1. in
-  for u = 0 to n - 1 do
+  (* Per-source worsts in parallel, folded on the caller in index order —
+     the same Float.max chain as the sequential loop. *)
+  let per_src u =
     let r = Dijkstra.run sub ~cost:Cost.length ~src:u in
+    let worst = ref 1. in
     for v = u + 1 to n - 1 do
       let d = Adhoc_geom.Point.dist points.(u) points.(v) in
       if d > 0. then worst := Float.max !worst (r.Dijkstra.dist.(v) /. d)
-    done
-  done;
-  !worst
+    done;
+    !worst
+  in
+  match pool with
+  | Some p -> Pool.map_reduce p ~label:"stretch/euclidean" ~n ~map:per_src ~init:1. ~fold:Float.max ()
+  | None ->
+      let worst = ref 1. in
+      for u = 0 to n - 1 do
+        worst := Float.max !worst (per_src u)
+      done;
+      !worst

@@ -6,7 +6,8 @@
     All functions require the subgraph and the base graph to share the node
     set [0 .. n-1]. *)
 
-val over_base_edges : sub:Graph.t -> base:Graph.t -> cost:Cost.t -> float
+val over_base_edges :
+  ?pool:Adhoc_util.Pool.t -> sub:Graph.t -> base:Graph.t -> cost:Cost.t -> unit -> float
 (** [over_base_edges ~sub ~base ~cost] is
     [max] over edges [(u,v)] of [base] of
     [dist_sub(u, v) / cost(len(u, v))].
@@ -23,12 +24,18 @@ val exact_small : sub:Graph.t -> base:Graph.t -> cost:Cost.t -> float
 (** All-pairs stretch by double Floyd–Warshall, [O(n³)].  Test oracle for
     {!over_base_edges}; use only on small graphs. *)
 
-val vs_euclidean : sub:Graph.t -> points:Adhoc_geom.Point.t array -> float
+val vs_euclidean :
+  ?pool:Adhoc_util.Pool.t -> sub:Graph.t -> points:Adhoc_geom.Point.t array -> unit -> float
 (** Spanner ratio: [max_{u ≠ v} dist_sub(u,v) / |uv|] with the length cost
     model, over all node pairs.  This is distance-stretch measured against
     the underlying metric rather than against a base graph (lower bound:
     the base-graph variant, since [dist_base(u,v) >= |uv|]). *)
 
-val per_edge_profile : sub:Graph.t -> base:Graph.t -> cost:Cost.t -> float array
+val per_edge_profile :
+  ?pool:Adhoc_util.Pool.t -> sub:Graph.t -> base:Graph.t -> cost:Cost.t -> unit -> float array
 (** The individual ratios behind {!over_base_edges}, one per base edge, for
-    distribution summaries. *)
+    distribution summaries.
+
+    All three Dijkstra sweeps above accept [?pool] to fan sources across
+    domains; reductions happen on the caller in source order, so results
+    are bit-identical for any pool size. *)

@@ -23,7 +23,7 @@ let build_brute model ~points g =
   done;
   { model; sets }
 
-let build model ~points g =
+let build ?pool model ~points g =
   let m = Graph.num_edges g in
   if m = 0 || Array.length points = 0 then { model; sets = Array.make m [] }
   else begin
@@ -32,13 +32,17 @@ let build model ~points g =
     if reach <= 0. then { model; sets = Array.make m [] }
     else begin
       let grid = Spatial_grid.build ~cell:reach points in
-      let sets = Array.make m [] in
       (* Any edge interfering with e (in either direction) has an endpoint
          within (1+Δ)·max_len of one of e's endpoints: if e' interferes with
          e then an endpoint of e lies within (1+Δ)·len(e') ≤ reach of an
-         endpoint of e'; the converse direction is symmetric. *)
+         endpoint of e'; the converse direction is symmetric.
+
+         Phase 1 (parallel-safe, disjoint writes): higher.(e) = interfering
+         partners with id > e, ascending.  Phase 2 replays the symmetric
+         prepends sequentially in edge order, reproducing exactly the list
+         contents the single-loop construction builds. *)
       let module ISet = Set.Make (Int) in
-      for e = 0 to m - 1 do
+      let partners e =
         let u, v = Graph.endpoints g e in
         let candidates = ref ISet.empty in
         let add_node w =
@@ -47,13 +51,20 @@ let build model ~points g =
         in
         Spatial_grid.iter_within grid points.(u) reach add_node;
         Spatial_grid.iter_within grid points.(v) reach add_node;
+        let acc = ref [] in
         ISet.iter
+          (fun e' -> if Model.interferes model ~points (u, v) (edge_pair g e') then acc := e' :: !acc)
+          !candidates;
+        List.rev !acc
+      in
+      let higher = Adhoc_util.Pool.opt_init pool ~label:"conflict" m partners in
+      let sets = Array.make m [] in
+      for e = 0 to m - 1 do
+        List.iter
           (fun e' ->
-            if Model.interferes model ~points (u, v) (edge_pair g e') then begin
-              sets.(e) <- e' :: sets.(e);
-              sets.(e') <- e :: sets.(e')
-            end)
-          !candidates
+            sets.(e) <- e' :: sets.(e);
+            sets.(e') <- e :: sets.(e'))
+          higher.(e)
       done;
       { model; sets }
     end

@@ -12,8 +12,10 @@ type t = {
 }
 
 val build :
-  Model.t -> points:Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> t
-(** Grid-accelerated: near-linear for bounded-length edge sets. *)
+  ?pool:Adhoc_util.Pool.t -> Model.t -> points:Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> t
+(** Grid-accelerated: near-linear for bounded-length edge sets.  [?pool]
+    parallelizes the per-edge candidate/interference tests; the symmetric
+    set assembly replays sequentially, so [sets] is bit-identical. *)
 
 val build_brute :
   Model.t -> points:Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t -> t

@@ -17,4 +17,20 @@ let create ?trace ?events () =
 let time obs label f =
   match obs with None -> f () | Some o -> Span.time o.spans label f
 
+let attach_pool o pool =
+  let regions = Metrics.counter o.metrics "pool.regions" in
+  let items = Metrics.counter o.metrics "pool.items" in
+  Adhoc_util.Pool.set_hooks pool
+    (Some
+       {
+         Adhoc_util.Pool.region_enter =
+           (fun ~label ~items:n ->
+             Metrics.incr regions;
+             Metrics.add items n;
+             Span.enter o.spans ("pool/" ^ label));
+         region_leave = (fun ~label:_ -> Span.leave o.spans);
+       })
+
+let detach_pool pool = Adhoc_util.Pool.set_hooks pool None
+
 let events obs = match obs with Some { events = Some log; _ } -> Some log | _ -> None

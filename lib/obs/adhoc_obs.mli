@@ -48,3 +48,15 @@ val time : sink option -> string -> (unit -> 'a) -> 'a
     just runs it otherwise.  For coarse scopes; inside per-step loops the
     engines match on the option and use {!Span.enter} / {!Span.leave}
     directly to stay allocation-free when disabled. *)
+
+val attach_pool : sink -> Adhoc_util.Pool.t -> unit
+(** Instrument a domain pool against this sink: each top-level parallel
+    region opens a [pool/<label>] span and bumps the [pool.regions] /
+    [pool.items] counters.  The pool fires its hooks only for top-level
+    regions on its owning domain (see [Adhoc_util.Pool.set_hooks]), so
+    every recorded value is identical for every [--jobs] — the sink is
+    never touched from a worker domain. *)
+
+val detach_pool : Adhoc_util.Pool.t -> unit
+(** Clear a pool's instrumentation hooks (e.g. before the sink is
+    discarded while the pool lives on). *)

@@ -1,5 +1,6 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
 let region_contains ~beta u v w =
   if beta <= 0. then invalid_arg "Beta_skeleton: beta must be positive";
@@ -26,7 +27,15 @@ let region_contains ~beta u v w =
     Point.dist w c1 < r && Point.dist w c2 < r
   end
 
-let build ?(range = infinity) ~beta points =
+(* The empty region of a candidate edge (u,v) of length d sits inside the
+   disk around u of radius β·d (β ≥ 1: every lune point is within
+   |u c1| + βd/2 = βd of u) or d/β (β < 1: the lens disks pass through u,
+   so any lens point is within 2r = d/β of u).  A grid query at that
+   radius therefore sees every possible witness; [region_contains] stays
+   the exact test. *)
+let witness_radius ~beta d = if beta >= 1. then beta *. d else d /. beta
+
+let build_brute ?(range = infinity) ~beta points =
   let n = Array.length points in
   let b = Graph.Builder.create n in
   for u = 0 to n - 1 do
@@ -42,4 +51,36 @@ let build ?(range = infinity) ~beta points =
       end
     done
   done;
+  Graph.Builder.build b
+
+let build ?pool ?(range = infinity) ~beta points =
+  if beta <= 0. then invalid_arg "Beta_skeleton: beta must be positive";
+  let n = Array.length points in
+  let b = Graph.Builder.create n in
+  if n > 1 then begin
+    let box = Box.of_points points in
+    let span = Float.max (Box.width box) (Box.height box) in
+    let cell = if span > 0. then span /. sqrt (float_of_int n) else 1. in
+    let grid = Spatial_grid.build ~cell points in
+    let kept u =
+      let acc = ref [] in
+      for v = u + 1 to n - 1 do
+        let d = Point.dist points.(u) points.(v) in
+        if d <= range then begin
+          (* Query slightly wide — the grid pre-filters on squared
+             distance — and let the exact region test decide. *)
+          let r = witness_radius ~beta d *. (1. +. 1e-9) in
+          let witness =
+            Spatial_grid.fold_within grid points.(u) r ~init:false ~f:(fun found w ->
+                found
+                || (w <> u && w <> v && region_contains ~beta points.(u) points.(v) points.(w)))
+          in
+          if not witness then acc := (v, d) :: !acc
+        end
+      done;
+      List.rev !acc
+    in
+    let adj = Pool.opt_init pool ~label:"beta-skeleton" n kept in
+    Array.iteri (fun u vs -> List.iter (fun (v, d) -> Graph.Builder.add_edge b u v d) vs) adj
+  end;
   Graph.Builder.build b

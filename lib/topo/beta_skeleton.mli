@@ -12,9 +12,21 @@
     radius [|uv|/(2β)] passing through both endpoints (a lens), giving
     *denser* graphs whose paths have optimal energy for κ ≥ 2. *)
 
-val build : ?range:float -> beta:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
-(** Requires [beta > 0].  O(n²·n) brute-force witness test (fine for the
-    experiment sizes). *)
+val build :
+  ?pool:Adhoc_util.Pool.t ->
+  ?range:float ->
+  beta:float ->
+  Adhoc_geom.Point.t array ->
+  Adhoc_graph.Graph.t
+(** Requires [beta > 0].  Grid-accelerated witness search — candidates
+    come from the disk around [u] that provably contains the empty region
+    ([β·|uv|] for [β ≥ 1], [|uv|/β] for [β < 1]); the exact
+    {!region_contains} test decides.  [?pool] parallelizes per node.
+    Output is bit-identical to {!build_brute}. *)
+
+val build_brute : ?range:float -> beta:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** O(n³) reference construction scanning all nodes per candidate edge —
+    the test oracle for {!build}. *)
 
 val region_contains : beta:float -> Adhoc_geom.Point.t -> Adhoc_geom.Point.t -> Adhoc_geom.Point.t -> bool
 (** [region_contains ~beta u v w]: the witness test — whether [w] lies in

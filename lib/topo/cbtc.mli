@@ -16,12 +16,16 @@ type t = {
   asymmetric : Adhoc_graph.Graph.t;  (** links where at least one side reaches *)
 }
 
-val build : alpha:float -> range:float -> Adhoc_geom.Point.t array -> t
+val build : ?pool:Adhoc_util.Pool.t -> alpha:float -> range:float -> Adhoc_geom.Point.t array -> t
 (** [range] is the maximum transmission radius.  Requires
-    [0 < alpha <= 2π]. *)
+    [0 < alpha <= 2π].  Neighbour gathers go through a spatial grid with
+    exact re-filtering, and [?pool] parallelizes the per-node radius
+    growth and link derivation; the result is bit-identical to the brute
+    sequential construction. *)
 
 val coverage_ok : alpha:float -> Adhoc_geom.Point.t array -> int -> float -> bool
 (** [coverage_ok ~alpha points u r]: every cone of angle [alpha] apexed at
     [u] contains a neighbour within distance [r] — the algorithm's
     per-node stopping condition (gap-based test over the sorted neighbour
-    angles). *)
+    angles).  Full-scan reference implementation; the grid path inside
+    {!build} is tested against it. *)

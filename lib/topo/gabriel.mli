@@ -5,6 +5,8 @@
     single hops under the energy cost with [kappa >= 2] — it has optimal
     energy paths — but worst-case Ω(n) degree. *)
 
-val build : ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+val build :
+  ?pool:Adhoc_util.Pool.t -> ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
 (** [range] restricts candidate edges to at most that length
-    (default unbounded). *)
+    (default unbounded).  [?pool] parallelizes the per-node witness
+    search; output is bit-identical. *)

@@ -7,11 +7,19 @@
     for practical [k] and the in-degree blow-up, next to ΘALG which fixes
     them at the same edge budget. *)
 
-val build : ?range:float -> k:int -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+val build :
+  ?pool:Adhoc_util.Pool.t -> ?range:float -> k:int -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
 (** Undirected graph with an edge [(u,v)] whenever [v] is among the [k]
     nearest neighbours of [u] (or vice versa) and within [range]
-    (default unbounded).  Ties broken by node index. *)
+    (default unbounded).  Ties broken by node index.  Grid-accelerated
+    expanding-radius search; [?pool] parallelizes per node.  Output is
+    bit-identical to {!build_brute}. *)
 
-val min_connecting_k : ?range:float -> ?k_max:int -> Adhoc_geom.Point.t array -> int option
+val build_brute : ?range:float -> k:int -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** O(n² log n) reference construction (full scan + sort per node) — the
+    test oracle for {!build}. *)
+
+val min_connecting_k :
+  ?pool:Adhoc_util.Pool.t -> ?range:float -> ?k_max:int -> Adhoc_geom.Point.t array -> int option
 (** The smallest [k] for which the kNN graph is connected, searched up to
     [k_max] (default [n-1]); [None] when even that fails (range-limited). *)

@@ -1,7 +1,8 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
-let build ?(range = infinity) points =
+let build ?pool ?(range = infinity) points =
   let n = Array.length points in
   let b = Graph.Builder.create n in
   if n > 1 then begin
@@ -9,7 +10,8 @@ let build ?(range = infinity) points =
     let span = Float.max (Box.width box) (Box.height box) in
     let cell = if span > 0. then span /. sqrt (float_of_int n) else 1. in
     let grid = Spatial_grid.build ~cell points in
-    for u = 0 to n - 1 do
+    let kept u =
+      let acc = ref [] in
       for v = u + 1 to n - 1 do
         let d = Point.dist points.(u) points.(v) in
         if d <= range then begin
@@ -23,9 +25,12 @@ let build ?(range = infinity) points =
                    && Point.dist points.(u) points.(w) < d
                    && Point.dist points.(v) points.(w) < d)
           in
-          if not witness then Graph.Builder.add_edge b u v d
+          if not witness then acc := (v, d) :: !acc
         end
-      done
-    done
+      done;
+      List.rev !acc
+    in
+    let adj = Pool.opt_init pool ~label:"rng" n kept in
+    Array.iteri (fun u vs -> List.iter (fun (v, d) -> Graph.Builder.add_edge b u v d) vs) adj
   end;
   Graph.Builder.build b

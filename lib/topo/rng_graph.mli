@@ -5,4 +5,7 @@
     than the Gabriel graph ([MST ⊆ RNG ⊆ Gabriel]); has polynomial — not
     constant — energy-stretch, which experiment E11 exhibits. *)
 
-val build : ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+val build :
+  ?pool:Adhoc_util.Pool.t -> ?range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** [?pool] parallelizes the per-node lune tests; output is
+    bit-identical. *)

@@ -1,5 +1,6 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
 type t = {
   theta : float;
@@ -12,21 +13,22 @@ type t = {
 
 let degree_bound ~theta = int_of_float (Float.ceil (4. *. Float.pi /. theta))
 
-let build ~theta ~range points =
+let build ?pool ~theta ~range points =
   if theta <= 0. || theta > 2. *. Float.pi then invalid_arg "Theta_alg.build: bad theta";
   let n = Array.length points in
-  let selections = Yao.selections ~theta ~range points in
-  (* Invert the selection relation: incoming.(u) = nodes v with u ∈ N(v). *)
+  let selections = Yao.selections ?pool ~theta ~range points in
+  (* Invert the selection relation: incoming.(u) = nodes v with u ∈ N(v).
+     Sequential — the scatter order fixes the incoming lists. *)
   let incoming = Array.make n [] in
   Array.iteri
     (fun v targets -> Array.iter (fun u -> incoming.(u) <- v :: incoming.(u)) targets)
     selections;
-  (* Phase 2: u admits, per sector of u, the nearest incoming selector. *)
+  (* Phase 2: u admits, per sector of u, the nearest incoming selector.
+     The per-sector argmin under Yao's strict (distance, index) order is
+     independent of list order, so the per-node step parallelizes. *)
   let sectors = Sector.count theta in
-  let admitted = Array.make n [] in
-  let best = Array.make sectors (-1) in
-  for u = 0 to n - 1 do
-    Array.fill best 0 sectors (-1);
+  let admit u =
+    let best = Array.make sectors (-1) in
     List.iter
       (fun v ->
         let s = Sector.index ~theta ~apex:points.(u) points.(v) in
@@ -36,8 +38,9 @@ let build ~theta ~range points =
     for s = sectors - 1 downto 0 do
       if best.(s) >= 0 then acc := (best.(s), s) :: !acc
     done;
-    admitted.(u) <- !acc
-  done;
+    !acc
+  in
+  let admitted = Pool.opt_init pool ~label:"theta-alg/admit" n admit in
   let b = Graph.Builder.create n in
   Array.iteri
     (fun u vs ->

@@ -21,9 +21,11 @@ type t = {
   overlay : Adhoc_graph.Graph.t;  (** the topology 𝒩 *)
 }
 
-val build : theta:float -> range:float -> Adhoc_geom.Point.t array -> t
+val build : ?pool:Adhoc_util.Pool.t -> theta:float -> range:float -> Adhoc_geom.Point.t array -> t
 (** Requires [0 < theta <= 2π] (the paper's analysis needs [theta <= π/3];
-    construction itself works for any positive angle) and [range >= 0]. *)
+    construction itself works for any positive angle) and [range >= 0].
+    [?pool] parallelizes both phases' per-node loops; the result is
+    bit-identical for any pool size. *)
 
 val overlay : t -> Adhoc_graph.Graph.t
 

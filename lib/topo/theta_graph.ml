@@ -1,18 +1,23 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
-let build ~theta ~range points =
+let build ?pool ~theta ~range points =
   if theta <= 0. then invalid_arg "Theta_graph.build: theta must be positive";
   if range < 0. then invalid_arg "Theta_graph.build: negative range";
   let n = Array.length points in
   let sectors = Sector.count theta in
-  let b = Graph.Builder.create n in
-  let best = Array.make sectors (-1) in
-  let best_proj = Array.make sectors infinity in
-  for u = 0 to n - 1 do
-    Array.fill best 0 sectors (-1);
-    Array.fill best_proj 0 sectors infinity;
-    for v = 0 to n - 1 do
+  let grid =
+    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
+    else None
+  in
+  (* Per-sector argmin under the strict (projection, index) order: the
+     winner is unique, so the candidate iteration order (grid vs scan)
+     does not matter. *)
+  let select u =
+    let best = Array.make sectors (-1) in
+    let best_proj = Array.make sectors infinity in
+    let consider v =
       if v <> u then begin
         let d = Point.dist points.(u) points.(v) in
         if d <= range then begin
@@ -23,17 +28,30 @@ let build ~theta ~range points =
           let w = points.(v) in
           let u' = points.(u) in
           let proj = ((w.Point.x -. u'.Point.x) *. dirx) +. ((w.Point.y -. u'.Point.y) *. diry) in
-          if proj < best_proj.(s) || (proj = best_proj.(s) && (best.(s) = -1 || v < best.(s)))
-          then begin
+          let c = Float.compare proj best_proj.(s) in
+          if c < 0 || (c = 0 && (best.(s) = -1 || v < best.(s))) then begin
             best_proj.(s) <- proj;
             best.(s) <- v
           end
         end
       end
-    done;
-    for s = 0 to sectors - 1 do
-      if best.(s) >= 0 then
-        Graph.Builder.add_edge b u best.(s) (Point.dist points.(u) points.(best.(s)))
-    done
-  done;
+    in
+    (match grid with
+    (* Query slightly wide: the grid pre-filters on squared distance;
+       [consider] applies the exact range test. *)
+    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
+    | None ->
+        for v = 0 to n - 1 do
+          consider v
+        done);
+    best
+  in
+  let best = Pool.opt_init pool ~label:"theta-graph" n select in
+  let b = Graph.Builder.create n in
+  Array.iteri
+    (fun u bu ->
+      Array.iter
+        (fun v -> if v >= 0 then Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v)))
+        bu)
+    best;
   Graph.Builder.build b

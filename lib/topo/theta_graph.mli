@@ -7,5 +7,9 @@
     (paper Section 2.1) isolates how much the selection rule matters —
     the degree-reduction ablation in experiment E13. *)
 
-val build : theta:float -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
-(** One outgoing edge per non-empty sector per node, undirected union. *)
+val build :
+  ?pool:Adhoc_util.Pool.t -> theta:float -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** One outgoing edge per non-empty sector per node, undirected union.
+    Candidates come from a {!Adhoc_geom.Spatial_grid} when [range] is
+    finite; [?pool] parallelizes the per-node selection.  Output is
+    bit-identical either way. *)

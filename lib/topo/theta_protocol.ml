@@ -1,5 +1,6 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
 type stats = {
   position_msgs : int;
@@ -9,50 +10,69 @@ type stats = {
 
 (* Mailboxes hold (sender, payload) pairs; each round is: everyone sends,
    then everyone processes its mailbox.  Nodes only ever use information
-   they received in a message — the point of the exercise. *)
+   they received in a message — the point of the exercise.
+
+   Every per-sector winner below is the argmin of a strict total order
+   ((distance, index) or (projection, index)), so the mailbox processing
+   order is irrelevant to the result.  That is what lets round-1 inboxes
+   come from a spatial grid (symmetric range: v hears u iff u hears v) and
+   lets the per-node rounds run on a pool; the message *sends* that feed
+   later rounds are replayed sequentially in the original node order, so
+   transcripts, stats and edge insertion order are bit-identical. *)
 
 type position_msg = { sender : int; pos : Point.t }
 
-let run ~theta ~range points =
+let run ?pool ~theta ~range points =
   if theta <= 0. then invalid_arg "Theta_protocol.run: bad theta";
   let n = Array.length points in
   let sectors = Sector.count theta in
+  let grid =
+    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
+    else None
+  in
+  let iter_in_range u consider =
+    match grid with
+    (* Query slightly wide: the grid pre-filters on squared distance;
+       the exact range test below decides. *)
+    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
+    | None ->
+        for v = 0 to n - 1 do
+          consider v
+        done
+  in
 
-  (* Round 1: position broadcasts at maximum power (range D). *)
-  let position_boxes = Array.make n [] in
-  for u = 0 to n - 1 do
-    for v = 0 to n - 1 do
-      if v <> u && Point.dist points.(u) points.(v) <= range then
-        position_boxes.(v) <- { sender = u; pos = points.(u) } :: position_boxes.(v)
-    done
-  done;
+  (* Round 1: position broadcasts at maximum power (range D).  Node u's
+     inbox is every v ≠ u within range; gathered receiver-side. *)
   let position_msgs = n in
 
   (* Each node u computes N(u) from its received positions only. *)
   let closer_from_inbox my_pos a apos b bpos =
-    let da = Point.dist2 my_pos apos and db = Point.dist2 my_pos bpos in
-    da < db || (da = db && a < b)
+    let c = Float.compare (Point.dist2 my_pos apos) (Point.dist2 my_pos bpos) in
+    c < 0 || (c = 0 && a < b)
   in
-  let selections = Array.make n [] in
-  for u = 0 to n - 1 do
+  let select u =
     let best = Array.make sectors (-1) in
     let best_pos = Array.make sectors Point.origin in
-    List.iter
-      (fun { sender; pos } ->
-        let s = Sector.index ~theta ~apex:points.(u) pos in
-        if best.(s) = -1 || closer_from_inbox points.(u) sender pos best.(s) best_pos.(s) then begin
-          best.(s) <- sender;
-          best_pos.(s) <- pos
-        end)
-      position_boxes.(u);
+    iter_in_range u (fun v ->
+        if v <> u && Point.dist points.(u) points.(v) <= range then begin
+          let ({ sender; pos } : position_msg) = { sender = v; pos = points.(v) } in
+          let s = Sector.index ~theta ~apex:points.(u) pos in
+          if best.(s) = -1 || closer_from_inbox points.(u) sender pos best.(s) best_pos.(s)
+          then begin
+            best.(s) <- sender;
+            best_pos.(s) <- pos
+          end
+        end);
     let acc = ref [] in
     for s = sectors - 1 downto 0 do
       if best.(s) >= 0 then acc := best.(s) :: !acc
     done;
-    selections.(u) <- !acc
-  done;
+    !acc
+  in
+  let selections = Pool.opt_init pool ~label:"theta-protocol/select" n select in
 
-  (* Round 2: u tells each v ∈ N(u) that u selected it. *)
+  (* Round 2: u tells each v ∈ N(u) that u selected it.  Sequential replay
+     in node order keeps the mailbox transcript identical. *)
   let selector_boxes = Array.make n [] in
   let neighborhood_msgs = ref 0 in
   for u = 0 to n - 1 do
@@ -65,15 +85,20 @@ let run ~theta ~range points =
 
   (* Round 3: u admits the nearest selector per sector and sends it a
      connection message. *)
-  let connection_boxes = Array.make n [] in
-  let connection_msgs = ref 0 in
-  for u = 0 to n - 1 do
+  let admit u =
     let best = Array.make sectors (-1) in
     List.iter
       (fun v ->
         let s = Sector.index ~theta ~apex:points.(u) points.(v) in
         if best.(s) = -1 || Yao.closer points u v best.(s) then best.(s) <- v)
       selector_boxes.(u);
+    best
+  in
+  let admitted = Pool.opt_init pool ~label:"theta-protocol/admit" n admit in
+  let connection_boxes = Array.make n [] in
+  let connection_msgs = ref 0 in
+  for u = 0 to n - 1 do
+    let best = admitted.(u) in
     for s = 0 to sectors - 1 do
       if best.(s) >= 0 then begin
         incr connection_msgs;

@@ -20,7 +20,11 @@ type stats = {
 }
 
 val run :
+  ?pool:Adhoc_util.Pool.t ->
   theta:float ->
   range:float ->
   Adhoc_geom.Point.t array ->
   Adhoc_graph.Graph.t * stats
+(** [?pool] parallelizes the per-node selection and admission rounds; the
+    message scatters between rounds replay sequentially in node order, so
+    the overlay, stats and edge ids are bit-identical for any pool. *)

@@ -27,8 +27,8 @@ let measure ~name ~base g =
     connected = Adhoc_graph.Components.is_connected g;
     total_length = Graph.total_length g;
     total_energy = Graph.total_energy ~kappa:2. g;
-    energy_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:(Cost.energy ~kappa:2.);
-    distance_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:Cost.length;
+    energy_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:(Cost.energy ~kappa:2.) ();
+    distance_stretch = Stretch.over_base_edges ~sub:g ~base ~cost:Cost.length ();
   }
 
 let header =

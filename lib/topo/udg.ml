@@ -1,7 +1,8 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
-let build ~range points =
+let build ?pool ~range points =
   if range < 0. then invalid_arg "Udg.build: negative range";
   let n = Array.length points in
   let b = Graph.Builder.create n in
@@ -10,11 +11,16 @@ let build ~range points =
     (* Query slightly wide (the grid pre-filters on squared distance, which
        can round an exactly-range-length edge away), then test exactly. *)
     let query = range *. (1. +. 1e-9) in
-    for u = 0 to n - 1 do
+    let neighbors u =
+      let acc = ref [] in
       Spatial_grid.iter_within grid points.(u) query (fun v ->
           if v > u && Point.dist points.(u) points.(v) <= range then
-            Graph.Builder.add_edge b u v (Point.dist points.(u) points.(v)))
-    done
+            acc := (v, Point.dist points.(u) points.(v)) :: !acc);
+      List.rev !acc
+    in
+    let adj = Pool.opt_init pool ~label:"udg" n neighbors in
+    (* Sequential merge in node order: edge ids match the sequential build. *)
+    Array.iteri (fun u vs -> List.iter (fun (v, d) -> Graph.Builder.add_edge b u v d) vs) adj
   end;
   Graph.Builder.build b
 

@@ -2,8 +2,9 @@
     directly iff their distance is at most the maximum transmission range
     [d].  Also known as the unit-disk graph when [d = 1]. *)
 
-val build : range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
-(** Grid-accelerated construction, output-sensitive. *)
+val build : ?pool:Adhoc_util.Pool.t -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+(** Grid-accelerated construction, output-sensitive.  [?pool]
+    parallelizes the per-node neighbour gather; edge ids stay identical. *)
 
 val critical_range : Adhoc_geom.Point.t array -> float
 (** The connectivity threshold: the smallest range at which G* is connected

@@ -1,11 +1,12 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
+module Pool = Adhoc_util.Pool
 
 let closer points u a b =
-  let da = Point.dist2 points.(u) points.(a) and db = Point.dist2 points.(u) points.(b) in
-  da < db || (da = db && a < b)
+  let c = Float.compare (Point.dist2 points.(u) points.(a)) (Point.dist2 points.(u) points.(b)) in
+  c < 0 || (c = 0 && a < b)
 
-let selections ~theta ~range points =
+let selections ?pool ~theta ~range points =
   if theta <= 0. then invalid_arg "Yao.selections: theta must be positive";
   if range < 0. then invalid_arg "Yao.selections: negative range";
   let n = Array.length points in
@@ -14,9 +15,11 @@ let selections ~theta ~range points =
     if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
     else None
   in
-  let best = Array.make sectors (-1) in
+  (* Per-call scratch would race across domains; each node allocates its
+     own [best].  The per-sector argmin is a strict (distance, index)
+     total order, so the result is independent of candidate order. *)
   let select u =
-    Array.fill best 0 sectors (-1);
+    let best = Array.make sectors (-1) in
     let consider v =
       if v <> u && Point.dist points.(u) points.(v) <= range then begin
         let s = Sector.index ~theta ~apex:points.(u) points.(v) in
@@ -32,14 +35,14 @@ let selections ~theta ~range points =
         for v = 0 to n - 1 do
           consider v
         done);
-    let chosen = Array.to_list (Array.copy best) in
+    let chosen = Array.to_list best in
     let chosen = List.filter (fun v -> v >= 0) chosen in
     Array.of_list (List.sort_uniq compare chosen)
   in
-  Array.init n select
+  Pool.opt_init pool ~label:"yao" n select
 
-let graph ~theta ~range points =
-  let sel = selections ~theta ~range points in
+let graph ?pool ~theta ~range points =
+  let sel = selections ?pool ~theta ~range points in
   let b = Graph.Builder.create (Array.length points) in
   Array.iteri
     (fun u vs ->

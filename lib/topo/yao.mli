@@ -13,12 +13,16 @@ val closer : Adhoc_geom.Point.t array -> int -> int -> int -> bool
     the (distance, index) tie-breaking order.  The shared order used by both
     phases of ΘALG. *)
 
-val selections : theta:float -> range:float -> Adhoc_geom.Point.t array -> int array array
+val selections :
+  ?pool:Adhoc_util.Pool.t -> theta:float -> range:float -> Adhoc_geom.Point.t array -> int array array
 (** [selections ~theta ~range points] returns [N]: [N.(u)] lists the nodes
     selected by [u], one per non-empty sector (each is the nearest node of
     the sector at distance ≤ [range]), in ascending node order.
-    Requires [0 < theta] and [range >= 0] ([infinity] for unbounded). *)
+    Requires [0 < theta] and [range >= 0] ([infinity] for unbounded).
+    [?pool] parallelizes the per-node selection; output is bit-identical
+    for any pool size. *)
 
-val graph : theta:float -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
+val graph :
+  ?pool:Adhoc_util.Pool.t -> theta:float -> range:float -> Adhoc_geom.Point.t array -> Adhoc_graph.Graph.t
 (** The (undirected) Yao graph 𝒩₁: edge [(u,v)] iff [v ∈ N(u)] or
     [u ∈ N(v)]. *)

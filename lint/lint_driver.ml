@@ -28,6 +28,14 @@ let scope_of_path path =
    banned outright there (see float-cmp). *)
 let float_flagged_files = [ "stats.ml"; "cost.ml" ]
 
+(* The one compilation unit allowed to touch Domain.* (see raw-domain):
+   the domain pool that every kernel threads instead. *)
+let domain_exempt_path path =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let suffix = "lib/util/pool.ml" in
+  let n = String.length norm and k = String.length suffix in
+  n >= k && String.sub norm (n - k) k = suffix
+
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
@@ -42,7 +50,7 @@ type outcome = {
 (* Check one compilation unit given its source text.  [scope] and [has_mli]
    are injected so the test suite can lint fixture files as if they lived
    under lib/. *)
-let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ~file source =
+let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false) ~file source =
   let raw = ref [] in
   let emit loc rule message =
     let p = loc.Location.loc_start in
@@ -61,6 +69,7 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ~file source =
     {
       Lint_rules.scope;
       float_flagged = List.mem (Filename.basename file) float_flagged_files;
+      domain_exempt;
       emit;
     }
   in
@@ -124,7 +133,7 @@ let check_file path =
     (not (Filename.check_suffix path ".ml"))
     || Sys.file_exists (Filename.remove_extension path ^ ".mli")
   in
-  check_source ~scope ~has_mli ~file:path (read_file path)
+  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path) ~file:path (read_file path)
 
 (* [demote] lists rule ids whose diagnostics count as warnings. *)
 let run ?(demote = []) roots =

@@ -11,6 +11,8 @@
      obs-purity     lib/   print_* / prerr_* / Printf.printf / Format.printf
      mli-required   lib/   .ml without a matching .mli (checked by the driver)
      catch-all      all    "with _ ->" swallowing every exception
+     raw-domain     all    Domain.* anywhere but lib/util/pool.ml (the driver
+                           exempts the pool module itself)
      waiver-hygiene meta   unknown rule / missing reason / unused waiver
      parse-error    meta   the file does not parse
 
@@ -36,6 +38,7 @@ let rules =
     { id = "obs-purity"; r_scope = Some Lib; doc = "direct console output in library code" };
     { id = "mli-required"; r_scope = Some Lib; doc = "library module without an .mli" };
     { id = "catch-all"; r_scope = None; doc = "try ... with _ -> swallows all exceptions" };
+    { id = "raw-domain"; r_scope = None; doc = "raw Domain.* outside the pool module" };
     { id = "waiver-hygiene"; r_scope = None; doc = "malformed, unknown or unused waiver" };
     { id = "parse-error"; r_scope = None; doc = "file does not parse" };
   ]
@@ -45,6 +48,7 @@ let known_rule id = List.exists (fun r -> r.id = id) rules
 type ctx = {
   scope : scope;
   float_flagged : bool;  (* file belongs to a float-heavy flagged module *)
+  domain_exempt : bool;  (* the sanctioned Domain wrapper (lib/util/pool.ml) *)
   emit : Location.t -> string -> string -> unit;  (* loc, rule, message *)
 }
 
@@ -118,6 +122,11 @@ let printf_like =
   [ [ "Printf"; "printf" ]; [ "Printf"; "eprintf" ]; [ "Format"; "printf" ]; [ "Format"; "eprintf" ] ]
 
 let check_ident ctx loc p =
+  (match p with
+  | "Domain" :: _ when not ctx.domain_exempt ->
+      ctx.emit loc "raw-domain"
+        "raw Domain.* outside Adhoc_util.Pool; thread a Pool.t through the kernel instead"
+  | _ -> ());
   if ctx.scope = Lib then begin
     (match p with
     | "Random" :: _ ->

@@ -30,6 +30,14 @@ let edge_set g =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* CI matrix knob: tests that exercise ?pool kernels run them with this
+   many jobs (in addition to the explicit jobs ∈ {1, 2, 4} sweeps).
+   Unset or unparsable means 2. *)
+let env_jobs () =
+  match Sys.getenv_opt "ADHOC_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j when j >= 1 -> j | _ -> 2)
+  | None -> 2
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in

@@ -1,0 +1,5 @@
+(* Fixture: raw Domain.* outside the pool module — banned in any scope. *)
+
+let d = Domain.spawn (fun () -> 41 + 1)
+
+let result = Domain.join d

@@ -1,0 +1,3 @@
+(* Fixture interface: keeps the exempt pool fixture mli-required-clean. *)
+
+val go : unit -> unit

@@ -277,30 +277,30 @@ let test_stretch_edge_reduction_exact =
         (fun cost ->
           close ~eps:1e-9
             (Stretch.exact_small ~sub ~base ~cost)
-            (Stretch.over_base_edges ~sub ~base ~cost))
+            (Stretch.over_base_edges ~sub ~base ~cost ()))
         [ Cost.length; Cost.energy ~kappa:2.; Cost.energy ~kappa:3. ])
 
 let test_stretch_identity () =
   let g = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.); (0, 2, 1.5) ] in
-  check_close "self stretch" 1. (Stretch.over_base_edges ~sub:g ~base:g ~cost:Cost.length)
+  check_close "self stretch" 1. (Stretch.over_base_edges ~sub:g ~base:g ~cost:Cost.length ())
 
 let test_stretch_disconnected_sub () =
   let base = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
   let sub = Graph.of_edges ~n:3 [ (0, 1, 1.) ] in
   Alcotest.(check bool) "infinite" true
-    (Stretch.over_base_edges ~sub ~base ~cost:Cost.length = infinity)
+    (Stretch.over_base_edges ~sub ~base ~cost:Cost.length () = infinity)
 
 let test_stretch_vs_euclidean =
   qtest "euclidean stretch >= 1 and >= base stretch" ~count:50 seed_gen (fun seed ->
       let points, sub, base = geometric_pair seed in
-      let vs_e = Stretch.vs_euclidean ~sub ~points in
-      let vs_b = Stretch.over_base_edges ~sub ~base ~cost:Cost.length in
+      let vs_e = Stretch.vs_euclidean ~sub ~points () in
+      let vs_b = Stretch.over_base_edges ~sub ~base ~cost:Cost.length () in
       vs_e >= 1. && vs_e >= vs_b -. 1e-9)
 
 let test_stretch_profile () =
   let base = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.); (0, 2, 1.4) ] in
   let sub = Graph.of_edges ~n:3 [ (0, 1, 1.); (1, 2, 1.) ] in
-  let profile = Stretch.per_edge_profile ~sub ~base ~cost:Cost.length in
+  let profile = Stretch.per_edge_profile ~sub ~base ~cost:Cost.length () in
   Alcotest.(check int) "profile size" 3 (Array.length profile);
   check_close "direct edges" 1. profile.(0);
   check_close "detour" (2. /. 1.4) profile.(2)

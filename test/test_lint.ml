@@ -120,6 +120,28 @@ let test_bad_catch =
 let test_good_catch = check_diags "named handler is clean" "good_catch.ml" []
 
 (* ------------------------------------------------------------------ *)
+(* Domain confinement                                                  *)
+
+let test_bad_domain =
+  check_diags "raw Domain use flagged in any scope" "bad_domain.ml"
+    [
+      "lint_fixtures/bad_domain.ml:3:8 [raw-domain] raw Domain.* outside Adhoc_util.Pool; \
+       thread a Pool.t through the kernel instead";
+      "lint_fixtures/bad_domain.ml:5:13 [raw-domain] raw Domain.* outside Adhoc_util.Pool; \
+       thread a Pool.t through the kernel instead";
+    ]
+
+let test_domain_exempt =
+  check_diags "the pool module path is exempt" "lib/util/pool.ml" []
+
+let test_domain_exempt_source () =
+  let source = "let d = Domain.spawn (fun () -> ())\n" in
+  let flagged = Lint_driver.check_source ~file:"inline.ml" source in
+  let exempt = Lint_driver.check_source ~domain_exempt:true ~file:"inline.ml" source in
+  Alcotest.(check int) "raw-domain fires by default" 1 (List.length flagged.Lint_driver.diags);
+  Alcotest.(check int) "exemption silences it" 0 (List.length exempt.Lint_driver.diags)
+
+(* ------------------------------------------------------------------ *)
 (* Interface hygiene                                                   *)
 
 let test_no_mli =
@@ -153,7 +175,7 @@ let test_waived_lib () =
 
 let test_waived_tool () =
   Alcotest.(check (list string)) "tool waivers all used"
-    [ "catch-all"; "float-cmp"; "float-minmax" ]
+    [ "catch-all"; "float-cmp"; "float-minmax"; "raw-domain" ]
     (used_waiver_rules "waived_tool.ml")
 
 let test_waiver_reasons_kept () =
@@ -197,9 +219,9 @@ let test_bad_parse =
 (* ------------------------------------------------------------------ *)
 (* Whole-corpus run and JSON report shape                              *)
 
-let corpus_files = 20
-let corpus_errors = 20
-let corpus_waivers = 8
+let corpus_files = 23
+let corpus_errors = 22
+let corpus_waivers = 9
 
 let test_run_totals () =
   let r = Lint_driver.run [ fixture_root ] in
@@ -214,6 +236,7 @@ let test_run_totals () =
   in
   Alcotest.(check int) "float-cmp count" 4 (count "float-cmp");
   Alcotest.(check int) "hashtbl-order count" 2 (count "hashtbl-order");
+  Alcotest.(check int) "raw-domain count" 2 (count "raw-domain");
   Alcotest.(check int) "waiver-hygiene count" 3 (count "waiver-hygiene");
   Alcotest.(check int) "every registered rule reported"
     (List.length Lint_rules.rules)
@@ -264,6 +287,12 @@ let () =
           Alcotest.test_case "good obs" `Quick test_good_obs;
           Alcotest.test_case "bad catch" `Quick test_bad_catch;
           Alcotest.test_case "good catch" `Quick test_good_catch;
+        ] );
+      ( "domain-confinement",
+        [
+          Alcotest.test_case "bad fixture" `Quick test_bad_domain;
+          Alcotest.test_case "exempt path" `Quick test_domain_exempt;
+          Alcotest.test_case "exempt flag" `Quick test_domain_exempt_source;
         ] );
       ( "interfaces",
         [

@@ -83,7 +83,7 @@ let test_yao_graph_spanner =
       let yao = Yao.graph ~theta:theta_default ~range points in
       Components.is_connected yao
       && Graph.is_subgraph yao gstar
-      && Stretch.over_base_edges ~sub:yao ~base:gstar ~cost:Cost.length < 3.)
+      && Stretch.over_base_edges ~sub:yao ~base:gstar ~cost:Cost.length () < 3.)
 
 
 let test_yao_analytic_spanner_bound =
@@ -94,7 +94,7 @@ let test_yao_analytic_spanner_bound =
       let theta = Float.pi /. 6. in
       let yao = Yao.graph ~theta ~range:infinity points in
       let bound = 1. /. (1. -. (2. *. sin (theta /. 2.))) in
-      Stretch.vs_euclidean ~sub:yao ~points <= bound +. 1e-9)
+      Stretch.vs_euclidean ~sub:yao ~points () <= bound +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
 (* Theta_alg (Lemma 2.1, Theorems 2.2 / 2.7)                           *)
@@ -132,8 +132,8 @@ let test_theta_energy_stretch_bounded =
       let gstar = Udg.build ~range points in
       let alg = Theta_alg.build ~theta:theta_default ~range points in
       let ov = Theta_alg.overlay alg in
-      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.) < 4.
-      && Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:4.) < 6.)
+      Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:2.) () < 4.
+      && Stretch.over_base_edges ~sub:ov ~base:gstar ~cost:(Cost.energy ~kappa:4.) () < 6.)
 
 let test_theta_distance_stretch_civilized =
   qtest "Theorem 2.7: O(1) distance-stretch on civilized sets" ~count:30 seed_gen
@@ -144,7 +144,7 @@ let test_theta_distance_stretch_civilized =
       let range = 2. *. Udg.critical_range points in
       let gstar = Udg.build ~range points in
       let alg = Theta_alg.build ~theta:theta_default ~range points in
-      Stretch.over_base_edges ~sub:(Theta_alg.overlay alg) ~base:gstar ~cost:Cost.length < 4.)
+      Stretch.over_base_edges ~sub:(Theta_alg.overlay alg) ~base:gstar ~cost:Cost.length () < 4.)
 
 let test_theta_admitted_are_selectors =
   qtest "phase 2 admits only phase-1 selectors" ~count:60 seed_gen (fun seed ->
