@@ -8,8 +8,10 @@
    the run used, and whose "experiments" member is a non-empty array of
    objects each carrying "id", "seconds", "metrics", well-formed "spans"
    (label / count / seconds), an "obs" metric snapshot and a "trace"
-   pointer (string or null).  Version-1 and version-2 documents are
-   rejected with dedicated errors.
+   pointer (string or null).  The B2 scaling experiment must additionally
+   snapshot nonzero pool.regions / pool.items counters — zero means the
+   sweep's per-jobs pools were not attached to the obs sink.  Version-1
+   and version-2 documents are rejected with dedicated errors.
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
@@ -205,6 +207,23 @@ let experiment_ok = function
          | _ -> false)
   | _ -> false
 
+(* The B2 scaling sweep times every kernel on an explicit per-jobs pool;
+   if its snapshot shows zero pool activity the sweep silently timed the
+   sequential fallback (the regression this pin was added for: the per-jobs
+   pools were never attached to the experiment's obs sink). *)
+let b2_pool_counters_ok fields =
+  match List.assoc_opt "id" fields with
+  | Some (Str "b2") ->
+      let counter name =
+        match List.assoc_opt "obs" fields with
+        | Some (Obj obs) -> (
+            match List.assoc_opt name obs with Some (Num c) when c > 0. -> true | _ -> false)
+        | _ -> false
+      in
+      if counter "pool.regions" && counter "pool.items" then Ok ()
+      else Error "experiment b2 must record nonzero pool.regions / pool.items counters"
+  | _ -> Ok ()
+
 let read_file file =
   let ic = open_in_bin file in
   let s = really_input_string ic (in_channel_length ic) in
@@ -248,6 +267,14 @@ let check_document file =
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr (_ :: _ as exps)) when List.for_all experiment_ok exps ->
+          List.iter
+            (fun e ->
+              match b2_pool_counters_ok (match e with Obj f -> f | _ -> []) with
+              | Ok () -> ()
+              | Error msg ->
+                  Printf.eprintf "%s: %s\n" file msg;
+                  exit 1)
+            exps;
           Printf.printf "%s: ok (%d experiments)\n" file (List.length exps)
       | Some (Arr []) ->
           Printf.eprintf "%s: no experiments recorded\n" file;

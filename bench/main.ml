@@ -55,7 +55,10 @@ let all : (string * string * (unit -> unit)) list =
    full run. *)
 let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
 
-let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1" ]
+(* b2 is part of quick so bench-smoke exercises the sharded builders at the
+   full size sweep (up to n = 65536) and json_check can pin its structural
+   edges:* metrics and pool counters against the baseline. *)
+let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1"; "b2" ]
 
 (* Extract "--opt VALUE" from anywhere in the argument list. *)
 let rec split_opt name acc = function

@@ -64,8 +64,8 @@ let disk c k =
   collect 0 []
 
 let compare_coord a b =
-  let c = compare a.q b.q in
-  if c <> 0 then c else compare a.r b.r
+  let c = Int.compare a.q b.q in
+  if c <> 0 then c else Int.compare a.r b.r
 
 let equal_coord a b = a.q = b.q && a.r = b.r
 

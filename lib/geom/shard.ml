@@ -1,0 +1,141 @@
+(* Per-domain spatial tiles with ghost-zone boundary rings.
+
+   [map_nodes] evaluates a range-local per-node function over every node,
+   handing it a bucket grid that answers any query of radius ≤ [range]
+   centred at that node.  For large point sets the bounding box is cut
+   into ts×ts tiles and each pool domain builds the grid for its own
+   tiles only — own points plus a ghost ring of outside points within
+   [range] of the tile rectangle — so grid construction and queries touch
+   tile-local arrays instead of one shared structure.
+
+   Determinism: the tiling is a function of (point set, range) only —
+   never of the pool or jobs — and per-node answers are independent of
+   which tile computed them (the ghost ring makes every tile grid
+   complete for its own nodes' queries, and [f] is required to be
+   candidate-order independent).  [Pool.opt_init] is itself bit-identical
+   to the sequential loop, so the whole map is jobs-invariant. *)
+
+module Pool = Adhoc_util.Pool
+
+(* Tiles aim for this many own points; small sets use one global grid. *)
+let target_tile_points = 1024
+
+let clamp lo hi v = min (max v lo) hi
+
+let map_nodes ?pool ?label ~range (points : Point.t array) ~f =
+  let n = Array.length points in
+  if n = 0 then [||]
+  else begin
+    if not (Float.is_finite range) || range <= 0. then
+      invalid_arg "Shard.map_nodes: range must be positive and finite";
+    let p0 = points.(0) in
+    let xmin = ref p0.Point.x and xmax = ref p0.Point.x in
+    let ymin = ref p0.Point.y and ymax = ref p0.Point.y in
+    for i = 1 to n - 1 do
+      let p = points.(i) in
+      if p.Point.x < !xmin then xmin := p.Point.x;
+      if p.Point.x > !xmax then xmax := p.Point.x;
+      if p.Point.y < !ymin then ymin := p.Point.y;
+      if p.Point.y > !ymax then ymax := p.Point.y
+    done;
+    let width = !xmax -. !xmin and height = !ymax -. !ymin in
+    (* Tiles per side: sized by load, capped so a tile side never drops
+       below [range] (keeps the ghost ring a one-tile-deep neighbourhood
+       in the common case and bounds duplication). *)
+    let ts =
+      let by_load = int_of_float (Float.floor (Float.sqrt (float_of_int n /. float_of_int target_tile_points))) in
+      let by_side dim = int_of_float (Float.floor (dim /. range)) in
+      max 1 (min by_load (min (by_side width) (by_side height)))
+    in
+    if ts <= 1 then begin
+      let grid = Spatial_grid.build ~cell:range points in
+      Pool.opt_init pool ?label n (fun u -> f grid u)
+    end
+    else begin
+      let tiles = ts * ts in
+      let w = width /. float_of_int ts and h = height /. float_of_int ts in
+      let tcol x = clamp 0 (ts - 1) (int_of_float (Float.floor ((x -. !xmin) /. w))) in
+      let trow y = clamp 0 (ts - 1) (int_of_float (Float.floor ((y -. !ymin) /. h))) in
+      let tile_of = Array.make n 0 in
+      let slot = Array.make n 0 in
+      (* Own lists: counting sort by tile, ascending ids within a tile. *)
+      let own_count = Array.make (tiles + 1) 0 in
+      for u = 0 to n - 1 do
+        let p = points.(u) in
+        let t = (trow p.Point.y * ts) + tcol p.Point.x in
+        tile_of.(u) <- t;
+        own_count.(t + 1) <- own_count.(t + 1) + 1
+      done;
+      for t = 1 to tiles do
+        own_count.(t) <- own_count.(t) + own_count.(t - 1)
+      done;
+      let own_start = Array.copy own_count in
+      let own_items = Array.make n 0 in
+      for u = 0 to n - 1 do
+        let t = tile_of.(u) in
+        let pos = own_count.(t) in
+        own_count.(t) <- pos + 1;
+        own_items.(pos) <- u;
+        slot.(u) <- pos - own_start.(t)
+      done;
+      (* Ghost lists: u is a ghost of every tile other than its own whose
+         rectangle, expanded by r', contains u — i.e. every tile that might
+         query within [range] of one of its own nodes and reach u.  The
+         slack on r' absorbs the widened queries constructions issue to
+         compensate for squared-distance rounding. *)
+      let r' = range *. (1. +. 1e-6) in
+      let ghost_rect u =
+        let p = points.(u) in
+        ( clamp 0 (ts - 1) (int_of_float (Float.floor ((p.Point.x -. !xmin -. r') /. w))),
+          clamp 0 (ts - 1) (int_of_float (Float.floor ((p.Point.x -. !xmin +. r') /. w))),
+          clamp 0 (ts - 1) (int_of_float (Float.floor ((p.Point.y -. !ymin -. r') /. h))),
+          clamp 0 (ts - 1) (int_of_float (Float.floor ((p.Point.y -. !ymin +. r') /. h))) )
+      in
+      let ghost_count = Array.make (tiles + 1) 0 in
+      for u = 0 to n - 1 do
+        let clo, chi, rlo, rhi = ghost_rect u in
+        for row = rlo to rhi do
+          for col = clo to chi do
+            let t = (row * ts) + col in
+            if t <> tile_of.(u) then ghost_count.(t + 1) <- ghost_count.(t + 1) + 1
+          done
+        done
+      done;
+      for t = 1 to tiles do
+        ghost_count.(t) <- ghost_count.(t) + ghost_count.(t - 1)
+      done;
+      let ghost_start = Array.copy ghost_count in
+      let ghost_items = Array.make ghost_start.(tiles) 0 in
+      for u = 0 to n - 1 do
+        let clo, chi, rlo, rhi = ghost_rect u in
+        for row = rlo to rhi do
+          for col = clo to chi do
+            let t = (row * ts) + col in
+            if t <> tile_of.(u) then begin
+              let pos = ghost_count.(t) in
+              ghost_count.(t) <- pos + 1;
+              ghost_items.(pos) <- u
+            end
+          done
+        done
+      done;
+      (* Each tile builds its local grid and maps [f] over its own nodes;
+         the pool splits tiles into contiguous chunks. *)
+      let run_tile t =
+        let o0 = own_start.(t) in
+        let no = own_start.(t + 1) - o0 in
+        if no = 0 then [||]
+        else begin
+          let g0 = ghost_start.(t) in
+          let ng = ghost_start.(t + 1) - g0 in
+          let ids = Array.make (no + ng) 0 in
+          Array.blit own_items o0 ids 0 no;
+          Array.blit ghost_items g0 ids no ng;
+          let grid = Spatial_grid.build_indexed ~cell:range points ids in
+          Array.init no (fun k -> f grid own_items.(o0 + k))
+        end
+      in
+      let tile_results = Pool.opt_init pool ?label tiles run_tile in
+      Array.init n (fun u -> tile_results.(tile_of.(u)).(slot.(u)))
+    end
+  end

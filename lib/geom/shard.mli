@@ -1,0 +1,25 @@
+(** Per-domain spatial tiles with ghost-zone boundary rings.
+
+    The unit square (or whatever bounding box the points span) is cut into
+    tiles sized by load and bounded below by the query range; each pool
+    domain builds the bucket grid for its own tiles — own points plus a
+    ghost ring of outside points within range of the tile rectangle — and
+    evaluates the per-node function against that local grid.  The tiling
+    is a function of the point set and range only (never of the pool), so
+    together with {!Adhoc_util.Pool}'s jobs-invariance the result is
+    bit-identical for any job count, including the sequential run. *)
+
+val map_nodes :
+  ?pool:Adhoc_util.Pool.t ->
+  ?label:string ->
+  range:float ->
+  Point.t array ->
+  f:(Spatial_grid.t -> int -> 'a) ->
+  'a array
+(** [map_nodes ?pool ~range points ~f] returns [[| f g_0 0; f g_1 1; ... |]]
+    where [g_u] is a grid guaranteed to answer any query of radius ≤ [range]
+    centred at [points.(u)] exactly as the global grid would (same id set;
+    iteration order may differ, so [f] must be candidate-order
+    independent).  [f] must not query farther than [range *. (1. +. 1e-6)]
+    from its node.  Requires [range] positive and finite when the point set
+    is non-empty; [n = 0] yields [[||]]. *)

@@ -1,56 +1,125 @@
+(* Counting-sort CSR bucket grid.
+
+   Buckets are two flat int arrays — [start] (prefix offsets over row-major
+   cells) and [items] (point ids, bucket-major) — plus coordinate arrays
+   [ix]/[iy] mirrored in item order, so the hot distance filter streams over
+   contiguous unboxed floats instead of chasing [Point.t] pointers through
+   cons cells.  Items within a bucket are listed in the order their ids
+   appear in the build input (the counting sort is stable), which makes
+   query iteration order a pure function of the point set. *)
+
 type t = {
   cell : float;
-  origin : Point.t;
+  ox : float;
+  oy : float;
   cols : int;
   rows : int;
-  buckets : int list array;  (* row-major: buckets.(row * cols + col) *)
-  points : Point.t array;
+  start : int array;  (* length cols*rows + 1; cell (col,row) spans
+                         items.[start.(row*cols+col) .. start.(row*cols+col+1)) *)
+  items : int array;  (* point ids, bucket-major *)
+  ix : float array;  (* x coordinate of items.(k), parallel to [items] *)
+  iy : float array;  (* y coordinate of items.(k), parallel to [items] *)
+  points : Point.t array;  (* the build-time array; ids index into it *)
 }
 
-let cell_of t (p : Point.t) =
-  let col = int_of_float (Float.floor ((p.x -. t.origin.x) /. t.cell)) in
-  let row = int_of_float (Float.floor ((p.y -. t.origin.y) /. t.cell)) in
+let cell_of t x y =
+  let col = int_of_float (Float.floor ((x -. t.ox) /. t.cell)) in
+  let row = int_of_float (Float.floor ((y -. t.oy) /. t.cell)) in
   (min (max col 0) (t.cols - 1), min (max row 0) (t.rows - 1))
 
-let build ~cell points =
+(* Shared core: grid over [points.(ids.(k))], answering queries with the
+   values stored in [ids].  [ids] must be duplicate-free. *)
+let build_of_ids ~cell (points : Point.t array) ids =
   if cell <= 0. then invalid_arg "Spatial_grid.build: cell must be positive";
-  if Array.length points = 0 then invalid_arg "Spatial_grid.build: empty point set";
-  let box = Box.of_points points in
-  let origin = Point.make box.Box.xmin box.Box.ymin in
-  let cols = max 1 (1 + int_of_float (Float.floor (Box.width box /. cell))) in
-  let rows = max 1 (1 + int_of_float (Float.floor (Box.height box /. cell))) in
-  let t = { cell; origin; cols; rows; buckets = Array.make (cols * rows) []; points } in
-  Array.iteri
-    (fun i p ->
-      let col, row = cell_of t p in
+  let k = Array.length ids in
+  if k = 0 then
+    (* A valid empty grid: every query loop is a no-op over zero cells. *)
+    { cell; ox = 0.; oy = 0.; cols = 0; rows = 0;
+      start = [| 0 |]; items = [||]; ix = [||]; iy = [||]; points }
+  else begin
+    let p0 = points.(ids.(0)) in
+    let xmin = ref p0.Point.x and xmax = ref p0.Point.x in
+    let ymin = ref p0.Point.y and ymax = ref p0.Point.y in
+    for i = 1 to k - 1 do
+      let p = points.(ids.(i)) in
+      if p.Point.x < !xmin then xmin := p.Point.x;
+      if p.Point.x > !xmax then xmax := p.Point.x;
+      if p.Point.y < !ymin then ymin := p.Point.y;
+      if p.Point.y > !ymax then ymax := p.Point.y
+    done;
+    let ox = !xmin and oy = !ymin in
+    let cols = max 1 (1 + int_of_float (Float.floor ((!xmax -. ox) /. cell))) in
+    let rows = max 1 (1 + int_of_float (Float.floor ((!ymax -. oy) /. cell))) in
+    let t0 =
+      { cell; ox; oy; cols; rows;
+        start = [| 0 |]; items = [||]; ix = [||]; iy = [||]; points }
+    in
+    let cells = cols * rows in
+    let count = Array.make (cells + 1) 0 in
+    let bucket = Array.make k 0 in
+    for i = 0 to k - 1 do
+      let p = points.(ids.(i)) in
+      let col, row = cell_of t0 p.Point.x p.Point.y in
       let b = (row * cols) + col in
-      t.buckets.(b) <- i :: t.buckets.(b))
-    points;
-  t
+      bucket.(i) <- b;
+      count.(b + 1) <- count.(b + 1) + 1
+    done;
+    for b = 1 to cells do
+      count.(b) <- count.(b) + count.(b - 1)
+    done;
+    let start = Array.copy count in
+    let items = Array.make k 0 in
+    let ix = Array.make k 0. in
+    let iy = Array.make k 0. in
+    (* Ascending scan into ascending fill positions: stable, so each bucket
+       lists ids in their [ids]-array order. *)
+    for i = 0 to k - 1 do
+      let b = bucket.(i) in
+      let pos = count.(b) in
+      count.(b) <- pos + 1;
+      let p = points.(ids.(i)) in
+      items.(pos) <- ids.(i);
+      ix.(pos) <- p.Point.x;
+      iy.(pos) <- p.Point.y
+    done;
+    { cell; ox; oy; cols; rows; start; items; ix; iy; points }
+  end
+
+let build ~cell points = build_of_ids ~cell points (Array.init (Array.length points) Fun.id)
+
+let build_indexed ~cell points ids = build_of_ids ~cell points ids
 
 let cell_size t = t.cell
 
-let fold_within t p r ~init ~f =
-  let r2 = r *. r in
-  let col0, row0 = cell_of t p in
-  let span = 1 + int_of_float (Float.ceil (r /. t.cell)) in
-  let acc = ref init in
-  for row = max 0 (row0 - span) to min (t.rows - 1) (row0 + span) do
-    for col = max 0 (col0 - span) to min (t.cols - 1) (col0 + span) do
-      List.iter
-        (fun i -> if Point.dist2 t.points.(i) p <= r2 then acc := f !acc i)
-        t.buckets.((row * t.cols) + col)
-    done
-  done;
-  !acc
+let length t = Array.length t.items
+
+let fold_within t (p : Point.t) r ~init ~f =
+  if Array.length t.items = 0 then init
+  else begin
+    let r2 = r *. r in
+    let px = p.Point.x and py = p.Point.y in
+    let col0, row0 = cell_of t px py in
+    let span = 1 + int_of_float (Float.ceil (r /. t.cell)) in
+    let acc = ref init in
+    for row = max 0 (row0 - span) to min (t.rows - 1) (row0 + span) do
+      let base = row * t.cols in
+      for col = max 0 (col0 - span) to min (t.cols - 1) (col0 + span) do
+        let b = base + col in
+        for k = t.start.(b) to t.start.(b + 1) - 1 do
+          let dx = t.ix.(k) -. px and dy = t.iy.(k) -. py in
+          if (dx *. dx) +. (dy *. dy) <= r2 then acc := f !acc t.items.(k)
+        done
+      done
+    done;
+    !acc
+  end
 
 let iter_within t p r f = fold_within t p r ~init:() ~f:(fun () i -> f i)
 
 let indices_within t p r = fold_within t p r ~init:[] ~f:(fun acc i -> i :: acc)
 
 let nearest_other t i =
-  let n = Array.length t.points in
-  if n < 2 then None
+  if Array.length t.items < 2 then None
   else begin
     let p = t.points.(i) in
     (* Expand the search radius until a neighbour is found; any point found

@@ -1,63 +1,137 @@
+(* Flat struct-of-arrays graph.
+
+   Edges live in three parallel arrays (endpoints canonicalised [u < v],
+   plus length); adjacency is CSR — [adj_off] prefix offsets into
+   [adj_nbr]/[adj_eid].  The builder appends into growable flat arrays
+   with no per-add set lookup; [build] dedups once by sorting an index
+   permutation under the monomorphic ((u, v), insertion-index) order and
+   keeping the first insertion of each pair, so edge ids match the old
+   insert-time-dedup semantics exactly while the hot path stays
+   allocation-free. *)
+
 type edge = { u : int; v : int; len : float }
 
 type t = {
   n : int;
-  edge_array : edge array;
-  adj : (int * int) array array;
+  m : int;
+  eu : int array;  (* endpoint u of edge id, u < v *)
+  ev : int array;
+  elen : float array;
+  adj_off : int array;  (* length n + 1 *)
+  adj_nbr : int array;  (* length 2m; neighbours of u at [adj_off.(u) .. adj_off.(u+1)) *)
+  adj_eid : int array;  (* edge id parallel to [adj_nbr] *)
 }
-
-module Pair_set = Set.Make (struct
-  type t = int * int
-
-  let compare = compare
-end)
 
 module Builder = struct
   type t = {
     bn : int;
-    mutable bedges : edge list;  (* reverse insertion order *)
+    mutable bu : int array;
+    mutable bv : int array;
+    mutable blen : float array;
     mutable count : int;
-    mutable seen : Pair_set.t;
   }
 
   let create n =
     if n < 0 then invalid_arg "Graph.Builder.create: negative node count";
-    { bn = n; bedges = []; count = 0; seen = Pair_set.empty }
+    { bn = n; bu = [||]; bv = [||]; blen = [||]; count = 0 }
 
-  let key u v = if u < v then (u, v) else (v, u)
+  let grow b =
+    let cap = max 8 (2 * Array.length b.bu) in
+    let bu = Array.make cap 0 and bv = Array.make cap 0 and blen = Array.make cap 0. in
+    Array.blit b.bu 0 bu 0 b.count;
+    Array.blit b.bv 0 bv 0 b.count;
+    Array.blit b.blen 0 blen 0 b.count;
+    b.bu <- bu;
+    b.bv <- bv;
+    b.blen <- blen
 
-  let mem b u v = Pair_set.mem (key u v) b.seen
+  (* O(count) scan over the flat arrays; dedup proper happens in [build].
+     Only test oracles call this — the hot path never does. *)
+  let mem b u v =
+    let u, v = if u < v then (u, v) else (v, u) in
+    let rec scan i = i < b.count && ((b.bu.(i) = u && b.bv.(i) = v) || scan (i + 1)) in
+    scan 0
 
   let add_edge b u v len =
     if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
       invalid_arg "Graph.Builder.add_edge: node out of range";
     if len < 0. then invalid_arg "Graph.Builder.add_edge: negative length";
-    if u <> v && not (mem b u v) then begin
-      let u, v = key u v in
-      b.bedges <- { u; v; len } :: b.bedges;
-      b.count <- b.count + 1;
-      b.seen <- Pair_set.add (u, v) b.seen
+    if u <> v then begin
+      if b.count = Array.length b.bu then grow b;
+      let u, v = if u < v then (u, v) else (v, u) in
+      b.bu.(b.count) <- u;
+      b.bv.(b.count) <- v;
+      b.blen.(b.count) <- len;
+      b.count <- b.count + 1
     end
 
   let build b =
-    let edge_array = Array.make b.count { u = 0; v = 0; len = 0. } in
-    List.iteri (fun i e -> edge_array.(b.count - 1 - i) <- e) b.bedges;
-    let deg = Array.make b.bn 0 in
-    Array.iter
-      (fun e ->
-        deg.(e.u) <- deg.(e.u) + 1;
-        deg.(e.v) <- deg.(e.v) + 1)
-      edge_array;
-    let adj = Array.init b.bn (fun i -> Array.make deg.(i) (0, 0)) in
-    let fill = Array.make b.bn 0 in
-    Array.iteri
-      (fun id e ->
-        adj.(e.u).(fill.(e.u)) <- (e.v, id);
-        fill.(e.u) <- fill.(e.u) + 1;
-        adj.(e.v).(fill.(e.v)) <- (e.u, id);
-        fill.(e.v) <- fill.(e.v) + 1)
-      edge_array;
-    { n = b.bn; edge_array; adj }
+    let k = b.count in
+    (* Sort an index permutation by ((u, v), insertion index): duplicates
+       become adjacent runs whose first element is the earliest insertion,
+       which is the one that keeps its length ("first wins", matching the
+       old insert-time dedup). *)
+    let perm = Array.init k Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = Int.compare b.bu.(i) b.bu.(j) in
+        if c <> 0 then c
+        else begin
+          let c = Int.compare b.bv.(i) b.bv.(j) in
+          if c <> 0 then c else Int.compare i j
+        end)
+      perm;
+    let keep = Array.make k false in
+    let m = ref 0 in
+    for s = 0 to k - 1 do
+      let i = perm.(s) in
+      let dup =
+        s > 0
+        &&
+        let p = perm.(s - 1) in
+        b.bu.(p) = b.bu.(i) && b.bv.(p) = b.bv.(i)
+      in
+      if not dup then begin
+        keep.(i) <- true;
+        incr m
+      end
+    done;
+    let m = !m in
+    (* Edge ids in insertion order of the kept (first) occurrences: an
+       ascending scan over the insertion log. *)
+    let eu = Array.make m 0 and ev = Array.make m 0 and elen = Array.make m 0. in
+    let id = ref 0 in
+    for i = 0 to k - 1 do
+      if keep.(i) then begin
+        eu.(!id) <- b.bu.(i);
+        ev.(!id) <- b.bv.(i);
+        elen.(!id) <- b.blen.(i);
+        incr id
+      end
+    done;
+    let adj_off = Array.make (b.bn + 1) 0 in
+    for e = 0 to m - 1 do
+      adj_off.(eu.(e) + 1) <- adj_off.(eu.(e) + 1) + 1;
+      adj_off.(ev.(e) + 1) <- adj_off.(ev.(e) + 1) + 1
+    done;
+    for u = 1 to b.bn do
+      adj_off.(u) <- adj_off.(u) + adj_off.(u - 1)
+    done;
+    let fill = Array.copy adj_off in
+    let adj_nbr = Array.make (2 * m) 0 in
+    let adj_eid = Array.make (2 * m) 0 in
+    (* Ascending edge-id fill: each node's neighbour slice is ordered by
+       edge id, as the old nested-array layout was. *)
+    for e = 0 to m - 1 do
+      let u = eu.(e) and v = ev.(e) in
+      adj_nbr.(fill.(u)) <- v;
+      adj_eid.(fill.(u)) <- e;
+      fill.(u) <- fill.(u) + 1;
+      adj_nbr.(fill.(v)) <- u;
+      adj_eid.(fill.(v)) <- e;
+      fill.(v) <- fill.(v) + 1
+    done;
+    { n = b.bn; m; eu; ev; elen; adj_off; adj_nbr; adj_eid }
 end
 
 let of_edges ~n edges =
@@ -75,40 +149,33 @@ let geometric points pairs =
 
 let n g = g.n
 
-let num_edges g = Array.length g.edge_array
+let num_edges g = g.m
 
-let edge g id = g.edge_array.(id)
+let edge_u g id = g.eu.(id)
+let edge_v g id = g.ev.(id)
 
-let edges g = g.edge_array
+let edge g id = { u = g.eu.(id); v = g.ev.(id); len = g.elen.(id) }
 
-let endpoints g id =
-  let e = g.edge_array.(id) in
-  (e.u, e.v)
+let endpoints g id = (g.eu.(id), g.ev.(id))
 
 let other_endpoint g id u =
-  let e = g.edge_array.(id) in
-  if e.u = u then e.v
-  else if e.v = u then e.u
+  if g.eu.(id) = u then g.ev.(id)
+  else if g.ev.(id) = u then g.eu.(id)
   else invalid_arg "Graph.other_endpoint: node not on edge"
 
-let length g id = g.edge_array.(id).len
-
-let neighbors g u = g.adj.(u)
+let length g id = g.elen.(id)
 
 let find_edge g u v =
-  let adj = g.adj.(u) in
-  let rec loop i =
-    if i >= Array.length adj then None
-    else begin
-      let w, id = adj.(i) in
-      if w = v then Some id else loop (i + 1)
-    end
+  let rec loop k =
+    if k >= g.adj_off.(u + 1) then None
+    else if g.adj_nbr.(k) = v then Some g.adj_eid.(k)
+    else loop (k + 1)
   in
-  loop 0
+  loop g.adj_off.(u)
 
 let mem_edge g u v = Option.is_some (find_edge g u v)
 
-let degree g u = Array.length g.adj.(u)
+let degree g u = g.adj_off.(u + 1) - g.adj_off.(u)
 
 let max_degree g =
   let best = ref 0 in
@@ -117,24 +184,45 @@ let max_degree g =
   done;
   !best
 
-let iter_neighbors g u f = Array.iter (fun (v, id) -> f v id) g.adj.(u)
+let iter_neighbors g u f =
+  for k = g.adj_off.(u) to g.adj_off.(u + 1) - 1 do
+    f g.adj_nbr.(k) g.adj_eid.(k)
+  done
 
 let fold_edges g ~init ~f =
   let acc = ref init in
-  Array.iteri (fun id e -> acc := f !acc id e) g.edge_array;
+  for id = 0 to g.m - 1 do
+    acc := f !acc id { u = g.eu.(id); v = g.ev.(id); len = g.elen.(id) }
+  done;
   !acc
 
-let total_length g = fold_edges g ~init:0. ~f:(fun acc _ e -> acc +. e.len)
+let total_length g =
+  let acc = ref 0. in
+  for id = 0 to g.m - 1 do
+    acc := !acc +. g.elen.(id)
+  done;
+  !acc
 
 let total_energy ?(kappa = 2.) g =
-  fold_edges g ~init:0. ~f:(fun acc _ e -> acc +. Float.pow e.len kappa)
+  let acc = ref 0. in
+  for id = 0 to g.m - 1 do
+    acc := !acc +. Float.pow g.elen.(id) kappa
+  done;
+  !acc
 
 let is_subgraph h g =
-  n h = n g && fold_edges h ~init:true ~f:(fun acc _ e -> acc && mem_edge g e.u e.v)
+  n h = n g
+  &&
+  let rec ok id = id >= h.m || (mem_edge g h.eu.(id) h.ev.(id) && ok (id + 1)) in
+  ok 0
 
 let union a b =
   if a.n <> b.n then invalid_arg "Graph.union: node count mismatch";
   let builder = Builder.create a.n in
-  Array.iter (fun e -> Builder.add_edge builder e.u e.v e.len) a.edge_array;
-  Array.iter (fun e -> Builder.add_edge builder e.u e.v e.len) b.edge_array;
+  for id = 0 to a.m - 1 do
+    Builder.add_edge builder a.eu.(id) a.ev.(id) a.elen.(id)
+  done;
+  for id = 0 to b.m - 1 do
+    Builder.add_edge builder b.eu.(id) b.ev.(id) b.elen.(id)
+  done;
   Builder.build builder

@@ -4,10 +4,18 @@
     {!Adhoc_geom.Point.t} positions).  Edges carry a length — for geometric
     graphs, the Euclidean distance between endpoints — and every edge has a
     stable integer id usable as an array index by the interference and
-    routing layers. *)
+    routing layers.
+
+    Storage is struct-of-arrays: three flat endpoint/length arrays indexed
+    by edge id, plus a CSR adjacency (prefix offsets into flat neighbour
+    and edge-id arrays).  The builder appends to growable flat arrays and
+    dedups once at {!Builder.build} via a sorted index permutation, so
+    construction allocates O(1) amortised per edge. *)
 
 type edge = private { u : int; v : int; len : float }
-(** Undirected edge with [u < v]. *)
+(** Undirected edge with [u < v].  Materialised on demand from the flat
+    arrays; use {!edge_u}/{!edge_v}/{!length} in allocation-sensitive
+    loops. *)
 
 type t
 (** Immutable graph. *)
@@ -20,13 +28,17 @@ module Builder : sig
   (** [create n] prepares a builder for a graph on nodes [0 .. n-1]. *)
 
   val add_edge : t -> int -> int -> float -> unit
-  (** Adds an undirected edge with the given length.  Duplicate pairs and
-      self-loops are ignored.  Lengths must be non-negative. *)
+  (** Adds an undirected edge with the given length.  Self-loops are
+      ignored; duplicate pairs are dropped at {!build} time (first
+      insertion wins).  Lengths must be non-negative. *)
 
   val mem : t -> int -> int -> bool
+  (** Whether the pair has been inserted.  O(insertions) scan — meant for
+      tests and oracles, not hot loops. *)
 
   val build : t -> graph
-  (** Freezes the builder.  Edge ids are assigned in insertion order. *)
+  (** Freezes the builder.  Edge ids are assigned in insertion order of
+      each pair's first occurrence. *)
 end
 
 val of_edges : n:int -> (int * int * float) list -> t
@@ -39,10 +51,14 @@ val n : t -> int
 val num_edges : t -> int
 
 val edge : t -> int -> edge
-(** Edge by id; ids are [0 .. num_edges - 1]. *)
+(** Edge by id; ids are [0 .. num_edges - 1].  Allocates; prefer
+    {!edge_u}/{!edge_v}/{!length} in hot loops. *)
 
-val edges : t -> edge array
-(** The underlying edge array (do not mutate). *)
+val edge_u : t -> int -> int
+(** Lower endpoint of the edge (no allocation). *)
+
+val edge_v : t -> int -> int
+(** Upper endpoint of the edge (no allocation). *)
 
 val endpoints : t -> int -> int * int
 
@@ -58,11 +74,9 @@ val find_edge : t -> int -> int -> int option
 val degree : t -> int -> int
 val max_degree : t -> int
 
-val neighbors : t -> int -> (int * int) array
-(** [(neighbor, edge_id)] pairs (do not mutate). *)
-
 val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
-(** [iter_neighbors g u f] calls [f v edge_id] for each neighbour [v]. *)
+(** [iter_neighbors g u f] calls [f v edge_id] for each neighbour [v], in
+    ascending edge-id order. *)
 
 val fold_edges : t -> init:'a -> f:('a -> int -> edge -> 'a) -> 'a
 

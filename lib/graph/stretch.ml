@@ -6,11 +6,13 @@ let check_compatible sub base =
 let per_edge_profile ?pool ~sub ~base ~cost () =
   check_compatible sub base;
   let n = Graph.n base in
-  (* Group base edges by endpoint so each Dijkstra run in [sub] is reused. *)
+  (* Group base edges by endpoint so each Dijkstra run in [sub] is reused.
+     Flat-accessor scan: no edge records materialised. *)
   let by_src = Array.make n [] in
-  ignore
-    (Graph.fold_edges base ~init:() ~f:(fun () id e ->
-         by_src.(e.Graph.u) <- (id, e.Graph.v, e.Graph.len) :: by_src.(e.Graph.u)));
+  for id = Graph.num_edges base - 1 downto 0 do
+    by_src.(Graph.edge_u base id) <-
+      (id, Graph.edge_v base id, Graph.length base id) :: by_src.(Graph.edge_u base id)
+  done;
   let ratios = Array.make (Graph.num_edges base) nan in
   (* Each edge id is grouped under exactly one source, so the per-source
      bodies write disjoint cells. *)

@@ -27,7 +27,11 @@ let build ?pool model ~points g =
   let m = Graph.num_edges g in
   if m = 0 || Array.length points = 0 then { model; sets = Array.make m [] }
   else begin
-    let max_len = Graph.fold_edges g ~init:0. ~f:(fun acc _ e -> Float.max acc e.Graph.len) in
+    let max_len = ref 0. in
+    for e = 0 to m - 1 do
+      max_len := Float.max !max_len (Graph.length g e)
+    done;
+    let max_len = !max_len in
     let reach = Model.region_radius model max_len in
     if reach <= 0. then { model; sets = Array.make m [] }
     else begin
@@ -105,7 +109,7 @@ let independent t ids =
   check ids
 
 let max_independent_greedy t candidates =
-  let sorted = List.sort_uniq compare candidates in
+  let sorted = List.sort_uniq Int.compare candidates in
   let chosen = ref [] in
   List.iter
     (fun e -> if List.for_all (fun c -> not (interfere t e c)) !chosen then chosen := e :: !chosen)

@@ -131,7 +131,13 @@ let generate_with ~pick_pair ?pick_time ?conflict config ~rng ~graph ~cost =
   let max_buffer = ref 1 in
   Adhoc_util.Det.iter_sorted
     (fun _ l ->
-      let sorted = List.sort compare !l in
+      let sorted =
+        List.sort
+          (fun (a, b) (c, d) ->
+            let x = Int.compare a c in
+            if x <> 0 then x else Int.compare b d)
+          !l
+      in
       let h = ref 0 in
       List.iter
         (fun (_, d) ->
@@ -163,7 +169,7 @@ let generate_with ~pick_pair ?pick_time ?conflict config ~rng ~graph ~cost =
     horizon;
     injections;
     paths;
-    activations = Array.map (List.sort_uniq compare) reserved_at;
+    activations = Array.map (List.sort_uniq Int.compare) reserved_at;
     opt =
       {
         deliveries = d;

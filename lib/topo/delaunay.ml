@@ -78,7 +78,7 @@ let triangles points =
     !tris
     |> List.filter (fun t -> t.a < n && t.b < n && t.c < n)
     |> List.map (fun t ->
-           let s = List.sort compare [ t.a; t.b; t.c ] in
+           let s = List.sort Int.compare [ t.a; t.b; t.c ] in
            match s with [ a; b; c ] -> (a, b, c) | _ -> assert false)
   end
 

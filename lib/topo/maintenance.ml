@@ -21,7 +21,7 @@ let select_one t u =
         if best.(s) = -1 || Yao.closer t.points u v best.(s) then best.(s) <- v
       end)
     t.points;
-  Array.to_list best |> List.filter (fun v -> v >= 0) |> List.sort_uniq compare |> Array.of_list
+  Array.to_list best |> List.filter (fun v -> v >= 0) |> List.sort_uniq Int.compare |> Array.of_list
 
 let admit_one t v =
   (* Selectors of v within range, grouped per sector; keep the nearest. *)

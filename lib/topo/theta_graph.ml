@@ -7,14 +7,10 @@ let build ?pool ~theta ~range points =
   if range < 0. then invalid_arg "Theta_graph.build: negative range";
   let n = Array.length points in
   let sectors = Sector.count theta in
-  let grid =
-    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
-    else None
-  in
   (* Per-sector argmin under the strict (projection, index) order: the
-     winner is unique, so the candidate iteration order (grid vs scan)
-     does not matter. *)
-  let select u =
+     winner is unique, so the candidate iteration order (grid, tile-local
+     grid or scan) does not matter. *)
+  let select u iter_candidates =
     let best = Array.make sectors (-1) in
     let best_proj = Array.make sectors infinity in
     let consider v =
@@ -36,17 +32,24 @@ let build ?pool ~theta ~range points =
         end
       end
     in
-    (match grid with
-    (* Query slightly wide: the grid pre-filters on squared distance;
-       [consider] applies the exact range test. *)
-    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
-    | None ->
-        for v = 0 to n - 1 do
-          consider v
-        done);
+    iter_candidates consider;
     best
   in
-  let best = Pool.opt_init pool ~label:"theta-graph" n select in
+  let best =
+    if n > 1 && Float.is_finite range && range > 0. then begin
+      (* Query slightly wide: the grid pre-filters on squared distance;
+         [consider] applies the exact range test. *)
+      let query = range *. (1. +. 1e-9) in
+      Shard.map_nodes ?pool ~label:"theta-graph" ~range points ~f:(fun grid u ->
+          select u (Spatial_grid.iter_within grid points.(u) query))
+    end
+    else
+      Pool.opt_init pool ~label:"theta-graph" n (fun u ->
+          select u (fun consider ->
+              for v = 0 to n - 1 do
+                consider v
+              done))
+  in
   let b = Graph.Builder.create n in
   Array.iteri
     (fun u bu ->

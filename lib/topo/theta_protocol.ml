@@ -15,10 +15,11 @@ type stats = {
    Every per-sector winner below is the argmin of a strict total order
    ((distance, index) or (projection, index)), so the mailbox processing
    order is irrelevant to the result.  That is what lets round-1 inboxes
-   come from a spatial grid (symmetric range: v hears u iff u hears v) and
-   lets the per-node rounds run on a pool; the message *sends* that feed
-   later rounds are replayed sequentially in the original node order, so
-   transcripts, stats and edge insertion order are bit-identical. *)
+   come from a spatial grid (symmetric range: v hears u iff u hears v) —
+   tile-local under [Shard.map_nodes] — and lets the per-node rounds run
+   on a pool; the message *sends* that feed later rounds are replayed
+   sequentially in the original node order, so transcripts, stats and
+   edge insertion order are bit-identical. *)
 
 type position_msg = { sender : int; pos : Point.t }
 
@@ -26,20 +27,6 @@ let run ?pool ~theta ~range points =
   if theta <= 0. then invalid_arg "Theta_protocol.run: bad theta";
   let n = Array.length points in
   let sectors = Sector.count theta in
-  let grid =
-    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
-    else None
-  in
-  let iter_in_range u consider =
-    match grid with
-    (* Query slightly wide: the grid pre-filters on squared distance;
-       the exact range test below decides. *)
-    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
-    | None ->
-        for v = 0 to n - 1 do
-          consider v
-        done
-  in
 
   (* Round 1: position broadcasts at maximum power (range D).  Node u's
      inbox is every v ≠ u within range; gathered receiver-side. *)
@@ -50,10 +37,10 @@ let run ?pool ~theta ~range points =
     let c = Float.compare (Point.dist2 my_pos apos) (Point.dist2 my_pos bpos) in
     c < 0 || (c = 0 && a < b)
   in
-  let select u =
+  let select u iter_candidates =
     let best = Array.make sectors (-1) in
     let best_pos = Array.make sectors Point.origin in
-    iter_in_range u (fun v ->
+    iter_candidates (fun v ->
         if v <> u && Point.dist points.(u) points.(v) <= range then begin
           let ({ sender; pos } : position_msg) = { sender = v; pos = points.(v) } in
           let s = Sector.index ~theta ~apex:points.(u) pos in
@@ -69,7 +56,21 @@ let run ?pool ~theta ~range points =
     done;
     !acc
   in
-  let selections = Pool.opt_init pool ~label:"theta-protocol/select" n select in
+  let selections =
+    if n > 1 && Float.is_finite range && range > 0. then begin
+      (* Query slightly wide: the grid pre-filters on squared distance;
+         the exact range test in [select] decides. *)
+      let query = range *. (1. +. 1e-9) in
+      Shard.map_nodes ?pool ~label:"theta-protocol/select" ~range points ~f:(fun grid u ->
+          select u (Spatial_grid.iter_within grid points.(u) query))
+    end
+    else
+      Pool.opt_init pool ~label:"theta-protocol/select" n (fun u ->
+          select u (fun consider ->
+              for v = 0 to n - 1 do
+                consider v
+              done))
+  in
 
   (* Round 2: u tells each v ∈ N(u) that u selected it.  Sequential replay
      in node order keeps the mailbox transcript identical. *)

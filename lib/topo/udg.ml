@@ -1,24 +1,24 @@
 open Adhoc_geom
 module Graph = Adhoc_graph.Graph
-module Pool = Adhoc_util.Pool
 
 let build ?pool ~range points =
   if range < 0. then invalid_arg "Udg.build: negative range";
   let n = Array.length points in
   let b = Graph.Builder.create n in
   if n > 1 && range > 0. then begin
-    let grid = Spatial_grid.build ~cell:range points in
     (* Query slightly wide (the grid pre-filters on squared distance, which
        can round an exactly-range-length edge away), then test exactly. *)
     let query = range *. (1. +. 1e-9) in
-    let neighbors u =
+    let neighbors grid u =
       let acc = ref [] in
       Spatial_grid.iter_within grid points.(u) query (fun v ->
           if v > u && Point.dist points.(u) points.(v) <= range then
             acc := (v, Point.dist points.(u) points.(v)) :: !acc);
-      List.rev !acc
+      (* Canonical order — ascending neighbour id — so the edge list does
+         not depend on grid iteration order (global or tile-local). *)
+      List.sort (fun (a, _) (c, _) -> Int.compare a c) !acc
     in
-    let adj = Pool.opt_init pool ~label:"udg" n neighbors in
+    let adj = Shard.map_nodes ?pool ~label:"udg" ~range points ~f:neighbors in
     (* Sequential merge in node order: edge ids match the sequential build. *)
     Array.iteri (fun u vs -> List.iter (fun (v, d) -> Graph.Builder.add_edge b u v d) vs) adj
   end;

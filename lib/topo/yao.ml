@@ -11,14 +11,11 @@ let selections ?pool ~theta ~range points =
   if range < 0. then invalid_arg "Yao.selections: negative range";
   let n = Array.length points in
   let sectors = Sector.count theta in
-  let grid =
-    if n > 1 && Float.is_finite range && range > 0. then Some (Spatial_grid.build ~cell:range points)
-    else None
-  in
   (* Per-call scratch would race across domains; each node allocates its
      own [best].  The per-sector argmin is a strict (distance, index)
-     total order, so the result is independent of candidate order. *)
-  let select u =
+     total order, so the result is independent of candidate order — which
+     also makes it tile-independent under [Shard.map_nodes]. *)
+  let select u iter_candidates =
     let best = Array.make sectors (-1) in
     let consider v =
       if v <> u && Point.dist points.(u) points.(v) <= range then begin
@@ -26,20 +23,25 @@ let selections ?pool ~theta ~range points =
         if best.(s) = -1 || closer points u v best.(s) then best.(s) <- v
       end
     in
-    (match grid with
+    iter_candidates consider;
+    let chosen = Array.to_list best in
+    let chosen = List.filter (fun v -> v >= 0) chosen in
+    Array.of_list (List.sort_uniq Int.compare chosen)
+  in
+  if n > 1 && Float.is_finite range && range > 0. then begin
     (* Query slightly wide: the grid pre-filters on squared distance, which
        can round an exactly-range-length candidate away; [consider] applies
        the exact range test. *)
-    | Some g -> Spatial_grid.iter_within g points.(u) (range *. (1. +. 1e-9)) consider
-    | None ->
-        for v = 0 to n - 1 do
-          consider v
-        done);
-    let chosen = Array.to_list best in
-    let chosen = List.filter (fun v -> v >= 0) chosen in
-    Array.of_list (List.sort_uniq compare chosen)
-  in
-  Pool.opt_init pool ~label:"yao" n select
+    let query = range *. (1. +. 1e-9) in
+    Shard.map_nodes ?pool ~label:"yao" ~range points ~f:(fun grid u ->
+        select u (Spatial_grid.iter_within grid points.(u) query))
+  end
+  else
+    Pool.opt_init pool ~label:"yao" n (fun u ->
+        select u (fun consider ->
+            for v = 0 to n - 1 do
+              consider v
+            done))
 
 let graph ?pool ~theta ~range points =
   let sel = selections ?pool ~theta ~range points in

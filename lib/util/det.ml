@@ -11,14 +11,14 @@
    relative order is still unspecified; use replace-semantics tables with
    these helpers. *)
 
-let sorted_bindings ?(compare = Stdlib.compare) tbl =
+let sorted_bindings ?compare:(cmp = Stdlib.compare) tbl = (* lint: allow poly-compare — generic helper over arbitrary key types; callers with float or composite keys pass an explicit comparator *)
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] (* lint: allow hashtbl-order — fold only collects; the result is sorted below, so it is order-independent *)
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
 
-let sorted_keys ?compare tbl = List.map fst (sorted_bindings ?compare tbl)
+let sorted_keys ?compare:cmp tbl = List.map fst (sorted_bindings ?compare:cmp tbl)
 
-let iter_sorted ?compare f tbl =
-  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+let iter_sorted ?compare:cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare:cmp tbl)
 
-let fold_sorted ?compare f tbl init =
-  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ?compare tbl)
+let fold_sorted ?compare:cmp f tbl init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ?compare:cmp tbl)

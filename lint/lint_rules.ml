@@ -6,6 +6,7 @@
      ambient-rng    lib/   Random.* — ambient, unseeded global state
      wall-clock     lib/   Sys.time / Unix.gettimeofday / Unix.time / ...
      hashtbl-order  lib/   Hashtbl.iter / fold / to_seq* — unspecified order
+     poly-compare   lib/   bare polymorphic compare (incl. Stdlib.compare)
      float-cmp      all    polymorphic = / <> / compare on float operands
      float-minmax   all    polymorphic min / max on float operands
      obs-purity     lib/   print_* / prerr_* / Printf.printf / Format.printf
@@ -33,6 +34,7 @@ let rules =
     { id = "ambient-rng"; r_scope = Some Lib; doc = "ambient Random.* in library code" };
     { id = "wall-clock"; r_scope = Some Lib; doc = "wall-clock reads in library code" };
     { id = "hashtbl-order"; r_scope = Some Lib; doc = "order-sensitive Hashtbl traversal" };
+    { id = "poly-compare"; r_scope = Some Lib; doc = "bare polymorphic compare in library code" };
     { id = "float-cmp"; r_scope = None; doc = "polymorphic comparison on floats" };
     { id = "float-minmax"; r_scope = None; doc = "polymorphic min/max on floats" };
     { id = "obs-purity"; r_scope = Some Lib; doc = "direct console output in library code" };
@@ -128,6 +130,15 @@ let check_ident ctx loc p =
         "raw Domain.* outside Adhoc_util.Pool; thread a Pool.t through the kernel instead"
   | _ -> ());
   if ctx.scope = Lib then begin
+    (match p with
+    | [ "compare" ] ->
+        (* Catches both the applied form (compare a b, List.sort compare)
+           and compare smuggled into a functor (let compare = compare);
+           Stdlib qualification is normalised away.  Monomorphic
+           comparators (Int.compare, ...) have a module path and pass. *)
+        ctx.emit loc "poly-compare"
+          "bare polymorphic compare in library code; use a monomorphic comparator (Int.compare, Float.compare, ...)"
+    | _ -> ());
     (match p with
     | "Random" :: _ ->
         ctx.emit loc "ambient-rng"

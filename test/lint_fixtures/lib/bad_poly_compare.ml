@@ -1,0 +1,5 @@
+(* Fixture: bare polymorphic compare in library scope. *)
+
+let sort_ids ids = List.sort compare ids
+
+let cmp_pairs a b = Stdlib.compare a b

@@ -1,0 +1,2 @@
+val sort_ids : int list -> int list
+val cmp_pairs : int * int -> int * int -> int

@@ -1,0 +1,17 @@
+(* Fixture: monomorphic comparators are clean. *)
+
+let sort_ids ids = List.sort Int.compare ids
+
+let cmp_pairs (a, b) (c, d) =
+  let x = Int.compare a c in
+  if x <> 0 then x else Int.compare b d
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare (a, b) (c, d) =
+    let x = Int.compare a c in
+    if x <> 0 then x else Int.compare b d
+end)
+
+let mem = Pair_set.mem

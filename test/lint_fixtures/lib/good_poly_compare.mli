@@ -1,0 +1,6 @@
+val sort_ids : int list -> int list
+val cmp_pairs : int * int -> int * int -> int
+
+module Pair_set : Set.S with type elt = int * int
+
+val mem : Pair_set.elt -> Pair_set.t -> bool

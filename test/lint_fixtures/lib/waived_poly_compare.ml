@@ -1,0 +1,4 @@
+(* Fixture: a justified generic helper keeps polymorphic compare behind a
+   reasoned waiver. *)
+
+let sort_any xs = List.sort compare xs (* lint: allow poly-compare -- fixture: generic helper, caller guarantees comparable keys *)

@@ -1,0 +1,1 @@
+val sort_any : 'a list -> 'a list

@@ -105,6 +105,77 @@ let test_union_subgraph =
       Graph.is_subgraph a u && Graph.is_subgraph c u)
 
 (* ------------------------------------------------------------------ *)
+(* CSR storage vs naive reference                                      *)
+
+(* Naive reference semantics for the builder: canonicalise u < v, drop
+   self-loops, first insertion of a pair wins and fixes both the length
+   and the edge id order. *)
+let naive_edges edges =
+  List.fold_left
+    (fun acc (u, v, len) ->
+      if u = v then acc
+      else begin
+        let u, v = if u < v then (u, v) else (v, u) in
+        if List.exists (fun (a, b, _) -> a = u && b = v) acc then acc
+        else (u, v, len) :: acc
+      end)
+    [] edges
+  |> List.rev
+
+let random_edge_list seed =
+  let rng = Prng.create seed in
+  let n = 1 + Prng.int rng 12 in
+  let k = Prng.int rng (4 * n) in
+  let edges =
+    List.init k (fun _ -> (Prng.int rng n, Prng.int rng n, Prng.range rng 0.1 2.))
+  in
+  (n, edges)
+
+let test_csr_matches_naive =
+  qtest "CSR graph = naive reference" ~count:300 seed_gen (fun seed ->
+      let n, edges = random_edge_list seed in
+      let g = Graph.of_edges ~n edges in
+      let reference = naive_edges edges in
+      let m = List.length reference in
+      Graph.num_edges g = m
+      && List.for_all2
+           (fun (u, v, len) id ->
+             Graph.endpoints g id = (u, v)
+             && Graph.edge_u g id = u
+             && Graph.edge_v g id = v
+             && Graph.length g id = len
+             && (Graph.edge g id).Graph.u = u)
+           reference
+           (List.init m Fun.id)
+      &&
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let deg = List.length (List.filter (fun (a, b, _) -> a = u || b = u) reference) in
+        if Graph.degree g u <> deg then ok := false;
+        for v = 0 to n - 1 do
+          let expect =
+            List.find_opt (fun (a, b, _) -> (a = u && b = v) || (a = v && b = u)) reference
+          in
+          (match (Graph.find_edge g u v, expect) with
+          | None, None -> ()
+          | Some id, Some (a, b, _) -> if Graph.endpoints g id <> (a, b) then ok := false
+          | _ -> ok := false);
+          if Graph.mem_edge g u v <> Option.is_some expect then ok := false
+        done
+      done;
+      !ok)
+
+let test_csr_fold_matches_naive =
+  qtest "fold_edges visits edges in id order" ~count:200 seed_gen (fun seed ->
+      let n, edges = random_edge_list seed in
+      let g = Graph.of_edges ~n edges in
+      let folded =
+        Graph.fold_edges g ~init:[] ~f:(fun acc id e -> (id, e.Graph.u, e.Graph.v, e.Graph.len) :: acc)
+        |> List.rev
+      in
+      folded = List.mapi (fun id (u, v, len) -> (id, u, v, len)) (naive_edges edges))
+
+(* ------------------------------------------------------------------ *)
 (* Cost                                                                *)
 
 let test_cost_models () =
@@ -345,6 +416,7 @@ let () =
           test_union_subgraph;
           test_union_commutative;
         ] );
+      ("csr", [ test_csr_matches_naive; test_csr_fold_matches_naive ]);
       ("cost", [ case "models" test_cost_models ]);
       ( "dijkstra",
         [

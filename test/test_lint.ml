@@ -95,6 +95,27 @@ let test_float_flagged_module =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Polymorphic compare confinement (lib scope)                         *)
+
+let test_bad_poly_compare =
+  check_diags "bare and Stdlib-qualified compare fire" "lib/bad_poly_compare.ml"
+    [
+      "lint_fixtures/lib/bad_poly_compare.ml:3:29 [poly-compare] bare polymorphic compare in \
+       library code; use a monomorphic comparator (Int.compare, Float.compare, ...)";
+      "lint_fixtures/lib/bad_poly_compare.ml:5:20 [poly-compare] bare polymorphic compare in \
+       library code; use a monomorphic comparator (Int.compare, Float.compare, ...)";
+    ]
+
+let test_good_poly_compare =
+  check_diags "monomorphic comparators and functor comparators are clean"
+    "lib/good_poly_compare.ml" []
+
+let test_poly_compare_tool_scope () =
+  let source = "let sort_ids ids = List.sort compare ids\n" in
+  let as_tool = Lint_driver.check_source ~scope:Lint_rules.Tool ~file:"inline.ml" source in
+  Alcotest.(check int) "tool scope allows bare compare" 0 (List.length as_tool.Lint_driver.diags)
+
+(* ------------------------------------------------------------------ *)
 (* Obs purity and catch hygiene                                        *)
 
 let test_bad_obs =
@@ -173,6 +194,10 @@ let test_waived_lib () =
     [ "ambient-rng"; "hashtbl-order"; "obs-purity"; "wall-clock" ]
     (used_waiver_rules "lib/waived.ml")
 
+let test_waived_poly_compare () =
+  Alcotest.(check (list string)) "poly-compare waiver used" [ "poly-compare" ]
+    (used_waiver_rules "lib/waived_poly_compare.ml")
+
 let test_waived_tool () =
   Alcotest.(check (list string)) "tool waivers all used"
     [ "catch-all"; "float-cmp"; "float-minmax"; "raw-domain" ]
@@ -219,9 +244,9 @@ let test_bad_parse =
 (* ------------------------------------------------------------------ *)
 (* Whole-corpus run and JSON report shape                              *)
 
-let corpus_files = 23
-let corpus_errors = 22
-let corpus_waivers = 9
+let corpus_files = 29
+let corpus_errors = 24
+let corpus_waivers = 10
 
 let test_run_totals () =
   let r = Lint_driver.run [ fixture_root ] in
@@ -235,6 +260,7 @@ let test_run_totals () =
     | None -> Alcotest.failf "rule %s missing from report" rule
   in
   Alcotest.(check int) "float-cmp count" 4 (count "float-cmp");
+  Alcotest.(check int) "poly-compare count" 2 (count "poly-compare");
   Alcotest.(check int) "hashtbl-order count" 2 (count "hashtbl-order");
   Alcotest.(check int) "raw-domain count" 2 (count "raw-domain");
   Alcotest.(check int) "waiver-hygiene count" 3 (count "waiver-hygiene");
@@ -280,6 +306,13 @@ let () =
           Alcotest.test_case "bad fixture" `Quick test_bad_float;
           Alcotest.test_case "good fixture" `Quick test_good_float;
           Alcotest.test_case "float-flagged module" `Quick test_float_flagged_module;
+        ] );
+      ( "poly-compare",
+        [
+          Alcotest.test_case "bad fixture" `Quick test_bad_poly_compare;
+          Alcotest.test_case "good fixture" `Quick test_good_poly_compare;
+          Alcotest.test_case "waived fixture" `Quick test_waived_poly_compare;
+          Alcotest.test_case "tool scope" `Quick test_poly_compare_tool_scope;
         ] );
       ( "obs-and-catch",
         [

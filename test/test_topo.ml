@@ -493,6 +493,40 @@ let test_maintenance_bounds () =
   Alcotest.check_raises "out of range" (Invalid_argument "Maintenance.move: node out of range")
     (fun () -> Maintenance.move m 5 Point.origin)
 
+(* ------------------------------------------------------------------ *)
+(* Degenerate point sets: every construction must be total for n ≤ 2.  *)
+
+let test_degenerate_totality () =
+  let theta = theta_default in
+  let sets =
+    [ ("n=0", [||]); ("n=1", [| Point.make 0.5 0.5 |]);
+      ("n=2", [| Point.make 0.25 0.5; Point.make 0.75 0.5 |]) ]
+  in
+  List.iter
+    (fun (tag, points) ->
+      let n = Array.length points in
+      let check name g =
+        Alcotest.(check int) (tag ^ " " ^ name ^ " nodes") n (Graph.n g);
+        Alcotest.(check bool)
+          (tag ^ " " ^ name ^ " edge bound")
+          true
+          (Graph.num_edges g <= n * (n - 1) / 2)
+      in
+      check "udg" (Udg.build ~range:1. points);
+      check "udg zero range" (Udg.build ~range:0. points);
+      check "yao" (Yao.graph ~theta ~range:1. points);
+      check "theta-graph" (Theta_graph.build ~theta ~range:1. points);
+      check "theta-alg" (Theta_alg.overlay (Theta_alg.build ~theta ~range:1. points));
+      check "theta-protocol" (fst (Theta_protocol.run ~theta ~range:1. points));
+      check "knn" (Knn.build ~k:2 points);
+      check "gabriel" (Gabriel.build points);
+      check "rng" (Rng_graph.build points);
+      check "beta-skeleton" (Beta_skeleton.build ~beta:1.5 points);
+      check "delaunay" (Delaunay.build points);
+      check "euclidean-mst" (Euclidean_mst.build points);
+      check "cbtc" (Cbtc.build ~alpha:(2. *. Float.pi /. 3.) ~range:1. points).Cbtc.graph)
+    sets
+
 let () =
   Alcotest.run "topo"
     [
@@ -557,6 +591,7 @@ let () =
           case "locality" test_maintenance_locality;
           case "bounds" test_maintenance_bounds;
         ] );
+      ("degenerate", [ case "all constructions total for n <= 2" test_degenerate_totality ]);
       ( "cbtc",
         [
           test_cbtc_preserves_connectivity;
