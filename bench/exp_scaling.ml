@@ -7,7 +7,10 @@
    value (the qcheck suite pins this), so the sweep also records one
    structural metric per instance (edge counts) that --compare checks
    exactly: any drift across machines or pool sizes is a regression,
-   while the "ns_per_run:*" timings only warn.
+   while the "ns_per_run:*" timings only warn.  A separate profiled pass
+   per configuration records per-domain busy-time balance
+   ("pool.imbalance:*") and owner-domain GC deltas ("gc:*"); both are
+   machine-dependent and compared with the same tolerance as timings.
 
    The jobs grid is a fixed {1, 2, 4, 8} — never the machine's
    recommended domain count — and the per-jobs pools are attached to the
@@ -98,6 +101,43 @@ let run () =
               else fmt_speedup !base ns)
             pools
         in
+        (* Profiled pass: one extra run per configuration on a fresh
+           per-domain recorder, yielding busy-time balance figures and an
+           owner-domain GC delta.  All of it is timing- or runtime-derived,
+           so --compare relaxes the "pool.imbalance:*" / "gc:*" prefixes;
+           the metric *names* recorded here are a pure function of the
+           sweep, keeping baseline metric sets machine-independent. *)
+        List.iter
+          (fun (j, p) ->
+            match current_obs () with
+            | None -> ()
+            | Some sink ->
+                let dp = Obs.Domprof.create ~slots:(Pool.jobs p) () in
+                Obs.attach_pool ~domprof:dp sink p;
+                let g0 = Obs.Gcstat.read () in
+                ignore (f p);
+                let g = Obs.Gcstat.delta ~before:g0 ~after:(Obs.Gcstat.read ()) in
+                (* Back to the sink's own recorder (if any) for later runs. *)
+                Obs.attach_pool sink p;
+                let key metric = Printf.sprintf "%s:%s/n=%d/jobs=%d" metric name n j in
+                (match Obs.Domprof.summary dp with
+                | Some s ->
+                    record_float (key "pool.imbalance:ratio") s.Obs.Domprof.imbalance;
+                    record_float (key "pool.imbalance:busy_min_s") s.Obs.Domprof.busy_min;
+                    record_float (key "pool.imbalance:busy_max_s") s.Obs.Domprof.busy_max;
+                    record_float (key "pool.imbalance:busy_mean_s") s.Obs.Domprof.busy_mean
+                | None ->
+                    record_float (key "pool.imbalance:ratio") 0.;
+                    record_float (key "pool.imbalance:busy_min_s") 0.;
+                    record_float (key "pool.imbalance:busy_max_s") 0.;
+                    record_float (key "pool.imbalance:busy_mean_s") 0.);
+                record_float (key "gc:minor_words") g.Obs.Gcstat.minor_words;
+                record_float (key "gc:promoted_words") g.Obs.Gcstat.promoted_words;
+                record_float (key "gc:minor_collections")
+                  (float_of_int g.Obs.Gcstat.minor_collections);
+                record_float (key "gc:major_collections")
+                  (float_of_int g.Obs.Gcstat.major_collections))
+          pools;
         Table.add_row t ((name :: string_of_int n :: cells) : string list);
         (* One structural metric per instance, identical for every jobs
            value and every machine: --compare flags any drift as an

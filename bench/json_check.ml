@@ -3,25 +3,33 @@
 
    The toolchain ships no JSON library, so this is a small recursive-descent
    parser covering the full JSON grammar.  Beyond syntax it checks the
-   adhoc-bench/3 shape: a top-level object whose "schema" is
-   "adhoc-bench/3", whose "jobs" member is the numeric domain-pool size
+   adhoc-bench/4 shape: a top-level object whose "schema" is
+   "adhoc-bench/4", whose "jobs" member is the numeric domain-pool size
    the run used, and whose "experiments" member is a non-empty array of
    objects each carrying "id", "seconds", "metrics", well-formed "spans"
-   (label / count / seconds), an "obs" metric snapshot and a "trace"
-   pointer (string or null).  The B2 scaling experiment must additionally
-   snapshot nonzero pool.regions / pool.items counters — zero means the
-   sweep's per-jobs pools were not attached to the obs sink.  Version-1
-   and version-2 documents are rejected with dedicated errors.
+   (label / count / seconds), an "obs" metric snapshot and "trace" /
+   "chrome_trace" pointers (string or null).  The B2 scaling experiment
+   must additionally snapshot nonzero pool.regions / pool.items counters
+   — zero means the sweep's per-jobs pools were not attached to the obs
+   sink — and record at least one nonzero "pool.imbalance:*" and one
+   nonzero "gc:*" headline metric (zeros mean the profiled pass never
+   ran).  Version-1/2/3 documents are rejected with dedicated errors.
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
                               object with a numeric "step" member
      json_check --lint FILE   validates an adhoc-lint/1 static-analysis
                               report (rules / diagnostics / waivers shape)
+     json_check --chrome-trace FILE
+                              validates a Chrome trace-event export: a
+                              {"traceEvents": [...]} document of well-formed
+                              "M" / "X" events
      json_check --compare BASELINE CURRENT [--span-tolerance R]
-                              diffs two adhoc-bench/3 documents: stats must
+                              diffs two adhoc-bench/4 documents: stats must
                               match exactly (whatever --jobs either run
-                              used), wall-clock timings only warn *)
+                              used); wall-clock timings and the
+                              runtime-derived "pool.imbalance:*" / "gc:*" /
+                              "gc.*" members only warn *)
 
 exception Bad of string
 
@@ -205,12 +213,18 @@ let experiment_ok = function
       && (match List.assoc_opt "trace" fields with
          | Some (Str _ | Null) -> true
          | _ -> false)
+      && (match List.assoc_opt "chrome_trace" fields with
+         | Some (Str _ | Null) -> true
+         | _ -> false)
   | _ -> false
 
 (* The B2 scaling sweep times every kernel on an explicit per-jobs pool;
    if its snapshot shows zero pool activity the sweep silently timed the
    sequential fallback (the regression this pin was added for: the per-jobs
    pools were never attached to the experiment's obs sink). *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
 let b2_pool_counters_ok fields =
   match List.assoc_opt "id" fields with
   | Some (Str "b2") ->
@@ -220,8 +234,24 @@ let b2_pool_counters_ok fields =
             match List.assoc_opt name obs with Some (Num c) when c > 0. -> true | _ -> false)
         | _ -> false
       in
-      if counter "pool.regions" && counter "pool.items" then Ok ()
-      else Error "experiment b2 must record nonzero pool.regions / pool.items counters"
+      (* Same spirit for the profiled pass: all-zero imbalance / GC
+         headline metrics mean B2 never actually profiled its pools. *)
+      let some_metric prefix =
+        match List.assoc_opt "metrics" fields with
+        | Some (Obj ms) ->
+            List.exists
+              (fun (name, v) ->
+                starts_with ~prefix name && match v with Num c -> c > 0. | _ -> false)
+              ms
+        | _ -> false
+      in
+      if not (counter "pool.regions" && counter "pool.items") then
+        Error "experiment b2 must record nonzero pool.regions / pool.items counters"
+      else if not (some_metric "pool.imbalance:") then
+        Error "experiment b2 must record a nonzero pool.imbalance:* metric"
+      else if not (some_metric "gc:") then
+        Error "experiment b2 must record a nonzero gc:* metric"
+      else Ok ()
   | _ -> Ok ()
 
 let read_file file =
@@ -237,22 +267,29 @@ let check_document file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/3") -> ()
+      | Some (Str "adhoc-bench/4") -> ()
       | Some (Str "adhoc-bench/1") ->
           Printf.eprintf
             "%s: version-1 document (adhoc-bench/1); this checker validates \
-             adhoc-bench/3 — regenerate with the current bench harness\n"
+             adhoc-bench/4 — regenerate with the current bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/2") ->
           Printf.eprintf
             "%s: version-2 document (adhoc-bench/2, no \"jobs\" member); this \
-             checker validates adhoc-bench/3 — regenerate with the current \
+             checker validates adhoc-bench/4 — regenerate with the current \
              bench harness\n"
             file;
           exit 1
+      | Some (Str "adhoc-bench/3") ->
+          Printf.eprintf
+            "%s: version-3 document (adhoc-bench/3, no GC/profiling members); \
+             this checker validates adhoc-bench/4 — regenerate with the \
+             current bench harness\n"
+            file;
+          exit 1
       | Some (Str other) ->
-          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/3\")\n" file other;
+          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/4\")\n" file other;
           exit 1
       | _ ->
           Printf.eprintf "%s: missing \"schema\" member\n" file;
@@ -289,17 +326,28 @@ let check_document file =
 (* --------------------------------------------------------------------- *)
 (* Baseline comparison: did the simulation's numbers drift?
 
-   Stats in adhoc-bench/3 documents are deterministic (seeded PRNG), and
+   Stats in adhoc-bench/4 documents are deterministic (seeded PRNG), and
    — pool kernels being bit-identical for any jobs — independent of the
    "jobs" the two runs used, so a
    current run's metrics must match a committed baseline exactly; the only
-   legitimately machine-dependent members are wall-clock timings — the
-   experiment's "seconds", span timings, and micro-benchmark metrics
-   (named "ns_per_run:*").  Those are compared within a relative tolerance
-   and reported as warnings; everything else drifting is an error. *)
+   legitimately machine-dependent members are wall-clock timings and
+   runtime telemetry — the experiment's "seconds", span timings,
+   micro-benchmark metrics ("ns_per_run:*"), B2's profiled-pass figures
+   ("pool.imbalance:*", "gc:*" — GC collection counts can drift by a
+   cycle run-to-run, so they are relaxed too) and the obs snapshot's
+   "gc.*" counters.  Those are compared within a relative tolerance and
+   reported as warnings; everything else drifting is an error.  The
+   "pool.chunk_items" histogram is jobs-dependent by design, so compare
+   runs of the same --jobs (CI pins 2 on both sides). *)
 
 let is_timing_metric name =
-  String.length name >= 11 && String.sub name 0 11 = "ns_per_run:"
+  starts_with ~prefix:"ns_per_run:" name
+  || starts_with ~prefix:"pool.imbalance:" name
+  || starts_with ~prefix:"gc:" name
+
+(* Obs snapshot members that carry GC telemetry ("gc.pool." counters):
+   relaxed the same way — word counts are honest runtime measurements. *)
+let is_runtime_obs_metric name = starts_with ~prefix:"gc." name
 
 let load_doc file =
   match parse (read_file file) with
@@ -308,9 +356,9 @@ let load_doc file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/3") -> ()
+      | Some (Str "adhoc-bench/4") -> ()
       | _ ->
-          Printf.eprintf "%s: not an adhoc-bench/3 document\n" file;
+          Printf.eprintf "%s: not an adhoc-bench/4 document\n" file;
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr exps) ->
@@ -387,16 +435,21 @@ let compare_docs ~tolerance base_file cur_file =
               if not (List.mem_assoc name bm) then
                 error id "metric %s absent from baseline" name)
             cm;
-          (* Observability snapshot: deterministic, exact. *)
+          (* Observability snapshot: deterministic and exact, except the
+             gc.* counters, which are runtime measurements. *)
           let bo = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "obs" bf))
           and co = obj_fields (Option.value ~default:(Obj []) (List.assoc_opt "obs" cf)) in
           List.iter
             (fun (name, bv) ->
               match List.assoc_opt name co with
               | None -> error id "obs metric %s missing from current run" name
-              | Some cv ->
-                  if bv <> cv then
-                    error id "obs metric %s: %s -> %s" name (render bv) (render cv))
+              | Some cv -> (
+                  match (bv, cv) with
+                  | Num b, Num c when is_runtime_obs_metric name ->
+                      timing id ("obs " ^ name) b c
+                  | _ ->
+                      if bv <> cv then
+                        error id "obs metric %s: %s -> %s" name (render bv) (render cv)))
             bo;
           (* Span timings: machine-dependent; counts are deterministic. *)
           let spans v =
@@ -547,6 +600,57 @@ let check_lint_report file =
   Printf.printf "%s: ok (%d files, %d errors, %d warnings, %d waivers)\n" file files errors
     warnings (List.length waivers)
 
+(* --------------------------------------------------------------------- *)
+(* Chrome trace-event exports (catapult format, see lib/obs/chrome_trace):
+   a top-level object with a non-empty "traceEvents" array of objects,
+   every event "M" (metadata: needs a name) or "X" (complete: needs name,
+   numeric pid/tid and non-negative ts/dur). *)
+
+let check_chrome_trace file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1)
+      fmt
+  in
+  let fields =
+    match parse (read_file file) with
+    | exception Bad msg -> fail "invalid JSON: %s" msg
+    | Obj fields -> fields
+    | _ -> fail "top-level value is not an object"
+  in
+  let events =
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Arr (_ :: _ as es)) -> es
+    | Some (Arr []) -> fail "empty \"traceEvents\" array"
+    | _ -> fail "missing or malformed \"traceEvents\" array"
+  in
+  let complete = ref 0 in
+  List.iteri
+    (fun i v ->
+      let f = match v with Obj f -> f | _ -> fail "event %d is not an object" i in
+      let name_ok = match List.assoc_opt "name" f with Some (Str _) -> true | _ -> false in
+      match List.assoc_opt "ph" f with
+      | Some (Str "M") -> if not name_ok then fail "metadata event %d lacks a \"name\"" i
+      | Some (Str "X") ->
+          incr complete;
+          if not name_ok then fail "complete event %d lacks a \"name\"" i;
+          let num field =
+            match List.assoc_opt field f with
+            | Some (Num x) -> x
+            | _ -> fail "complete event %d lacks a numeric %S" i field
+          in
+          ignore (num "pid");
+          ignore (num "tid");
+          if num "ts" < 0. then fail "complete event %d has a negative \"ts\"" i;
+          if num "dur" < 0. then fail "complete event %d has a negative \"dur\"" i
+      | Some (Str other) -> fail "event %d has unsupported phase %S" i other
+      | _ -> fail "event %d lacks a \"ph\" member" i)
+    events;
+  if !complete = 0 then fail "no \"X\" (complete) events — nothing was profiled";
+  Printf.printf "%s: ok (%d events, %d complete)\n" file (List.length events) !complete
+
 (* One JSON object per non-empty line, each with a numeric "step". *)
 let check_jsonl file =
   let lines =
@@ -579,6 +683,7 @@ let () =
   | [| _; f |] -> check_document f
   | [| _; "--jsonl"; f |] -> check_jsonl f
   | [| _; "--lint"; f |] -> check_lint_report f
+  | [| _; "--chrome-trace"; f |] -> check_chrome_trace f
   | [| _; "--compare"; base; cur |] -> compare_docs ~tolerance:0.25 base cur
   | [| _; "--compare"; base; cur; "--span-tolerance"; r |] -> (
       match float_of_string_opt r with
@@ -591,5 +696,6 @@ let () =
         "usage: json_check FILE\n\
         \       json_check --jsonl FILE\n\
         \       json_check --lint FILE\n\
+        \       json_check --chrome-trace FILE\n\
         \       json_check --compare BASELINE CURRENT [--span-tolerance R]";
       exit 2

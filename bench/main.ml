@@ -7,6 +7,8 @@
                                            # also write machine-readable results
      dune exec bench/main.exe -- e7 --json out.json --trace-dir traces
                                            # + one per-step JSONL trace per experiment
+     dune exec bench/main.exe -- quick --chrome-trace-dir traces
+                                           # + one Chrome trace-event file per experiment
 
    Experiment ids: e1..e20 (paper claims and extensions), b1
    (micro-benchmarks), b2 (multicore scaling sweep).
@@ -17,10 +19,11 @@
    changes.
 
    --json FILE writes one object per executed experiment (schema
-   adhoc-bench/3): its id, title, wall-clock seconds, the headline metrics
-   the experiment recorded, the observability layer's span timings and
-   metric snapshot, and a pointer to the experiment's trace file when
-   --trace-dir was given (see EXPERIMENTS.md for the schema). *)
+   adhoc-bench/4): its id, title, wall-clock seconds, the headline metrics
+   the experiment recorded, the observability layer's span timings (with
+   per-span GC deltas) and metric snapshot, and pointers to the
+   experiment's trace / chrome-trace files when --trace-dir /
+   --chrome-trace-dir were given (see EXPERIMENTS.md for the schema). *)
 
 module Obs = Adhoc.Obs
 
@@ -78,6 +81,7 @@ type outcome = {
   spans : Obs.Span.total list;
   obs_snapshot : (string * Obs.Metrics.value) list;
   trace_file : string option;
+  chrome_file : string option;
 }
 
 let span_json (s : Obs.Span.total) =
@@ -88,6 +92,10 @@ let span_json (s : Obs.Span.total) =
       ("count", Int s.Obs.Span.count);
       ("seconds", Float s.Obs.Span.seconds);
       ("self_seconds", Float s.Obs.Span.self_seconds);
+      ("gc_minor_words", Float s.Obs.Span.minor_words);
+      ("gc_promoted_words", Float s.Obs.Span.promoted_words);
+      ("gc_minor_collections", Int s.Obs.Span.minor_collections);
+      ("gc_major_collections", Int s.Obs.Span.major_collections);
     ]
 
 let metric_value_json v =
@@ -115,12 +123,14 @@ let outcome_json o =
       ("spans", List (List.map span_json o.spans));
       ("obs", Obj (List.map (fun (n, v) -> (n, metric_value_json v)) o.obs_snapshot));
       ("trace", match o.trace_file with None -> Null | Some f -> String f);
+      ("chrome_trace", match o.chrome_file with None -> Null | Some f -> String f);
     ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json_file, args = split_opt "--json" [] args in
   let trace_dir, args = split_opt "--trace-dir" [] args in
+  let chrome_dir, args = split_opt "--chrome-trace-dir" [] args in
   let jobs_arg, args = split_opt "--jobs" [] args in
   let jobs =
     match jobs_arg with
@@ -143,13 +153,15 @@ let () =
           Printf.eprintf "--json: %s\n" msg;
           exit 1)
   in
-  (match trace_dir with
-  | Some dir when not (Sys.file_exists dir) -> (
+  let ensure_dir flag dir =
+    if not (Sys.file_exists dir) then
       try Unix.mkdir dir 0o755
       with Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "--trace-dir: %s: %s\n" dir (Unix.error_message e);
-        exit 1)
-  | _ -> ());
+        Printf.eprintf "%s: %s: %s\n" flag dir (Unix.error_message e);
+        exit 1
+  in
+  Option.iter (ensure_dir "--trace-dir") trace_dir;
+  Option.iter (ensure_dir "--chrome-trace-dir") chrome_dir;
   let selected =
     match args with
     | [] -> List.map (fun (id, _, _) -> id) default_set
@@ -174,7 +186,11 @@ let () =
           let trace =
             Option.map (fun _ -> Obs.Trace.create ~stride:10 ()) trace_dir
           in
-          let sink = Obs.create ?trace () in
+          (* One recorder per experiment so Chrome exports are attributed
+             to exactly one run; GC span deltas are always on here — the
+             harness is measuring anyway. *)
+          let domprof = Option.map (fun _ -> Obs.Domprof.create ()) chrome_dir in
+          let sink = Obs.create ?trace ?domprof ~gc:true () in
           Common.obs_sink := Some sink;
           (* Pool regions surface as "pool/<label>" spans and counters in
              this experiment's snapshot; only top-level owner-domain
@@ -193,6 +209,14 @@ let () =
                 Some file
             | _ -> None
           in
+          let chrome_file =
+            match (chrome_dir, domprof) with
+            | Some dir, Some dp when Obs.Domprof.length dp > 0 ->
+                let file = Filename.concat dir (id ^ ".trace.json") in
+                Obs.Chrome_trace.save ~process_name:("adhoc bench " ^ id) dp file;
+                Some file
+            | _ -> None
+          in
           results :=
             {
               id;
@@ -202,6 +226,7 @@ let () =
               spans = Obs.Span.totals sink.Obs.spans;
               obs_snapshot = Obs.Metrics.snapshot sink.Obs.metrics;
               trace_file;
+              chrome_file;
             }
             :: !results
       | None ->
@@ -216,7 +241,7 @@ let () =
       let doc =
         Obj
           [
-            ("schema", String "adhoc-bench/3");
+            ("schema", String "adhoc-bench/4");
             ("jobs", Int (Adhoc.Util.Pool.jobs pool));
             ("experiments", List (List.rev_map outcome_json !results));
           ]

@@ -192,7 +192,19 @@ let route_cmd =
     Arg.(
       value & flag
       & info [ "metrics" ]
-          ~doc:"Print the observability layer's span timings and metric snapshot after the run.")
+          ~doc:
+            "Print the observability layer's span timings (with per-span GC deltas) and \
+             metric snapshot after the run.")
+  in
+  let chrome_trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a per-domain profiling timeline (pool regions, chunks and spans) and \
+             write it to $(docv) as Chrome trace-event JSON after the run — load it in \
+             chrome://tracing or ui.perfetto.dev.")
   in
   let print_observability (o : Obs.sink) =
     let spans = Obs.Span.totals o.Obs.spans in
@@ -204,6 +216,9 @@ let route_cmd =
             ("calls", Table.Right);
             ("seconds", Table.Right);
             ("self", Table.Right);
+            ("minor w", Table.Right);
+            ("promoted w", Table.Right);
+            ("gc m/M", Table.Right);
           ]
       in
       List.iter
@@ -214,6 +229,9 @@ let route_cmd =
               string_of_int s.Obs.Span.count;
               Printf.sprintf "%.6f" s.Obs.Span.seconds;
               Printf.sprintf "%.6f" s.Obs.Span.self_seconds;
+              Printf.sprintf "%.0f" s.Obs.Span.minor_words;
+              Printf.sprintf "%.0f" s.Obs.Span.promoted_words;
+              Printf.sprintf "%d/%d" s.Obs.Span.minor_collections s.Obs.Span.major_collections;
             ])
         spans;
       print_newline ();
@@ -253,14 +271,18 @@ let route_cmd =
              reconcile it with the final stats; exit non-zero on any violation.")
   in
   let run jobs seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
-      trace_stride metrics events_file check_invariants =
+      trace_stride metrics events_file check_invariants chrome_file =
     with_jobs jobs @@ fun pool ->
     let trace = Option.map (fun _ -> Obs.Trace.create ~stride:trace_stride ()) trace_file in
     let events =
       if events_file <> None || check_invariants then Some (Obs.Event.create ()) else None
     in
+    let domprof = Option.map (fun _ -> Obs.Domprof.create ()) chrome_file in
     let obs =
-      if trace <> None || metrics || events <> None then Some (Obs.create ?trace ?events ())
+      if trace <> None || metrics || events <> None || domprof <> None then
+        (* GC telemetry rides with --metrics: that is the only reporter of
+           the per-span deltas, and the default path stays read-free. *)
+        Some (Obs.create ?trace ?events ?domprof ~gc:metrics ())
       else None
     in
     Option.iter (fun o -> Obs.attach_pool o pool) obs;
@@ -305,6 +327,11 @@ let route_cmd =
         Obs.Event.save_jsonl log file;
         Printf.printf "wrote %s (%d events)\n" file (Obs.Event.length log)
     | _ -> ());
+    (match (domprof, chrome_file) with
+    | Some dp, Some file ->
+        Obs.Chrome_trace.save ~process_name:"adhoc_sim route" dp file;
+        Printf.printf "wrote %s (%d slices)\n" file (Obs.Domprof.length dp)
+    | _ -> ());
     (match obs with Some o when metrics -> print_observability o | _ -> ());
     match checker with
     | None -> ()
@@ -322,7 +349,7 @@ let route_cmd =
     Term.(
       const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t
       $ scenario_t $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t
-      $ events_t $ check_invariants_t)
+      $ events_t $ check_invariants_t $ chrome_trace_t)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)

@@ -8,18 +8,29 @@
     - {!Metrics} — named counters, gauges and fixed-bucket histograms,
       O(1) updates, exported with [Metrics.snapshot];
     - {!Span} — nestable wall-clock timing scopes accumulated per label
-      ([prepare], [workload/certify], [engine/…], [mac/…]);
+      ([prepare], [workload/certify], [engine/…], [mac/…]), optionally
+      with per-span {!Gcstat} deltas ([create ~gc:true]);
     - {!Trace} — an optional per-step sample recorder with JSONL and CSV
       sinks (see [adhoc_sim route --trace]);
     - {!Event} — an optional per-packet event log (inject / send /
       deliver / collide / epoch / advert), the flight recorder behind
-      [adhoc_sim analyze] and the {!Invariants} checker.
+      [adhoc_sim analyze] and the {!Invariants} checker;
+    - {!Domprof} — an optional per-domain profiling timeline fed by the
+      pool's region/chunk hooks and the span profiler, exportable as a
+      Chrome/Perfetto trace via {!Chrome_trace} (see
+      [adhoc_sim route --chrome-trace]).
+
+    Supporting modules: {!Clock} is the layer's single sanctioned
+    wall-clock site; {!Gcstat} its single [Gc.*] window (lint rules
+    wall-clock / raw-gc).
 
     Typical use:
     {[
-      let obs = Adhoc_obs.create ~trace:(Adhoc_obs.Trace.create ~stride:10 ()) () in
+      let dp = Adhoc_obs.Domprof.create () in
+      let obs = Adhoc_obs.create ~domprof:dp ~gc:true () in
+      Adhoc_obs.attach_pool obs pool;
       let r = Pipeline.run_scenario1 ~obs ~rng built in
-      Adhoc_obs.Trace.save_jsonl (Option.get obs.trace) "trace.jsonl";
+      Adhoc_obs.Chrome_trace.save dp "profile.trace.json";
       List.iter … (Adhoc_obs.Span.totals obs.spans)
     ]} *)
 
@@ -28,16 +39,25 @@ module Span = Span
 module Trace = Trace
 module Event = Event
 module Invariants = Invariants
+module Clock = Clock
+module Gcstat = Gcstat
+module Domprof = Domprof
+module Chrome_trace = Chrome_trace
 
 type sink = {
   metrics : Metrics.t;
   spans : Span.t;
   trace : Trace.t option;  (** no per-step trace unless provided *)
   events : Event.log option;  (** no per-packet event log unless provided *)
+  domprof : Domprof.t option;  (** no per-domain timeline unless provided *)
 }
 
-val create : ?trace:Trace.t -> ?events:Event.log -> unit -> sink
-(** A sink with fresh metrics and span state. *)
+val create :
+  ?trace:Trace.t -> ?events:Event.log -> ?domprof:Domprof.t -> ?gc:bool -> unit -> sink
+(** A sink with fresh metrics and span state.  [~gc:true] turns on
+    per-span GC deltas (default off); [~domprof] threads the recorder
+    into the span profiler (span instances become timeline scopes) and
+    makes it the default recorder for {!attach_pool}. *)
 
 val events : sink option -> Event.log option
 (** The sink's event log, when both are present — the single [match] the
@@ -49,13 +69,22 @@ val time : sink option -> string -> (unit -> 'a) -> 'a
     engines match on the option and use {!Span.enter} / {!Span.leave}
     directly to stay allocation-free when disabled. *)
 
-val attach_pool : sink -> Adhoc_util.Pool.t -> unit
-(** Instrument a domain pool against this sink: each top-level parallel
-    region opens a [pool/<label>] span and bumps the [pool.regions] /
-    [pool.items] counters.  The pool fires its hooks only for top-level
-    regions on its owning domain (see [Adhoc_util.Pool.set_hooks]), so
-    every recorded value is identical for every [--jobs] — the sink is
-    never touched from a worker domain. *)
+val attach_pool : ?domprof:Domprof.t -> sink -> Adhoc_util.Pool.t -> unit
+(** Instrument a domain pool against this sink.  Each top-level parallel
+    region opens a [pool/<label>] span, bumps the [pool.regions] /
+    [pool.items] counters, observes its chunk sizes into the
+    [pool.chunk_items] histogram and accumulates a {!Gcstat} delta into
+    the [gc.pool.*] counters.  When a recorder is present ([~domprof]
+    overrides the sink's), regions and chunks are additionally recorded
+    on the per-domain timeline — chunk events fire on the executing
+    domain and touch only that slot's single-writer lane; everything
+    shared (metrics, spans) is owner-domain-only.
+
+    Jobs-invariance: region/item counts and span counts are identical for
+    every [--jobs]; chunk counts/sizes and [gc.pool.*] deltas are
+    honest functions of the pool size (and, for GC, of runtime state), so
+    [json_check --compare] pins the former exactly and relaxes the
+    latter. *)
 
 val detach_pool : Adhoc_util.Pool.t -> unit
 (** Clear a pool's instrumentation hooks (e.g. before the sink is

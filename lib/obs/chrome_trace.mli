@@ -1,0 +1,15 @@
+(** Chrome/Perfetto trace-event JSON export for {!Domprof} timelines.
+
+    Produces a catapult-format document ([{"traceEvents": [...]}]) that
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto} load
+    directly: metadata events name the process and each used lane, then
+    one ["X"] (complete) event per recorded entry with [tid] = pool slot
+    and [ts]/[dur] in microseconds since the recorder's epoch.  Event
+    order follows {!Domprof.entries}, so the document structure is
+    deterministic; only timestamps are machine-dependent.  Validated by
+    [json_check --chrome-trace]. *)
+
+val to_string : ?process_name:string -> Domprof.t -> string
+
+val save : ?process_name:string -> Domprof.t -> string -> unit
+(** [save dp file] writes the document to [file] (truncating). *)

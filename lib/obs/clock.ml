@@ -1,0 +1,12 @@
+(* The one sanctioned wall-clock site of the observability layer.
+
+   Every timestamp in this library — span timings, Domprof timeline
+   entries, Chrome trace events — flows through [now], so the wall-clock
+   lint waiver lives here and nowhere else.  [Unix.gettimeofday] is the
+   portable choice given the toolchain (no monotonic-clock binding without
+   C stubs); it has microsecond resolution on Linux, which is ample for
+   region/chunk-scale profiling.  Timestamps are observability data only:
+   no computed output may depend on them (DESIGN.md determinism policy). *)
+
+(* lint: allow wall-clock — the single sanctioned clock site; Span and Domprof timestamps are reported as machine-dependent and excluded from exact baseline comparison *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,10 @@
+(** The observability layer's single sanctioned clock.
+
+    All profiling timestamps ({!Span}, {!Domprof}, {!Chrome_trace}) read
+    time through this module, so the determinism lint's wall-clock waiver
+    has exactly one home.  Timestamps are telemetry: nothing computed may
+    depend on them. *)
+
+val now : unit -> float
+(** Seconds since the epoch ([Unix.gettimeofday]; microsecond resolution
+    on Linux). *)

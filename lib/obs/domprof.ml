@@ -1,0 +1,174 @@
+(* Per-domain profiling timelines.
+
+   A recorder keeps one lane per pool slot (slot 0 = the calling/owner
+   domain, slot i >= 1 = worker i-1).  Each lane is an entry buffer,
+   preallocated at [create] and grown by doubling, plus a small stack of
+   open begin-marks; an entry is appended when its scope closes.
+
+   Thread-safety by construction, not by locks: the pool runs chunk [i]
+   on the same domain every time, so each lane has exactly one writer —
+   the domain currently executing that slot — and writers never touch
+   another lane.  Readers ([entries], [summary], ...) run on the owner
+   after the region completed; the pool's region barrier (mutex +
+   condition) provides the happens-before edge that publishes worker
+   writes.
+
+   Determinism of the merge: [entries] concatenates lanes in ascending
+   slot order, each lane in its own append order.  Within a lane the
+   order is program order on that domain (closing order: children before
+   parents), and lane contents are independent of cross-domain
+   interleaving — so the merged sequence is a pure function of the
+   recorded workload, never of scheduling.  Timestamps vary run to run,
+   the structure does not. *)
+
+type kind = Region | Chunk | Scope
+
+type entry = {
+  kind : kind;
+  label : string;
+  slot : int;
+  lo : int;  (* item range: [0, items) for Region, the chunk range for
+                Chunk, (0, 0) for Scope *)
+  hi : int;
+  t0 : float;  (* seconds since the recorder's epoch *)
+  t1 : float;
+}
+
+type open_mark = { m_kind : kind; m_label : string; m_lo : int; m_hi : int; m_t0 : float }
+
+type lane = {
+  mutable buf : entry array;
+  mutable len : int;
+  mutable open_marks : open_mark list;  (* innermost first *)
+}
+
+type t = { lanes : lane array; mutable epoch : float }
+
+let dummy_entry = { kind = Scope; label = ""; slot = 0; lo = 0; hi = 0; t0 = 0.; t1 = 0. }
+
+let initial_capacity = 128
+
+let new_lane () = { buf = Array.make initial_capacity dummy_entry; len = 0; open_marks = [] }
+
+(* 64 lanes covers any pool (Pool.max_jobs); lanes are a few hundred words
+   each, so eager preallocation is cheap and keeps the record path
+   growth-only. *)
+let create ?(slots = 64) () =
+  let slots = max 1 slots in
+  { lanes = Array.init slots (fun _ -> new_lane ()); epoch = Clock.now () }
+
+let slots t = Array.length t.lanes
+
+let reset t =
+  Array.iter
+    (fun l ->
+      l.len <- 0;
+      l.open_marks <- [])
+    t.lanes;
+  t.epoch <- Clock.now ()
+
+let lane t slot =
+  if slot < 0 || slot >= Array.length t.lanes then
+    invalid_arg (Printf.sprintf "Domprof: slot %d out of range (recorder has %d)" slot
+                   (Array.length t.lanes));
+  t.lanes.(slot)
+
+let begin_mark t ~kind ~label ~slot ~lo ~hi =
+  let l = lane t slot in
+  l.open_marks <-
+    { m_kind = kind; m_label = label; m_lo = lo; m_hi = hi; m_t0 = Clock.now () -. t.epoch }
+    :: l.open_marks
+
+let push l e =
+  if l.len = Array.length l.buf then begin
+    let bigger = Array.make (2 * Array.length l.buf) dummy_entry in
+    Array.blit l.buf 0 bigger 0 l.len;
+    l.buf <- bigger
+  end;
+  l.buf.(l.len) <- e;
+  l.len <- l.len + 1
+
+let end_mark t ~slot =
+  let l = lane t slot in
+  match l.open_marks with
+  | [] -> invalid_arg "Domprof: end without a matching begin"
+  | m :: rest ->
+      l.open_marks <- rest;
+      push l
+        {
+          kind = m.m_kind;
+          label = m.m_label;
+          slot;
+          lo = m.m_lo;
+          hi = m.m_hi;
+          t0 = m.m_t0;
+          t1 = Clock.now () -. t.epoch;
+        }
+
+let begin_region t ~label ~items = begin_mark t ~kind:Region ~label ~slot:0 ~lo:0 ~hi:items
+
+let end_region t = end_mark t ~slot:0
+
+let begin_chunk t ~label ~slot ~lo ~hi = begin_mark t ~kind:Chunk ~label ~slot ~lo ~hi
+
+let end_chunk t ~slot = end_mark t ~slot
+
+let begin_scope t ~label = begin_mark t ~kind:Scope ~label ~slot:0 ~lo:0 ~hi:0
+
+let end_scope t = end_mark t ~slot:0
+
+let length t = Array.fold_left (fun acc l -> acc + l.len) 0 t.lanes
+
+(* Slot-major deterministic merge (see the header comment). *)
+let entries t =
+  let out = Array.make (length t) dummy_entry in
+  let j = ref 0 in
+  Array.iter
+    (fun l ->
+      Array.blit l.buf 0 out !j l.len;
+      j := !j + l.len)
+    t.lanes;
+  out
+
+type summary = {
+  busy : float array;  (* per-slot chunk-busy seconds, slots 0 .. max used *)
+  busy_min : float;
+  busy_max : float;
+  busy_mean : float;
+  imbalance : float;  (* busy_max / busy_mean; 1.0 when perfectly balanced *)
+  chunks : int;
+  chunk_items : int;
+}
+
+let summary t =
+  let max_slot = ref (-1) and chunks = ref 0 and items = ref 0 in
+  Array.iteri
+    (fun slot l ->
+      for i = 0 to l.len - 1 do
+        let e = l.buf.(i) in
+        if e.kind = Chunk then begin
+          if slot > !max_slot then max_slot := slot;
+          incr chunks;
+          items := !items + (e.hi - e.lo)
+        end
+      done)
+    t.lanes;
+  if !chunks = 0 then None
+  else begin
+    let busy = Array.make (!max_slot + 1) 0. in
+    Array.iteri
+      (fun slot l ->
+        if slot <= !max_slot then
+          for i = 0 to l.len - 1 do
+            let e = l.buf.(i) in
+            if e.kind = Chunk then busy.(slot) <- busy.(slot) +. (e.t1 -. e.t0)
+          done)
+      t.lanes;
+    let busy_min = Array.fold_left Float.min busy.(0) busy in
+    let busy_max = Array.fold_left Float.max busy.(0) busy in
+    let busy_mean = Array.fold_left ( +. ) 0. busy /. float_of_int (Array.length busy) in
+    (* Sub-resolution regions can sum to a zero mean; report "balanced"
+       rather than a NaN that would serialize to null. *)
+    let imbalance = if busy_mean > 0. then busy_max /. busy_mean else 1.0 in
+    Some { busy; busy_min; busy_max; busy_mean; imbalance; chunks = !chunks; chunk_items = !items }
+  end

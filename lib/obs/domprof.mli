@@ -1,0 +1,90 @@
+(** Per-domain profiling timelines for pool-parallel execution.
+
+    A recorder holds one preallocated, growable lane per pool slot
+    (slot 0 is the calling/owner domain; slot [i >= 1] is worker
+    [i - 1]).  The pool's instrumentation hooks (see
+    [Adhoc_obs.attach_pool]) record three kinds of timed scopes:
+
+    - [Region] — a whole top-level parallel region, slot 0;
+    - [Chunk] — one chunk of a region, recorded {e on the domain that ran
+      it}, with its item range;
+    - [Scope] — a {!Span} instance (when the span profiler is created
+      with a recorder), slot 0.
+
+    Each lane has a single writer — the domain executing that slot — so
+    recording needs no locks; reads must happen after the region
+    completed (the pool's completion barrier publishes worker writes).
+
+    {b Determinism.}  {!entries} merges lanes sequentially: ascending
+    slot, then per-lane append order (scopes close children-first).  The
+    merged structure — kinds, labels, slots, ranges, counts — is a pure
+    function of the recorded workload, independent of scheduling; only
+    the timestamps are machine-dependent.  Recording changes no computed
+    output bit (enforced by the profiling bit-identity tests). *)
+
+type kind = Region | Chunk | Scope
+
+type entry = {
+  kind : kind;
+  label : string;
+  slot : int;
+  lo : int;  (** [[0, items)] for [Region], the chunk range for [Chunk],
+                 [(0, 0)] for [Scope] *)
+  hi : int;
+  t0 : float;  (** seconds since the recorder's epoch ({!create}/{!reset}) *)
+  t1 : float;
+}
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** A recorder with [slots] preallocated lanes (default 64, covering any
+    pool size; clamped to at least 1).  Sets the epoch. *)
+
+val slots : t -> int
+
+val reset : t -> unit
+(** Drops all entries and open marks, keeps lane capacity, re-arms the
+    epoch. *)
+
+(** Recording.  [begin_*] / [end_*] must balance per slot; [end_mark]
+    without a begin raises [Invalid_argument], as does a slot outside the
+    recorder's lane range.  Chunk marks must be called from the domain
+    running that slot (the pool hooks do this). *)
+
+val begin_region : t -> label:string -> items:int -> unit
+
+val end_region : t -> unit
+
+val begin_chunk : t -> label:string -> slot:int -> lo:int -> hi:int -> unit
+
+val end_chunk : t -> slot:int -> unit
+
+val begin_scope : t -> label:string -> unit
+
+val end_scope : t -> unit
+
+val length : t -> int
+(** Closed entries across all lanes. *)
+
+val entries : t -> entry array
+(** The deterministic sequential merge: ascending slot, per-lane append
+    order.  Open (unbalanced) marks are not included. *)
+
+type summary = {
+  busy : float array;
+      (** per-slot busy seconds (sum of chunk durations), indices
+          [0 .. max slot that ran a chunk] *)
+  busy_min : float;
+  busy_max : float;
+  busy_mean : float;
+  imbalance : float;
+      (** [busy_max /. busy_mean] — 1.0 is perfectly balanced; also 1.0
+          when every duration was below clock resolution *)
+  chunks : int;  (** chunk entries recorded *)
+  chunk_items : int;  (** total items across chunk entries *)
+}
+
+val summary : t -> summary option
+(** Busy-time statistics over the chunk entries; [None] when no chunk was
+    recorded. *)

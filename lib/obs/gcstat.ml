@@ -1,0 +1,45 @@
+(* GC telemetry snapshots.
+
+   This module is the observability layer's one window onto the runtime's
+   GC counters (the raw-gc lint rule confines Gc.* to lib/obs).  It wraps
+   [Gc.quick_stat] — cheap, no heap walk — into an immutable snapshot so
+   callers can difference two program points.
+
+   OCaml 5 semantics worth knowing when reading the numbers: word counts
+   ([minor_words], [promoted_words]) are domain-local allocation counters,
+   so a delta taken on the pool's owner domain counts the owner's share of
+   a parallel region, not the whole fleet's; collection counts advance
+   with the (stop-the-world) minor cycles and major slices the runtime
+   happened to schedule.  Word deltas are therefore deterministic per
+   domain for a deterministic program, while collection counts can drift
+   by ±1 run-to-run depending on where heap boundaries fell — which is why
+   json_check --compare treats gc fields as timing-like (tolerance) rather
+   than exact. *)
+
+type snap = {
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let read () =
+  (* [Gc.quick_stat] folds a domain's minor allocation into [minor_words]
+     only at collection boundaries, so a span smaller than the minor heap
+     would see a zero delta.  [Gc.minor_words ()] reads the allocation
+     pointer directly and is exact at any program point. *)
+  let s = Gc.quick_stat () in
+  {
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+  }
+
+let delta ~before ~after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+  }

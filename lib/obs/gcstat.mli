@@ -1,0 +1,22 @@
+(** GC/allocation telemetry: cheap counter snapshots and deltas.
+
+    The only module (besides the rest of [lib/obs]) allowed to touch
+    [Gc.*] — the raw-gc lint rule bans it everywhere else.  Word counts
+    are domain-local in OCaml 5, so deltas taken on the pool's owner
+    domain measure the owner's own allocation.  Collection counts can
+    legitimately drift by ±1 between otherwise identical runs (heap
+    boundary effects), so they are compared with tolerance, never
+    exactly. *)
+
+type snap = {
+  minor_words : float;  (** words allocated in this domain's minor heap *)
+  promoted_words : float;  (** words promoted minor → major *)
+  minor_collections : int;  (** completed minor collection cycles *)
+  major_collections : int;  (** completed major cycles / slices *)
+}
+
+val read : unit -> snap
+(** Wraps [Gc.quick_stat] (no heap traversal; safe in hot-ish paths). *)
+
+val delta : before:snap -> after:snap -> snap
+(** Member-wise [after - before]. *)

@@ -1,52 +1,110 @@
-type acc = { mutable count : int; mutable seconds : float; mutable self_seconds : float }
+type acc = {
+  mutable count : int;
+  mutable seconds : float;
+  mutable self_seconds : float;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+}
 
 (* One frame per open span: [child] accumulates the inclusive time of the
    spans closed directly underneath it, so on leave the frame's exclusive
-   (self) time is [elapsed - child] without any per-label bookkeeping. *)
-type frame = { label : string; start : float; mutable child : float }
+   (self) time is [elapsed - child] without any per-label bookkeeping.
+   [base] is the GC snapshot at enter when GC capture is on ([None]
+   otherwise — the flag is fixed at create, so the disabled path allocates
+   exactly what it did before GC telemetry existed). *)
+type frame = { label : string; start : float; mutable child : float; base : Gcstat.snap option }
 
 type t = {
   mutable stack : frame list;  (* innermost first *)
   by_label : (string, acc) Hashtbl.t;
+  gc : bool;  (* capture Gc.quick_stat deltas per span *)
+  domprof : Domprof.t option;  (* also record each instance as a timeline scope *)
 }
 
-(* lint: allow wall-clock — measuring wall-clock time is this module's purpose; span timings are reported as machine-dependent and excluded from baseline comparison *)
-let now () = Unix.gettimeofday ()
+let create ?(gc = false) ?domprof () = { stack = []; by_label = Hashtbl.create 16; gc; domprof }
 
-let create () = { stack = []; by_label = Hashtbl.create 16 }
-
-let enter t label = t.stack <- { label; start = now (); child = 0. } :: t.stack
+let enter t label =
+  (* The timeline scope opens first and closes last, so it brackets the
+     span's own timing (and any Domprof region recorded inside). *)
+  (match t.domprof with Some d -> Domprof.begin_scope d ~label | None -> ());
+  t.stack <-
+    {
+      label;
+      start = Clock.now ();
+      child = 0.;
+      base = (if t.gc then Some (Gcstat.read ()) else None);
+    }
+    :: t.stack
 
 let leave t =
   match t.stack with
   | [] -> invalid_arg "Span.leave: no open span"
   | f :: rest ->
       t.stack <- rest;
-      let elapsed = now () -. f.start in
+      let elapsed = Clock.now () -. f.start in
       (match rest with [] -> () | parent :: _ -> parent.child <- parent.child +. elapsed);
       let acc =
         match Hashtbl.find_opt t.by_label f.label with
         | Some a -> a
         | None ->
-            let a = { count = 0; seconds = 0.; self_seconds = 0. } in
+            let a =
+              {
+                count = 0;
+                seconds = 0.;
+                self_seconds = 0.;
+                minor_words = 0.;
+                promoted_words = 0.;
+                minor_collections = 0;
+                major_collections = 0;
+              }
+            in
             Hashtbl.add t.by_label f.label a;
             a
       in
       acc.count <- acc.count + 1;
       acc.seconds <- acc.seconds +. elapsed;
-      acc.self_seconds <- acc.self_seconds +. (elapsed -. f.child)
+      acc.self_seconds <- acc.self_seconds +. (elapsed -. f.child);
+      (match f.base with
+      | None -> ()
+      | Some before ->
+          let d = Gcstat.delta ~before ~after:(Gcstat.read ()) in
+          acc.minor_words <- acc.minor_words +. d.Gcstat.minor_words;
+          acc.promoted_words <- acc.promoted_words +. d.Gcstat.promoted_words;
+          acc.minor_collections <- acc.minor_collections + d.Gcstat.minor_collections;
+          acc.major_collections <- acc.major_collections + d.Gcstat.major_collections);
+      (match t.domprof with Some d -> Domprof.end_scope d | None -> ())
 
 let time t label f =
   enter t label;
   Fun.protect ~finally:(fun () -> leave t) f
 
-type total = { label : string; count : int; seconds : float; self_seconds : float }
+type total = {
+  label : string;
+  count : int;
+  seconds : float;
+  self_seconds : float;
+  minor_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
 
 let totals t =
   (* lint: allow hashtbl-order — fold only collects per-label totals; the list is sorted by label below, so it is order-independent *)
   Hashtbl.fold
     (fun label (a : acc) out ->
-      { label; count = a.count; seconds = a.seconds; self_seconds = a.self_seconds }
+      {
+        label;
+        count = a.count;
+        seconds = a.seconds;
+        self_seconds = a.self_seconds;
+        minor_words = a.minor_words;
+        promoted_words = a.promoted_words;
+        minor_collections = a.minor_collections;
+        major_collections = a.major_collections;
+      }
       :: out)
     t.by_label []
   |> List.sort (fun a b -> String.compare a.label b.label)

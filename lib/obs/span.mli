@@ -4,12 +4,22 @@
     wall-clock (inclusive) and call count of closed spans.  Scopes nest
     freely — a label's time includes the time of everything opened inside
     it — and the same label may recur at any depth; occurrences accumulate
-    under one entry.  Timing uses [Unix.gettimeofday] (the portable choice
-    given the toolchain; sub-microsecond resolution on Linux). *)
+    under one entry.  Timing goes through {!Clock} ([Unix.gettimeofday] —
+    the portable choice given the toolchain; sub-microsecond resolution on
+    Linux).
+
+    Optional extras, both fixed at {!create}:
+    - [~gc:true] additionally captures a {!Gcstat} delta per span, so
+      totals report allocation and collection pressure per label;
+    - [~domprof] records every span instance as a [Scope] entry on the
+      recorder's slot-0 timeline (see {!Domprof}), which is how spans end
+      up in Chrome trace exports. *)
 
 type t
 
-val create : unit -> t
+val create : ?gc:bool -> ?domprof:Domprof.t -> unit -> t
+(** [gc] defaults to [false]: the disabled path performs no [Gc] reads
+    and allocates exactly as before GC telemetry existed. *)
 
 val enter : t -> string -> unit
 (** Open a span.  Must be balanced by {!leave}. *)
@@ -31,6 +41,10 @@ type total = {
           inclusive time of spans opened directly inside — so a nested
           label ([engine/decide] inside [engine/step]) stops
           double-counting when totals are summed *)
+  minor_words : float;  (** {!Gcstat} deltas, all zero unless [~gc:true] *)
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
 }
 
 val totals : t -> total list

@@ -20,8 +20,10 @@
    exempts exactly this path and bans Domain.* everywhere else. *)
 
 type hooks = {
-  region_enter : label:string -> items:int -> unit;
+  region_enter : label:string -> items:int -> chunks:int -> unit;
   region_leave : label:string -> unit;
+  chunk_enter : label:string -> slot:int -> lo:int -> hi:int -> unit;
+  chunk_leave : label:string -> slot:int -> lo:int -> hi:int -> unit;
 }
 
 type cmd = Idle | Run of (unit -> unit) | Quit
@@ -139,12 +141,27 @@ let post w f =
   Condition.signal w.w_cond;
   Mutex.unlock w.w_mutex
 
+(* Wrap one chunk in its instrumentation pair.  Chunk hooks fire on the
+   domain that executes the chunk (that is their point: per-domain
+   timelines), so they must only touch domain-local state — see
+   Adhoc_obs.Domprof's single-writer lanes.  [fire] is the hook snapshot
+   taken at region entry, so a region's chunk events always pair with its
+   region events even if hooks are swapped mid-flight. *)
+let run_slot fire ~label ~chunk slot lo hi =
+  match fire with
+  | None -> chunk lo hi
+  | Some h ->
+      h.chunk_enter ~label ~slot ~lo ~hi;
+      Fun.protect
+        ~finally:(fun () -> h.chunk_leave ~label ~slot ~lo ~hi)
+        (fun () -> chunk lo hi)
+
 (* Run [chunk lo hi] over a partition of [0, n) into [k] contiguous chunks,
    chunk [i] on worker [i - 1] and chunk 0 on the calling domain.  Chunk
    bodies iterate ascending and abort at the first raise, so the exception
    re-raised here — first failing chunk in index order — is the exception
    of the lowest failing index, independent of [jobs]. *)
-let run_chunked t ~n ~chunk =
+let run_chunked t ~fire ~label ~n ~chunk =
   let k = min t.jobs n in
   let exns = Array.make k None in
   Mutex.lock t.d_mutex;
@@ -152,14 +169,14 @@ let run_chunked t ~n ~chunk =
   Mutex.unlock t.d_mutex;
   for i = 1 to k - 1 do
     post t.workers.(i - 1) (fun () ->
-        (try chunk (i * n / k) ((i + 1) * n / k)
+        (try run_slot fire ~label ~chunk i (i * n / k) ((i + 1) * n / k)
          with e -> exns.(i) <- Some e);
         Mutex.lock t.d_mutex;
         t.pending <- t.pending - 1;
         if t.pending = 0 then Condition.signal t.d_cond;
         Mutex.unlock t.d_mutex)
   done;
-  (try chunk 0 (n / k) with e -> exns.(0) <- Some e);
+  (try run_slot fire ~label ~chunk 0 0 (n / k) with e -> exns.(0) <- Some e);
   Mutex.lock t.d_mutex;
   while t.pending > 0 do
     Condition.wait t.d_cond t.d_mutex
@@ -172,16 +189,21 @@ let run t ~label ~n ~chunk =
     let acquired = try_acquire t in
     (* Instrumentation fires only for top-level regions on the owning
        domain — never for nested fallbacks — so hook/span/counter totals
-       are identical for every [jobs], including 1. *)
+       are identical for every [jobs], including 1.  Chunk counts are the
+       one jobs-dependent quantity, by design: a region splits into
+       [min jobs n] chunks when it actually parallelizes and 1 otherwise,
+       and the slot-0 chunk pair fires on the single-chunk path too, so a
+       jobs = 1 pool still yields a complete timeline. *)
     let fire = if acquired && Domain.self () = t.owner then t.hooks else None in
-    (match fire with Some h -> h.region_enter ~label ~items:n | None -> ());
+    let k = if (not acquired) || t.jobs = 1 || n = 1 then 1 else min t.jobs n in
+    (match fire with Some h -> h.region_enter ~label ~items:n ~chunks:k | None -> ());
     Fun.protect
       ~finally:(fun () ->
         (match fire with Some h -> h.region_leave ~label | None -> ());
         if acquired then release t)
       (fun () ->
-        if (not acquired) || t.jobs = 1 || n = 1 then chunk 0 n
-        else run_chunked t ~n ~chunk)
+        if k = 1 then run_slot fire ~label ~chunk 0 0 n
+        else run_chunked t ~fire ~label ~n ~chunk)
   end
 
 let parallel_for t ?(label = "for") n body =

@@ -79,13 +79,22 @@ val opt_init : t option -> ?label:string -> int -> (int -> 'a) -> 'a array
     [Array.init n f] otherwise. *)
 
 type hooks = {
-  region_enter : label:string -> items:int -> unit;
+  region_enter : label:string -> items:int -> chunks:int -> unit;
   region_leave : label:string -> unit;
+  chunk_enter : label:string -> slot:int -> lo:int -> hi:int -> unit;
+  chunk_leave : label:string -> slot:int -> lo:int -> hi:int -> unit;
 }
-(** Instrumentation callbacks around each top-level region (see
-    [Adhoc_obs.attach_pool]).  They fire on the owning domain only, for
-    top-level regions only — never for nested inline fallbacks — so counts
-    are identical for every [jobs] value. *)
+(** Instrumentation callbacks (see [Adhoc_obs.attach_pool]).  The region
+    pair fires on the owning domain only, for top-level regions only —
+    never for nested inline fallbacks — so region/item counts are
+    identical for every [jobs] value; [chunks] is the number of chunk
+    pairs that will fire ([min jobs items] when the region parallelizes,
+    1 otherwise).  The chunk pair fires {e on the domain executing the
+    chunk} — slot 0 is the calling domain, slot [i >= 1] worker [i - 1] —
+    including on the single-chunk path (slot 0), and only for regions
+    whose region pair fired, so begin/end events always balance.  Chunk
+    hooks must confine themselves to domain-local state (per-slot
+    buffers); the sink's shared metrics are owner-domain-only. *)
 
 val set_hooks : t -> hooks option -> unit
 (** Install or clear the instrumentation hooks. *)

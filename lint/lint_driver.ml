@@ -36,6 +36,15 @@ let domain_exempt_path path =
   let n = String.length norm and k = String.length suffix in
   n >= k && String.sub norm (n - k) k = suffix
 
+(* The observability layer is allowed to read Gc.* (see raw-gc): its
+   Gcstat module is the sanctioned window everything else goes through. *)
+let gc_exempt_path path =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let infix = "lib/obs/" in
+  let n = String.length norm and k = String.length infix in
+  let rec scan i = i + k <= n && (String.sub norm i k = infix || scan (i + 1)) in
+  scan 0
+
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
@@ -50,7 +59,8 @@ type outcome = {
 (* Check one compilation unit given its source text.  [scope] and [has_mli]
    are injected so the test suite can lint fixture files as if they lived
    under lib/. *)
-let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false) ~file source =
+let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false)
+    ?(gc_exempt = false) ~file source =
   let raw = ref [] in
   let emit loc rule message =
     let p = loc.Location.loc_start in
@@ -70,6 +80,7 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
       Lint_rules.scope;
       float_flagged = List.mem (Filename.basename file) float_flagged_files;
       domain_exempt;
+      gc_exempt;
       emit;
     }
   in
@@ -133,7 +144,8 @@ let check_file path =
     (not (Filename.check_suffix path ".ml"))
     || Sys.file_exists (Filename.remove_extension path ^ ".mli")
   in
-  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path) ~file:path (read_file path)
+  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path)
+    ~gc_exempt:(gc_exempt_path path) ~file:path (read_file path)
 
 (* [demote] lists rule ids whose diagnostics count as warnings. *)
 let run ?(demote = []) roots =

@@ -14,6 +14,8 @@
      catch-all      all    "with _ ->" swallowing every exception
      raw-domain     all    Domain.* anywhere but lib/util/pool.ml (the driver
                            exempts the pool module itself)
+     raw-gc         all    Gc.* anywhere but lib/obs/ (the driver exempts the
+                           obs layer, whose Gcstat is the sanctioned window)
      waiver-hygiene meta   unknown rule / missing reason / unused waiver
      parse-error    meta   the file does not parse
 
@@ -41,6 +43,7 @@ let rules =
     { id = "mli-required"; r_scope = Some Lib; doc = "library module without an .mli" };
     { id = "catch-all"; r_scope = None; doc = "try ... with _ -> swallows all exceptions" };
     { id = "raw-domain"; r_scope = None; doc = "raw Domain.* outside the pool module" };
+    { id = "raw-gc"; r_scope = None; doc = "raw Gc.* outside the obs layer" };
     { id = "waiver-hygiene"; r_scope = None; doc = "malformed, unknown or unused waiver" };
     { id = "parse-error"; r_scope = None; doc = "file does not parse" };
   ]
@@ -51,6 +54,7 @@ type ctx = {
   scope : scope;
   float_flagged : bool;  (* file belongs to a float-heavy flagged module *)
   domain_exempt : bool;  (* the sanctioned Domain wrapper (lib/util/pool.ml) *)
+  gc_exempt : bool;  (* the sanctioned Gc window (anything under lib/obs/) *)
   emit : Location.t -> string -> string -> unit;  (* loc, rule, message *)
 }
 
@@ -128,6 +132,11 @@ let check_ident ctx loc p =
   | "Domain" :: _ when not ctx.domain_exempt ->
       ctx.emit loc "raw-domain"
         "raw Domain.* outside Adhoc_util.Pool; thread a Pool.t through the kernel instead"
+  | _ -> ());
+  (match p with
+  | "Gc" :: _ when not ctx.gc_exempt ->
+      ctx.emit loc "raw-gc"
+        "raw Gc.* outside Adhoc_obs; read GC telemetry through Adhoc_obs.Gcstat"
   | _ -> ());
   if ctx.scope = Lib then begin
     (match p with

@@ -1,0 +1,5 @@
+(* Fixture: raw Gc.* outside the obs layer — banned in any scope. *)
+
+let words = Gc.minor_words ()
+
+let () = Gc.compact ()

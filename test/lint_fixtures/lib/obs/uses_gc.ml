@@ -1,0 +1,3 @@
+(* Fixture: Gc.* under lib/obs/ — the sanctioned window, lints clean. *)
+
+let live_words () = (Gc.quick_stat ()).Gc.minor_words

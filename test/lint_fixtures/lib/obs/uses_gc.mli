@@ -1,0 +1,3 @@
+(* Fixture interface: see uses_gc.ml. *)
+
+val live_words : unit -> float

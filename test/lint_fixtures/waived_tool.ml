@@ -1,6 +1,6 @@
 (* Fixture: waivers for the scope-independent rules (float-cmp,
-   float-minmax, catch-all, raw-domain) — all used, all reasoned, so no
-   diagnostics. *)
+   float-minmax, catch-all, raw-domain, raw-gc) — all used, all reasoned,
+   so no diagnostics. *)
 
 let is_zero x = x = 0. (* lint: allow float-cmp -- fixture: exact sentinel test *)
 
@@ -9,3 +9,5 @@ let lo x = min 0.5 x (* lint: allow float-minmax -- fixture: bounded input *)
 let parse s = try int_of_string s with _ -> 0 (* lint: allow catch-all -- fixture: total parser *)
 
 let cores = Domain.recommended_domain_count () (* lint: allow raw-domain -- fixture: capacity probe only, spawns nothing *)
+
+let live_words = Gc.minor_words () (* lint: allow raw-gc -- fixture: coarse allocation probe in tool code *)

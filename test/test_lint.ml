@@ -163,6 +163,27 @@ let test_domain_exempt_source () =
   Alcotest.(check int) "exemption silences it" 0 (List.length exempt.Lint_driver.diags)
 
 (* ------------------------------------------------------------------ *)
+(* Gc confinement                                                      *)
+
+let test_bad_gc =
+  check_diags "raw Gc use flagged in any scope" "bad_gc.ml"
+    [
+      "lint_fixtures/bad_gc.ml:3:12 [raw-gc] raw Gc.* outside Adhoc_obs; read GC telemetry \
+       through Adhoc_obs.Gcstat";
+      "lint_fixtures/bad_gc.ml:5:9 [raw-gc] raw Gc.* outside Adhoc_obs; read GC telemetry \
+       through Adhoc_obs.Gcstat";
+    ]
+
+let test_gc_exempt = check_diags "the obs layer path is exempt" "lib/obs/uses_gc.ml" []
+
+let test_gc_exempt_source () =
+  let source = "let s = Gc.quick_stat ()\n" in
+  let flagged = Lint_driver.check_source ~file:"inline.ml" source in
+  let exempt = Lint_driver.check_source ~gc_exempt:true ~file:"inline.ml" source in
+  Alcotest.(check int) "raw-gc fires by default" 1 (List.length flagged.Lint_driver.diags);
+  Alcotest.(check int) "exemption silences it" 0 (List.length exempt.Lint_driver.diags)
+
+(* ------------------------------------------------------------------ *)
 (* Interface hygiene                                                   *)
 
 let test_no_mli =
@@ -200,7 +221,7 @@ let test_waived_poly_compare () =
 
 let test_waived_tool () =
   Alcotest.(check (list string)) "tool waivers all used"
-    [ "catch-all"; "float-cmp"; "float-minmax"; "raw-domain" ]
+    [ "catch-all"; "float-cmp"; "float-minmax"; "raw-domain"; "raw-gc" ]
     (used_waiver_rules "waived_tool.ml")
 
 let test_waiver_reasons_kept () =
@@ -244,9 +265,9 @@ let test_bad_parse =
 (* ------------------------------------------------------------------ *)
 (* Whole-corpus run and JSON report shape                              *)
 
-let corpus_files = 29
-let corpus_errors = 24
-let corpus_waivers = 10
+let corpus_files = 32
+let corpus_errors = 26
+let corpus_waivers = 11
 
 let test_run_totals () =
   let r = Lint_driver.run [ fixture_root ] in
@@ -263,6 +284,7 @@ let test_run_totals () =
   Alcotest.(check int) "poly-compare count" 2 (count "poly-compare");
   Alcotest.(check int) "hashtbl-order count" 2 (count "hashtbl-order");
   Alcotest.(check int) "raw-domain count" 2 (count "raw-domain");
+  Alcotest.(check int) "raw-gc count" 2 (count "raw-gc");
   Alcotest.(check int) "waiver-hygiene count" 3 (count "waiver-hygiene");
   Alcotest.(check int) "every registered rule reported"
     (List.length Lint_rules.rules)
@@ -326,6 +348,12 @@ let () =
           Alcotest.test_case "bad fixture" `Quick test_bad_domain;
           Alcotest.test_case "exempt path" `Quick test_domain_exempt;
           Alcotest.test_case "exempt flag" `Quick test_domain_exempt_source;
+        ] );
+      ( "gc-confinement",
+        [
+          Alcotest.test_case "bad fixture" `Quick test_bad_gc;
+          Alcotest.test_case "exempt path" `Quick test_gc_exempt;
+          Alcotest.test_case "exempt flag" `Quick test_gc_exempt_source;
         ] );
       ( "interfaces",
         [

@@ -942,6 +942,275 @@ let test_quantized_obs_parity () =
   let labels = List.map (fun t -> t.Span.label) (Span.totals obs.Obs.spans) in
   Alcotest.(check bool) "advertise span" true (List.mem "engine/advertise" labels)
 
+(* ------------------------------------------------------------------ *)
+(* Domprof: per-domain timelines, pool integration, chrome export      *)
+
+module Domprof = Obs.Domprof
+module Chrome_trace = Obs.Chrome_trace
+module Pool = Adhoc_util.Pool
+
+let test_domprof_merge_order () =
+  (* Record out of slot order; [entries] must come back slot-major, each
+     lane in append (closing) order — the deterministic merge. *)
+  let dp = Domprof.create ~slots:4 () in
+  Domprof.begin_chunk dp ~label:"k" ~slot:2 ~lo:20 ~hi:30;
+  Domprof.end_chunk dp ~slot:2;
+  Domprof.begin_chunk dp ~label:"k" ~slot:1 ~lo:10 ~hi:20;
+  Domprof.end_chunk dp ~slot:1;
+  Domprof.begin_region dp ~label:"k" ~items:30;
+  Domprof.end_region dp;
+  Alcotest.(check int) "three closed entries" 3 (Domprof.length dp);
+  let es = Domprof.entries dp in
+  Alcotest.(check (list int)) "slot-major order" [ 0; 1; 2 ]
+    (Array.to_list (Array.map (fun e -> e.Domprof.slot) es));
+  (match es.(0).Domprof.kind with
+  | Domprof.Region -> ()
+  | _ -> Alcotest.fail "slot-0 entry should be the region");
+  Alcotest.(check int) "region covers the items" 30 es.(0).Domprof.hi;
+  Alcotest.(check int) "slot-1 chunk lo" 10 es.(1).Domprof.lo;
+  Alcotest.(check int) "slot-2 chunk hi" 30 es.(2).Domprof.hi;
+  Domprof.reset dp;
+  Alcotest.(check int) "reset drops entries" 0 (Domprof.length dp)
+
+let test_domprof_nesting_order () =
+  let dp = Domprof.create () in
+  Domprof.begin_scope dp ~label:"outer";
+  Domprof.begin_scope dp ~label:"inner";
+  Domprof.end_scope dp;
+  Domprof.end_scope dp;
+  let es = Domprof.entries dp in
+  Alcotest.(check (list string))
+    "children close before parents" [ "inner"; "outer" ]
+    (Array.to_list (Array.map (fun e -> e.Domprof.label) es));
+  Array.iter
+    (fun e -> Alcotest.(check bool) "t1 >= t0" true (e.Domprof.t1 >= e.Domprof.t0))
+    es
+
+let test_domprof_unbalanced () =
+  let dp = Domprof.create ~slots:2 () in
+  Alcotest.(check bool) "end without begin raises" true
+    (try
+       Domprof.end_scope dp;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "slot out of range raises" true
+    (try
+       Domprof.begin_chunk dp ~label:"x" ~slot:5 ~lo:0 ~hi:1;
+       false
+     with Invalid_argument _ -> true);
+  (* An open (unclosed) mark is not merged. *)
+  Domprof.begin_scope dp ~label:"open";
+  Alcotest.(check int) "open mark not counted" 0 (Domprof.length dp);
+  Alcotest.(check int) "open mark not merged" 0 (Array.length (Domprof.entries dp))
+
+let test_domprof_growth () =
+  (* Push one lane far past its initial capacity; nothing is dropped and
+     append order survives the reallocation. *)
+  let dp = Domprof.create ~slots:1 () in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    Domprof.begin_scope dp ~label:(string_of_int i);
+    Domprof.end_scope dp
+  done;
+  Alcotest.(check int) "grows past initial capacity" n (Domprof.length dp);
+  let es = Domprof.entries dp in
+  Alcotest.(check string) "first kept" "0" es.(0).Domprof.label;
+  Alcotest.(check string) "last kept" (string_of_int (n - 1)) es.(n - 1).Domprof.label
+
+let test_span_domprof_scopes () =
+  (* A span profiler created with a recorder mirrors every instance as a
+     Scope entry on lane 0. *)
+  let dp = Domprof.create () in
+  let s = Span.create ~domprof:dp () in
+  Span.time s "outer" (fun () -> Span.time s "inner" (fun () -> ()));
+  let es = Domprof.entries dp in
+  Alcotest.(check (list string))
+    "one Scope per span instance, closing order" [ "inner"; "outer" ]
+    (Array.to_list (Array.map (fun e -> e.Domprof.label) es));
+  Array.iter
+    (fun e ->
+      match e.Domprof.kind with
+      | Domprof.Scope -> ()
+      | _ -> Alcotest.fail "span instances record as Scope")
+    es
+
+let test_domprof_pool_timeline () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let dp = Domprof.create ~slots:(Pool.jobs pool) () in
+      let sink = Obs.create ~domprof:dp () in
+      Obs.attach_pool sink pool;
+      let n = 300 in
+      let a = Array.make n 0 in
+      Pool.parallel_for pool ~label:"fill" n (fun i -> a.(i) <- i + 1);
+      Obs.detach_pool pool;
+      Alcotest.(check int) "work actually ran" n
+        (Array.fold_left (fun acc v -> if v > 0 then acc + 1 else acc) 0 a);
+      let es = Array.to_list (Domprof.entries dp) in
+      let regions = List.filter (fun e -> e.Domprof.kind = Domprof.Region) es in
+      let chunks = List.filter (fun e -> e.Domprof.kind = Domprof.Chunk) es in
+      Alcotest.(check int) "one region" 1 (List.length regions);
+      Alcotest.(check int) "one chunk per slot" 3 (List.length chunks);
+      (* Chunk boundaries are a function of (n, k) only: [i*n/k, (i+1)*n/k). *)
+      let expect = List.init 3 (fun i -> (i, i * n / 3, (i + 1) * n / 3)) in
+      let got =
+        List.sort compare
+          (List.map (fun e -> (e.Domprof.slot, e.Domprof.lo, e.Domprof.hi)) chunks)
+      in
+      Alcotest.(check bool) "deterministic chunk ranges" true (got = expect);
+      match Domprof.summary dp with
+      | None -> Alcotest.fail "summary missing after a parallel region"
+      | Some s ->
+          Alcotest.(check int) "chunks counted" 3 s.Domprof.chunks;
+          Alcotest.(check int) "chunk items cover the range" n s.Domprof.chunk_items;
+          Alcotest.(check bool) "imbalance >= 1" true (s.Domprof.imbalance >= 1.0);
+          Alcotest.(check bool) "busy_max >= busy_min" true
+            (s.Domprof.busy_max >= s.Domprof.busy_min))
+
+let test_domprof_jobs1_timeline () =
+  (* The sequential fast path still reports its single slot-0 chunk, so a
+     --jobs 1 run produces a usable timeline. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let dp = Domprof.create () in
+      let sink = Obs.create ~domprof:dp () in
+      Obs.attach_pool sink pool;
+      Pool.parallel_for pool ~label:"seq" 10 (fun _ -> ());
+      Obs.detach_pool pool;
+      let es = Array.to_list (Domprof.entries dp) in
+      let chunks = List.filter (fun e -> e.Domprof.kind = Domprof.Chunk) es in
+      match chunks with
+      | [ c ] ->
+          Alcotest.(check int) "slot 0" 0 c.Domprof.slot;
+          Alcotest.(check int) "lo" 0 c.Domprof.lo;
+          Alcotest.(check int) "hi" 10 c.Domprof.hi
+      | _ -> Alcotest.fail "expected exactly one chunk on the k=1 path")
+
+(* ------------------------------------------------------------------ *)
+(* GC telemetry                                                        *)
+
+let test_span_gc_delta () =
+  let s = Span.create ~gc:true () in
+  Span.time s "alloc" (fun () ->
+      let acc = ref [] in
+      for i = 0 to 9_999 do
+        acc := (i, float_of_int i) :: !acc
+      done;
+      ignore (List.length !acc));
+  match Span.totals s with
+  | [ t ] ->
+      Alcotest.(check bool) "minor words counted" true (t.Span.minor_words > 0.);
+      Alcotest.(check bool) "promoted words non-negative" true (t.Span.promoted_words >= 0.);
+      Alcotest.(check bool) "collection counts non-negative" true
+        (t.Span.minor_collections >= 0 && t.Span.major_collections >= 0)
+  | _ -> Alcotest.fail "one span expected"
+
+let test_span_gc_disabled_zero () =
+  (* Without [~gc:true] the profiler never reads the GC — totals stay zero
+     even when the body allocates. *)
+  let s = Span.create () in
+  Span.time s "alloc" (fun () -> ignore (List.init 1_000 (fun i -> (i, i))));
+  match Span.totals s with
+  | [ t ] ->
+      check_close "minor words zero when gc off" 0. t.Span.minor_words;
+      Alcotest.(check int) "collections zero when gc off" 0 t.Span.minor_collections
+  | _ -> Alcotest.fail "one span expected"
+
+let test_pool_gc_counters () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let sink = Obs.create () in
+      Obs.attach_pool sink pool;
+      Pool.parallel_for pool ~label:"alloc" 64 (fun _ -> ignore (Array.make 256 0.));
+      Obs.detach_pool pool;
+      let snap = Metrics.snapshot sink.Obs.metrics in
+      let counter name =
+        match List.assoc_opt name snap with
+        | Some (Metrics.Counter c) -> c
+        | _ -> Alcotest.failf "%s counter missing" name
+      in
+      Alcotest.(check int) "one region" 1 (counter "pool.regions");
+      Alcotest.(check int) "items" 64 (counter "pool.items");
+      (* The owner's Gc.quick_stat delta over the region: allocation split
+         across domains, so only non-negativity is portable. *)
+      Alcotest.(check bool) "gc.pool counters registered" true
+        (counter "gc.pool.minor_words" >= 0
+        && counter "gc.pool.promoted_words" >= 0
+        && counter "gc.pool.minor_collections" >= 0
+        && counter "gc.pool.major_collections" >= 0);
+      match List.assoc_opt "pool.chunk_items" snap with
+      | Some (Metrics.Histogram { total; sum; _ }) ->
+          Alcotest.(check int) "one observation per chunk" 2 total;
+          check_close "chunk sizes sum to the item count" 64. sum
+      | _ -> Alcotest.fail "pool.chunk_items histogram missing")
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+
+let count_occurrences ~needle s =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i acc =
+    if i + nl > sl then acc
+    else if String.equal (String.sub s i nl) needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_chrome_trace_shape () =
+  let dp = Domprof.create ~slots:2 () in
+  Domprof.begin_region dp ~label:"r" ~items:10;
+  Domprof.begin_chunk dp ~label:"r" ~slot:1 ~lo:5 ~hi:10;
+  Domprof.end_chunk dp ~slot:1;
+  Domprof.end_region dp;
+  Domprof.begin_scope dp ~label:"quoted \"label\"";
+  Domprof.end_scope dp;
+  let s = Chrome_trace.to_string ~process_name:"test" dp in
+  Alcotest.(check bool) "catapult envelope" true (contains s "{\"traceEvents\": [");
+  Alcotest.(check bool) "display unit" true (contains s "\"displayTimeUnit\": \"ms\"");
+  Alcotest.(check bool) "process metadata" true (contains s "\"process_name\"");
+  Alcotest.(check bool) "caller thread named" true (contains s "slot 0 (caller)");
+  Alcotest.(check bool) "worker thread named" true (contains s "slot 1 (worker 0)");
+  Alcotest.(check bool) "labels are JSON-escaped" true (contains s "quoted \\\"label\\\"");
+  Alcotest.(check int) "one complete event per entry" (Domprof.length dp)
+    (count_occurrences ~needle:"\"ph\": \"X\"" s);
+  Alcotest.(check bool) "chunk range in args" true
+    (contains s "\"args\": {\"lo\": 5, \"hi\": 10, \"items\": 5}")
+
+(* ------------------------------------------------------------------ *)
+(* Profiling bit-identity: recording must not change any computed bit  *)
+
+let test_golden_profiled () =
+  (* The strongest sink we can build — metrics, spans with GC deltas, a
+     timeline recorder — and the seed goldens must not move. *)
+  let dp = Domprof.create () in
+  let obs = Obs.create ~domprof:dp ~gc:true () in
+  check_stats "pad+profiled" golden_pad (run_pad ~obs ());
+  Alcotest.(check bool) "timeline recorded" true (Domprof.length dp > 0);
+  let obs = Obs.create ~domprof:(Domprof.create ()) ~gc:true () in
+  check_stats "csma+profiled" golden_csma (run_csma ~obs ())
+
+let edge_list g = List.init (Graph.num_edges g) (Graph.endpoints g)
+
+let test_profiled_pool_bit_identity =
+  qtest "profiling on/off never changes pool-built outputs" ~count:10 seed_gen
+    (fun seed ->
+      let points = points_of_seed ~min_n:10 ~max_n:40 seed in
+      let range = 2. *. Adhoc_topo.Udg.critical_range points in
+      let build ?pool () =
+        edge_list
+          (Adhoc_topo.Theta_alg.overlay
+             (Adhoc_topo.Theta_alg.build ?pool ~theta:(Float.pi /. 6.) ~range points))
+      in
+      let reference = build () in
+      List.for_all
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let dp = Domprof.create ~slots:(Pool.jobs pool) () in
+              let sink = Obs.create ~domprof:dp ~gc:true () in
+              Obs.attach_pool sink pool;
+              let profiled = build ~pool () in
+              Obs.detach_pool pool;
+              let plain = build ~pool () in
+              profiled = reference && plain = reference))
+        [ 1; 2; 4 ])
+
 let () =
   Alcotest.run "obs"
     [
@@ -1018,5 +1287,28 @@ let () =
           case "csma with obs + stride" test_golden_enabled_csma;
           case "trace deltas sum to stats" test_trace_deltas_sum;
           case "tracked engine unchanged" test_tracked_engine_obs_identical;
+        ] );
+      ( "domprof",
+        [
+          case "deterministic slot-major merge" test_domprof_merge_order;
+          case "children close before parents" test_domprof_nesting_order;
+          case "unbalanced marks rejected" test_domprof_unbalanced;
+          case "lane growth past initial capacity" test_domprof_growth;
+          case "span instances mirror as scopes" test_span_domprof_scopes;
+          case "pool region timeline" test_domprof_pool_timeline;
+          case "jobs=1 fast path still records" test_domprof_jobs1_timeline;
+        ] );
+      ( "gc telemetry",
+        [
+          case "span gc deltas" test_span_gc_delta;
+          case "gc off means zero" test_span_gc_disabled_zero;
+          case "pool gc counters + chunk histogram" test_pool_gc_counters;
+        ] );
+      ( "chrome trace",
+        [ case "trace-event document shape" test_chrome_trace_shape ] );
+      ( "profiling bit-identity",
+        [
+          case "engine goldens under full profiling" test_golden_profiled;
+          test_profiled_pool_bit_identity;
         ] );
     ]
