@@ -149,3 +149,57 @@ let take_metrics () =
   let m = List.rev !metrics in
   metrics := [];
   m
+
+(* Live-telemetry summary for the current experiment.  An experiment that
+   runs an Obs.Live recorder stores the cumulative record here as JSON;
+   the harness snapshots and clears the slot around each experiment and
+   embeds it as the outcome's "live" member (null when the experiment ran
+   no recorder). *)
+let live_summary : Json.t ref = ref Json.Null
+
+let record_live j = live_summary := j
+
+let take_live () =
+  let l = !live_summary in
+  live_summary := Json.Null;
+  l
+
+(* The cumulative live record as bench JSON.  Every field is a pure
+   function of the event stream, so json_check --compare pins the whole
+   member exactly across --jobs. *)
+let live_json l =
+  let c = Obs.Live.finish l in
+  let f v = if Float.is_finite v then Json.Float v else Json.Null in
+  let tops xs =
+    Json.List (List.map (fun (k, n, e) -> Json.List [ Json.Int k; Json.Int n; Json.Int e ]) xs)
+  in
+  Json.Obj
+    [
+      ("window", Json.Int (Obs.Live.window_size l));
+      ("top_k", Json.Int (Obs.Live.top_k l));
+      ("steps", Json.Int c.Obs.Live.steps);
+      ("events", Json.Int c.Obs.Live.events);
+      ("windows", Json.Int c.Obs.Live.windows);
+      ("injected", Json.Int c.Obs.Live.c_injected);
+      ("dropped", Json.Int c.Obs.Live.c_dropped);
+      ("delivered", Json.Int c.Obs.Live.c_delivered);
+      ("self", Json.Int c.Obs.Live.c_self_deliveries);
+      ("sends", Json.Int c.Obs.Live.c_sends);
+      ("collisions", Json.Int c.Obs.Live.c_collisions);
+      ("control", Json.Int c.Obs.Live.c_control);
+      ("buffered", Json.Int c.Obs.Live.c_buffered);
+      ("violations", Json.Int c.Obs.Live.c_violations);
+      ("healthy", Json.Bool c.Obs.Live.healthy);
+      ("anomalies", Json.Int c.Obs.Live.anomalies);
+      ("energy", f c.Obs.Live.energy);
+      ("latency_mean", f c.Obs.Live.latency_mean);
+      ("latency_p50", f c.Obs.Live.c_latency_p50);
+      ("latency_p95", f c.Obs.Live.c_latency_p95);
+      ("hops_p50", f c.Obs.Live.c_hops_p50);
+      ("hops_p95", f c.Obs.Live.c_hops_p95);
+      ("occupancy_p50", f c.Obs.Live.c_occupancy_p50);
+      ("occupancy_p95", f c.Obs.Live.c_occupancy_p95);
+      ("occupancy_max", f c.Obs.Live.occupancy_max);
+      ("top_edges", tops c.Obs.Live.c_top_edges);
+      ("top_nodes", tops c.Obs.Live.top_nodes);
+    ]

@@ -18,6 +18,62 @@ module Balancing = Routing.Balancing
 module Mac = Mac_protocols.Mac
 module Conflict = Interference.Conflict
 
+(* Shared live-telemetry probe (E7's tail and the standalone B3): run the
+   Theorem 3.1 scenario with an event log and an Obs.Live recorder
+   attached, print the window stream, and record the cumulative summary
+   as the experiment's "live" member plus pinned live:* headline metrics.
+   Everything here is a pure function of the event stream, so json_check
+   --compare holds it exactly across --jobs. *)
+let live_probe () =
+  let rng, b = uniform_instance 1000 150 in
+  let events = Obs.Event.create () in
+  let live = Obs.Live.create ~window:500 () in
+  let obs = Obs.create ~events ~live () in
+  let horizon = 4000 in
+  let r =
+    Pipeline.run_scenario1 ~obs ~epsilon:0.5 ~horizon ~attempts:(2 * horizon) ~flows:2 ~rng b
+  in
+  ignore r;
+  let c = Obs.Live.finish live in
+  let t =
+    Table.create ~title:"live stream (window = 500 steps, seed 1000, n = 150)"
+      [
+        ("steps", Table.Right);
+        ("injected", Table.Right);
+        ("delivered", Table.Right);
+        ("sends", Table.Right);
+        ("buffered", Table.Right);
+        ("latency p95", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (w : Obs.Live.window) ->
+      Table.add_row t
+        [
+          Printf.sprintf "%d-%d" w.Obs.Live.step_lo w.Obs.Live.step_hi;
+          string_of_int w.Obs.Live.injected;
+          string_of_int w.Obs.Live.delivered;
+          string_of_int w.Obs.Live.sends;
+          string_of_int w.Obs.Live.buffered;
+          fmt_ratio w.Obs.Live.latency_p95;
+        ])
+    (Obs.Live.windows live);
+  Table.print t;
+  Printf.printf
+    "cumulative: %d events in %d windows, delivered %d, healthy %s, latency p95 %s\n"
+    c.Obs.Live.events c.Obs.Live.windows c.Obs.Live.c_delivered
+    (if c.Obs.Live.healthy then "yes" else "NO")
+    (fmt_ratio c.Obs.Live.c_latency_p95);
+  record_int "live:events" c.Obs.Live.events;
+  record_int "live:windows" c.Obs.Live.windows;
+  record_int "live:delivered" c.Obs.Live.c_delivered;
+  record_int "live:violations" c.Obs.Live.c_violations;
+  record_live (live_json live)
+
+let b3 () =
+  header "B3: live streaming telemetry probe (Theorem 3.1 scenario)";
+  live_probe ()
+
 let e7 () =
   header "E7 (Theorem 3.1): balancing vs certified OPT, MAC given";
   (* Horizon sweep, per seed: throughput climbs as deliveries amortise the
@@ -136,7 +192,9 @@ let e7 () =
     "paper: throughput climbs toward (1-eps)OPT as the additive slack";
   print_endline
     "amortises; smaller buffers force drops and lower throughput (the B'";
-  print_endline "axis); H/B grows as O(L/eps); cost ratio stays under 1+2/eps."
+  print_endline "axis); H/B grows as O(L/eps); cost ratio stays under 1+2/eps.";
+  print_newline ();
+  live_probe ()
 
 (* ------------------------------------------------------------------ *)
 

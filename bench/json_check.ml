@@ -3,21 +3,29 @@
 
    The toolchain ships no JSON library, so this is a small recursive-descent
    parser covering the full JSON grammar.  Beyond syntax it checks the
-   adhoc-bench/4 shape: a top-level object whose "schema" is
-   "adhoc-bench/4", whose "jobs" member is the numeric domain-pool size
+   adhoc-bench/5 shape: a top-level object whose "schema" is
+   "adhoc-bench/5", whose "jobs" member is the numeric domain-pool size
    the run used, and whose "experiments" member is a non-empty array of
    objects each carrying "id", "seconds", "metrics", well-formed "spans"
-   (label / count / seconds), an "obs" metric snapshot and "trace" /
-   "chrome_trace" pointers (string or null).  The B2 scaling experiment
-   must additionally snapshot nonzero pool.regions / pool.items counters
-   — zero means the sweep's per-jobs pools were not attached to the obs
-   sink — and record at least one nonzero "pool.imbalance:*" and one
-   nonzero "gc:*" headline metric (zeros mean the profiled pass never
-   ran).  Version-1/2/3 documents are rejected with dedicated errors.
+   (label / count / seconds), an "obs" metric snapshot, a "live" member
+   (the live-telemetry cumulative summary, or null for experiments that
+   ran no recorder) and "trace" / "chrome_trace" pointers (string or
+   null).  The B2 scaling experiment must additionally snapshot nonzero
+   pool.regions / pool.items counters — zero means the sweep's per-jobs
+   pools were not attached to the obs sink — and record at least one
+   nonzero "pool.imbalance:*" and one nonzero "gc:*" headline metric
+   (zeros mean the profiled pass never ran); B3 and E7 must carry a
+   non-null "live" summary (null means the live probe silently didn't
+   run).  Version-1/2/3/4 documents are rejected with dedicated errors.
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
                               object with a numeric "step" member
+     json_check --live FILE   validates an adhoc-live/1 snapshot stream
+                              (route --live / analyze --replay-live):
+                              header, consecutive tumbling windows, one
+                              final record whose counters equal the
+                              window sums
      json_check --lint FILE   validates an adhoc-lint/1 static-analysis
                               report (rules / diagnostics / waivers shape)
      json_check --chrome-trace FILE
@@ -25,9 +33,10 @@
                               {"traceEvents": [...]} document of well-formed
                               "M" / "X" events
      json_check --compare BASELINE CURRENT [--span-tolerance R]
-                              diffs two adhoc-bench/4 documents: stats must
+                              diffs two adhoc-bench/5 documents: stats must
                               match exactly (whatever --jobs either run
-                              used); wall-clock timings and the
+                              used), including the "live" summaries;
+                              wall-clock timings and the
                               runtime-derived "pool.imbalance:*" / "gc:*" /
                               "gc.*" members only warn *)
 
@@ -201,6 +210,25 @@ let span_ok = function
       | _ -> false)
   | _ -> false
 
+(* The "live" member: the live-telemetry cumulative summary recorded by
+   experiments that ran an Obs.Live recorder.  An object must carry the
+   fixed counter set, a boolean health verdict and the heavy-hitter
+   arrays; null means the experiment ran no recorder. *)
+let live_member_ok fields =
+  let int_ok name =
+    match List.assoc_opt name fields with
+    | Some (Num v) -> Float.is_integer v && v >= 0.
+    | _ -> false
+  in
+  List.for_all int_ok
+    [
+      "window"; "top_k"; "steps"; "events"; "windows"; "injected"; "dropped"; "delivered";
+      "self"; "sends"; "collisions"; "control"; "buffered"; "violations"; "anomalies";
+    ]
+  && (match List.assoc_opt "healthy" fields with Some (Bool _) -> true | _ -> false)
+  && (match List.assoc_opt "top_edges" fields with Some (Arr _) -> true | _ -> false)
+  && (match List.assoc_opt "top_nodes" fields with Some (Arr _) -> true | _ -> false)
+
 let experiment_ok = function
   | Obj fields ->
       List.mem_assoc "id" fields
@@ -210,6 +238,10 @@ let experiment_ok = function
          | Some (Arr spans) -> List.for_all span_ok spans
          | _ -> false)
       && (match List.assoc_opt "obs" fields with Some (Obj _) -> true | _ -> false)
+      && (match List.assoc_opt "live" fields with
+         | Some Null -> true
+         | Some (Obj lf) -> live_member_ok lf
+         | _ -> false)
       && (match List.assoc_opt "trace" fields with
          | Some (Str _ | Null) -> true
          | _ -> false)
@@ -254,6 +286,21 @@ let b2_pool_counters_ok fields =
       else Ok ()
   | _ -> Ok ()
 
+(* B3 exists to exercise the live-telemetry layer, and E7 embeds the same
+   probe: a null "live" member means the probe silently didn't run. *)
+let live_summary_required_ok fields =
+  match List.assoc_opt "id" fields with
+  | Some (Str (("b3" | "e7") as id)) -> (
+      match List.assoc_opt "live" fields with
+      | Some (Obj _) -> Ok ()
+      | _ ->
+          Error
+            (Printf.sprintf
+               "experiment %s must record a non-null \"live\" summary (the live probe did \
+                not run)"
+               id))
+  | _ -> Ok ()
+
 let read_file file =
   let ic = open_in_bin file in
   let s = really_input_string ic (in_channel_length ic) in
@@ -267,29 +314,36 @@ let check_document file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/4") -> ()
+      | Some (Str "adhoc-bench/5") -> ()
       | Some (Str "adhoc-bench/1") ->
           Printf.eprintf
             "%s: version-1 document (adhoc-bench/1); this checker validates \
-             adhoc-bench/4 — regenerate with the current bench harness\n"
+             adhoc-bench/5 — regenerate with the current bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/2") ->
           Printf.eprintf
             "%s: version-2 document (adhoc-bench/2, no \"jobs\" member); this \
-             checker validates adhoc-bench/4 — regenerate with the current \
+             checker validates adhoc-bench/5 — regenerate with the current \
              bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/3") ->
           Printf.eprintf
             "%s: version-3 document (adhoc-bench/3, no GC/profiling members); \
-             this checker validates adhoc-bench/4 — regenerate with the \
+             this checker validates adhoc-bench/5 — regenerate with the \
              current bench harness\n"
             file;
           exit 1
+      | Some (Str "adhoc-bench/4") ->
+          Printf.eprintf
+            "%s: version-4 document (adhoc-bench/4, no \"live\" member); this \
+             checker validates adhoc-bench/5 — regenerate with the current \
+             bench harness\n"
+            file;
+          exit 1
       | Some (Str other) ->
-          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/4\")\n" file other;
+          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/5\")\n" file other;
           exit 1
       | _ ->
           Printf.eprintf "%s: missing \"schema\" member\n" file;
@@ -306,11 +360,15 @@ let check_document file =
       | Some (Arr (_ :: _ as exps)) when List.for_all experiment_ok exps ->
           List.iter
             (fun e ->
-              match b2_pool_counters_ok (match e with Obj f -> f | _ -> []) with
-              | Ok () -> ()
-              | Error msg ->
-                  Printf.eprintf "%s: %s\n" file msg;
-                  exit 1)
+              let f = match e with Obj f -> f | _ -> [] in
+              let check = function
+                | Ok () -> ()
+                | Error msg ->
+                    Printf.eprintf "%s: %s\n" file msg;
+                    exit 1
+              in
+              check (b2_pool_counters_ok f);
+              check (live_summary_required_ok f))
             exps;
           Printf.printf "%s: ok (%d experiments)\n" file (List.length exps)
       | Some (Arr []) ->
@@ -326,7 +384,7 @@ let check_document file =
 (* --------------------------------------------------------------------- *)
 (* Baseline comparison: did the simulation's numbers drift?
 
-   Stats in adhoc-bench/4 documents are deterministic (seeded PRNG), and
+   Stats in adhoc-bench/5 documents are deterministic (seeded PRNG), and
    — pool kernels being bit-identical for any jobs — independent of the
    "jobs" the two runs used, so a
    current run's metrics must match a committed baseline exactly; the only
@@ -356,9 +414,9 @@ let load_doc file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/4") -> ()
+      | Some (Str "adhoc-bench/5") -> ()
       | _ ->
-          Printf.eprintf "%s: not an adhoc-bench/4 document\n" file;
+          Printf.eprintf "%s: not an adhoc-bench/5 document\n" file;
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr exps) ->
@@ -451,6 +509,14 @@ let compare_docs ~tolerance base_file cur_file =
                       if bv <> cv then
                         error id "obs metric %s: %s -> %s" name (render bv) (render cv)))
             bo;
+          (* Live-telemetry summary: a pure function of the event stream
+             (step-keyed, jobs-invariant), so it must match exactly. *)
+          (match (List.assoc_opt "live" bf, List.assoc_opt "live" cf) with
+          | Some bl, Some cl ->
+              if bl <> cl then error id "live summary: %s -> %s" (render bl) (render cl)
+          | None, None -> ()
+          | Some _, None -> error id "live member missing from current run"
+          | None, Some _ -> error id "live member absent from baseline");
           (* Span timings: machine-dependent; counts are deterministic. *)
           let spans v =
             match List.assoc_opt "spans" v with
@@ -651,6 +717,154 @@ let check_chrome_trace file =
   if !complete = 0 then fail "no \"X\" (complete) events — nothing was profiled";
   Printf.printf "%s: ok (%d events, %d complete)\n" file (List.length events) !complete
 
+(* --------------------------------------------------------------------- *)
+(* adhoc-live/1: the streaming-telemetry snapshot stream written by
+   `adhoc_sim route --live` and `analyze --replay-live` (lib/obs/live.ml).
+   Shape: a header line {schema, window, top_k}, one object per closed
+   tumbling window — consecutive "w" indices, each covering exactly
+   "window" simulation steps — and exactly one final cumulative object as
+   the last line.  The stream is a fold of the event log, so each
+   per-window counter must sum to the final cumulative counter; any
+   mismatch means a truncated or corrupt file. *)
+
+let check_live file =
+  let fail line fmt =
+    Printf.ksprintf
+      (fun msg ->
+        (match line with
+        | Some l -> Printf.eprintf "%s:%d: %s\n" file l msg
+        | None -> Printf.eprintf "%s: %s\n" file msg);
+        exit 1)
+      fmt
+  in
+  let lines =
+    String.split_on_char '\n' (read_file file) |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> fail None "empty live stream"
+  | header :: records ->
+      let hf =
+        match parse header with
+        | exception Bad msg -> fail (Some 1) "invalid JSON: %s" msg
+        | Obj f -> f
+        | _ -> fail (Some 1) "header line is not a JSON object"
+      in
+      (match List.assoc_opt "schema" hf with
+      | Some (Str "adhoc-live/1") -> ()
+      | Some (Str other) -> fail (Some 1) "unknown schema %S (expected \"adhoc-live/1\")" other
+      | _ -> fail (Some 1) "missing \"schema\" member");
+      let window =
+        match List.assoc_opt "window" hf with
+        | Some (Num w) when Float.is_integer w && w >= 1. -> int_of_float w
+        | _ -> fail (Some 1) "header lacks a positive integer \"window\""
+      in
+      (match List.assoc_opt "top_k" hf with
+      | Some (Num k) when Float.is_integer k && k >= 1. -> ()
+      | _ -> fail (Some 1) "header lacks a positive integer \"top_k\"");
+      if records = [] then fail None "no records after the header";
+      let nrec = List.length records in
+      let counter_names =
+        [ "injected"; "dropped"; "delivered"; "self"; "sends"; "collisions"; "control" ]
+      in
+      (* Window-counter sums, accumulated in [counter_names] order and
+         looked up by key only (never iterated). *)
+      let sums = Hashtbl.create 8 in
+      List.iter (fun n -> Hashtbl.replace sums n 0) counter_names;
+      let nwindows = ref 0 in
+      let expect_w = ref None in
+      let int_member lineno f name =
+        match List.assoc_opt name f with
+        | Some (Num v) when Float.is_integer v && v >= 0. -> int_of_float v
+        | _ -> fail (Some lineno) "missing or malformed non-negative integer %S" name
+      in
+      let quantile_member lineno f name =
+        match List.assoc_opt name f with
+        | Some (Num _ | Null) -> ()
+        | _ -> fail (Some lineno) "missing or malformed %S (number or null)" name
+      in
+      List.iteri
+        (fun i line ->
+          let lineno = i + 2 in
+          let f =
+            match parse line with
+            | exception Bad msg -> fail (Some lineno) "invalid JSON: %s" msg
+            | Obj f -> f
+            | _ -> fail (Some lineno) "record is not a JSON object"
+          in
+          match List.assoc_opt "final" f with
+          | Some (Bool true) ->
+              if i <> nrec - 1 then
+                fail (Some lineno) "\"final\" record is not the last line";
+              let windows = int_member lineno f "windows" in
+              if windows <> !nwindows then
+                fail (Some lineno) "final says %d windows, the stream has %d" windows
+                  !nwindows;
+              ignore (int_member lineno f "steps");
+              ignore (int_member lineno f "events");
+              ignore (int_member lineno f "buffered");
+              ignore (int_member lineno f "violations");
+              ignore (int_member lineno f "anomalies");
+              (match List.assoc_opt "healthy" f with
+              | Some (Bool _) -> ()
+              | _ -> fail (Some lineno) "final record lacks a boolean \"healthy\"");
+              List.iter
+                (fun name ->
+                  let v = int_member lineno f name in
+                  let s = Hashtbl.find sums name in
+                  if v <> s then
+                    fail (Some lineno)
+                      "final %s = %d but the windows sum to %d (truncated or corrupt \
+                       stream)"
+                      name v s)
+                counter_names;
+              List.iter (quantile_member lineno f)
+                [
+                  "energy"; "latency_mean"; "latency_p50"; "latency_p90"; "latency_p95";
+                  "latency_p99"; "hops_mean"; "hops_p50"; "hops_p95"; "occupancy_mean";
+                  "occupancy_p50"; "occupancy_p95"; "occupancy_max";
+                ];
+              (match (List.assoc_opt "top_edges" f, List.assoc_opt "top_nodes" f) with
+              | Some (Arr _), Some (Arr _) -> ()
+              | _ ->
+                  fail (Some lineno) "final record lacks \"top_edges\" / \"top_nodes\" arrays")
+          | Some _ -> fail (Some lineno) "\"final\" must be true"
+          | None ->
+              if i = nrec - 1 then fail (Some lineno) "last line is not the \"final\" record";
+              incr nwindows;
+              let w = int_member lineno f "w" in
+              (match !expect_w with
+              | Some e when w <> e ->
+                  fail (Some lineno)
+                    "window index %d, expected %d (tumbling windows are consecutive)" w e
+              | _ -> ());
+              expect_w := Some (w + 1);
+              (match List.assoc_opt "steps" f with
+              | Some (Arr [ Num lo; Num hi ])
+                when Float.is_integer lo && Float.is_integer hi
+                     && int_of_float lo = w * window
+                     && int_of_float hi = (w * window) + window - 1 ->
+                  ()
+              | _ ->
+                  fail (Some lineno) "window %d must cover steps [%d,%d]" w (w * window)
+                    ((w * window) + window - 1));
+              ignore (int_member lineno f "buffered");
+              ignore (int_member lineno f "violations");
+              List.iter
+                (fun name ->
+                  let v = int_member lineno f name in
+                  Hashtbl.replace sums name (Hashtbl.find sums name + v))
+                counter_names;
+              List.iter (quantile_member lineno f)
+                [
+                  "latency_p50"; "latency_p95"; "hops_p50"; "hops_p95"; "occupancy_p50";
+                  "occupancy_p95";
+                ];
+              (match List.assoc_opt "top_edges" f with
+              | Some (Arr _) -> ()
+              | _ -> fail (Some lineno) "window record lacks a \"top_edges\" array"))
+        records;
+      Printf.printf "%s: ok (%d windows + final, window = %d steps)\n" file !nwindows window
+
 (* One JSON object per non-empty line, each with a numeric "step". *)
 let check_jsonl file =
   let lines =
@@ -682,6 +896,7 @@ let () =
   match Sys.argv with
   | [| _; f |] -> check_document f
   | [| _; "--jsonl"; f |] -> check_jsonl f
+  | [| _; "--live"; f |] -> check_live f
   | [| _; "--lint"; f |] -> check_lint_report f
   | [| _; "--chrome-trace"; f |] -> check_chrome_trace f
   | [| _; "--compare"; base; cur |] -> compare_docs ~tolerance:0.25 base cur
@@ -695,6 +910,7 @@ let () =
       prerr_endline
         "usage: json_check FILE\n\
         \       json_check --jsonl FILE\n\
+        \       json_check --live FILE\n\
         \       json_check --lint FILE\n\
         \       json_check --chrome-trace FILE\n\
         \       json_check --compare BASELINE CURRENT [--span-tolerance R]";

@@ -11,7 +11,8 @@
                                            # + one Chrome trace-event file per experiment
 
    Experiment ids: e1..e20 (paper claims and extensions), b1
-   (micro-benchmarks), b2 (multicore scaling sweep).
+   (micro-benchmarks), b2 (multicore scaling sweep), b3 (live streaming
+   telemetry probe).
 
    --jobs N sizes the shared domain pool (default
    Pool.default_jobs (), i.e. the machine's recommended domain count
@@ -19,11 +20,13 @@
    changes.
 
    --json FILE writes one object per executed experiment (schema
-   adhoc-bench/4): its id, title, wall-clock seconds, the headline metrics
+   adhoc-bench/5): its id, title, wall-clock seconds, the headline metrics
    the experiment recorded, the observability layer's span timings (with
-   per-span GC deltas) and metric snapshot, and pointers to the
-   experiment's trace / chrome-trace files when --trace-dir /
-   --chrome-trace-dir were given (see EXPERIMENTS.md for the schema). *)
+   per-span GC deltas) and metric snapshot, the live-telemetry cumulative
+   summary when the experiment ran an Obs.Live recorder ("live", null
+   otherwise), and pointers to the experiment's trace / chrome-trace files
+   when --trace-dir / --chrome-trace-dir were given (see EXPERIMENTS.md
+   for the schema). *)
 
 module Obs = Adhoc.Obs
 
@@ -51,6 +54,7 @@ let all : (string * string * (unit -> unit)) list =
     ("e20", "context: Gupta-Kumar capacity scaling", Exp_extensions.e20);
     ("b1", "micro-benchmarks", Micro.run);
     ("b2", "multicore scaling sweep", Exp_scaling.run);
+    ("b3", "live streaming telemetry probe", Exp_routing.b3);
     ("figures", "SVG figures for key experiments", Figures.run);
   ]
 
@@ -60,8 +64,10 @@ let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
 
 (* b2 is part of quick so bench-smoke exercises the sharded builders at the
    full size sweep (up to n = 65536) and json_check can pin its structural
-   edges:* metrics and pool counters against the baseline. *)
-let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1"; "b2" ]
+   edges:* metrics and pool counters against the baseline; b3 is part of
+   quick so every baseline carries a non-null "live" member for json_check
+   to shape-check and pin. *)
+let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1"; "b2"; "b3" ]
 
 (* Extract "--opt VALUE" from anywhere in the argument list. *)
 let rec split_opt name acc = function
@@ -80,6 +86,7 @@ type outcome = {
   metrics : (string * Common.Json.t) list;  (* the experiment's headline numbers *)
   spans : Obs.Span.total list;
   obs_snapshot : (string * Obs.Metrics.value) list;
+  live : Common.Json.t;  (* cumulative live-telemetry summary, or Null *)
   trace_file : string option;
   chrome_file : string option;
 }
@@ -122,6 +129,7 @@ let outcome_json o =
       ("metrics", Obj o.metrics);
       ("spans", List (List.map span_json o.spans));
       ("obs", Obj (List.map (fun (n, v) -> (n, metric_value_json v)) o.obs_snapshot));
+      ("live", o.live);
       ("trace", match o.trace_file with None -> Null | Some f -> String f);
       ("chrome_trace", match o.chrome_file with None -> Null | Some f -> String f);
     ]
@@ -180,6 +188,7 @@ let () =
       match List.find_opt (fun (i, _, _) -> i = id) all with
       | Some (_, title, f) ->
           ignore (Common.take_metrics ());
+          ignore (Common.take_live ());
           (* A fresh sink per experiment so spans, metrics and traces are
              attributed to exactly one run; experiments pick it up through
              Common.current_obs. *)
@@ -225,6 +234,7 @@ let () =
               metrics = Common.take_metrics ();
               spans = Obs.Span.totals sink.Obs.spans;
               obs_snapshot = Obs.Metrics.snapshot sink.Obs.metrics;
+              live = Common.take_live ();
               trace_file;
               chrome_file;
             }
@@ -241,7 +251,7 @@ let () =
       let doc =
         Obj
           [
-            ("schema", String "adhoc-bench/4");
+            ("schema", String "adhoc-bench/5");
             ("jobs", Int (Adhoc.Util.Pool.jobs pool));
             ("experiments", List (List.rev_map outcome_json !results));
           ]

@@ -79,6 +79,43 @@ let build ?obs ?pool seed n theta range_factor delta dist =
   (rng, points, range, Pipeline.prepare ~delta ~theta ?obs ?pool ~range points)
 
 (* ------------------------------------------------------------------ *)
+(* Live-telemetry summary, shared by [route --live] (online) and
+   [analyze --replay-live] (offline): both print the same cumulative
+   record, and both print it through the same table shape as the
+   analyzer's per-packet distributions.                                *)
+
+let print_live_summary l =
+  let open Obs.Live in
+  let c = finish l in
+  Printf.printf "live: %d window%s of %d steps, %d events over %d steps\n" c.windows
+    (if c.windows = 1 then "" else "s")
+    (window_size l) c.events c.steps;
+  Printf.printf "  injected / dropped  %d / %d\n" c.c_injected c.c_dropped;
+  Printf.printf "  delivered           %d (self %d)\n" c.c_delivered c.c_self_deliveries;
+  Printf.printf "  sends / collisions  %d / %d\n" c.c_sends c.c_collisions;
+  Printf.printf "  control / buffered  %d / %d\n" c.c_control c.c_buffered;
+  Printf.printf "  energy              %.6g\n" c.energy;
+  Printf.printf "  health              %s (%d violations, %d anomalies)\n"
+    (if c.healthy then "ok" else "UNHEALTHY")
+    c.c_violations c.anomalies;
+  if c.events > 0 then begin
+    let tb = Table.summary_table "sketch estimate" in
+    Table.add_float_row tb "latency (steps)"
+      [ c.latency_mean; c.c_latency_p50; c.c_latency_p95 ];
+    Table.add_float_row tb "hops" [ c.hops_mean; c.c_hops_p50; c.c_hops_p95 ];
+    Table.add_float_row tb "occupancy" [ c.occupancy_mean; c.c_occupancy_p50; c.c_occupancy_p95 ];
+    Table.print tb
+  end;
+  let hitters what tops =
+    if tops <> [] then
+      Printf.printf "  top %s %s\n" what
+        (String.concat "  "
+           (List.map (fun (k, n, err) -> Printf.sprintf "%d:%d(±%d)" k n err) tops))
+  in
+  hitters "edges " c.c_top_edges;
+  hitters "nodes " c.top_nodes
+
+(* ------------------------------------------------------------------ *)
 (* topology                                                            *)
 
 let topology_cmd =
@@ -270,19 +307,55 @@ let route_cmd =
             "Check the event stream online against the packet-conservation invariants and \
              reconcile it with the final stats; exit non-zero on any violation.")
   in
+  let live_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live" ] ~docv:"FILE"
+          ~doc:
+            "Fold the event stream online into live telemetry — step-keyed tumbling \
+             windows of counters, quantile sketches and heavy hitters — and write the \
+             snapshot stream to $(docv) as adhoc-live/1 JSONL after the run.  The stream \
+             is byte-identical across --jobs and to analyze --replay-live over the same \
+             recorded events.")
+  in
+  let live_window_t =
+    Arg.(
+      value & opt int 250
+      & info [ "live-window" ] ~docv:"STEPS"
+          ~doc:"Tumbling-window size in simulation steps for --live (default 250).")
+  in
+  let live_prom_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "live-prom" ] ~docv:"FILE"
+          ~doc:
+            "Also write the final cumulative live-telemetry state to $(docv) in \
+             Prometheus text exposition format (turns the live recorder on even without \
+             --live).")
+  in
   let run jobs seed n theta range_factor delta dist scenario horizon flows epsilon trace_file
-      trace_stride metrics events_file check_invariants chrome_file =
+      trace_stride metrics events_file check_invariants chrome_file live_file live_window
+      live_prom =
     with_jobs jobs @@ fun pool ->
     let trace = Option.map (fun _ -> Obs.Trace.create ~stride:trace_stride ()) trace_file in
+    let live =
+      if live_file <> None || live_prom <> None then
+        Some (Obs.Live.create ~window:live_window ())
+      else None
+    in
     let events =
-      if events_file <> None || check_invariants then Some (Obs.Event.create ()) else None
+      if events_file <> None || check_invariants || live <> None then
+        Some (Obs.Event.create ())
+      else None
     in
     let domprof = Option.map (fun _ -> Obs.Domprof.create ()) chrome_file in
     let obs =
       if trace <> None || metrics || events <> None || domprof <> None then
         (* GC telemetry rides with --metrics: that is the only reporter of
            the per-span deltas, and the default path stays read-free. *)
-        Some (Obs.create ?trace ?events ?domprof ~gc:metrics ())
+        Some (Obs.create ?trace ?events ?domprof ?live ~gc:metrics ())
       else None
     in
     Option.iter (fun o -> Obs.attach_pool o pool) obs;
@@ -327,6 +400,22 @@ let route_cmd =
         Obs.Event.save_jsonl log file;
         Printf.printf "wrote %s (%d events)\n" file (Obs.Event.length log)
     | _ -> ());
+    (match live with
+    | Some l ->
+        let c = Obs.Live.finish l in
+        (match live_file with
+        | Some file ->
+            Obs.Live.save_jsonl l file;
+            Printf.printf "wrote %s (%d windows + final)\n" file c.Obs.Live.windows
+        | None -> ());
+        (match live_prom with
+        | Some file ->
+            Obs.Live.save_prometheus l file;
+            Printf.printf "wrote %s\n" file
+        | None -> ());
+        print_newline ();
+        print_live_summary l
+    | None -> ());
     (match (domprof, chrome_file) with
     | Some dp, Some file ->
         Obs.Chrome_trace.save ~process_name:"adhoc_sim route" dp file;
@@ -349,7 +438,7 @@ let route_cmd =
     Term.(
       const run $ jobs_t $ seed_t $ nodes_t $ theta_t $ range_factor_t $ delta_t $ dist_t
       $ scenario_t $ horizon_t $ flows_t $ epsilon_t $ trace_t $ trace_stride_t $ metrics_t
-      $ events_t $ check_invariants_t $ chrome_trace_t)
+      $ events_t $ check_invariants_t $ chrome_trace_t $ live_t $ live_window_t $ live_prom_t)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -379,7 +468,23 @@ let analyze_cmd =
       & info [ "check-invariants" ]
           ~doc:"Replay the per-event invariants offline; exit non-zero on any violation.")
   in
-  let run file top svg check_invariants =
+  let replay_live_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay-live" ] ~docv:"FILE"
+          ~doc:
+            "Replay the event log through the live-telemetry recorder offline and write \
+             the adhoc-live/1 snapshot stream to $(docv) — byte-identical to what route \
+             --live produced online from the same events with the same window size.")
+  in
+  let live_window_t =
+    Arg.(
+      value & opt int 250
+      & info [ "live-window" ] ~docv:"STEPS"
+          ~doc:"Tumbling-window size in simulation steps for --replay-live (default 250).")
+  in
+  let run file top svg check_invariants replay_live live_window =
     match Obs.Event.load_jsonl file with
     | Error msg ->
         prerr_endline msg;
@@ -413,33 +518,16 @@ let analyze_cmd =
           let farr f = Array.of_list (List.map f delivered_pkts) in
           let hops = farr (fun p -> float_of_int p.Routing.Packet.hops) in
           let energy = farr (fun p -> p.Routing.Packet.energy) in
-          let tb =
-            Table.create
-              [
-                ("per delivered packet", Table.Left);
-                ("mean", Table.Right);
-                ("median", Table.Right);
-                ("p95", Table.Right);
-              ]
-          in
+          let tb = Table.summary_table "per delivered packet" in
           Table.add_float_row tb "latency (steps)"
             [
               j.Routing.Journey.latency_mean;
               j.Routing.Journey.latency_median;
               j.Routing.Journey.latency_p95;
             ];
-          Table.add_float_row tb "hops"
-            [
-              j.Routing.Journey.hops_mean;
-              Util.Stats.percentile hops 50.;
-              Util.Stats.percentile hops 95.;
-            ];
-          Table.add_float_row tb "energy"
-            [
-              j.Routing.Journey.energy_per_delivered;
-              Util.Stats.percentile energy 50.;
-              Util.Stats.percentile energy 95.;
-            ];
+          Table.add_summary_row tb ~mean:j.Routing.Journey.hops_mean "hops" hops;
+          Table.add_summary_row tb ~mean:j.Routing.Journey.energy_per_delivered "energy"
+            energy;
           print_newline ();
           Table.print tb
         end;
@@ -495,6 +583,16 @@ let analyze_cmd =
             Printf.printf "wrote %s\n" out
         | Some _ -> prerr_endline "no timeline to chart (empty event log)"
         | None -> ());
+        (match replay_live with
+        | Some out ->
+            let l = Obs.Live.create ~window:live_window () in
+            Obs.Live.feed_array l events;
+            Obs.Live.save_jsonl l out;
+            Printf.printf "wrote %s (%d windows + final)\n" out
+              (Obs.Live.finish l).Obs.Live.windows;
+            print_newline ();
+            print_live_summary l
+        | None -> ());
         let bad = ref (j.Routing.Journey.anomalies > 0) in
         if check_invariants then begin
           match Obs.Invariants.run events with
@@ -516,8 +614,9 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Reconstruct per-packet journeys from a recorded event log: latency / hop / \
-          energy distributions, per-edge utilization, optional SVG time series.")
-    Term.(const run $ file_t $ top_t $ svg_t $ check_invariants_t)
+          energy distributions, per-edge utilization, optional SVG time series, optional \
+          offline replay of the live-telemetry stream.")
+    Term.(const run $ file_t $ top_t $ svg_t $ check_invariants_t $ replay_live_t $ live_window_t)
 
 (* ------------------------------------------------------------------ *)
 (* geo                                                                 *)

@@ -82,7 +82,7 @@ let of_string s =
   { points; graph = Graph.Builder.build b }
 
 let save net path =
-  let oc = open_out path in
+  let oc = open_out path in (* lint: allow obs-purity -- network persistence to a caller-chosen path is this module's whole purpose *)
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string net))
 
 let load path =

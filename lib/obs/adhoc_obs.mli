@@ -39,6 +39,9 @@ module Span = Span
 module Trace = Trace
 module Event = Event
 module Invariants = Invariants
+module Sketch = Sketch
+module Topk = Topk
+module Live = Live
 module Clock = Clock
 module Gcstat = Gcstat
 module Domprof = Domprof
@@ -50,18 +53,31 @@ type sink = {
   trace : Trace.t option;  (** no per-step trace unless provided *)
   events : Event.log option;  (** no per-packet event log unless provided *)
   domprof : Domprof.t option;  (** no per-domain timeline unless provided *)
+  live : Live.t option;  (** no live streaming analytics unless provided *)
 }
 
 val create :
-  ?trace:Trace.t -> ?events:Event.log -> ?domprof:Domprof.t -> ?gc:bool -> unit -> sink
+  ?trace:Trace.t ->
+  ?events:Event.log ->
+  ?domprof:Domprof.t ->
+  ?live:Live.t ->
+  ?gc:bool ->
+  unit ->
+  sink
 (** A sink with fresh metrics and span state.  [~gc:true] turns on
     per-span GC deltas (default off); [~domprof] threads the recorder
     into the span profiler (span instances become timeline scopes) and
-    makes it the default recorder for {!attach_pool}. *)
+    makes it the default recorder for {!attach_pool}.  [~live] attaches
+    the recorder to [~events] as an online observer (raises
+    [Invalid_argument] without an event log — the live layer folds the
+    event stream). *)
 
 val events : sink option -> Event.log option
 (** The sink's event log, when both are present — the single [match] the
     engines hoist out of their hot loops. *)
+
+val live : sink option -> Live.t option
+(** The sink's live recorder, when both are present. *)
 
 val time : sink option -> string -> (unit -> 'a) -> 'a
 (** [time obs label f] runs [f] inside a span when [obs] is [Some], and

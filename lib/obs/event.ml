@@ -35,7 +35,8 @@ type log = {
   mutable ints : int array;
   mutable costs : float array;
   mutable len : int;  (* events recorded *)
-  mutable observer : (int -> t -> unit) option;
+  mutable observers : (int -> t -> unit) list;  (* registration order *)
+  mutable max_step : int;  (* largest step recorded; min_int when empty *)
 }
 
 let create ?(initial_capacity = 1024) () =
@@ -44,7 +45,8 @@ let create ?(initial_capacity = 1024) () =
     ints = Array.make (stride * initial_capacity) 0;
     costs = Array.make initial_capacity 0.;
     len = 0;
-    observer = None;
+    observers = [];
+    max_step = min_int;
   }
 
 let length log = log.len
@@ -77,9 +79,13 @@ let get log i =
   if i < 0 || i >= log.len then invalid_arg "Event.get: index out of bounds";
   decode log i
 
-let set_observer log f = log.observer <- Some f
+let set_observer log f = log.observers <- [ f ]
 
-let clear_observer log = log.observer <- None
+let add_observer log f = log.observers <- log.observers @ [ f ]
+
+let clear_observer log = log.observers <- []
+
+let last_step log = log.max_step
 
 let grow log =
   let cap = Array.length log.costs in
@@ -99,8 +105,15 @@ let reserve log =
 let commit log =
   let i = log.len in
   log.len <- i + 1;
-  match log.observer with None -> () | Some f -> f i (decode log i)
+  match log.observers with
+  | [] -> ()
+  | [ f ] -> f i (decode log i)
+  | fs ->
+      let e = decode log i in
+      List.iter (fun f -> f i e) fs
 
+(* Raw write: no step check (record uses it to build deliberately corrupt
+   logs); max_step still tracks the largest step seen. *)
 let emit6 log tag step a b c d e cost =
   let o = reserve log in
   let v = log.ints in
@@ -112,31 +125,52 @@ let emit6 log tag step a b c d e cost =
   v.(o + 5) <- d;
   v.(o + 6) <- e;
   log.costs.(log.len) <- cost;
+  if step > log.max_step then log.max_step <- step;
   commit log
 
+(* The emitters' monotonicity contract: online consumers (Live, the
+   Invariants checker) fold over the stream assuming steps never
+   decrease, so a regression is an engine bug worth failing loudly on. *)
+let check_step log step name =
+  if log.max_step > min_int && step < log.max_step then
+    invalid_arg
+      (Printf.sprintf
+         "Event.%s: step %d after step %d; emitters require non-decreasing steps (see last_step)"
+         name step log.max_step)
+
 let inject log ~step ~src ~dst ~admitted =
+  check_step log step "inject";
   emit6 log 0 step src dst (if admitted then 1 else 0) 0 0 0.
 
 let send log ~step ~edge ~src ~dst ~dest ~cost ~outcome =
+  check_step log step "send";
   emit6 log 1 step edge src dst dest (match outcome with Delivered -> 1 | Moved -> 0) cost
 
-let collide log ~step ~edge ~src ~dst ~dest ~cost = emit6 log 2 step edge src dst dest 0 cost
+let collide log ~step ~edge ~src ~dst ~dest ~cost =
+  check_step log step "collide";
+  emit6 log 2 step edge src dst dest 0 cost
 
-let deliver log ~step ~dst ~self = emit6 log 3 step dst (if self then 1 else 0) 0 0 0 0.
+let deliver log ~step ~dst ~self =
+  check_step log step "deliver";
+  emit6 log 3 step dst (if self then 1 else 0) 0 0 0 0.
 
-let epoch_change log ~step ~epoch = emit6 log 4 step epoch 0 0 0 0 0.
+let epoch_change log ~step ~epoch =
+  check_step log step "epoch_change";
+  emit6 log 4 step epoch 0 0 0 0 0.
 
-let height_advert log ~step ~node = emit6 log 5 step node 0 0 0 0 0.
+let height_advert log ~step ~node =
+  check_step log step "height_advert";
+  emit6 log 5 step node 0 0 0 0 0.
 
 let record log = function
-  | Inject { step; src; dst; admitted } -> inject log ~step ~src ~dst ~admitted
+  | Inject { step; src; dst; admitted } ->
+      emit6 log 0 step src dst (if admitted then 1 else 0) 0 0 0.
   | Send { step; edge; src; dst; dest; cost; outcome } ->
-      send log ~step ~edge ~src ~dst ~dest ~cost ~outcome
-  | Collide { step; edge; src; dst; dest; cost } ->
-      collide log ~step ~edge ~src ~dst ~dest ~cost
-  | Deliver { step; dst; self } -> deliver log ~step ~dst ~self
-  | Epoch_change { step; epoch } -> epoch_change log ~step ~epoch
-  | Height_advert { step; node } -> height_advert log ~step ~node
+      emit6 log 1 step edge src dst dest (match outcome with Delivered -> 1 | Moved -> 0) cost
+  | Collide { step; edge; src; dst; dest; cost } -> emit6 log 2 step edge src dst dest 0 cost
+  | Deliver { step; dst; self } -> emit6 log 3 step dst (if self then 1 else 0) 0 0 0 0.
+  | Epoch_change { step; epoch } -> emit6 log 4 step epoch 0 0 0 0 0.
+  | Height_advert { step; node } -> emit6 log 5 step node 0 0 0 0 0.
 
 let iter log f =
   for i = 0 to log.len - 1 do

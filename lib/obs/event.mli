@@ -67,14 +67,25 @@ val get : log -> int -> t
 
 val record : log -> t -> unit
 (** Append a decoded event (tests, corrupt-log construction).  The
-    engines use the specialized emitters below, which skip the variant. *)
+    engines use the specialized emitters below, which skip the variant.
+    Unlike the emitters, [record] performs {e no} step check — it is the
+    sanctioned way to build deliberately malformed logs for the
+    {!Invariants} checker's own tests. *)
 
 (** {2 Allocation-free emitters}
 
-    One per constructor; these write the flat fields directly.  When an
-    observer is attached (see {!set_observer}) the event is decoded once
-    and handed to it — the cost of online checking is only paid when
-    checking is on. *)
+    One per constructor; these write the flat fields directly.  When
+    observers are attached (see {!set_observer} / {!add_observer}) the
+    event is decoded once and handed to each — the cost of online
+    consumption is only paid when someone is listening.
+
+    {b Monotonicity contract}: the engines emit events in simulation
+    order, so consecutive steps never decrease.  The emitters enforce
+    this — a step below {!last_step} raises [Invalid_argument] with the
+    offending pair — which is what lets online consumers
+    ({!Adhoc_obs.Live}, {!Invariants}) fold over the stream with
+    step-keyed state and stay bit-identical to an offline replay of the
+    same log. *)
 
 val inject : log -> step:int -> src:int -> dst:int -> admitted:bool -> unit
 val send :
@@ -91,12 +102,24 @@ val iter : log -> (int -> t -> unit) -> unit
 
 val to_array : log -> t array
 
+val last_step : log -> int
+(** The largest step recorded so far ([min_int] on an empty log).  For
+    emitter-built logs this is simply the current simulation step — the
+    monotone high-water mark the emitters enforce. *)
+
 val set_observer : log -> (int -> t -> unit) -> unit
 (** [set_observer log f] makes every subsequent record call [f i event]
-    (after the event is stored).  At most one observer; setting replaces.
-    {!Adhoc_obs.Invariants.attach} uses this for online checking. *)
+    (after the event is stored), {e replacing} any observers already
+    attached. *)
+
+val add_observer : log -> (int -> t -> unit) -> unit
+(** Append an observer, keeping the ones already attached; observers run
+    in registration order.  {!Adhoc_obs.Invariants.attach} and
+    {!Adhoc_obs.Live.attach} both use this, so online checking and live
+    analytics compose on one log. *)
 
 val clear_observer : log -> unit
+(** Detach every observer. *)
 
 val write_jsonl : log -> out_channel -> unit
 (** Schema header line, then one JSON object per event. *)

@@ -122,7 +122,7 @@ let check t i (e : Event.t) =
       else t.pending_deliver <- t.pending_deliver - 1
   | Event.Epoch_change _ | Event.Height_advert _ -> ()
 
-let attach t log = Event.set_observer log (fun i e -> check t i e)
+let attach t log = Event.add_observer log (fun i e -> check t i e)
 
 let final_check t ~injected ~dropped ~delivered ~sends ~failed_sends ~total_cost ~remaining
     =

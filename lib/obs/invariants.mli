@@ -40,8 +40,8 @@ val check : t -> int -> Event.t -> unit
 (** Feed one event with its index.  Steps must be fed in log order. *)
 
 val attach : t -> Event.log -> unit
-(** Check every subsequently recorded event online (installs the log's
-    observer). *)
+(** Check every subsequently recorded event online (adds an observer to
+    the log, keeping any already attached). *)
 
 val final_check :
   t ->

@@ -1,0 +1,139 @@
+(** Live streaming telemetry: deterministic windowed analytics over the
+    packet-journey event stream.
+
+    A {!t} folds {!Event.t}s — online via {!attach}, or offline over a
+    replayed array via {!feed_array} — into tumbling windows keyed by
+    {e simulation step}, never wall-clock.  Every derived figure
+    (counters, {!Sketch} quantile estimates, {!Topk} heavy hitters,
+    {!Invariants} health) is a pure function of the event sequence and
+    the [(window, top_k)] configuration, so the emitted snapshot stream
+    is bit-identical across [--jobs] and between an online run and an
+    offline replay of the very same log.
+
+    Windows are emitted even when a window's worth of steps saw no
+    events (gap windows carry zero counters and the current gauges), so
+    window [w] always covers steps [w*window .. (w+1)*window - 1]
+    starting from the first observed event's window.
+
+    The JSONL sink writes schema [adhoc-live/1]: a header line
+    [{"schema":"adhoc-live/1","window":W,"top_k":K}], one object per
+    closed window, and exactly one final cumulative object
+    ([{"final":true, ...}]).  Non-finite floats (empty sketches) are
+    written as JSON [null].  A Prometheus-style text dump of the final
+    cumulative state is also available; it carries no timestamps. *)
+
+type window = {
+  w : int;  (** window index: covers steps [w*size .. w*size+size-1] *)
+  step_lo : int;
+  step_hi : int;
+  injected : int;  (** admitted injections in this window *)
+  dropped : int;
+  delivered : int;  (** deliveries, including self-deliveries *)
+  self_deliveries : int;
+  sends : int;
+  collisions : int;
+  control : int;  (** epoch changes + height adverts *)
+  buffered : int;  (** gauge: packets buffered at window close *)
+  violations : int;  (** cumulative invariant violations at window close *)
+  latency_p50 : float;  (** cumulative sketch estimates; [nan] when empty *)
+  latency_p95 : float;
+  hops_p50 : float;
+  hops_p95 : float;
+  occupancy_p50 : float;
+  occupancy_p95 : float;
+  top_edges : (int * int * int) list;  (** (edge, count, err), busiest first *)
+}
+
+type cumulative = {
+  steps : int;  (** last observed step + 1, or 0 with no events *)
+  events : int;
+  windows : int;
+  c_injected : int;
+  c_dropped : int;
+  c_delivered : int;
+  c_self_deliveries : int;
+  c_sends : int;
+  c_collisions : int;
+  c_control : int;
+  c_buffered : int;
+  c_violations : int;
+  healthy : bool;  (** no invariant violation and no replay anomaly *)
+  anomalies : int;  (** sends the journey bookkeeping could not pair *)
+  energy : float;  (** summed in event order, like the engines *)
+  latency_mean : float;  (** exact mean of delivery latencies; [nan] when empty *)
+  c_latency_p50 : float;
+  latency_p90 : float;
+  c_latency_p95 : float;
+  latency_p99 : float;
+  hops_mean : float;
+  c_hops_p50 : float;
+  c_hops_p95 : float;
+  occupancy_mean : float;
+  c_occupancy_p50 : float;
+  c_occupancy_p95 : float;
+  occupancy_max : float;
+  c_top_edges : (int * int * int) list;
+  top_nodes : (int * int * int) list;
+}
+
+type t
+
+val create :
+  ?top_k:int ->
+  ?latency_buckets:float array ->
+  ?hops_buckets:float array ->
+  ?occupancy_buckets:float array ->
+  window:int ->
+  unit ->
+  t
+(** [create ~window ()] builds a recorder with tumbling windows of
+    [window] simulation steps (raises [Invalid_argument] if [< 1]) and
+    [top_k] (default 8) heavy-hitter slots.  The default sketch buckets
+    are powers of two up to 16384 steps (latency), unit-width up to 32
+    (hops), and powers of two up to 65536 packets (occupancy). *)
+
+val feed : t -> Event.t -> unit
+(** Fold one event.  Raises [Invalid_argument] on a step below the
+    largest step already fed (the emitters' monotonicity contract is
+    what makes step-keyed windowing sound), on a negative step, or after
+    {!finish}. *)
+
+val feed_array : t -> Event.t array -> unit
+(** Offline replay: fold a whole recorded log in order. *)
+
+val attach : t -> Event.log -> unit
+(** Fold every subsequently recorded event online (adds an observer,
+    keeping any already attached — composes with
+    {!Invariants.attach}). *)
+
+val finish : t -> cumulative
+(** Close all windows through the last observed step, take the final
+    occupancy sample, and return the cumulative record.  Idempotent;
+    further {!feed}s are rejected. *)
+
+val windows : t -> window list
+(** Closed windows in order.  Complete only after {!finish}. *)
+
+val window_size : t -> int
+
+val top_k : t -> int
+
+val health : t -> Invariants.t
+(** The online invariant fold (for {!Invariants.report}). *)
+
+val schema : string
+(** ["adhoc-live/1"]. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** Header, one line per window, one final cumulative line.  Calls
+    {!finish}.  Floats use [%.17g] so the stream round-trips and the
+    online/replay byte-identity holds. *)
+
+val save_jsonl : t -> string -> unit
+
+val write_prometheus : t -> out_channel -> unit
+(** Prometheus text exposition of the final cumulative state (counters,
+    gauges, quantile-labelled summaries, labelled top-k gauges).  Calls
+    {!finish}.  Deterministic: no timestamps. *)
+
+val save_prometheus : t -> string -> unit

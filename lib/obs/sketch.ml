@@ -1,0 +1,105 @@
+(* Fixed-bucket streaming quantile sketch.
+
+   One counter per bucket, observations binned into (-inf, b0], (b0, b1],
+   ..., (bk, +inf).  Quantile queries mirror Util.Stats.percentile's
+   interpolated-rank rule exactly, but on bucket upper bounds: the
+   estimate for rank r is the upper bound of the bucket holding the r-th
+   smallest observation (the overflow bucket answers with the observed
+   maximum).  Because the exact order statistic lies strictly above the
+   bucket's lower bound, the estimate never undershoots the exact
+   percentile and overshoots it by at most the width of the widest
+   bucket spanned — the bound the qcheck property in test_live pins. *)
+
+type t = {
+  bounds : float array;  (* strictly increasing, finite upper bounds *)
+  counts : int array;  (* length bounds + 1; the last bin is overflow *)
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;  (* nan until the first observation *)
+  mutable vmax : float;
+}
+
+let create ~buckets () =
+  let bounds = Array.copy buckets in
+  if Array.length bounds = 0 then invalid_arg "Sketch.create: at least one bucket bound";
+  Array.iteri
+    (fun i b ->
+      if not (Float.is_finite b) then invalid_arg "Sketch.create: bucket bounds must be finite";
+      if i > 0 && Float.compare bounds.(i - 1) b >= 0 then
+        invalid_arg "Sketch.create: bucket bounds must be strictly increasing")
+    bounds;
+  {
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    total = 0;
+    sum = 0.;
+    vmin = Float.nan;
+    vmax = Float.nan;
+  }
+
+let uniform ~width ~count () =
+  if count < 1 then invalid_arg "Sketch.uniform: count must be >= 1";
+  if not (Float.is_finite width) || Float.compare width 0. <= 0 then
+    invalid_arg "Sketch.uniform: width must be positive";
+  create ~buckets:(Array.init count (fun i -> width *. float_of_int (i + 1))) ()
+
+(* First bucket whose bound is >= x; Array.length bounds means overflow. *)
+let bin t x =
+  let lo = ref 0 and hi = ref (Array.length t.bounds) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Float.compare t.bounds.(mid) x >= 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe t x =
+  (* nan carries no rank; ignoring it matches Stats.percentile, which
+     computes order statistics over the non-nan subsample. *)
+  if not (Float.is_nan x) then begin
+    let i = bin t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x;
+    if Float.is_nan t.vmin || Float.compare x t.vmin < 0 then t.vmin <- x;
+    if Float.is_nan t.vmax || Float.compare x t.vmax > 0 then t.vmax <- x
+  end
+
+let count t = t.total
+
+let sum t = t.sum
+
+let min_seen t = t.vmin
+
+let max_seen t = t.vmax
+
+let mean t = if t.total = 0 then Float.nan else t.sum /. float_of_int t.total
+
+let bounds t = Array.copy t.bounds
+
+let counts t = Array.copy t.counts
+
+(* Upper bound of the bucket holding the r-th smallest observation
+   (1-based rank, r <= total). *)
+let rank_bound t r =
+  let nb = Array.length t.bounds in
+  let rec go i cum =
+    let cum = cum + t.counts.(i) in
+    if cum >= r then if i < nb then t.bounds.(i) else t.vmax else go (i + 1) cum
+  in
+  go 0 0
+
+let quantile t p =
+  if Float.is_nan p || Float.compare p 0. < 0 || Float.compare p 100. > 0 then
+    invalid_arg "Sketch.quantile: p must be in [0, 100]";
+  if t.total = 0 then Float.nan
+  else begin
+    let rank = p /. 100. *. float_of_int (t.total - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let blo = rank_bound t (lo + 1) in
+    if lo = hi then blo
+    else begin
+      let frac = rank -. float_of_int lo in
+      blo +. (frac *. (rank_bound t (hi + 1) -. blo))
+    end
+  end

@@ -1,0 +1,58 @@
+(** Deterministic fixed-bucket streaming quantile sketch.
+
+    Constant space, O(log buckets) per observation, no data retained:
+    observations are binned into [(-inf, b0], (b0, b1], …, (bk, +inf)]
+    against a fixed array of strictly increasing finite bucket bounds.
+    {!quantile} mirrors {!Adhoc_util.Stats.percentile}'s interpolated
+    rank rule on bucket {e upper bounds}, so the estimate never
+    undershoots the exact percentile of the observed stream and
+    overshoots by at most the width of the widest bucket the bracketing
+    order statistics fall in (the overflow bucket answers with the
+    observed maximum).  Everything is a pure function of the observation
+    sequence — no randomness, no wall clock — which is what lets
+    {!Adhoc_obs.Live} pin its snapshot streams bit-identical across
+    [--jobs] and across online/replay. *)
+
+type t
+
+val create : buckets:float array -> unit -> t
+(** [create ~buckets ()] with strictly increasing finite upper bounds.
+    Raises [Invalid_argument] on an empty, non-finite or non-increasing
+    array.  The array is copied. *)
+
+val uniform : width:float -> count:int -> unit -> t
+(** [uniform ~width ~count ()]: bounds [width, 2·width, …, count·width] —
+    every bounded bucket the same width, so the quantile error bound is
+    exactly [width] for in-range data. *)
+
+val observe : t -> float -> unit
+(** Add one observation.  [nan] is ignored (it carries no rank), matching
+    [Stats.percentile]'s non-nan subsample. *)
+
+val count : t -> int
+(** Observations accepted so far. *)
+
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val min_seen : t -> float
+(** Smallest observation, [nan] when empty. *)
+
+val max_seen : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p ∈ [0,100]]: the bucket-upper-bound estimate of
+    the exact percentile, [nan] when empty.  Guarantee (qcheck-pinned in
+    the test suite): [exact <= estimate] and
+    [estimate - exact <= max spanned bucket width] whenever the
+    bracketing order statistics land in bounded buckets; observations in
+    the overflow bucket are answered with {!max_seen}.  Raises
+    [Invalid_argument] outside [0, 100]. *)
+
+val bounds : t -> float array
+(** Copy of the bucket bounds. *)
+
+val counts : t -> int array
+(** Copy of the per-bucket counts (last entry: overflow). *)

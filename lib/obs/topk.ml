@@ -1,0 +1,69 @@
+(* Space-saving top-K heavy hitters (Metwally, Agrawal, El Abbadi 2005).
+
+   K fixed slots; an unseen key evicts the minimum-count slot and
+   inherits its count as the overestimation error.  The victim scan runs
+   over the slot array in slot order — never over the Hashtbl, whose
+   iteration order is unspecified — with ties broken by Int.compare on
+   keys (the largest key loses), so the tracker's state is a pure
+   function of the observation sequence. *)
+
+type entry = { mutable key : int; mutable count : int; mutable err : int }
+
+type t = {
+  capacity : int;
+  slots : entry array;  (* fixed storage; the first [size] are live *)
+  mutable size : int;
+  index : (int, int) Hashtbl.t;  (* key -> slot; lookup only, never iterated *)
+  mutable total : int;
+}
+
+let create ~k () =
+  if k < 1 then invalid_arg "Topk.create: k must be >= 1";
+  {
+    capacity = k;
+    slots = Array.init k (fun _ -> { key = 0; count = 0; err = 0 });
+    size = 0;
+    index = Hashtbl.create (2 * k);
+    total = 0;
+  }
+
+let capacity t = t.capacity
+
+let total t = t.total
+
+let observe t key =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.index key with
+  | Some s -> (t.slots.(s)).count <- (t.slots.(s)).count + 1
+  | None ->
+      if t.size < t.capacity then begin
+        let e = t.slots.(t.size) in
+        e.key <- key;
+        e.count <- 1;
+        e.err <- 0;
+        Hashtbl.replace t.index key t.size;
+        t.size <- t.size + 1
+      end
+      else begin
+        (* Evict the min-count slot; on equal counts the larger key goes,
+           so the choice is independent of slot history. *)
+        let victim = ref 0 in
+        for s = 1 to t.size - 1 do
+          let e = t.slots.(s) and v = t.slots.(!victim) in
+          if e.count < v.count || (e.count = v.count && Int.compare e.key v.key > 0) then
+            victim := s
+        done;
+        let e = t.slots.(!victim) in
+        Hashtbl.remove t.index e.key;
+        e.err <- e.count;
+        e.count <- e.count + 1;
+        e.key <- key;
+        Hashtbl.replace t.index key !victim
+      end
+
+let top t =
+  let xs = Array.init t.size (fun s -> (t.slots.(s).key, t.slots.(s).count, t.slots.(s).err)) in
+  Array.sort
+    (fun (k1, c1, _) (k2, c2, _) -> if c1 <> c2 then Int.compare c2 c1 else Int.compare k1 k2)
+    xs;
+  Array.to_list xs

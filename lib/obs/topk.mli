@@ -1,0 +1,35 @@
+(** Space-saving top-K heavy-hitter tracker over integer keys.
+
+    O(k) space and O(k) worst-case per observation: [k] fixed slots, an
+    unseen key evicting the minimum-count slot and inheriting its count
+    as overestimation error (Metwally et al.'s space-saving algorithm).
+    Classic guarantees, qcheck-pinned in the test suite:
+
+    - with at most [k] distinct keys the counts are exact ([err = 0]);
+    - otherwise [true <= count] and [count - err <= true] for every
+      tracked key, with [err <= total / k];
+    - any key whose true frequency exceeds [total / k] is tracked.
+
+    Eviction scans the slot array in slot order and breaks count ties
+    with [Int.compare] on keys (the largest key loses), so the state —
+    and therefore {!top} — is a deterministic pure function of the
+    observation sequence; the internal [Hashtbl] is only ever probed by
+    key, never iterated. *)
+
+type t
+
+val create : k:int -> unit -> t
+(** Raises [Invalid_argument] when [k < 1]. *)
+
+val observe : t -> int -> unit
+(** Count one occurrence of a key. *)
+
+val top : t -> (int * int * int) list
+(** [(key, count, err)] for every tracked key, sorted by count
+    descending then key ascending ([Int.compare]).  [count] overestimates
+    the true frequency by at most [err]. *)
+
+val total : t -> int
+(** Observations so far (across all keys, tracked or not). *)
+
+val capacity : t -> int

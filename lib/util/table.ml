@@ -26,6 +26,17 @@ let fmt_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
 let add_float_row t ?(fmt = fmt_f ~decimals:3) label values =
   add_row t (label :: List.map fmt values)
 
+(* The one distribution-table shape every reporter shares: a label
+   column plus mean / median / p95.  Keeping the layout here means the
+   offline analyzer and the live-telemetry printer render identically. *)
+let summary_table ?title label =
+  create ?title [ (label, Left); ("mean", Right); ("median", Right); ("p95", Right) ]
+
+let add_summary_row t ?(fmt = fmt_f ~decimals:3) ?mean label values =
+  let s = Stats.summarize values in
+  let mean = match mean with Some m -> m | None -> s.Stats.mean in
+  add_float_row t ~fmt label [ mean; s.Stats.median; s.Stats.p95 ]
+
 let to_string t =
   let rows = List.rev t.rows in
   let ncols = Array.length t.headers in

@@ -98,5 +98,5 @@ let text t ?(size = 12.) ?(fill = "black") p s =
 let to_string t = Buffer.contents t.buf ^ "</svg>\n"
 
 let save t path =
-  let oc = open_out path in
+  let oc = open_out path in (* lint: allow obs-purity -- figure export to a caller-chosen path is this module's whole purpose *)
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

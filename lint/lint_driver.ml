@@ -36,9 +36,12 @@ let domain_exempt_path path =
   let n = String.length norm and k = String.length suffix in
   n >= k && String.sub norm (n - k) k = suffix
 
-(* The observability layer is allowed to read Gc.* (see raw-gc): its
-   Gcstat module is the sanctioned window everything else goes through. *)
-let gc_exempt_path path =
+(* The observability layer is allowed to read Gc.* (see raw-gc) and to
+   write output channels (see obs-purity): its Gcstat module is the
+   sanctioned GC window, and its writers (Event, Trace, Live,
+   Chrome_trace) the sanctioned file-serialisation path.  Other library
+   writers must waive the rule with a reason. *)
+let obs_layer_path path =
   let norm = String.concat "/" (String.split_on_char '\\' path) in
   let infix = "lib/obs/" in
   let n = String.length norm and k = String.length infix in
@@ -60,7 +63,7 @@ type outcome = {
    are injected so the test suite can lint fixture files as if they lived
    under lib/. *)
 let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false)
-    ?(gc_exempt = false) ~file source =
+    ?(gc_exempt = false) ?(obs_exempt = false) ~file source =
   let raw = ref [] in
   let emit loc rule message =
     let p = loc.Location.loc_start in
@@ -81,6 +84,7 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
       float_flagged = List.mem (Filename.basename file) float_flagged_files;
       domain_exempt;
       gc_exempt;
+      obs_exempt;
       emit;
     }
   in
@@ -144,8 +148,9 @@ let check_file path =
     (not (Filename.check_suffix path ".ml"))
     || Sys.file_exists (Filename.remove_extension path ^ ".mli")
   in
-  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path)
-    ~gc_exempt:(gc_exempt_path path) ~file:path (read_file path)
+  let in_obs = obs_layer_path path in
+  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path) ~gc_exempt:in_obs
+    ~obs_exempt:in_obs ~file:path (read_file path)
 
 (* [demote] lists rule ids whose diagnostics count as warnings. *)
 let run ?(demote = []) roots =

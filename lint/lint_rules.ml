@@ -9,7 +9,10 @@
      poly-compare   lib/   bare polymorphic compare (incl. Stdlib.compare)
      float-cmp      all    polymorphic = / <> / compare on float operands
      float-minmax   all    polymorphic min / max on float operands
-     obs-purity     lib/   print_* / prerr_* / Printf.printf / Format.printf
+     obs-purity     lib/   print_* / prerr_* / Printf.printf / Format.printf,
+                           plus output-channel writes (open_out*, output_*,
+                           Printf.fprintf) outside lib/obs/ — the obs layer
+                           is the sanctioned serialisation path
      mli-required   lib/   .ml without a matching .mli (checked by the driver)
      catch-all      all    "with _ ->" swallowing every exception
      raw-domain     all    Domain.* anywhere but lib/util/pool.ml (the driver
@@ -39,7 +42,7 @@ let rules =
     { id = "poly-compare"; r_scope = Some Lib; doc = "bare polymorphic compare in library code" };
     { id = "float-cmp"; r_scope = None; doc = "polymorphic comparison on floats" };
     { id = "float-minmax"; r_scope = None; doc = "polymorphic min/max on floats" };
-    { id = "obs-purity"; r_scope = Some Lib; doc = "direct console output in library code" };
+    { id = "obs-purity"; r_scope = Some Lib; doc = "console or file-channel output in library code" };
     { id = "mli-required"; r_scope = Some Lib; doc = "library module without an .mli" };
     { id = "catch-all"; r_scope = None; doc = "try ... with _ -> swallows all exceptions" };
     { id = "raw-domain"; r_scope = None; doc = "raw Domain.* outside the pool module" };
@@ -55,6 +58,7 @@ type ctx = {
   float_flagged : bool;  (* file belongs to a float-heavy flagged module *)
   domain_exempt : bool;  (* the sanctioned Domain wrapper (lib/util/pool.ml) *)
   gc_exempt : bool;  (* the sanctioned Gc window (anything under lib/obs/) *)
+  obs_exempt : bool;  (* the sanctioned channel writers (anything under lib/obs/) *)
   emit : Location.t -> string -> string -> unit;  (* loc, rule, message *)
 }
 
@@ -127,6 +131,16 @@ let print_idents =
 let printf_like =
   [ [ "Printf"; "printf" ]; [ "Printf"; "eprintf" ]; [ "Format"; "printf" ]; [ "Format"; "eprintf" ] ]
 
+(* Output-channel writes: allowed only under lib/obs/ (ctx.obs_exempt),
+   where Event / Trace / Live / Chrome_trace own all file serialisation.
+   [close_out] stays legal everywhere — closing a channel someone handed
+   you is not producing output. *)
+let channel_idents =
+  [
+    "open_out"; "open_out_bin"; "open_out_gen"; "output_string"; "output_char"; "output_bytes";
+    "output_byte"; "output_substring";
+  ]
+
 let check_ident ctx loc p =
   (match p with
   | "Domain" :: _ when not ctx.domain_exempt ->
@@ -164,7 +178,7 @@ let check_ident ctx loc p =
              "Hashtbl.%s traverses in unspecified order; iterate sorted keys (Adhoc_util.Det) or justify order-independence in a waiver"
              fn)
     | _ -> ());
-    match p with
+    (match p with
     | [ id ] when List.mem id print_idents ->
         ctx.emit loc "obs-purity"
           (Printf.sprintf "%s in library code; return data or emit through an Adhoc_obs sink" id)
@@ -172,7 +186,17 @@ let check_ident ctx loc p =
         if List.mem p printf_like then
           ctx.emit loc "obs-purity"
             (Printf.sprintf "%s in library code; return data or emit through an Adhoc_obs sink"
-               (String.concat "." p))
+               (String.concat "." p)));
+    if not ctx.obs_exempt then
+      match p with
+      | [ id ] when List.mem id channel_idents ->
+          ctx.emit loc "obs-purity"
+            (Printf.sprintf
+               "%s in library code; confine file serialisation to the obs layer (lib/obs/)" id)
+      | [ "Printf"; "fprintf" ] ->
+          ctx.emit loc "obs-purity"
+            "Printf.fprintf in library code; confine file serialisation to the obs layer (lib/obs/)"
+      | _ -> ()
   end
 
 let cmp_name p = match p with [ n ] -> Some n | _ -> None

@@ -1,0 +1,7 @@
+(* Fixture: output-channel writes in lib scope outside lib/obs/. *)
+
+let save path s =
+  let oc = open_out path in
+  output_string oc s;
+  Printf.fprintf oc "%d\n" (String.length s);
+  close_out oc

@@ -1,0 +1,3 @@
+(* Fixture interface: see bad_channel.ml. *)
+
+val save : string -> string -> unit

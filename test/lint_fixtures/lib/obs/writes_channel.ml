@@ -1,0 +1,8 @@
+(* Fixture: output-channel writes under lib/obs/ — the sanctioned
+   serialisation path, lints clean. *)
+
+let dump file s =
+  let oc = open_out file in
+  output_string oc s;
+  Printf.fprintf oc "%d\n" (String.length s);
+  close_out oc

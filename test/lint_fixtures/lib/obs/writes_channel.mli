@@ -1,0 +1,3 @@
+(* Fixture interface: see writes_channel.ml. *)
+
+val dump : string -> string -> unit

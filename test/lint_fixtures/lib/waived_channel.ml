@@ -1,0 +1,7 @@
+(* Fixture: the waiver covers its own line and the next, so both channel
+   writes below lint clean. *)
+
+let snapshot path s =
+  let oc = open_out path in (* lint: allow obs-purity -- fixture: CLI-owned artifact writer *)
+  output_string oc s;
+  close_out oc

@@ -1,0 +1,3 @@
+(* Fixture interface: see waived_channel.ml. *)
+
+val snapshot : string -> string -> unit

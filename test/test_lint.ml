@@ -131,6 +131,29 @@ let test_bad_obs =
 
 let test_good_obs = check_diags "Printf.sprintf is pure" "lib/good_obs.ml" []
 
+let test_bad_channel =
+  check_diags "output-channel writes in lib scope" "lib/bad_channel.ml"
+    [
+      "lint_fixtures/lib/bad_channel.ml:4:11 [obs-purity] open_out in library code; confine \
+       file serialisation to the obs layer (lib/obs/)";
+      "lint_fixtures/lib/bad_channel.ml:5:2 [obs-purity] output_string in library code; \
+       confine file serialisation to the obs layer (lib/obs/)";
+      "lint_fixtures/lib/bad_channel.ml:6:2 [obs-purity] Printf.fprintf in library code; \
+       confine file serialisation to the obs layer (lib/obs/)";
+    ]
+
+let test_channel_obs_path =
+  check_diags "channel writes under lib/obs/ are exempt" "lib/obs/writes_channel.ml" []
+
+let test_channel_exempt_source () =
+  let source = "let oc () = open_out \"artifact.txt\"\n" in
+  let flagged = Lint_driver.check_source ~scope:Lint_rules.Lib ~file:"inline.ml" source in
+  let exempt =
+    Lint_driver.check_source ~scope:Lint_rules.Lib ~obs_exempt:true ~file:"inline.ml" source
+  in
+  Alcotest.(check int) "channel write fires by default" 1 (List.length flagged.Lint_driver.diags);
+  Alcotest.(check int) "exemption silences it" 0 (List.length exempt.Lint_driver.diags)
+
 let test_bad_catch =
   check_diags "catch-all handler" "bad_catch.ml"
     [
@@ -219,6 +242,10 @@ let test_waived_poly_compare () =
   Alcotest.(check (list string)) "poly-compare waiver used" [ "poly-compare" ]
     (used_waiver_rules "lib/waived_poly_compare.ml")
 
+let test_waived_channel () =
+  Alcotest.(check (list string)) "channel waiver covers both write lines" [ "obs-purity" ]
+    (used_waiver_rules "lib/waived_channel.ml")
+
 let test_waived_tool () =
   Alcotest.(check (list string)) "tool waivers all used"
     [ "catch-all"; "float-cmp"; "float-minmax"; "raw-domain"; "raw-gc" ]
@@ -265,9 +292,9 @@ let test_bad_parse =
 (* ------------------------------------------------------------------ *)
 (* Whole-corpus run and JSON report shape                              *)
 
-let corpus_files = 32
-let corpus_errors = 26
-let corpus_waivers = 11
+let corpus_files = 38
+let corpus_errors = 29
+let corpus_waivers = 12
 
 let test_run_totals () =
   let r = Lint_driver.run [ fixture_root ] in
@@ -285,6 +312,7 @@ let test_run_totals () =
   Alcotest.(check int) "hashtbl-order count" 2 (count "hashtbl-order");
   Alcotest.(check int) "raw-domain count" 2 (count "raw-domain");
   Alcotest.(check int) "raw-gc count" 2 (count "raw-gc");
+  Alcotest.(check int) "obs-purity count" 6 (count "obs-purity");
   Alcotest.(check int) "waiver-hygiene count" 3 (count "waiver-hygiene");
   Alcotest.(check int) "every registered rule reported"
     (List.length Lint_rules.rules)
@@ -340,6 +368,9 @@ let () =
         [
           Alcotest.test_case "bad obs" `Quick test_bad_obs;
           Alcotest.test_case "good obs" `Quick test_good_obs;
+          Alcotest.test_case "bad channel" `Quick test_bad_channel;
+          Alcotest.test_case "obs path channel" `Quick test_channel_obs_path;
+          Alcotest.test_case "channel exempt flag" `Quick test_channel_exempt_source;
           Alcotest.test_case "bad catch" `Quick test_bad_catch;
           Alcotest.test_case "good catch" `Quick test_good_catch;
         ] );
@@ -364,6 +395,7 @@ let () =
       ( "waivers",
         [
           Alcotest.test_case "lib waivers used" `Quick test_waived_lib;
+          Alcotest.test_case "channel waiver used" `Quick test_waived_channel;
           Alcotest.test_case "tool waivers used" `Quick test_waived_tool;
           Alcotest.test_case "reasons kept" `Quick test_waiver_reasons_kept;
           Alcotest.test_case "hygiene diagnostics" `Quick test_bad_waiver;
