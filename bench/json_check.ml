@@ -26,8 +26,9 @@
                               header, consecutive tumbling windows, one
                               final record whose counters equal the
                               window sums
-     json_check --lint FILE   validates an adhoc-lint/1 static-analysis
-                              report (rules / diagnostics / waivers shape)
+     json_check --lint FILE   validates an adhoc-lint/2 static-analysis
+                              report (rules / diagnostics / waivers shape;
+                              rejects reports whose cmt layer did not run)
      json_check --chrome-trace FILE
                               validates a Chrome trace-event export: a
                               {"traceEvents": [...]} document of well-formed
@@ -565,17 +566,22 @@ let compare_docs ~tolerance base_file cur_file =
   end
 
 (* --------------------------------------------------------------------- *)
-(* adhoc-lint/1: the static-analysis report written by
+(* adhoc-lint/2: the static-analysis report written by
    `dune build @lint` (lint/adhoc_lint.ml).  Shape:
 
-     { schema: "adhoc-lint/1", files: n, errors: n, warnings: n,
-       rules:       [ {id, severity: "error"|"warning", count} ... ],
-       diagnostics: [ {file, line, col, rule, severity, message} ... ],
+     { schema: "adhoc-lint/2", files: n, cmt_units: n, errors: n,
+       warnings: n,
+       rules:       [ {id, severity: "error"|"warning", layer, count,
+                       waived} ... ],
+       diagnostics: [ {file, line, col, rule, layer: "parsetree"|"cmt",
+                       severity, message} ... ],
        waivers:     [ {file, line, rule, reason} ... ] }
 
    Every diagnostic's rule must be declared in "rules", every waiver must
-   carry a non-empty reason, and the error/warning totals must equal the
-   diagnostics actually listed. *)
+   carry a non-empty reason, the error/warning totals must equal the
+   diagnostics actually listed, and cmt_units must be positive — a report
+   produced without the Typedtree layer (--no-cmt) is rejected, so the CI
+   gate cannot silently pass on the weaker Parsetree-only analysis. *)
 
 let check_lint_report file =
   let fail fmt =
@@ -592,29 +598,44 @@ let check_lint_report file =
     | _ -> fail "top-level value is not an object"
   in
   (match List.assoc_opt "schema" fields with
-  | Some (Str "adhoc-lint/1") -> ()
-  | Some (Str other) -> fail "unknown schema %S (expected \"adhoc-lint/1\")" other
+  | Some (Str "adhoc-lint/2") -> ()
+  | Some (Str "adhoc-lint/1") ->
+      fail "obsolete schema \"adhoc-lint/1\"; rebuild the report with the two-layer tool"
+  | Some (Str other) -> fail "unknown schema %S (expected \"adhoc-lint/2\")" other
   | _ -> fail "missing \"schema\" member");
   let num name =
     match List.assoc_opt name fields with
     | Some (Num f) when Float.is_integer f && f >= 0. -> int_of_float f
     | _ -> fail "missing or malformed numeric %S" name
   in
-  let files = num "files" and errors = num "errors" and warnings = num "warnings" in
+  let files = num "files"
+  and cmt_units = num "cmt_units"
+  and errors = num "errors"
+  and warnings = num "warnings" in
+  if cmt_units = 0 then
+    fail "cmt_units is 0: the Typedtree layer did not run (--no-cmt report?)";
   let arr name =
     match List.assoc_opt name fields with
     | Some (Arr vs) -> vs
     | _ -> fail "missing or malformed %S array" name
   in
   let severity_ok = function Str ("error" | "warning") -> true | _ -> false in
+  let layer_ok = function Str ("parsetree" | "cmt" | "both" | "meta") -> true | _ -> false in
   let rule_ids =
     List.map
       (fun v ->
         match v with
         | Obj f -> (
-            match (List.assoc_opt "id" f, List.assoc_opt "severity" f, List.assoc_opt "count" f)
+            match
+              ( List.assoc_opt "id" f,
+                List.assoc_opt "severity" f,
+                List.assoc_opt "layer" f,
+                List.assoc_opt "count" f,
+                List.assoc_opt "waived" f )
             with
-            | Some (Str id), Some sev, Some (Num _) when severity_ok sev -> id
+            | Some (Str id), Some sev, Some layer, Some (Num _), Some (Num _)
+              when severity_ok sev && layer_ok layer ->
+                id
             | _ -> fail "malformed rule entry")
         | _ -> fail "rule entry is not an object")
       (arr "rules")
@@ -630,10 +651,17 @@ let check_lint_report file =
               List.assoc_opt "line" f,
               List.assoc_opt "col" f,
               List.assoc_opt "rule" f,
+              List.assoc_opt "layer" f,
               List.assoc_opt "severity" f,
               List.assoc_opt "message" f )
           with
-          | Some (Str _), Some (Num _), Some (Num _), Some (Str rule), Some sev, Some (Str _)
+          | ( Some (Str _),
+              Some (Num _),
+              Some (Num _),
+              Some (Str rule),
+              Some (Str ("parsetree" | "cmt")),
+              Some sev,
+              Some (Str _) )
             when severity_ok sev ->
               if not (List.mem rule rule_ids) then
                 fail "diagnostic references undeclared rule %S" rule;
@@ -663,8 +691,8 @@ let check_lint_report file =
           | _ -> fail "malformed waiver entry")
       | _ -> fail "waiver entry is not an object")
     waivers;
-  Printf.printf "%s: ok (%d files, %d errors, %d warnings, %d waivers)\n" file files errors
-    warnings (List.length waivers)
+  Printf.printf "%s: ok (%d files, %d cmt units, %d errors, %d warnings, %d waivers)\n" file files
+    cmt_units errors warnings (List.length waivers)
 
 (* --------------------------------------------------------------------- *)
 (* Chrome trace-event exports (catapult format, see lib/obs/chrome_trace):

@@ -1,19 +1,26 @@
 (* adhoc_lint — static analysis over the simulator's sources.
 
-     adhoc_lint [--json FILE] [--warn RULE]... [ROOT...]
+     adhoc_lint [--json FILE] [--sarif FILE] [--warn RULE]... [--no-cmt] [ROOT...]
 
-   Parses every .ml/.mli under the given roots (default: lib bench bin
-   test lint) with compiler-libs and enforces the determinism, float-safety
-   and obs-purity invariants documented in DESIGN.md.  Exits non-zero when
-   any unwaived error-severity diagnostic remains.  --warn demotes a rule
-   to warning severity (reported, does not fail the build); --json also
-   writes an adhoc-lint/1 report. *)
+   Two layers (see DESIGN.md "Static analysis architecture"): a Parsetree
+   pass parses every .ml/.mli under the given roots (default: lib bench
+   bin test lint) and enforces the determinism, float-safety and
+   obs-purity invariants syntactically; a Typedtree pass reads the .cmt
+   artifacts of the lib-scoped roots and re-checks the bans against
+   resolved paths — closing module-alias, open and functor evasions — and
+   runs the call-graph effect inference behind the par-safety rule.
+
+   Exits non-zero when any unwaived error-severity diagnostic remains.
+   --warn demotes a rule to warning severity (reported, does not fail the
+   build); --json writes an adhoc-lint/2 report; --sarif writes a SARIF
+   2.1.0 log for code-scanning upload; --no-cmt skips the Typedtree
+   layer. *)
 
 open Adhoc_lint_engine
 
 let usage () =
   prerr_endline
-    "usage: adhoc_lint [--json FILE] [--warn RULE] [--list-rules] [ROOT...]\n\
+    "usage: adhoc_lint [--json FILE] [--sarif FILE] [--warn RULE] [--no-cmt] [--list-rules] [ROOT...]\n\
      default roots: lib bench bin test lint";
   exit 2
 
@@ -23,16 +30,20 @@ let list_rules () =
       let scope =
         match r.r_scope with Some Lint_rules.Lib -> "lib/ " | _ -> "all  "
       in
-      Printf.printf "%-15s %s %s\n" r.id scope r.doc)
+      Printf.printf "%-15s %s %-9s %s\n" r.id scope (Lint_rules.layer_name r.r_layer) r.doc)
     Lint_rules.rules;
   exit 0
 
 let () =
-  let json = ref None and demote = ref [] and roots = ref [] in
+  let json = ref None and sarif = ref None and demote = ref [] and roots = ref [] in
+  let cmt = ref true in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: file :: rest ->
         json := Some file;
+        parse_args rest
+    | "--sarif" :: file :: rest ->
+        sarif := Some file;
         parse_args rest
     | "--warn" :: rule :: rest ->
         if not (Lint_rules.known_rule rule) then begin
@@ -41,8 +52,11 @@ let () =
         end;
         demote := rule :: !demote;
         parse_args rest
+    | "--no-cmt" :: rest ->
+        cmt := false;
+        parse_args rest
     | "--list-rules" :: _ -> list_rules ()
-    | ("--json" | "--warn") :: [] -> usage ()
+    | ("--json" | "--sarif" | "--warn") :: [] -> usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
     | root :: rest ->
         roots := root :: !roots;
@@ -59,16 +73,21 @@ let () =
         exit 2
       end)
     roots;
-  let report = Lint_driver.run ~demote:!demote roots in
+  let report = Lint_driver.run ~demote:!demote ~cmt:!cmt roots in
   List.iter (fun d -> print_endline (Lint_diag.to_string d)) report.Lint_diag.diags;
-  (match !json with
-  | None -> ()
-  | Some file ->
-      let oc = open_out file in
-      output_string oc (Lint_diag.to_json report);
-      close_out oc);
+  let write file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc
+  in
+  Option.iter (fun file -> write file (Lint_diag.to_json report)) !json;
+  Option.iter
+    (fun file ->
+      let rule_docs = List.map (fun (r : Lint_rules.rule) -> (r.id, r.doc)) Lint_rules.rules in
+      write file (Lint_diag.to_sarif ~rule_docs report))
+    !sarif;
   let errors = Lint_diag.errors report and warnings = Lint_diag.warnings report in
-  Printf.printf "adhoc_lint: %d files, %d errors, %d warnings, %d waivers\n"
-    report.Lint_diag.files errors warnings
+  Printf.printf "adhoc_lint: %d files, %d cmt units, %d errors, %d warnings, %d waivers\n"
+    report.Lint_diag.files report.Lint_diag.cmt_units errors warnings
     (List.length report.Lint_diag.used_waivers);
   if errors > 0 then exit 1

@@ -1,0 +1,170 @@
+(* Per-compilation-unit call graph with transitive effect inference.
+
+   [build] takes the loaded typedtrees of a library (unit name +
+   structure), records every let-bound definition (for on-demand local
+   analysis by the par-safety pass), computes a direct effect summary for
+   every module-level binding with Lint_effects.analyze, then propagates
+   effects over the call edges to a fixpoint.  Call edges are
+   references-as-calls: any occurrence of a known binding's identifier
+   counts as a dependency, which over-approximates (storing a function in
+   a record creates an edge) but never misses a call.
+
+   Same-unit references resolve by ident stamp (so shadowed or nested
+   helpers never alias a module-level binding); cross-unit references
+   resolve by (defining unit, name) from the typedtree uid, which is what
+   closes the module-alias and [open]/[include] holes.  Values without a
+   summary — stdlib non-axioms, units without a cmt on the scan path —
+   are assumed pure. *)
+
+open Typedtree
+
+type entry = {
+  e_key : Lint_effects.key;
+  mutable e_raw : Lint_effects.effects;  (* direct effects of the binding body *)
+  mutable e_deps : Lint_effects.key list;  (* resolved call edges, deduped *)
+  mutable e_sum : Lint_effects.effects;  (* post-fixpoint summary *)
+}
+
+type t = {
+  entries : (string * string, entry) Hashtbl.t;  (* (ku, kn) -> entry *)
+  locals : (string * string, expression) Hashtbl.t;  (* (raw unit, unique name) -> def *)
+  top_by_uname : (string * string, Lint_effects.key) Hashtbl.t;
+}
+
+let local_def t ~unit ~uname = Hashtbl.find_opt t.locals (unit, uname)
+let top_key t ~unit ~uname = Hashtbl.find_opt t.top_by_uname (unit, uname)
+
+let summary t (k : Lint_effects.key) =
+  match Hashtbl.find_opt t.entries (k.ku, k.kn) with Some e -> Some e.e_sum | None -> None
+
+(* ------------------------------------------------------------------ *)
+
+let pat_idents p =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) sub (q : k general_pattern) ->
+          (match q.pat_desc with
+          | Tpat_var (id, _) -> acc := id :: !acc
+          | Tpat_alias (_, id, _) -> acc := id :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.pat sub q);
+    }
+  in
+  it.pat it p;
+  !acc
+
+(* Record every let-bound definition in the structure, nested ones
+   included: the value-binding hook fires for bindings at any depth. *)
+let record_locals t unit_raw str =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun sub vb ->
+          (match pat_idents vb.vb_pat with
+          | [ id ] -> Hashtbl.replace t.locals (unit_raw, Ident.unique_name id) vb.vb_expr
+          | _ -> ());
+          Tast_iterator.default_iterator.value_binding sub vb);
+    }
+  in
+  it.structure it str
+
+(* Module-level bindings: structure items of the unit and of any nested
+   [module M = struct ... end], keyed by (unit, name).  Nested modules can
+   shadow a top-level name; colliding entries are joined conservatively. *)
+let rec module_bindings acc item =
+  match item.str_desc with
+  | Tstr_value (_, vbs) ->
+      List.fold_left
+        (fun acc vb -> match pat_idents vb.vb_pat with [ id ] -> (id, vb.vb_expr) :: acc | _ -> acc)
+        acc vbs
+  | Tstr_module mb -> module_expr_bindings acc mb.mb_expr
+  | Tstr_include _ -> acc
+  | _ -> acc
+
+and module_expr_bindings acc me =
+  match me.mod_desc with
+  | Tmod_structure s -> List.fold_left module_bindings acc s.str_items
+  | Tmod_constraint (me', _, _, _) -> module_expr_bindings acc me'
+  | _ -> acc
+
+let build units =
+  let t = { entries = Hashtbl.create 256; locals = Hashtbl.create 1024; top_by_uname = Hashtbl.create 256 } in
+  (* Pass 1: record local defs and register module-level binding keys, so
+     same-unit references resolve no matter the definition order. *)
+  let tops =
+    List.map
+      (fun (unit_raw, str) ->
+        record_locals t unit_raw str;
+        let bindings = List.fold_left module_bindings [] str.str_items in
+        let ku = Lint_effects.normalize_unit unit_raw in
+        List.iter
+          (fun (id, _) ->
+            let key = { Lint_effects.ku; kn = Ident.name id } in
+            Hashtbl.replace t.top_by_uname (unit_raw, Ident.unique_name id) key;
+            if not (Hashtbl.mem t.entries (key.ku, key.kn)) then
+              Hashtbl.replace t.entries (key.ku, key.kn)
+                { e_key = key; e_raw = Lint_effects.pure; e_deps = []; e_sum = Lint_effects.pure })
+          bindings;
+        (unit_raw, bindings))
+      units
+  in
+  (* Pass 2: direct effects and call edges per binding. *)
+  List.iter
+    (fun (unit_raw, bindings) ->
+      List.iter
+        (fun (id, def) ->
+          let key = Hashtbl.find t.top_by_uname (unit_raw, Ident.unique_name id) in
+          let deps = ref [] in
+          let add_dep k = if not (List.mem k !deps) then deps := k :: !deps in
+          let on_event _loc = function
+            | Lint_effects.Ev_call (Lint_effects.Dep_global k) ->
+                if Hashtbl.mem t.entries (k.Lint_effects.ku, k.Lint_effects.kn) then add_dep k
+            | Lint_effects.Ev_call (Lint_effects.Dep_local { uname; _ }) -> (
+                (* a reference to another module-level binding of this unit;
+                   inner locals are analyzed in-tree and need no edge *)
+                match top_key t ~unit:unit_raw ~uname with Some k -> add_dep k | None -> ())
+            | _ -> ()
+          in
+          let raw = Lint_effects.analyze ~unit_name:unit_raw ~on_event def in
+          let e = Hashtbl.find t.entries (key.Lint_effects.ku, key.Lint_effects.kn) in
+          e.e_raw <- Lint_effects.join e.e_raw raw;
+          List.iter (fun k -> if not (List.mem k e.e_deps) then e.e_deps <- k :: e.e_deps) !deps)
+        bindings)
+    tops;
+  (* Pass 3: fixpoint over call edges. *)
+  Hashtbl.iter (fun _ e -> e.e_sum <- e.e_raw) t.entries;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun _ e ->
+        let s =
+          List.fold_left
+            (fun acc k ->
+              match Hashtbl.find_opt t.entries (k.Lint_effects.ku, k.Lint_effects.kn) with
+              | Some d -> Lint_effects.join acc (Lint_effects.propagated d.e_sum)
+              | None -> acc)
+            e.e_sum e.e_deps
+        in
+        if not (Lint_effects.equal s e.e_sum) then begin
+          e.e_sum <- s;
+          changed := true
+        end)
+      t.entries
+  done;
+  t
+
+(* Deterministic rendering of the summaries of units matching [unit_filter]
+   (normalized unit names), for golden tests: one "Unit.name: effects"
+   line per binding, sorted. *)
+let render_summaries t ~unit_filter =
+  Hashtbl.fold
+    (fun (ku, kn) e acc ->
+      if unit_filter ku then Printf.sprintf "%s.%s: %s" ku kn (Lint_effects.to_string e.e_sum) :: acc
+      else acc)
+    t.entries []
+  |> List.sort String.compare

@@ -1,0 +1,336 @@
+(* The Typedtree (.cmt) layer of adhoc_lint.
+
+   Where the Parsetree layer matches what the programmer wrote, this layer
+   matches what the compiler resolved: every value reference carries the
+   uid of its definition, so [module R = Random], [open Random],
+   [include], and functor plumbing cannot hide a banned identity.  Three
+   passes share one traversal per unit:
+
+   1. resolved-path rules — the ambient-rng / wall-clock / raw-domain /
+      raw-gc / hashtbl-order / obs-purity bans re-checked against resolved
+      keys, plus a module-expression check that flags aliasing or functor
+      application of the banned modules themselves (the one evasion value
+      uids cannot see: code inside a functor body refers to the parameter,
+      so the application site [F (Random)] is where the identity appears);
+
+   2. call-graph construction (Lint_callgraph) over all loaded units;
+
+   3. par-safety — for every closure passed to Pool.parallel_for /
+      parallel_init / map_reduce / opt_for / opt_init, flag unsanctioned
+      writes to captured or global mutable state and calls to functions
+      whose transitive effect summary includes shared writes or io.  The
+      sanctioned idiom — [arr.(i) <- ...] with the index mentioning a
+      binder of the closure — passes, which is exactly the disjoint-cell
+      contract of pool.mli.  Named local bodies ([Pool.opt_init pool n
+      admit]) are analyzed on demand from their recorded definition;
+      cross-module bodies fall back to their call-graph summary. *)
+
+open Typedtree
+
+type unit_info = {
+  u_name : string;  (* raw compilation-unit name, e.g. "Adhoc_topo__Yao" *)
+  u_file : string;  (* workspace-relative source path from the cmt *)
+  u_str : structure;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Discovery and loading.                                              *)
+
+let default_skip = [ "lint_fixtures"; "cmt_fixtures" ]
+
+let path_has_segment segs path =
+  List.exists (fun seg -> List.mem seg segs) (String.split_on_char '/' path)
+
+(* Collect .cmt artifact paths under [root] (dune keeps them in
+   .<lib>.objs/byte/).  When the root holds no build artifacts — the tool
+   runs from the source tree — fall back to _build/default/<root>. *)
+let scan_root ?(skip = default_skip) root =
+  let acc = ref [] in
+  let rec walk path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter
+          (fun entry ->
+            if not (List.mem entry [ ".git"; ".hg" ]) then walk (Filename.concat path entry))
+          (Sys.readdir path)
+    | false ->
+        if
+          Filename.check_suffix path ".cmt"
+          && path_has_segment [ "byte" ] path
+          && not (path_has_segment skip path)
+        then acc := path :: !acc
+    | exception Sys_error _ -> ()
+  in
+  if Sys.file_exists root then walk root;
+  if !acc = [] then begin
+    let alt = Filename.concat (Filename.concat "_build" "default") root in
+    if Sys.file_exists alt then walk alt
+  end;
+  List.sort String.compare !acc
+
+let scan_roots ?skip roots = List.concat_map (scan_root ?skip) roots |> List.sort_uniq String.compare
+
+let norm_slashes p = String.concat "/" (String.split_on_char '\\' p)
+
+let load_unit ?(skip = default_skip) path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+      match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src
+        when (not (Filename.check_suffix src ".ml-gen")) && not (path_has_segment skip (norm_slashes src)) ->
+          Some { u_name = cmt.Cmt_format.cmt_modname; u_file = norm_slashes src; u_str = str }
+      | _ -> None)
+
+let load_units ?skip paths =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun p ->
+      match load_unit ?skip p with
+      | Some u when not (Hashtbl.mem seen u.u_name) ->
+          Hashtbl.add seen u.u_name ();
+          Some u
+      | _ -> None)
+    paths
+
+(* ------------------------------------------------------------------ *)
+(* Resolved-path rules.                                                *)
+
+let wall_clock_keys =
+  [ ("Sys", "time"); ("Unix", "gettimeofday"); ("Unix", "time"); ("Unix", "localtime"); ("Unix", "gmtime") ]
+
+type flags = {
+  f_scope : Lint_rules.scope;
+  f_domain_exempt : bool;
+  f_gc_exempt : bool;
+  f_obs_exempt : bool;
+}
+
+let check_resolved flags emit loc (k : Lint_effects.key) =
+  if k.ku = "Domain" && not flags.f_domain_exempt then
+    emit loc "raw-domain"
+      (Printf.sprintf "resolves to Domain.%s outside Adhoc_util.Pool; thread a Pool.t through the kernel instead" k.kn);
+  if k.ku = "Gc" && not flags.f_gc_exempt then
+    emit loc "raw-gc"
+      (Printf.sprintf "resolves to Gc.%s outside Adhoc_obs; read GC telemetry through Adhoc_obs.Gcstat" k.kn);
+  if flags.f_scope = Lint_rules.Lib then begin
+    if k.ku = "Random" then
+      emit loc "ambient-rng"
+        (Printf.sprintf "resolves to Random.%s: ambient PRNG in library code; thread an explicit Adhoc_util.Prng.t instead" k.kn);
+    if List.mem (k.ku, k.kn) wall_clock_keys then
+      emit loc "wall-clock"
+        (Printf.sprintf "resolves to %s: wall-clock read in library code breaks reproducibility; take time as input or go through Adhoc_obs.Span"
+           (Lint_effects.pretty k));
+    if k.ku = "Hashtbl" && List.mem k.kn Lint_rules.hashtbl_order_fns then
+      emit loc "hashtbl-order"
+        (Printf.sprintf "resolves to Hashtbl.%s: unspecified traversal order; iterate sorted keys (Adhoc_util.Det) or justify order-independence in a waiver"
+           k.kn);
+    if
+      (k.ku = "" && List.mem k.kn Lint_rules.print_idents)
+      || ((k.ku = "Printf" || k.ku = "Format") && (k.kn = "printf" || k.kn = "eprintf"))
+    then
+      emit loc "obs-purity"
+        (Printf.sprintf "resolves to %s: console output in library code; return data or emit through an Adhoc_obs sink"
+           (Lint_effects.pretty k));
+    if
+      (not flags.f_obs_exempt)
+      && ((k.ku = "" && List.mem k.kn Lint_rules.channel_idents) || (k.ku = "Printf" && k.kn = "fprintf"))
+    then
+      emit loc "obs-purity"
+        (Printf.sprintf "resolves to %s: file serialisation in library code; confine it to the obs layer (lib/obs/)"
+           (Lint_effects.pretty k))
+  end
+
+(* Module expressions naming a banned module: [module R = Random],
+   [F (Random)], [open Domain].  Value uids catch the uses; this catches
+   the aliasing site itself, which is what a functor body's uses resolve
+   to. *)
+let banned_module_head flags p =
+  let name = Path.name p in
+  let head = match String.split_on_char '.' name with "Stdlib" :: m :: _ -> m | m :: _ -> m | [] -> "" in
+  match head with
+  | "Random" when flags.f_scope = Lint_rules.Lib ->
+      Some ("ambient-rng", "module expression names Random: ambient PRNG in library code; thread an explicit Adhoc_util.Prng.t instead")
+  | "Domain" when not flags.f_domain_exempt ->
+      Some ("raw-domain", "module expression names Domain outside Adhoc_util.Pool; thread a Pool.t through the kernel instead")
+  | "Gc" when not flags.f_gc_exempt ->
+      Some ("raw-gc", "module expression names Gc outside Adhoc_obs; read GC telemetry through Adhoc_obs.Gcstat")
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* par-safety.                                                         *)
+
+let pool_unit = "Adhoc_util__Pool"
+let pool_entries = [ "parallel_for"; "parallel_init"; "map_reduce"; "opt_for"; "opt_init" ]
+
+let pool_entry ~unit_name f =
+  match f.exp_desc with
+  | Texp_ident (p, _, vd) -> (
+      match Lint_effects.classify_ident ~unit_name p vd with
+      | `Global k when k.Lint_effects.ku = pool_unit && List.mem k.Lint_effects.kn pool_entries ->
+          Some k.Lint_effects.kn
+      | _ -> None)
+  | _ -> None
+
+(* The body argument: the [~map] closure for map_reduce (the fold runs
+   sequentially on the calling domain), the last positional argument
+   otherwise. *)
+let body_arg entry args =
+  if entry = "map_reduce" then
+    List.find_map
+      (function Asttypes.Labelled "map", (Some _ as a) -> a | _ -> None)
+      args
+  else
+    List.fold_left (fun acc -> function Asttypes.Nolabel, (Some _ as a) -> a | _ -> acc) None args
+
+type par_ctx = {
+  cg : Lint_callgraph.t;
+  memo : (string * string, Lint_effects.effects) Hashtbl.t;  (* (unit, uname) -> summary *)
+  in_progress : (string * string, unit) Hashtbl.t;
+}
+
+(* Transitive effect summary of a local definition, on demand.  Cycles
+   (let rec through locals) resolve to the direct effects accumulated so
+   far — the standard least-fixpoint cut. *)
+let rec local_summary ctx ~unit ~uname =
+  match Hashtbl.find_opt ctx.memo (unit, uname) with
+  | Some e -> e
+  | None ->
+      if Hashtbl.mem ctx.in_progress (unit, uname) then Lint_effects.pure
+      else begin
+        Hashtbl.replace ctx.in_progress (unit, uname) ();
+        let eff =
+          match Lint_callgraph.local_def ctx.cg ~unit ~uname with
+          | None -> Lint_effects.pure
+          | Some def ->
+              let acc = ref Lint_effects.pure in
+              let on_event _loc = function
+                | Lint_effects.Ev_call dep -> acc := Lint_effects.join !acc (dep_summary ctx ~unit dep)
+                | _ -> ()
+              in
+              let direct = Lint_effects.analyze ~unit_name:unit ~on_event def in
+              Lint_effects.join direct !acc
+        in
+        Hashtbl.remove ctx.in_progress (unit, uname);
+        Hashtbl.replace ctx.memo (unit, uname) eff;
+        eff
+      end
+
+and dep_summary ctx ~unit = function
+  | Lint_effects.Dep_global k -> (
+      match Lint_callgraph.summary ctx.cg k with
+      | Some e -> Lint_effects.propagated e
+      | None -> Lint_effects.pure)
+  | Lint_effects.Dep_local { uname; _ } -> Lint_effects.propagated (local_summary ctx ~unit ~uname)
+
+let dep_name ~unit:_ = function
+  | Lint_effects.Dep_global k -> Lint_effects.pretty k
+  | Lint_effects.Dep_local { name; _ } -> name
+
+(* Analyze one region body expression, emitting par-safety diagnostics at
+   the precise offending locations. *)
+let check_par_body ctx ~unit ~entry emit body =
+  let on_event loc = function
+    | Lint_effects.Ev_shared desc ->
+        emit loc "par-safety" (Printf.sprintf "%s inside a Pool.%s body; the Pool contract (pool.mli) demands index-purity" desc entry)
+    | Lint_effects.Ev_io what ->
+        emit loc "par-safety"
+          (Printf.sprintf "io (%s) inside a Pool.%s body; region bodies must be index-pure" what entry)
+    | Lint_effects.Ev_call dep ->
+        let s = dep_summary ctx ~unit dep in
+        if Lint_effects.par_unsafe s then
+          emit loc "par-safety"
+            (Printf.sprintf "call to %s (effects: %s) inside a Pool.%s body; region bodies must not write shared state or perform io"
+               (dep_name ~unit dep) (Lint_effects.to_string s) entry)
+    | Lint_effects.Ev_ambient _ -> ()
+  in
+  ignore (Lint_effects.analyze ~unit_name:unit ~on_event body)
+
+let check_par_site ctx ~unit emit site_loc entry args =
+  match body_arg entry args with
+  | None -> () (* partial application: the closure is supplied elsewhere *)
+  | Some body -> (
+      match body.exp_desc with
+      | Texp_function _ -> check_par_body ctx ~unit ~entry emit body
+      | Texp_ident (p, _, vd) -> (
+          match Lint_effects.classify_ident ~unit_name:unit p vd with
+          | `Local (uname, name) -> (
+              match Lint_callgraph.local_def ctx.cg ~unit ~uname with
+              | Some def -> check_par_body ctx ~unit ~entry emit def
+              | None ->
+                  (* a parameter or an unrecorded binding: summary unknown,
+                     assumed pure (documented hole) *)
+                  ignore name)
+          | `Global k -> (
+              match Lint_callgraph.summary ctx.cg k with
+              | Some s when Lint_effects.par_unsafe (Lint_effects.propagated s) ->
+                  emit site_loc "par-safety"
+                    (Printf.sprintf "Pool.%s body %s has effects %s; region bodies must not write shared state or perform io"
+                       entry (Lint_effects.pretty k) (Lint_effects.to_string s))
+              | _ -> ()))
+      | _ ->
+          (* a computed body (partial application, composition): analyze the
+             expression itself — callee summaries surface through Ev_call *)
+          check_par_body ctx ~unit ~entry emit body)
+
+(* ------------------------------------------------------------------ *)
+(* Unit traversal.                                                     *)
+
+let check_unit ctx flags ~emit (u : unit_info) =
+  let emit_loc loc rule msg =
+    if not loc.Location.loc_ghost then begin
+      let p = loc.Location.loc_start in
+      emit ~file:u.u_file ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) rule msg
+    end
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, vd) -> (
+              match Lint_effects.classify_ident ~unit_name:u.u_name p vd with
+              | `Global k -> check_resolved flags emit_loc e.exp_loc k
+              | `Local _ -> ())
+          | Texp_apply (f, args) -> (
+              if flags.f_scope = Lint_rules.Lib then
+                match pool_entry ~unit_name:u.u_name f with
+                | Some entry -> check_par_site ctx ~unit:u.u_name emit_loc e.exp_loc entry args
+                | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+      module_expr =
+        (fun sub me ->
+          (match me.mod_desc with
+          | Tmod_ident (p, _) -> (
+              match banned_module_head flags p with
+              | Some (rule, msg) -> emit_loc me.mod_loc rule msg
+              | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.module_expr sub me);
+    }
+  in
+  it.structure it u.u_str
+
+(* Run the full cmt layer over [units].  [flags_of] derives the per-file
+   policy flags (scope, exemptions) from the unit's source path; tests
+   override it to lint fixtures as library code.  [emit] receives raw
+   (pre-waiver) diagnostics. *)
+let check_units ?flags_of ~emit units =
+  let flags_of =
+    match flags_of with
+    | Some f -> f
+    | None ->
+        fun file ->
+          {
+            f_scope = Lint_rules.scope_of_path file;
+            f_domain_exempt = Lint_rules.domain_exempt_path file;
+            f_gc_exempt = Lint_rules.obs_layer_path file;
+            f_obs_exempt = Lint_rules.obs_layer_path file;
+          }
+  in
+  let cg = Lint_callgraph.build (List.map (fun u -> (u.u_name, u.u_str)) units) in
+  let ctx = { cg; memo = Hashtbl.create 64; in_progress = Hashtbl.create 16 } in
+  List.iter (fun u -> check_unit ctx (flags_of u.u_file) ~emit u) units;
+  cg

@@ -16,11 +16,19 @@ type severity = Error | Warning
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
+(* Which analysis layer produced a diagnostic.  The same ban can fire in
+   both layers at the same position (a syntactic [Random.int] is also a
+   resolved one); [dedup] keeps the Parsetree copy. *)
+type layer = Parsetree | Cmt
+
+let diag_layer_name = function Parsetree -> "parsetree" | Cmt -> "cmt"
+
 type diag = {
   file : string;
   line : int;
   col : int;
   rule : string;
+  layer : layer;
   severity : severity;
   message : string;
 }
@@ -47,6 +55,21 @@ let compare_diag a b =
 
 let to_string d =
   Printf.sprintf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
+
+(* Sort and collapse same-position same-rule findings from the two layers
+   into one diagnostic, preferring the Parsetree copy (its message names
+   what the programmer wrote; the resolved message explains an alias). *)
+let dedup diags =
+  let pref a b =
+    match (a.layer, b.layer) with Parsetree, Cmt -> a | Cmt, Parsetree -> b | _ -> a
+  in
+  let sorted = List.stable_sort compare_diag diags in
+  let rec go = function
+    | a :: b :: rest when compare_diag a b = 0 -> go (pref a b :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go sorted
 
 (* ------------------------------------------------------------------ *)
 (* Waiver scanning (raw text; the compiler's parser drops comments).  *)
@@ -143,11 +166,17 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Per-rule summary line: id, effective severity, detection layer (as a
+   string, so this module stays independent of Lint_rules), unwaived
+   finding count and used-waiver count. *)
+type rule_count = { rc_id : string; rc_severity : severity; rc_layer : string; rc_count : int; rc_waived : int }
+
 type report = {
   files : int;
+  cmt_units : int;  (* compilation units the cmt layer analyzed *)
   diags : diag list;  (* unwaived, sorted *)
   used_waivers : waiver list;
-  rule_counts : (string * severity * int) list;  (* every registered rule *)
+  rule_counts : rule_count list;  (* every registered rule *)
 }
 
 let errors r = List.length (List.filter (fun d -> d.severity = Error) r.diags)
@@ -157,17 +186,20 @@ let to_json r =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
-  add "  \"schema\": \"adhoc-lint/1\",\n";
+  add "  \"schema\": \"adhoc-lint/2\",\n";
   add (Printf.sprintf "  \"files\": %d,\n" r.files);
+  add (Printf.sprintf "  \"cmt_units\": %d,\n" r.cmt_units);
   add (Printf.sprintf "  \"errors\": %d,\n" (errors r));
   add (Printf.sprintf "  \"warnings\": %d,\n" (warnings r));
   add "  \"rules\": [";
   List.iteri
-    (fun i (id, sev, count) ->
+    (fun i rc ->
       if i > 0 then add ",";
       add
-        (Printf.sprintf "\n    {\"id\": \"%s\", \"severity\": \"%s\", \"count\": %d}"
-           (json_escape id) (severity_name sev) count))
+        (Printf.sprintf
+           "\n    {\"id\": \"%s\", \"severity\": \"%s\", \"layer\": \"%s\", \"count\": %d, \"waived\": %d}"
+           (json_escape rc.rc_id) (severity_name rc.rc_severity) (json_escape rc.rc_layer) rc.rc_count
+           rc.rc_waived))
     r.rule_counts;
   add "\n  ],\n";
   add "  \"diagnostics\": [";
@@ -177,9 +209,9 @@ let to_json r =
       add
         (Printf.sprintf
            "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
-            \"severity\": \"%s\", \"message\": \"%s\"}"
-           (json_escape d.file) d.line d.col (json_escape d.rule) (severity_name d.severity)
-           (json_escape d.message)))
+            \"layer\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}"
+           (json_escape d.file) d.line d.col (json_escape d.rule) (diag_layer_name d.layer)
+           (severity_name d.severity) (json_escape d.message)))
     r.diags;
   add "\n  ],\n";
   add "  \"waivers\": [";
@@ -191,4 +223,44 @@ let to_json r =
            (json_escape w.w_file) w.w_line (json_escape w.w_rule) (json_escape w.w_reason)))
     r.used_waivers;
   add "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 export, for GitHub code-scanning upload.  Minimal but
+   valid: one run, the registered rules as reportingDescriptors, one
+   result per diagnostic.  SARIF columns are 1-based. *)
+
+let to_sarif ~rule_docs r =
+  let buf = Buffer.create 8192 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  add "  \"version\": \"2.1.0\",\n";
+  add "  \"runs\": [\n    {\n";
+  add "      \"tool\": {\n        \"driver\": {\n";
+  add "          \"name\": \"adhoc_lint\",\n";
+  add "          \"informationUri\": \"https://example.invalid/adhoc_lint\",\n";
+  add "          \"rules\": [";
+  List.iteri
+    (fun i (id, doc) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf "\n            {\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}"
+           (json_escape id) (json_escape doc)))
+    rule_docs;
+  add "\n          ]\n        }\n      },\n";
+  add "      \"results\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "\n        {\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \"%s\"}, \
+            \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \
+            \"region\": {\"startLine\": %d, \"startColumn\": %d}}}]}"
+           (json_escape d.rule)
+           (match d.severity with Error -> "error" | Warning -> "warning")
+           (json_escape d.message) (json_escape d.file) d.line (d.col + 1)))
+    r.diags;
+  add "\n      ]\n    }\n  ]\n}\n";
   Buffer.contents buf

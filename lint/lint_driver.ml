@@ -1,11 +1,20 @@
-(* Orchestration: walk the requested roots, parse each .ml/.mli with
-   compiler-libs, run the rule pass, apply waivers, and assemble a report.
+(* Orchestration: walk the requested roots, run the Parsetree rule pass
+   over each .ml/.mli, run the cmt (Typedtree) layer over the library's
+   build artifacts, merge and dedup the two layers' findings per file,
+   apply waivers, and assemble a report.
 
-   The walk skips _build, .git and any directory named lint_fixtures (the
-   test corpus contains deliberately bad sources).  Files are processed in
-   sorted path order so output and report are stable across filesystems. *)
+   The walk skips _build, .git and any directory named lint_fixtures or
+   cmt_fixtures (the test corpora contain deliberately bad sources).
+   Files are processed in sorted path order and diagnostics are sorted by
+   (file, line, col, rule) before emission, so output and report are
+   byte-stable across filesystems.
 
-let skip_dirs = [ "_build"; ".git"; ".hg"; "lint_fixtures" ]
+   The cmt layer only scans lib-scoped roots: its artifacts are pinned by
+   the @lint rule's dependency on lib's check alias, whereas bench/bin/
+   test artifacts may or may not exist when the tool runs — scanning them
+   would make the report depend on build history. *)
+
+let skip_dirs = [ "_build"; ".git"; ".hg"; "lint_fixtures"; "cmt_fixtures" ]
 
 let rec walk acc path =
   if Sys.is_directory path then
@@ -20,33 +29,14 @@ let rec walk acc path =
 
 let collect roots = List.fold_left walk [] roots |> List.sort String.compare
 
-let scope_of_path path =
-  let segs = String.split_on_char '/' path in
-  if List.mem "lib" segs then Lint_rules.Lib else Lint_rules.Tool
+(* Path policy lives in Lint_rules, shared with the cmt layer. *)
+let scope_of_path = Lint_rules.scope_of_path
+let domain_exempt_path = Lint_rules.domain_exempt_path
+let obs_layer_path = Lint_rules.obs_layer_path
 
 (* Files whose dominant value type is float: bare polymorphic compare is
    banned outright there (see float-cmp). *)
 let float_flagged_files = [ "stats.ml"; "cost.ml" ]
-
-(* The one compilation unit allowed to touch Domain.* (see raw-domain):
-   the domain pool that every kernel threads instead. *)
-let domain_exempt_path path =
-  let norm = String.concat "/" (String.split_on_char '\\' path) in
-  let suffix = "lib/util/pool.ml" in
-  let n = String.length norm and k = String.length suffix in
-  n >= k && String.sub norm (n - k) k = suffix
-
-(* The observability layer is allowed to read Gc.* (see raw-gc) and to
-   write output channels (see obs-purity): its Gcstat module is the
-   sanctioned GC window, and its writers (Event, Trace, Live,
-   Chrome_trace) the sanctioned file-serialisation path.  Other library
-   writers must waive the rule with a reason. *)
-let obs_layer_path path =
-  let norm = String.concat "/" (String.split_on_char '\\' path) in
-  let infix = "lib/obs/" in
-  let n = String.length norm and k = String.length infix in
-  let rec scan i = i + k <= n && (String.sub norm i k = infix || scan (i + 1)) in
-  scan 0
 
 let read_file path =
   let ic = open_in_bin path in
@@ -59,10 +49,10 @@ type outcome = {
   used_waivers : Lint_diag.waiver list;
 }
 
-(* Check one compilation unit given its source text.  [scope] and [has_mli]
-   are injected so the test suite can lint fixture files as if they lived
-   under lib/. *)
-let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false)
+(* Parsetree pass over one compilation unit: raw (pre-waiver) diagnostics.
+   [scope] and [has_mli] are injected so the test suite can lint fixture
+   files as if they lived under lib/. *)
+let check_source_raw ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = false)
     ?(gc_exempt = false) ?(obs_exempt = false) ~file source =
   let raw = ref [] in
   let emit loc rule message =
@@ -73,6 +63,7 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
         line = p.Lexing.pos_lnum;
         col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
         rule;
+        layer = Lint_diag.Parsetree;
         severity = Lint_diag.Error;
         message;
       }
@@ -89,7 +80,9 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
     }
   in
   let emit_at ~line ~col rule message =
-    raw := { Lint_diag.file; line; col; rule; severity = Lint_diag.Error; message } :: !raw
+    raw :=
+      { Lint_diag.file; line; col; rule; layer = Lint_diag.Parsetree; severity = Lint_diag.Error; message }
+      :: !raw
   in
   let lexbuf = Lexing.from_string source in
   Location.init lexbuf file;
@@ -119,10 +112,14 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
          let p = loc.Location.loc_start in
          emit_at ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) "parse-error"
            "lexical error");
-  (* Waivers: suppress matching diagnostics, then audit the waivers
-     themselves.  A malformed or unused waiver is never silently ignored. *)
+  List.rev !raw
+
+(* Waivers: suppress matching diagnostics (from either layer), then audit
+   the waivers themselves.  A malformed or unused waiver is never silently
+   ignored. *)
+let finalize ~file source raw_diags =
   let waivers = Lint_diag.scan_waivers ~file source in
-  let kept = Lint_diag.apply_waivers waivers (List.rev !raw) in
+  let kept = Lint_diag.apply_waivers waivers raw_diags in
   let hygiene =
     List.concat_map
       (fun w ->
@@ -135,27 +132,102 @@ let check_source ?(scope = Lint_rules.Tool) ?(has_mli = true) ?(domain_exempt = 
         else [])
       waivers
     |> List.map (fun (line, message) ->
-           { Lint_diag.file; line; col = 0; rule = "waiver-hygiene"; severity = Lint_diag.Error; message })
+           {
+             Lint_diag.file;
+             line;
+             col = 0;
+             rule = "waiver-hygiene";
+             layer = Lint_diag.Parsetree;
+             severity = Lint_diag.Error;
+             message;
+           })
   in
   {
     diags = kept @ hygiene;
     used_waivers = List.filter (fun w -> w.Lint_diag.w_used) waivers;
   }
 
-let check_file path =
-  let scope = scope_of_path path in
+(* Parsetree-only check of one source, waivers applied — the entry point
+   the unit tests drive. *)
+let check_source ?scope ?has_mli ?domain_exempt ?gc_exempt ?obs_exempt ~file source =
+  let raw = check_source_raw ?scope ?has_mli ?domain_exempt ?gc_exempt ?obs_exempt ~file source in
+  finalize ~file source raw
+
+let file_flags path =
+  let in_obs = obs_layer_path path in
   let has_mli =
     (not (Filename.check_suffix path ".ml"))
     || Sys.file_exists (Filename.remove_extension path ^ ".mli")
   in
-  let in_obs = obs_layer_path path in
-  check_source ~scope ~has_mli ~domain_exempt:(domain_exempt_path path) ~gc_exempt:in_obs
-    ~obs_exempt:in_obs ~file:path (read_file path)
+  (scope_of_path path, has_mli, domain_exempt_path path, in_obs)
 
-(* [demote] lists rule ids whose diagnostics count as warnings. *)
-let run ?(demote = []) roots =
+let check_file path =
+  let scope, has_mli, domain_exempt, in_obs = file_flags path in
+  check_source ~scope ~has_mli ~domain_exempt ~gc_exempt:in_obs ~obs_exempt:in_obs ~file:path
+    (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Full two-layer run.                                                 *)
+
+(* [demote] lists rule ids whose diagnostics count as warnings; [cmt]
+   turns the Typedtree layer off (fixture-only runs). *)
+let run ?(demote = []) ?(cmt = true) roots =
   let files = collect roots in
-  let outcomes = List.map check_file files in
+  (* When the tool runs inside dune's build dir, the tree also holds the
+     empty .mli stubs dune materializes for executables — and only for
+     executables that happen to have been built.  Drop them, or the file
+     count would depend on build history. *)
+  let sources =
+    List.filter_map
+      (fun f ->
+        let s = read_file f in
+        if String.trim s = "(* Auto-generated by Dune *)" then None else Some (f, s))
+      files
+  in
+  let files = List.map fst sources in
+  (* Parsetree layer, raw. *)
+  let raw_by_file =
+    List.map
+      (fun (file, source) ->
+        let scope, has_mli, domain_exempt, in_obs = file_flags file in
+        ( file,
+          check_source_raw ~scope ~has_mli ~domain_exempt ~gc_exempt:in_obs ~obs_exempt:in_obs
+            ~file source ))
+      sources
+  in
+  (* Typedtree layer over lib-scoped roots; findings keyed to walked files
+     only (a cmt whose source is outside the walk has no waiver source). *)
+  let cmt_roots = List.filter (fun r -> scope_of_path r = Lint_rules.Lib) roots in
+  let units = if cmt then Lint_cmt.load_units (Lint_cmt.scan_roots cmt_roots) else [] in
+  let walked = Hashtbl.create (List.length files) in
+  List.iter (fun f -> Hashtbl.replace walked f ()) files;
+  let cmt_raw = Hashtbl.create 64 in
+  let emit ~file ~line ~col rule message =
+    if Hashtbl.mem walked file then
+      let d =
+        {
+          Lint_diag.file;
+          line;
+          col;
+          rule;
+          layer = Lint_diag.Cmt;
+          severity = Lint_diag.Error;
+          message;
+        }
+      in
+      Hashtbl.replace cmt_raw file (d :: (try Hashtbl.find cmt_raw file with Not_found -> []))
+  in
+  let units = List.filter (fun u -> Hashtbl.mem walked u.Lint_cmt.u_file) units in
+  ignore (Lint_cmt.check_units ~emit units);
+  (* Merge, dedup, waive per file. *)
+  let outcomes =
+    List.map
+      (fun (file, source) ->
+        let pt = List.assoc file raw_by_file in
+        let ct = try Hashtbl.find cmt_raw file with Not_found -> [] in
+        finalize ~file source (Lint_diag.dedup (pt @ ct)))
+      sources
+  in
   let adjust d =
     if List.mem d.Lint_diag.rule demote then { d with Lint_diag.severity = Lint_diag.Warning }
     else d
@@ -170,7 +242,20 @@ let run ?(demote = []) roots =
     List.map
       (fun (r : Lint_rules.rule) ->
         let sev = if List.mem r.id demote then Lint_diag.Warning else Lint_diag.Error in
-        (r.id, sev, List.length (List.filter (fun d -> d.Lint_diag.rule = r.id) diags)))
+        {
+          Lint_diag.rc_id = r.id;
+          rc_severity = sev;
+          rc_layer = Lint_rules.layer_name r.r_layer;
+          rc_count = List.length (List.filter (fun d -> d.Lint_diag.rule = r.id) diags);
+          rc_waived =
+            List.length (List.filter (fun w -> w.Lint_diag.w_rule = r.id) used_waivers);
+        })
       Lint_rules.rules
   in
-  { Lint_diag.files = List.length files; diags; used_waivers; rule_counts }
+  {
+    Lint_diag.files = List.length files;
+    cmt_units = List.length units;
+    diags;
+    used_waivers;
+    rule_counts;
+  }

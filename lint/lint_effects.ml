@@ -1,0 +1,469 @@
+(* Effect lattice and Typedtree analysis core for the cmt layer.
+
+   Every analyzed expression gets an effect summary over seven flags:
+
+     io           writes a channel / console, spawns domains, touches Unix
+     ambient      reads ambient state (Random, wall clock, getenv, Gc)
+     raises       calls raise / failwith / invalid_arg
+     mut_local    writes mutable state created inside the analyzed frame
+     mut_param    writes mutable state received as a parameter
+     mut_indexed  writes a captured/global array cell whose index mentions a
+                  frame-local binder — the sanctioned disjoint-cell idiom of
+                  the Pool contract (pool.mli)
+     mut_shared   writes captured or global mutable state any other way
+
+   Across a call edge only [io], [ambient], [raises] and [mut_shared]
+   propagate to the caller: a callee mutating its own locals is pure from
+   the outside, a callee mutating its parameter may have been handed
+   caller-local state (documented hole: we do not track which), and the
+   indexed idiom is by construction disjoint per index.
+
+   The analysis resolves identifiers through their typedtree [val_uid], so
+   module aliases, [open] and [include] cannot hide an identity: the key of
+   a value is (defining compilation unit, name).  Known stdlib values carry
+   axioms (the table below); unknown externals are assumed pure.  Effects
+   of nested lambdas count toward the enclosing binding (defining an
+   io-performing closure marks the definer — a deliberate
+   over-approximation).  Calls through function-typed parameters are
+   assumed pure (the [?pool] kernels all take iterator callbacks; flagging
+   those would drown the signal).  [assert] is treated as contract, not as
+   a raise effect, and [try] does not mask [raises]. *)
+
+type effects = {
+  io : bool;
+  ambient : bool;
+  raises : bool;
+  mut_local : bool;
+  mut_param : bool;
+  mut_indexed : bool;
+  mut_shared : bool;
+}
+
+let pure =
+  {
+    io = false;
+    ambient = false;
+    raises = false;
+    mut_local = false;
+    mut_param = false;
+    mut_indexed = false;
+    mut_shared = false;
+  }
+
+let join a b =
+  {
+    io = a.io || b.io;
+    ambient = a.ambient || b.ambient;
+    raises = a.raises || b.raises;
+    mut_local = a.mut_local || b.mut_local;
+    mut_param = a.mut_param || b.mut_param;
+    mut_indexed = a.mut_indexed || b.mut_indexed;
+    mut_shared = a.mut_shared || b.mut_shared;
+  }
+
+(* What a call site inherits from the callee's summary. *)
+let propagated e = { pure with io = e.io; ambient = e.ambient; raises = e.raises; mut_shared = e.mut_shared }
+
+(* The two effects that break the Pool contract outright. *)
+let par_unsafe e = e.io || e.mut_shared
+
+let equal (a : effects) b = a = b
+
+(* Deterministic rendering for goldens and messages. *)
+let names e =
+  let tags =
+    [
+      ("io", e.io);
+      ("ambient", e.ambient);
+      ("raises", e.raises);
+      ("mut-shared", e.mut_shared);
+      ("mut-indexed", e.mut_indexed);
+      ("mut-param", e.mut_param);
+      ("mut-local", e.mut_local);
+    ]
+  in
+  match List.filter_map (fun (n, on) -> if on then Some n else None) tags with
+  | [] -> [ "pure" ]
+  | ns -> ns
+
+let to_string e = String.concat "+" (names e)
+
+(* ------------------------------------------------------------------ *)
+(* Resolved identity: (normalized defining unit, value name).          *)
+
+type key = { ku : string; kn : string }
+
+let normalize_unit u =
+  if u = "Stdlib" then ""
+  else
+    let p = "Stdlib__" in
+    let k = String.length p in
+    if String.length u > k && String.sub u 0 k = p then String.sub u k (String.length u - k) else u
+
+let pretty k = if k.ku = "" then k.kn else k.ku ^ "." ^ k.kn
+
+let rec path_last = function
+  | Path.Pident id -> Ident.name id
+  | Path.Pdot (_, s) -> s
+  | Path.Papply (_, p) -> path_last p
+  | Path.Pextra_ty (p, _) -> path_last p
+
+let uid_unit ~unit_name (vd : Types.value_description) =
+  match vd.val_uid with
+  | Shape.Uid.Item { comp_unit; _ } -> Some comp_unit
+  | Shape.Uid.Compilation_unit cu -> Some cu
+  | Shape.Uid.Predef _ -> Some "Stdlib"
+  | Shape.Uid.Internal -> Some unit_name
+
+(* [`Local (unique_name, name)] for idents bound in the current unit
+   (frame-locals, parameters and module-level values alike — the caller
+   tells them apart); [`Global key] for everything resolved elsewhere. *)
+let classify_ident ~unit_name path vd =
+  match path with
+  | Path.Pident id -> (
+      match uid_unit ~unit_name vd with
+      | Some cu when cu <> unit_name && cu <> "" ->
+          (* [include] of another unit rebinds foreign values under a bare
+             ident; the uid still names the real owner. *)
+          `Global { ku = normalize_unit cu; kn = Ident.name id }
+      | _ -> `Local (Ident.unique_name id, Ident.name id))
+  | _ ->
+      let cu = match uid_unit ~unit_name vd with Some cu -> cu | None -> unit_name in
+      `Global { ku = normalize_unit cu; kn = path_last path }
+
+(* ------------------------------------------------------------------ *)
+(* Axioms for stdlib values the analysis must understand natively.     *)
+
+(* [dst] lists the 0-based positions (among positional arguments) of the
+   structures a mutator writes; [indexed] marks array-like cell writes
+   eligible for the sanctioned disjoint-cell downgrade. *)
+type axiom = Mutator of { dst : int list; indexed : bool } | Io | Ambient | Raise
+
+let cell = Mutator { dst = [ 0 ]; indexed = true }
+let m0 = Mutator { dst = [ 0 ]; indexed = false }
+let m1 = Mutator { dst = [ 1 ]; indexed = false }
+let m2 = Mutator { dst = [ 2 ]; indexed = false }
+
+let value_axioms =
+  [
+    (("", ":="), m0);
+    (("", "incr"), m0);
+    (("", "decr"), m0);
+    (("Array", "set"), cell);
+    (("Array", "unsafe_set"), cell);
+    (("Array", "fill"), m0);
+    (("Array", "blit"), m2);
+    (("Array", "sort"), m1);
+    (("Array", "stable_sort"), m1);
+    (("Array", "fast_sort"), m1);
+    (("Float", "set"), cell);
+    (("Float", "unsafe_set"), cell);
+    (("Bytes", "set"), cell);
+    (("Bytes", "unsafe_set"), cell);
+    (("Bytes", "fill"), m0);
+    (("Bytes", "unsafe_fill"), m0);
+    (("Bytes", "blit"), m2);
+    (("Bytes", "blit_string"), m2);
+    (("Bigarray", "set"), cell);
+    (("Bigarray", "unsafe_set"), cell);
+    (("Bigarray", "fill"), m0);
+    (("Bigarray", "blit"), m1);
+    (("Hashtbl", "add"), m0);
+    (("Hashtbl", "replace"), m0);
+    (("Hashtbl", "remove"), m0);
+    (("Hashtbl", "reset"), m0);
+    (("Hashtbl", "clear"), m0);
+    (("Hashtbl", "filter_map_inplace"), m1);
+    (("Buffer", "add_string"), m0);
+    (("Buffer", "add_char"), m0);
+    (("Buffer", "add_bytes"), m0);
+    (("Buffer", "add_substring"), m0);
+    (("Buffer", "add_subbytes"), m0);
+    (("Buffer", "add_buffer"), m0);
+    (("Buffer", "clear"), m0);
+    (("Buffer", "reset"), m0);
+    (("Buffer", "truncate"), m0);
+    (("Queue", "add"), m1);
+    (("Queue", "push"), m1);
+    (("Queue", "pop"), m0);
+    (("Queue", "take"), m0);
+    (("Queue", "clear"), m0);
+    (("Queue", "transfer"), Mutator { dst = [ 0; 1 ]; indexed = false });
+    (("Stack", "push"), m1);
+    (("Stack", "pop"), m0);
+    (("Stack", "clear"), m0);
+    (("Atomic", "set"), m0);
+    (("Atomic", "exchange"), m0);
+    (("Atomic", "compare_and_set"), m0);
+    (("Atomic", "fetch_and_add"), m0);
+    (("Atomic", "incr"), m0);
+    (("Atomic", "decr"), m0);
+    (* io *)
+    (("Printf", "printf"), Io);
+    (("Printf", "eprintf"), Io);
+    (("Printf", "fprintf"), Io);
+    (("Format", "printf"), Io);
+    (("Format", "eprintf"), Io);
+    (("Format", "fprintf"), Io);
+    (("Sys", "command"), Io);
+    (("Sys", "remove"), Io);
+    (("Sys", "rename"), Io);
+    (("Sys", "readdir"), Io);
+    (("Sys", "getcwd"), Io);
+    (("Sys", "chdir"), Io);
+    (("Filename", "temp_file"), Io);
+    (("", "exit"), Io);
+    (("", "open_in"), Io);
+    (("", "open_in_bin"), Io);
+    (("", "open_in_gen"), Io);
+    (("", "input_line"), Io);
+    (("", "input_char"), Io);
+    (("", "really_input_string"), Io);
+    (("", "read_line"), Io);
+    (("", "read_int"), Io);
+    (("", "flush"), Io);
+    (("", "flush_all"), Io);
+    (* ambient *)
+    (("Sys", "time"), Ambient);
+    (("Sys", "getenv"), Ambient);
+    (("Sys", "getenv_opt"), Ambient);
+    (("Unix", "gettimeofday"), Ambient);
+    (("Unix", "time"), Ambient);
+    (("Unix", "localtime"), Ambient);
+    (("Unix", "gmtime"), Ambient);
+    (* raises *)
+    (("", "raise"), Raise);
+    (("", "raise_notrace"), Raise);
+    (("", "failwith"), Raise);
+    (("", "invalid_arg"), Raise);
+  ]
+
+(* Whole units with a uniform effect (checked after the value table). *)
+let unit_axioms =
+  [ ("Random", Ambient); ("Domain", Io); ("Out_channel", Io); ("In_channel", Io); ("Unix", Io); ("Gc", Ambient) ]
+
+let axiom_of k =
+  match List.assoc_opt (k.ku, k.kn) value_axioms with
+  | Some a -> Some a
+  | None -> (
+      match List.assoc_opt k.ku unit_axioms with
+      | Some a -> Some a
+      | None ->
+          (* console / channel primitives share Lint_rules' ban tables *)
+          if k.ku = "" && (List.mem k.kn Lint_rules.print_idents || List.mem k.kn Lint_rules.channel_idents)
+          then Some Io
+          else None)
+
+(* Peeling a mutation target to its root ident steps through field
+   projections and through these pure accessors ([!r := ...] chains,
+   [a.(i).(j) <- ...]). *)
+let projections = [ ("", "!"); ("", "fst"); ("", "snd"); ("Array", "get"); ("Array", "unsafe_get"); ("Bytes", "get"); ("Bigarray", "get") ]
+
+(* ------------------------------------------------------------------ *)
+(* The traversal.                                                      *)
+
+type dep = Dep_global of key | Dep_local of { uname : string; name : string }
+
+type ev =
+  | Ev_io of string  (* direct io primitive, pretty-printed *)
+  | Ev_ambient of string
+  | Ev_shared of string  (* description of an unsanctioned shared write *)
+  | Ev_call of dep  (* reference to a non-axiom value *)
+
+type st = {
+  u : string;  (* raw compilation-unit name, e.g. "Adhoc_topo__Yao" *)
+  frame : (string, unit) Hashtbl.t;  (* let/match/for binders (unique names) *)
+  params : (string, unit) Hashtbl.t;  (* lambda binders at any depth *)
+  mutable sink_params : bool;  (* route pattern vars to [params] *)
+  mutable eff : effects;
+  ev : Location.t -> ev -> unit;
+}
+
+let bound st uname = Hashtbl.mem st.frame uname || Hashtbl.mem st.params uname
+
+open Typedtree
+
+let positional args = List.filter_map (function Asttypes.Nolabel, Some a -> Some a | _ -> None) args
+
+let ident_key ~unit_name p vd =
+  match classify_ident ~unit_name p vd with `Global k -> Some k | `Local _ -> None
+
+let rec root_expr st e =
+  match e.exp_desc with
+  | Texp_ident (p, _, vd) -> Some (p, vd)
+  | Texp_field (e', _, _) -> root_expr st e'
+  | Texp_apply (f, args) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, vd) when
+          (match ident_key ~unit_name:st.u p vd with
+          | Some k -> List.mem (k.ku, k.kn) projections
+          | None -> false) -> (
+          match positional args with a :: _ -> root_expr st a | [] -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Does [e] mention any frame-bound ident?  Used to recognise the
+   sanctioned index of a disjoint-cell write. *)
+let mentions_frame st e =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          (match x.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) when bound st (Ident.unique_name id) -> found := true
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  it.expr it e;
+  !found
+
+let add_binder tbl id = Hashtbl.replace tbl (Ident.unique_name id) ()
+
+let record_write st loc desc cls =
+  match cls with
+  | `Local -> st.eff <- { st.eff with mut_local = true }
+  | `Param -> st.eff <- { st.eff with mut_param = true }
+  | `Indexed -> st.eff <- { st.eff with mut_indexed = true }
+  | `Shared ->
+      st.eff <- { st.eff with mut_shared = true };
+      st.ev loc (Ev_shared desc)
+
+(* Classify one write whose destination expression is [dst]. *)
+let classify_write st loc ~via ~indexed ~index_ok dst =
+  let shared_desc name =
+    Printf.sprintf "write to captured or global mutable state (%s via %s)" name via
+  in
+  let captured () = if indexed && index_ok then `Indexed else `Shared in
+  let cls, desc =
+    match root_expr st dst with
+    | None -> ((if indexed && index_ok then `Indexed else `Shared), shared_desc "an unresolved target")
+    | Some (p, vd) -> (
+        match classify_ident ~unit_name:st.u p vd with
+        | `Local (uname, name) ->
+            if Hashtbl.mem st.params uname then (`Param, "")
+            else if Hashtbl.mem st.frame uname then (`Local, "")
+            else (captured (), shared_desc name)
+        | `Global k -> (captured (), shared_desc (pretty k)))
+  in
+  record_write st loc desc cls
+
+let handle_mutation st loc key ~dst ~indexed args =
+  let pos = positional args in
+  let npos = List.length pos in
+  (* Index arguments of a cell write: everything between the destination
+     and the stored value (Array.set a i v, Bigarray set a i j v). *)
+  let index_ok =
+    indexed
+    && List.exists
+         (fun i -> match List.nth_opt pos i with Some ix -> mentions_frame st ix | None -> false)
+         (if npos >= 3 then List.init (npos - 2) (fun i -> i + 1) else List.init (max 0 (npos - 1)) (fun i -> i + 1))
+  in
+  List.iter
+    (fun di ->
+      match List.nth_opt pos di with
+      | Some d -> classify_write st loc ~via:(pretty key) ~indexed ~index_ok d
+      | None ->
+          (* partial application with the destination not yet supplied *)
+          record_write st loc
+            (Printf.sprintf "partial application of mutator %s with unknown destination" (pretty key))
+            `Shared)
+    dst
+
+(* A bare (unapplied) reference only becomes a call edge when the value
+   could be a function the receiver later invokes ([List.iter helper xs]).
+   References to computed data — an array built by an earlier region, a
+   record of results — are reads: their definition-time effects already
+   happened and must not propagate to the use site.  Type variables count
+   as possibly-function (conservative); arrows hidden behind a type
+   abbreviation are missed (documented hole). *)
+let rec maybe_fun ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> true
+  | Types.Tvar _ | Types.Tunivar _ -> true
+  | Types.Tpoly (t, _) -> maybe_fun t
+  | _ -> false
+
+let handle_ident st loc p vd args =
+  let callable = args <> None || maybe_fun vd.Types.val_type in
+  match classify_ident ~unit_name:st.u p vd with
+  | `Local (uname, name) ->
+      if (not (bound st uname)) && callable then st.ev loc (Ev_call (Dep_local { uname; name }))
+  | `Global key -> (
+      match axiom_of key with
+      | Some Io ->
+          st.eff <- { st.eff with io = true };
+          st.ev loc (Ev_io (pretty key))
+      | Some Ambient ->
+          st.eff <- { st.eff with ambient = true };
+          st.ev loc (Ev_ambient (pretty key))
+      | Some Raise -> st.eff <- { st.eff with raises = true }
+      | Some (Mutator { dst; indexed }) -> (
+          match args with
+          | Some args -> handle_mutation st loc key ~dst ~indexed args
+          | None -> () (* bare reference to a mutator passed as a value: out of model *))
+      | None -> if not (List.mem (key.ku, key.kn) projections) then st.ev loc (Ev_call (Dep_global key)))
+
+let iterator st =
+  let open Tast_iterator in
+  let expr sub e =
+    match e.exp_desc with
+    | Texp_ident (p, _, vd) -> handle_ident st e.exp_loc p vd None
+    | Texp_apply (f, args) ->
+        (match f.exp_desc with
+        | Texp_ident (p, _, vd) -> handle_ident st f.exp_loc p vd (Some args)
+        | _ -> sub.expr sub f);
+        List.iter (fun (_, a) -> Option.iter (sub.expr sub) a) args
+    | Texp_function { param; cases; _ } ->
+        add_binder st.params param;
+        let saved = st.sink_params in
+        st.sink_params <- true;
+        List.iter (fun c -> sub.pat sub c.c_lhs) cases;
+        st.sink_params <- saved;
+        List.iter
+          (fun c ->
+            Option.iter (sub.expr sub) c.c_guard;
+            sub.expr sub c.c_rhs)
+          cases
+    | Texp_for (id, _, lo, hi, _, body) ->
+        add_binder st.frame id;
+        sub.expr sub lo;
+        sub.expr sub hi;
+        sub.expr sub body
+    | Texp_setfield (obj, lid, ld, v) ->
+        ignore lid;
+        classify_write st e.exp_loc
+          ~via:(Printf.sprintf "mutable field %s" ld.Types.lbl_name)
+          ~indexed:false ~index_ok:false obj;
+        sub.expr sub obj;
+        sub.expr sub v
+    | _ -> default_iterator.expr sub e
+  in
+  let pat : type k. iterator -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> add_binder (if st.sink_params then st.params else st.frame) id
+    | Tpat_alias (_, id, _) -> add_binder (if st.sink_params then st.params else st.frame) id
+    | _ -> ());
+    default_iterator.pat sub p
+  in
+  { default_iterator with expr; pat }
+
+(* Analyze one expression in a fresh frame.  Binders introduced anywhere
+   inside count as frame-local; free idents are captured or global. *)
+let analyze ~unit_name ?(on_event = fun _ _ -> ()) e =
+  let st =
+    {
+      u = unit_name;
+      frame = Hashtbl.create 64;
+      params = Hashtbl.create 16;
+      sink_params = false;
+      eff = pure;
+      ev = on_event;
+    }
+  in
+  let it = iterator st in
+  it.Tast_iterator.expr it e;
+  st.eff

@@ -32,26 +32,67 @@ open Parsetree
 
 type scope = Lib | Tool
 
-type rule = { id : string; r_scope : scope option; doc : string }
+(* Which analysis layer detects a rule: the fast Parsetree pass, the
+   resolved Typedtree/cmt pass, both (syntactic matches are caught twice
+   and deduplicated; alias evasions only by the cmt pass), or the meta
+   machinery around them. *)
+type layer = L_parsetree | L_cmt | L_both | L_meta
+
+let layer_name = function
+  | L_parsetree -> "parsetree"
+  | L_cmt -> "cmt"
+  | L_both -> "both"
+  | L_meta -> "meta"
+
+type rule = { id : string; r_scope : scope option; r_layer : layer; doc : string }
 
 let rules =
   [
-    { id = "ambient-rng"; r_scope = Some Lib; doc = "ambient Random.* in library code" };
-    { id = "wall-clock"; r_scope = Some Lib; doc = "wall-clock reads in library code" };
-    { id = "hashtbl-order"; r_scope = Some Lib; doc = "order-sensitive Hashtbl traversal" };
-    { id = "poly-compare"; r_scope = Some Lib; doc = "bare polymorphic compare in library code" };
-    { id = "float-cmp"; r_scope = None; doc = "polymorphic comparison on floats" };
-    { id = "float-minmax"; r_scope = None; doc = "polymorphic min/max on floats" };
-    { id = "obs-purity"; r_scope = Some Lib; doc = "console or file-channel output in library code" };
-    { id = "mli-required"; r_scope = Some Lib; doc = "library module without an .mli" };
-    { id = "catch-all"; r_scope = None; doc = "try ... with _ -> swallows all exceptions" };
-    { id = "raw-domain"; r_scope = None; doc = "raw Domain.* outside the pool module" };
-    { id = "raw-gc"; r_scope = None; doc = "raw Gc.* outside the obs layer" };
-    { id = "waiver-hygiene"; r_scope = None; doc = "malformed, unknown or unused waiver" };
-    { id = "parse-error"; r_scope = None; doc = "file does not parse" };
+    { id = "ambient-rng"; r_scope = Some Lib; r_layer = L_both; doc = "ambient Random.* in library code" };
+    { id = "wall-clock"; r_scope = Some Lib; r_layer = L_both; doc = "wall-clock reads in library code" };
+    { id = "hashtbl-order"; r_scope = Some Lib; r_layer = L_both; doc = "order-sensitive Hashtbl traversal" };
+    { id = "poly-compare"; r_scope = Some Lib; r_layer = L_parsetree; doc = "bare polymorphic compare in library code" };
+    { id = "float-cmp"; r_scope = None; r_layer = L_parsetree; doc = "polymorphic comparison on floats" };
+    { id = "float-minmax"; r_scope = None; r_layer = L_parsetree; doc = "polymorphic min/max on floats" };
+    { id = "obs-purity"; r_scope = Some Lib; r_layer = L_both; doc = "console or file-channel output in library code" };
+    { id = "mli-required"; r_scope = Some Lib; r_layer = L_parsetree; doc = "library module without an .mli" };
+    { id = "catch-all"; r_scope = None; r_layer = L_parsetree; doc = "try ... with _ -> swallows all exceptions" };
+    { id = "raw-domain"; r_scope = None; r_layer = L_both; doc = "raw Domain.* outside the pool module" };
+    { id = "raw-gc"; r_scope = None; r_layer = L_both; doc = "raw Gc.* outside the obs layer" };
+    { id = "par-safety"; r_scope = Some Lib; r_layer = L_cmt; doc = "shared-state write or io in a Pool region body" };
+    { id = "waiver-hygiene"; r_scope = None; r_layer = L_meta; doc = "malformed, unknown or unused waiver" };
+    { id = "parse-error"; r_scope = None; r_layer = L_meta; doc = "file does not parse" };
   ]
 
 let known_rule id = List.exists (fun r -> r.id = id) rules
+
+(* ------------------------------------------------------------------ *)
+(* Path policy, shared by the driver (Parsetree layer) and the cmt
+   layer: which files count as library code and which are the sanctioned
+   exemptions. *)
+
+let scope_of_path path =
+  let segs = String.split_on_char '/' path in
+  if List.mem "lib" segs then Lib else Tool
+
+(* The one compilation unit allowed to touch Domain.* (see raw-domain):
+   the domain pool that every kernel threads instead. *)
+let domain_exempt_path path =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let suffix = "lib/util/pool.ml" in
+  let n = String.length norm and k = String.length suffix in
+  n >= k && String.sub norm (n - k) k = suffix
+
+(* The observability layer is allowed to read Gc.* (see raw-gc) and to
+   write output channels (see obs-purity): its Gcstat module is the
+   sanctioned GC window, and its writers (Event, Trace, Live,
+   Chrome_trace) the sanctioned file-serialisation path. *)
+let obs_layer_path path =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let infix = "lib/obs/" in
+  let n = String.length norm and k = String.length infix in
+  let rec scan i = i + k <= n && (String.sub norm i k = infix || scan (i + 1)) in
+  scan 0
 
 type ctx = {
   scope : scope;

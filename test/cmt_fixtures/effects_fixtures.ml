@@ -1,0 +1,30 @@
+(* Call-graph effect-inference corpus: one definition per lattice point,
+   plus a transitive chain.  test_lint_cmt.ml golden-diffs the rendered
+   summaries of this unit. *)
+
+let pure_add a b = a + b
+
+let local_sum n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  !acc
+
+let bump r = incr r
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let memo_put k v = Hashtbl.replace table k v
+
+let buf = Array.make 4 0
+
+let set_cell i v = buf.(i) <- v
+
+let chatty x = print_endline x
+
+let chain x = chatty x
+
+let roll n = Random.int n
+
+let must_pos n = if n < 0 then invalid_arg "must_pos" else n

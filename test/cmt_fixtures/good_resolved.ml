@@ -1,0 +1,8 @@
+(* Non-triggering twin: aliasing and opening benign modules, explicit
+   state threading — the resolved layer must stay silent. *)
+
+module A = Array
+
+let sum xs = A.fold_left ( + ) 0 xs
+
+let scaled r n = int_of_float (r *. float_of_int n)

@@ -1,0 +1,6 @@
+(* let-bound alias evasion: the wall-clock primitive hides behind a
+   value binding; the reference at the binding site still resolves. *)
+
+let gettime = Unix.gettimeofday
+
+let now () = gettime ()

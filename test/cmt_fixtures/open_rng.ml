@@ -1,0 +1,5 @@
+(* open-evasion: a bare [bits ()] that resolves into Random. *)
+
+open Random
+
+let roll () = bits ()

@@ -1,0 +1,19 @@
+(* par-safety non-triggering twin: the sanctioned disjoint-cell idiom —
+   each iteration writes only its own cell, indexed by the loop
+   variable — and a pure parallel_init body. *)
+
+module Pool = Adhoc_util.Pool
+
+let squares pool n =
+  let out = Array.make n 0 in
+  Pool.parallel_for pool n (fun i -> out.(i) <- i * i);
+  out
+
+let doubled pool n = Pool.parallel_init pool n (fun i -> 2 * i)
+
+(* A named local body: analyzed on demand from its definition. *)
+let shifted pool n =
+  let out = Array.make n 0 in
+  let fill i = out.(i) <- i + 1 in
+  Pool.parallel_for pool n fill;
+  out

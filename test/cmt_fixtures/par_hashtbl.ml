@@ -1,0 +1,8 @@
+(* par-safety: a region body mutating a captured Hashtbl. *)
+
+module Pool = Adhoc_util.Pool
+
+let run pool n =
+  let seen = Hashtbl.create 16 in
+  Pool.parallel_for pool n (fun i -> Hashtbl.replace seen i i);
+  Hashtbl.length seen

@@ -1,0 +1,7 @@
+(* par-safety: a region body racing on a captured ref. *)
+
+module Pool = Adhoc_util.Pool
+
+let total = ref 0
+
+let run pool n = Pool.parallel_for pool n (fun i -> total := !total + i)

@@ -1,0 +1,8 @@
+(* par-safety: io reached transitively — the body itself is clean, the
+   helper it calls prints. *)
+
+module Pool = Adhoc_util.Pool
+
+let log_row i = print_endline (string_of_int i)
+
+let run pool n = Pool.parallel_for pool n (fun i -> if i mod 2 = 0 then log_row i)

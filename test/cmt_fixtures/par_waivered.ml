@@ -1,0 +1,11 @@
+(* par-safety with a waiver: the diagnostic fires, the waiver absorbs
+   it, and the waiver counts as used. *)
+
+module Pool = Adhoc_util.Pool
+
+let count = ref 0
+
+let run pool n =
+  Pool.parallel_for pool n (fun i ->
+      (* lint: allow par-safety -- deliberate racy counter exercising waiver flow *)
+      count := !count + i)

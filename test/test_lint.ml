@@ -5,7 +5,10 @@
    lint_fixtures/lib/ are scope-inferred as library code (the path contains
    a "lib" segment), the rest lint as tool code.  Diagnostics are
    golden-diffed against their rendered [file:line:col [rule] message] form,
-   and the adhoc-lint/1 JSON report is shape-checked. *)
+   and the adhoc-lint/2 JSON report is shape-checked.  The Typedtree
+   layer has its own corpus and suite (cmt_fixtures/, test_lint_cmt.ml);
+   these fixtures exercise the Parsetree layer, so the cmt pass finds no
+   artifacts for them and cmt_units stays 0. *)
 
 open Adhoc_lint_engine
 
@@ -303,8 +306,10 @@ let test_run_totals () =
   Alcotest.(check int) "warnings" 0 (Lint_diag.warnings r);
   Alcotest.(check int) "used waivers" corpus_waivers (List.length r.Lint_diag.used_waivers);
   let count rule =
-    match List.find_opt (fun (id, _, _) -> id = rule) r.Lint_diag.rule_counts with
-    | Some (_, _, n) -> n
+    match
+      List.find_opt (fun rc -> rc.Lint_diag.rc_id = rule) r.Lint_diag.rule_counts
+    with
+    | Some rc -> rc.Lint_diag.rc_count
     | None -> Alcotest.failf "rule %s missing from report" rule
   in
   Alcotest.(check int) "float-cmp count" 4 (count "float-cmp");
@@ -330,13 +335,15 @@ let test_json_shape () =
     Alcotest.(check bool) (Printf.sprintf "report contains %s" needle) true
       (Lint_diag.find_sub json needle 0 <> None)
   in
-  has "\"schema\": \"adhoc-lint/1\"";
+  has "\"schema\": \"adhoc-lint/2\"";
   has (Printf.sprintf "\"files\": %d" corpus_files);
+  has "\"cmt_units\": 0";
   has (Printf.sprintf "\"errors\": %d" corpus_errors);
   has "\"rules\": [";
   has "\"diagnostics\": [";
   has "\"waivers\": [";
-  has "{\"id\": \"float-cmp\", \"severity\": \"error\", \"count\": 4}";
+  has "{\"id\": \"float-cmp\", \"severity\": \"error\", \"layer\": \"parsetree\", \"count\": 4, \"waived\": ";
+  has "\"layer\": \"cmt\", \"count\": 0";
   (* Escaping: the unknown-rule message carries quotes. *)
   has "unknown rule \\\"no-such-rule\\\""
 

@@ -1,0 +1,258 @@
+(* Typedtree-layer (cmt) tests for the adhoc_lint engine.
+
+   The corpus under cmt_fixtures/ is a real dune library, so the build
+   produces .cmt artifacts for it; this suite loads them back and checks
+   the resolved-path rules against every alias-evasion shape (module
+   alias, open, let-bound value, functor argument), the par-safety rule
+   against seeded races and against the sanctioned disjoint-cell idiom,
+   and the call-graph effect summaries against a golden rendering.  A
+   final test runs the layer over the library's own artifacts and asserts
+   lib/ lints clean modulo its source waivers. *)
+
+open Adhoc_lint_engine
+
+(* Under `dune runtest` the cwd is the test directory and the fixture
+   cmts sit in cmt_fixtures/.lint_cmt_fixtures.objs/byte; under a bare
+   `dune exec` from the workspace root, Lint_cmt.scan_root's fallback
+   finds them under _build/default/test/cmt_fixtures. *)
+let in_test_dir = Sys.file_exists "cmt_fixtures"
+let fixture_root = if in_test_dir then "cmt_fixtures" else Filename.concat "test" "cmt_fixtures"
+
+(* The scanner's default skip list excludes fixture corpora; loading them
+   is the whole point here. *)
+let units =
+  lazy (Lint_cmt.load_units ~skip:[] (Lint_cmt.scan_root ~skip:[] fixture_root))
+
+let lib_flags =
+  {
+    Lint_cmt.f_scope = Lint_rules.Lib;
+    f_domain_exempt = false;
+    f_gc_exempt = false;
+    f_obs_exempt = false;
+  }
+
+(* One full layer run over the fixture corpus, memoized: raw (pre-waiver)
+   diagnostics plus the call graph. *)
+let layer =
+  lazy
+    (let diags = ref [] in
+     let emit ~file ~line ~col rule message =
+       diags :=
+         {
+           Lint_diag.file;
+           line;
+           col;
+           rule;
+           layer = Lint_diag.Cmt;
+           severity = Lint_diag.Error;
+           message;
+         }
+         :: !diags
+     in
+     let cg = Lint_cmt.check_units ~flags_of:(fun _ -> lib_flags) ~emit (Lazy.force units) in
+     (cg, List.sort Lint_diag.compare_diag !diags))
+
+let diags_for base =
+  let _, diags = Lazy.force layer in
+  List.filter (fun d -> Filename.basename d.Lint_diag.file = base) diags
+
+let rendered base =
+  List.map
+    (fun d -> Lint_diag.to_string { d with Lint_diag.file = Filename.basename d.Lint_diag.file })
+    (diags_for base)
+
+let check_diags name base expected () =
+  Alcotest.(check (list string)) name expected (rendered base)
+
+let test_units_loaded () =
+  let names = List.map (fun u -> u.Lint_cmt.u_name) (Lazy.force units) in
+  Alcotest.(check bool) "effects fixture present" true
+    (List.mem "Lint_cmt_fixtures__Effects_fixtures" names);
+  Alcotest.(check bool) "wrapper module skipped" true
+    (not (List.mem "Lint_cmt_fixtures" names))
+
+(* ------------------------------------------------------------------ *)
+(* Resolved-path rules: the four alias-evasion shapes                  *)
+
+let test_alias_rng =
+  check_diags "module-alias evasion" "alias_rng.ml"
+    [
+      "alias_rng.ml:4:11 [ambient-rng] module expression names Random: ambient PRNG in \
+       library code; thread an explicit Adhoc_util.Prng.t instead";
+      "alias_rng.ml:6:14 [ambient-rng] resolves to Random.int: ambient PRNG in library \
+       code; thread an explicit Adhoc_util.Prng.t instead";
+    ]
+
+let test_open_rng =
+  check_diags "open evasion" "open_rng.ml"
+    [
+      "open_rng.ml:3:5 [ambient-rng] module expression names Random: ambient PRNG in \
+       library code; thread an explicit Adhoc_util.Prng.t instead";
+      "open_rng.ml:5:14 [ambient-rng] resolves to Random.bits: ambient PRNG in library \
+       code; thread an explicit Adhoc_util.Prng.t instead";
+    ]
+
+let test_let_clock =
+  check_diags "let-bound alias evasion" "let_clock.ml"
+    [
+      "let_clock.ml:4:14 [wall-clock] resolves to Unix.gettimeofday: wall-clock read in \
+       library code breaks reproducibility; take time as input or go through Adhoc_obs.Span";
+    ]
+
+let test_functor_rng =
+  check_diags "functor-argument evasion" "functor_rng.ml"
+    [
+      "functor_rng.ml:13:19 [ambient-rng] module expression names Random: ambient PRNG in \
+       library code; thread an explicit Adhoc_util.Prng.t instead";
+    ]
+
+let test_good_resolved = check_diags "benign aliasing stays clean" "good_resolved.ml" []
+
+(* ------------------------------------------------------------------ *)
+(* par-safety                                                          *)
+
+let test_par_shared_ref =
+  check_diags "captured ref write" "par_shared_ref.ml"
+    [
+      "par_shared_ref.ml:7:58 [par-safety] write to captured or global mutable state \
+       (total via :=) inside a Pool.parallel_for body; the Pool contract (pool.mli) \
+       demands index-purity";
+    ]
+
+let test_par_hashtbl =
+  check_diags "captured Hashtbl mutation" "par_hashtbl.ml"
+    [
+      "par_hashtbl.ml:7:37 [par-safety] write to captured or global mutable state \
+       (seen via Hashtbl.replace) inside a Pool.parallel_for body; the Pool contract \
+       (pool.mli) demands index-purity";
+    ]
+
+let test_par_transitive_io =
+  check_diags "transitive io through helper" "par_transitive_io.ml"
+    [
+      "par_transitive_io.ml:6:16 [obs-purity] resolves to print_endline: console output \
+       in library code; return data or emit through an Adhoc_obs sink";
+      "par_transitive_io.ml:8:72 [par-safety] call to log_row (effects: io) inside a \
+       Pool.parallel_for body; region bodies must not write shared state or perform io";
+    ]
+
+let test_par_good = check_diags "sanctioned disjoint cells" "par_good.ml" []
+
+let test_par_waivered () =
+  let diags = diags_for "par_waivered.ml" in
+  Alcotest.(check int) "raw diagnostic fires" 1
+    (List.length (List.filter (fun d -> d.Lint_diag.rule = "par-safety") diags));
+  let src_path = Filename.concat fixture_root "par_waivered.ml" in
+  let ic = open_in_bin src_path in
+  let source = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let waivers = Lint_diag.scan_waivers ~file:src_path source in
+  let kept = Lint_diag.apply_waivers waivers diags in
+  Alcotest.(check int) "waiver absorbs it" 0 (List.length kept);
+  Alcotest.(check bool) "waiver marked used" true
+    (List.for_all (fun w -> w.Lint_diag.w_used) waivers)
+
+(* ------------------------------------------------------------------ *)
+(* Call-graph effect summaries (golden)                                *)
+
+let test_effect_summaries () =
+  let cg, _ = Lazy.force layer in
+  let got =
+    Lint_callgraph.render_summaries cg ~unit_filter:(fun u ->
+        u = "Lint_cmt_fixtures__Effects_fixtures")
+  in
+  Alcotest.(check (list string)) "effect summaries"
+    [
+      "Lint_cmt_fixtures__Effects_fixtures.buf: pure";
+      "Lint_cmt_fixtures__Effects_fixtures.bump: mut-param";
+      "Lint_cmt_fixtures__Effects_fixtures.chain: io";
+      "Lint_cmt_fixtures__Effects_fixtures.chatty: io";
+      "Lint_cmt_fixtures__Effects_fixtures.local_sum: mut-local";
+      "Lint_cmt_fixtures__Effects_fixtures.memo_put: mut-shared";
+      "Lint_cmt_fixtures__Effects_fixtures.must_pos: raises";
+      "Lint_cmt_fixtures__Effects_fixtures.pure_add: pure";
+      "Lint_cmt_fixtures__Effects_fixtures.roll: ambient";
+      "Lint_cmt_fixtures__Effects_fixtures.set_cell: mut-indexed";
+      "Lint_cmt_fixtures__Effects_fixtures.table: pure";
+    ]
+    got
+
+(* ------------------------------------------------------------------ *)
+(* The library's own artifacts lint clean under the cmt layer          *)
+
+let test_lib_clean () =
+  let lib_root = if in_test_dir then Filename.concat ".." "lib" else "lib" in
+  let prefix = if in_test_dir then Filename.concat ".." "" else "" in
+  let lib_units = Lint_cmt.load_units (Lint_cmt.scan_roots [ lib_root ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "library artifacts found (%d units)" (List.length lib_units))
+    true
+    (List.length lib_units > 50);
+  let diags = ref [] in
+  let emit ~file ~line ~col rule message =
+    diags :=
+      {
+        Lint_diag.file;
+        line;
+        col;
+        rule;
+        layer = Lint_diag.Cmt;
+        severity = Lint_diag.Error;
+        message;
+      }
+      :: !diags
+  in
+  ignore (Lint_cmt.check_units ~emit lib_units);
+  (* Raw findings may exist; each must be absorbed by a waiver in its
+     source file. *)
+  let waivers_of = Hashtbl.create 16 in
+  let waivers_for file =
+    match Hashtbl.find_opt waivers_of file with
+    | Some ws -> ws
+    | None ->
+        let path = prefix ^ file in
+        let ws =
+          if Sys.file_exists path then begin
+            let ic = open_in_bin path in
+            let source = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Lint_diag.scan_waivers ~file source
+          end
+          else []
+        in
+        Hashtbl.add waivers_of file ws;
+        ws
+  in
+  let unwaived =
+    List.filter
+      (fun d -> Lint_diag.apply_waivers (waivers_for d.Lint_diag.file) [ d ] <> [])
+      !diags
+  in
+  Alcotest.(check (list string)) "lib lints clean under the cmt layer" []
+    (List.map Lint_diag.to_string (List.sort Lint_diag.compare_diag unwaived))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "lint-cmt"
+    [
+      ("loading", [ Alcotest.test_case "fixture units" `Quick test_units_loaded ]);
+      ( "resolved",
+        [
+          Alcotest.test_case "module alias" `Quick test_alias_rng;
+          Alcotest.test_case "open" `Quick test_open_rng;
+          Alcotest.test_case "let-bound value" `Quick test_let_clock;
+          Alcotest.test_case "functor argument" `Quick test_functor_rng;
+          Alcotest.test_case "benign twin" `Quick test_good_resolved;
+        ] );
+      ( "par-safety",
+        [
+          Alcotest.test_case "shared ref" `Quick test_par_shared_ref;
+          Alcotest.test_case "captured hashtbl" `Quick test_par_hashtbl;
+          Alcotest.test_case "transitive io" `Quick test_par_transitive_io;
+          Alcotest.test_case "sanctioned idiom" `Quick test_par_good;
+          Alcotest.test_case "waivered race" `Quick test_par_waivered;
+        ] );
+      ("effects", [ Alcotest.test_case "summaries golden" `Quick test_effect_summaries ]);
+      ("whole-lib", [ Alcotest.test_case "lib clean" `Quick test_lib_clean ]);
+    ]
