@@ -245,7 +245,7 @@ let e8 () =
         (fun e neighbors ->
           ignore e;
           let s =
-            List.fold_left
+            Array.fold_left
               (fun acc e' -> acc +. (1. /. (2. *. float_of_int (max 1 bounds.(e')))))
               0. neighbors
           in

@@ -1,0 +1,240 @@
+(* B4: routing-throughput scaling sweep.
+
+   Times the decide-parallel / apply-sequential routing step loop
+   (Dynamic_engine over a single ΘALG epoch) across an n × jobs grid,
+   each configuration on its own fixed-size pool, and reports the
+   headline rates steps_per_sec and decisions_per_sec (a "decision" is
+   one active-edge evaluation — the unit the decision phase fans out on
+   the pool).  Both rates are wall-clock derived, so --compare treats
+   them with the timing tolerance; the structural metrics
+   (injected / delivered / sends per n, the decision count, and the
+   bitident flags) are exact and machine-independent, so any drift
+   across machines or pool sizes is a regression.
+
+   The sweep is also the acceptance harness for the parallel decision
+   phase: for every n it replays the run with an event log and a live
+   recorder under each jobs value and requires the routing stats, the
+   adhoc-events/1 JSONL bytes and the adhoc-live/1 JSONL bytes to be
+   identical to the jobs = 1 reference.  A mismatch aborts the bench —
+   bit-identity is a contract here, not a statistic.
+
+   A separate profiled pass per configuration records per-domain
+   busy-time balance ("pool.imbalance:*") and owner-domain GC deltas
+   ("gc:*"), exactly like B2.
+
+   Speedup expectations are hardware-honest: the decision phase is a
+   fraction of each step (apply stays sequential by design), so on a
+   single-core container every jobs > 1 row shows ~1x. *)
+
+open Adhoc
+open Common
+module Prng = Util.Prng
+module Pool = Util.Pool
+module Conflict = Interference.Conflict
+module Balancing = Routing.Balancing
+module Dynamic = Routing.Dynamic_engine
+
+let theta = Float.pi /. 6.
+
+(* Same analytic-radius switch as B2: the exact critical range needs the
+   quadratic Delaunay MST, so beyond the threshold the radius comes from
+   the connectivity law of uniform point sets — still a pure function
+   of n. *)
+let analytic_threshold = 8192
+
+let sizes = [ 1024; 4096; 16384 ]
+let jobs_grid = [ 1; 2; 4 ]
+let steps = 240
+
+let params = Balancing.params ~threshold:1.0 ~gamma:0.05 ~capacity:8
+let cost = Graphs.Cost.hops
+
+(* Min-of-reps wall-clock, in seconds; one warm-up run.  Each run builds
+   its own buffer state, so repetitions are independent. *)
+let time_s ?(reps = 2) f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type instance = {
+  epochs : Dynamic.epoch list;
+  injections : int -> (int * int) list;
+  decisions : int;  (** active-edge evaluations over the whole horizon *)
+}
+
+let instance n =
+  let rng = Prng.create 2024 in
+  let points = Pointset.Generators.uniform rng n in
+  let range =
+    if n < analytic_threshold then 1.5 *. Topo.Udg.critical_range points
+    else
+      let nf = float_of_int n in
+      1.5 *. Float.sqrt (Float.log nf /. (Float.pi *. nf))
+  in
+  let overlay = Topo.Theta_alg.overlay (Topo.Theta_alg.build ~theta ~range points) in
+  let conflict = Conflict.build (Interference.Model.make ~delta:0.5) ~points overlay in
+  (* Seeded injections, pregenerated so every timed run replays the same
+     workload: a front-loaded burst for the first half of the horizon,
+     then a drain phase. *)
+  let irng = Prng.create (4242 + n) in
+  let per_step = max 4 (n / 256) in
+  let burst = steps / 2 in
+  let table =
+    Array.init steps (fun t ->
+        if t >= burst then []
+        else List.init per_step (fun _ ->
+            let src = Prng.int irng n in
+            let dst = Prng.int irng n in
+            (src, dst)))
+  in
+  let injections t = if t >= 0 && t < steps then table.(t) else [] in
+  (* The decision phase evaluates every edge of colour class (t mod k)
+     each step, so the total count is a pure function of the coloring. *)
+  let colors, k = Conflict.greedy_coloring conflict in
+  let class_size = Array.make (max k 1) 0 in
+  Array.iter (fun c -> class_size.(c) <- class_size.(c) + 1) colors;
+  let decisions = ref 0 in
+  for t = 0 to steps - 1 do
+    if k > 0 then decisions := !decisions + class_size.(t mod k)
+  done;
+  { epochs = [ { Dynamic.graph = overlay; conflict; steps } ]; injections;
+    decisions = !decisions }
+
+let route ?obs ?pool inst =
+  Dynamic.run ?obs ?pool ~epochs:inst.epochs ~injections:inst.injections ~cost
+    ~params ()
+
+let slurp file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* One replay with an event log and a live recorder attached; returns the
+   stats plus the two streams' JSONL bytes (via a scratch file — the
+   writers are out_channel based). *)
+let streams ?pool inst =
+  let events = Obs.Event.create () in
+  let live = Obs.Live.create ~window:50 () in
+  (* Obs.create attaches [live] to [events] as an online observer. *)
+  let sink = Obs.create ~events ~live () in
+  let stats = route ~obs:sink ?pool inst in
+  let tmp = Filename.temp_file "adhoc-b4" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Obs.Event.save_jsonl events tmp;
+      let event_bytes = slurp tmp in
+      Obs.Live.save_jsonl live tmp;
+      let live_bytes = slurp tmp in
+      (stats, event_bytes, live_bytes))
+
+let run () =
+  header "B4: routing-throughput scaling (parallel decision phase, n x jobs)";
+  Printf.printf "recommended domain count here: %d (grid is fixed 1/2/4)\n\n"
+    (Pool.default_jobs ());
+  let pools = List.map (fun j -> (j, Pool.create ~jobs:j ())) jobs_grid in
+  (* Like B2, the per-jobs pools report into the experiment sink so the
+     pool.regions / pool.items counters in the snapshot reflect the
+     timed step loops and json_check can require them to be nonzero. *)
+  List.iter (fun (_, p) -> Option.iter (fun sink -> Obs.attach_pool sink p) (current_obs ())) pools;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (_, p) ->
+          Obs.detach_pool p;
+          Pool.shutdown p)
+        pools)
+    (fun () ->
+      let t =
+        Table.create
+          ([ ("n", Table.Right); ("decisions", Table.Right) ]
+          @ List.map (fun j -> (Printf.sprintf "jobs=%d" j, Table.Right)) jobs_grid)
+      in
+      List.iter
+        (fun n ->
+          let inst = instance n in
+          let base = ref nan in
+          let cells =
+            List.map
+              (fun (j, p) ->
+                let secs = time_s (fun () -> route ~pool:p inst) in
+                record_float
+                  (Printf.sprintf "steps_per_sec:b4/n=%d/jobs=%d" n j)
+                  (float_of_int steps /. secs);
+                record_float
+                  (Printf.sprintf "decisions_per_sec:b4/n=%d/jobs=%d" n j)
+                  (float_of_int inst.decisions /. secs);
+                if j = 1 then begin
+                  base := secs;
+                  Printf.sprintf "%.0f steps/s" (float_of_int steps /. secs)
+                end
+                else Printf.sprintf "%.2fx" (!base /. secs))
+              pools
+          in
+          (* Profiled pass: busy-time balance of the decision fan-out and
+             an owner-domain GC delta per configuration (timing-derived,
+             so --compare relaxes these prefixes; the metric names stay a
+             pure function of the sweep). *)
+          List.iter
+            (fun (j, p) ->
+              match current_obs () with
+              | None -> ()
+              | Some sink ->
+                  let dp = Obs.Domprof.create ~slots:(Pool.jobs p) () in
+                  Obs.attach_pool ~domprof:dp sink p;
+                  let g0 = Obs.Gcstat.read () in
+                  ignore (route ~pool:p inst);
+                  let g = Obs.Gcstat.delta ~before:g0 ~after:(Obs.Gcstat.read ()) in
+                  Obs.attach_pool sink p;
+                  let key metric = Printf.sprintf "%s:b4/n=%d/jobs=%d" metric n j in
+                  (match Obs.Domprof.summary dp with
+                  | Some s ->
+                      record_float (key "pool.imbalance:ratio") s.Obs.Domprof.imbalance;
+                      record_float (key "pool.imbalance:busy_min_s") s.Obs.Domprof.busy_min;
+                      record_float (key "pool.imbalance:busy_max_s") s.Obs.Domprof.busy_max;
+                      record_float (key "pool.imbalance:busy_mean_s") s.Obs.Domprof.busy_mean
+                  | None ->
+                      record_float (key "pool.imbalance:ratio") 0.;
+                      record_float (key "pool.imbalance:busy_min_s") 0.;
+                      record_float (key "pool.imbalance:busy_max_s") 0.;
+                      record_float (key "pool.imbalance:busy_mean_s") 0.);
+                  record_float (key "gc:minor_words") g.Obs.Gcstat.minor_words;
+                  record_float (key "gc:promoted_words") g.Obs.Gcstat.promoted_words;
+                  record_float (key "gc:minor_collections")
+                    (float_of_int g.Obs.Gcstat.minor_collections);
+                  record_float (key "gc:major_collections")
+                    (float_of_int g.Obs.Gcstat.major_collections))
+            pools;
+          (* Bit-identity contract: stats, event bytes and live bytes must
+             match the jobs = 1 reference for every pool size. *)
+          let ref_stats, ref_events, ref_live = streams inst in
+          List.iter
+            (fun (j, p) ->
+              let stats, events, live = streams ~pool:p inst in
+              if stats <> ref_stats then
+                failwith (Printf.sprintf "b4: stats diverge at n=%d jobs=%d" n j);
+              if not (String.equal events ref_events) then
+                failwith (Printf.sprintf "b4: event log diverges at n=%d jobs=%d" n j);
+              if not (String.equal live ref_live) then
+                failwith (Printf.sprintf "b4: live stream diverges at n=%d jobs=%d" n j))
+            pools;
+          record_int (Printf.sprintf "bitident:b4/n=%d" n) 1;
+          (* Structural pins, identical for every jobs value and machine. *)
+          record_int (Printf.sprintf "decisions:b4/n=%d" n) inst.decisions;
+          record_int (Printf.sprintf "injected:b4/n=%d" n) ref_stats.Routing.Engine.injected;
+          record_int (Printf.sprintf "delivered:b4/n=%d" n) ref_stats.Routing.Engine.delivered;
+          record_int (Printf.sprintf "sends:b4/n=%d" n) ref_stats.Routing.Engine.sends;
+          Table.add_row t
+            ((string_of_int n :: string_of_int inst.decisions :: cells) : string list))
+        sizes;
+      Table.print t;
+      print_endline
+        "cells: jobs=1 step rate, then speedup vs jobs=1 (bit-identical streams).")

@@ -3,20 +3,24 @@
 
    The toolchain ships no JSON library, so this is a small recursive-descent
    parser covering the full JSON grammar.  Beyond syntax it checks the
-   adhoc-bench/5 shape: a top-level object whose "schema" is
-   "adhoc-bench/5", whose "jobs" member is the numeric domain-pool size
+   adhoc-bench/6 shape: a top-level object whose "schema" is
+   "adhoc-bench/6", whose "jobs" member is the numeric domain-pool size
    the run used, and whose "experiments" member is a non-empty array of
    objects each carrying "id", "seconds", "metrics", well-formed "spans"
    (label / count / seconds), an "obs" metric snapshot, a "live" member
    (the live-telemetry cumulative summary, or null for experiments that
    ran no recorder) and "trace" / "chrome_trace" pointers (string or
-   null).  The B2 scaling experiment must additionally snapshot nonzero
-   pool.regions / pool.items counters — zero means the sweep's per-jobs
-   pools were not attached to the obs sink — and record at least one
-   nonzero "pool.imbalance:*" and one nonzero "gc:*" headline metric
-   (zeros mean the profiled pass never ran); B3 and E7 must carry a
+   null).  The B2 and B4 scaling experiments must additionally snapshot
+   nonzero pool.regions / pool.items counters — zero means the sweep's
+   per-jobs pools were not attached to the obs sink — and record at
+   least one nonzero "pool.imbalance:*" and one nonzero "gc:*" headline
+   metric (zeros mean the profiled pass never ran); B4 must also record
+   nonzero "steps_per_sec:*" / "decisions_per_sec:*" throughput metrics
+   and its "bitident:*" pins (1 only after the event-log / live-stream
+   byte comparison across the jobs grid passed); B3 and E7 must carry a
    non-null "live" summary (null means the live probe silently didn't
-   run).  Version-1/2/3/4 documents are rejected with dedicated errors.
+   run).  Version-1/2/3/4/5 documents are rejected with dedicated
+   errors.
 
      json_check FILE          exits 0 and prints a summary if the file is valid
      json_check --jsonl FILE  validates a per-step trace: every line one JSON
@@ -34,12 +38,13 @@
                               {"traceEvents": [...]} document of well-formed
                               "M" / "X" events
      json_check --compare BASELINE CURRENT [--span-tolerance R]
-                              diffs two adhoc-bench/5 documents: stats must
+                              diffs two adhoc-bench/6 documents: stats must
                               match exactly (whatever --jobs either run
                               used), including the "live" summaries;
                               wall-clock timings and the
                               runtime-derived "pool.imbalance:*" / "gc:*" /
-                              "gc.*" members only warn *)
+                              "gc.*" / "steps_per_sec:*" /
+                              "decisions_per_sec:*" members only warn *)
 
 exception Bad of string
 
@@ -251,16 +256,16 @@ let experiment_ok = function
          | _ -> false)
   | _ -> false
 
-(* The B2 scaling sweep times every kernel on an explicit per-jobs pool;
-   if its snapshot shows zero pool activity the sweep silently timed the
-   sequential fallback (the regression this pin was added for: the per-jobs
-   pools were never attached to the experiment's obs sink). *)
+(* The B2 and B4 scaling sweeps time every kernel on an explicit per-jobs
+   pool; if a snapshot shows zero pool activity the sweep silently timed
+   the sequential fallback (the regression this pin was added for: the
+   per-jobs pools were never attached to the experiment's obs sink). *)
 let starts_with ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 
-let b2_pool_counters_ok fields =
+let pool_counters_ok fields =
   match List.assoc_opt "id" fields with
-  | Some (Str "b2") ->
+  | Some (Str (("b2" | "b4") as id)) ->
       let counter name =
         match List.assoc_opt "obs" fields with
         | Some (Obj obs) -> (
@@ -268,7 +273,8 @@ let b2_pool_counters_ok fields =
         | _ -> false
       in
       (* Same spirit for the profiled pass: all-zero imbalance / GC
-         headline metrics mean B2 never actually profiled its pools. *)
+         headline metrics mean the sweep never actually profiled its
+         pools. *)
       let some_metric prefix =
         match List.assoc_opt "metrics" fields with
         | Some (Obj ms) ->
@@ -279,12 +285,40 @@ let b2_pool_counters_ok fields =
         | _ -> false
       in
       if not (counter "pool.regions" && counter "pool.items") then
-        Error "experiment b2 must record nonzero pool.regions / pool.items counters"
+        Error
+          (Printf.sprintf "experiment %s must record nonzero pool.regions / pool.items counters"
+             id)
       else if not (some_metric "pool.imbalance:") then
-        Error "experiment b2 must record a nonzero pool.imbalance:* metric"
+        Error (Printf.sprintf "experiment %s must record a nonzero pool.imbalance:* metric" id)
       else if not (some_metric "gc:") then
-        Error "experiment b2 must record a nonzero gc:* metric"
+        Error (Printf.sprintf "experiment %s must record a nonzero gc:* metric" id)
       else Ok ()
+  | _ -> Ok ()
+
+(* B4's reason to exist: throughput rates for the parallel routing step
+   loop and the cross-jobs bit-identity verdicts.  Zero rates mean the
+   timed runs never happened; a missing or non-1 "bitident:*" pin means
+   the event-log / live-stream byte comparison was skipped or failed. *)
+let b4_throughput_ok fields =
+  match List.assoc_opt "id" fields with
+  | Some (Str "b4") -> (
+      let metrics = match List.assoc_opt "metrics" fields with Some (Obj ms) -> ms | _ -> [] in
+      let some_positive prefix =
+        List.exists
+          (fun (name, v) ->
+            starts_with ~prefix name && match v with Num c -> c > 0. | _ -> false)
+          metrics
+      in
+      let bitident = List.filter (fun (name, _) -> starts_with ~prefix:"bitident:" name) metrics in
+      if not (some_positive "steps_per_sec:") then
+        Error "experiment b4 must record a nonzero steps_per_sec:* metric"
+      else if not (some_positive "decisions_per_sec:") then
+        Error "experiment b4 must record a nonzero decisions_per_sec:* metric"
+      else
+        match bitident with
+        | [] -> Error "experiment b4 must record its bitident:* pins"
+        | pins when List.for_all (fun (_, v) -> v = Num 1.) pins -> Ok ()
+        | _ -> Error "experiment b4 recorded a bitident:* pin that is not 1")
   | _ -> Ok ()
 
 (* B3 exists to exercise the live-telemetry layer, and E7 embeds the same
@@ -315,36 +349,43 @@ let check_document file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/5") -> ()
+      | Some (Str "adhoc-bench/6") -> ()
       | Some (Str "adhoc-bench/1") ->
           Printf.eprintf
             "%s: version-1 document (adhoc-bench/1); this checker validates \
-             adhoc-bench/5 — regenerate with the current bench harness\n"
+             adhoc-bench/6 — regenerate with the current bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/2") ->
           Printf.eprintf
             "%s: version-2 document (adhoc-bench/2, no \"jobs\" member); this \
-             checker validates adhoc-bench/5 — regenerate with the current \
+             checker validates adhoc-bench/6 — regenerate with the current \
              bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/3") ->
           Printf.eprintf
             "%s: version-3 document (adhoc-bench/3, no GC/profiling members); \
-             this checker validates adhoc-bench/5 — regenerate with the \
+             this checker validates adhoc-bench/6 — regenerate with the \
              current bench harness\n"
             file;
           exit 1
       | Some (Str "adhoc-bench/4") ->
           Printf.eprintf
             "%s: version-4 document (adhoc-bench/4, no \"live\" member); this \
-             checker validates adhoc-bench/5 — regenerate with the current \
+             checker validates adhoc-bench/6 — regenerate with the current \
              bench harness\n"
             file;
           exit 1
+      | Some (Str "adhoc-bench/5") ->
+          Printf.eprintf
+            "%s: version-5 document (adhoc-bench/5, no B4 routing-throughput \
+             sweep); this checker validates adhoc-bench/6 — regenerate with \
+             the current bench harness\n"
+            file;
+          exit 1
       | Some (Str other) ->
-          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/5\")\n" file other;
+          Printf.eprintf "%s: unknown schema %S (expected \"adhoc-bench/6\")\n" file other;
           exit 1
       | _ ->
           Printf.eprintf "%s: missing \"schema\" member\n" file;
@@ -368,7 +409,8 @@ let check_document file =
                     Printf.eprintf "%s: %s\n" file msg;
                     exit 1
               in
-              check (b2_pool_counters_ok f);
+              check (pool_counters_ok f);
+              check (b4_throughput_ok f);
               check (live_summary_required_ok f))
             exps;
           Printf.printf "%s: ok (%d experiments)\n" file (List.length exps)
@@ -385,13 +427,15 @@ let check_document file =
 (* --------------------------------------------------------------------- *)
 (* Baseline comparison: did the simulation's numbers drift?
 
-   Stats in adhoc-bench/5 documents are deterministic (seeded PRNG), and
+   Stats in adhoc-bench/6 documents are deterministic (seeded PRNG), and
    — pool kernels being bit-identical for any jobs — independent of the
    "jobs" the two runs used, so a
    current run's metrics must match a committed baseline exactly; the only
    legitimately machine-dependent members are wall-clock timings and
    runtime telemetry — the experiment's "seconds", span timings,
-   micro-benchmark metrics ("ns_per_run:*"), B2's profiled-pass figures
+   micro-benchmark metrics ("ns_per_run:*"), B4's throughput rates
+   ("steps_per_sec:*", "decisions_per_sec:*"), B2's and B4's
+   profiled-pass figures
    ("pool.imbalance:*", "gc:*" — GC collection counts can drift by a
    cycle run-to-run, so they are relaxed too) and the obs snapshot's
    "gc.*" counters.  Those are compared within a relative tolerance and
@@ -403,6 +447,8 @@ let is_timing_metric name =
   starts_with ~prefix:"ns_per_run:" name
   || starts_with ~prefix:"pool.imbalance:" name
   || starts_with ~prefix:"gc:" name
+  || starts_with ~prefix:"steps_per_sec:" name
+  || starts_with ~prefix:"decisions_per_sec:" name
 
 (* Obs snapshot members that carry GC telemetry ("gc.pool." counters):
    relaxed the same way — word counts are honest runtime measurements. *)
@@ -415,9 +461,9 @@ let load_doc file =
       exit 1
   | Obj fields -> (
       (match List.assoc_opt "schema" fields with
-      | Some (Str "adhoc-bench/5") -> ()
+      | Some (Str "adhoc-bench/6") -> ()
       | _ ->
-          Printf.eprintf "%s: not an adhoc-bench/5 document\n" file;
+          Printf.eprintf "%s: not an adhoc-bench/6 document\n" file;
           exit 1);
       match List.assoc_opt "experiments" fields with
       | Some (Arr exps) ->

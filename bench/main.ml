@@ -12,7 +12,7 @@
 
    Experiment ids: e1..e20 (paper claims and extensions), b1
    (micro-benchmarks), b2 (multicore scaling sweep), b3 (live streaming
-   telemetry probe).
+   telemetry probe), b4 (routing-throughput scaling sweep).
 
    --jobs N sizes the shared domain pool (default
    Pool.default_jobs (), i.e. the machine's recommended domain count
@@ -20,7 +20,7 @@
    changes.
 
    --json FILE writes one object per executed experiment (schema
-   adhoc-bench/5): its id, title, wall-clock seconds, the headline metrics
+   adhoc-bench/6): its id, title, wall-clock seconds, the headline metrics
    the experiment recorded, the observability layer's span timings (with
    per-span GC deltas) and metric snapshot, the live-telemetry cumulative
    summary when the experiment ran an Obs.Live recorder ("live", null
@@ -55,6 +55,7 @@ let all : (string * string * (unit -> unit)) list =
     ("b1", "micro-benchmarks", Micro.run);
     ("b2", "multicore scaling sweep", Exp_scaling.run);
     ("b3", "live streaming telemetry probe", Exp_routing.b3);
+    ("b4", "routing-throughput scaling sweep", Exp_throughput.run);
     ("figures", "SVG figures for key experiments", Figures.run);
   ]
 
@@ -66,8 +67,10 @@ let default_set = List.filter (fun (id, _, _) -> id <> "figures") all
    full size sweep (up to n = 65536) and json_check can pin its structural
    edges:* metrics and pool counters against the baseline; b3 is part of
    quick so every baseline carries a non-null "live" member for json_check
-   to shape-check and pin. *)
-let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1"; "b2"; "b3" ]
+   to shape-check and pin; b4 is part of quick so the parallel routing
+   step loop's throughput metrics, pool counters and bit-identity pins
+   are in every baseline too. *)
+let quick_set = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e11"; "e12"; "e14"; "e15"; "e16"; "e17"; "e18"; "b1"; "b2"; "b3"; "b4" ]
 
 (* Extract "--opt VALUE" from anywhere in the argument list. *)
 let rec split_opt name acc = function
@@ -251,7 +254,7 @@ let () =
       let doc =
         Obj
           [
-            ("schema", String "adhoc-bench/5");
+            ("schema", String "adhoc-bench/6");
             ("jobs", Int (Adhoc.Util.Pool.jobs pool));
             ("experiments", List (List.rev_map outcome_json !results));
           ]

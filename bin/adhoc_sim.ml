@@ -56,13 +56,14 @@ let jobs_t =
     & opt int (Util.Pool.default_jobs ())
     & info [ "jobs" ] ~docv:"N"
         ~doc:
-          "Domain-pool size for the parallelized kernels (default: the \
+          "Domain-pool size for the parallelized kernels, including the \
+           routing engines' per-step decision phase (default: the \
            machine's recommended domain count).  Every result is \
            bit-identical for every N; only wall-clock changes.")
 
 (* Each subcommand body runs inside [with_jobs]: the pool is created from
-   --jobs, threaded through the construction kernels, and torn down on
-   exit. *)
+   --jobs, threaded through the construction kernels and the engines'
+   step loops, and torn down on exit. *)
 let with_jobs jobs f = Util.Pool.with_pool ~jobs f
 
 let make_points dist rng n =
@@ -368,14 +369,19 @@ let route_cmd =
       end
       else None
     in
+    (* [~pool] reaches the engines' step loops: per-step decisions fan out
+       on the domain pool, bit-identical to sequential for any --jobs. *)
     let r =
       match scenario with
       | `S1 ->
-          Pipeline.run_scenario1 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
+          Pipeline.run_scenario1 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~pool
+            ~rng b
       | `S2 ->
-          Pipeline.run_scenario2 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
+          Pipeline.run_scenario2 ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~pool
+            ~rng b
       | `S3 ->
-          Pipeline.run_honeycomb ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~rng b
+          Pipeline.run_honeycomb ~epsilon ~horizon ~attempts:(2 * horizon) ~flows ?obs ~pool
+            ~rng b
     in
     Printf.printf "range=%.4f  I=%d\n" range b.Pipeline.interference_number;
     Printf.printf "OPT deliveries      %d\n" r.Pipeline.opt.Routing.Workload.deliveries;

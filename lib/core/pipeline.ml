@@ -69,7 +69,7 @@ let make_result opt stats params =
 
 let default_flows b = max 4 (Graph.n b.overlay / 32)
 
-let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ~rng b =
+let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ?pool ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   let cost = Cost.energy ~kappa in
@@ -90,11 +90,11 @@ let run_scenario1 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
   in
   let stats =
     Adhoc_obs.time obs "run/scenario1" (fun () ->
-        Engine.run_mac_given ~cooldown ?obs ~pad:b.conflict ~graph:b.overlay ~cost ~params w)
+        Engine.run_mac_given ~cooldown ?obs ?pool ~pad:b.conflict ~graph:b.overlay ~cost ~params w)
   in
   make_result w.Workload.opt stats params
 
-let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ~rng b =
+let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?(kappa = 2.) ?obs ?pool ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   let cost = Cost.energy ~kappa in
@@ -115,12 +115,12 @@ let run_scenario2 ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
   let mac = Mac.random_interference ~rng:(Prng.split rng) b.conflict in
   let stats =
     Adhoc_obs.time obs "run/scenario2" (fun () ->
-        Engine.run_with_mac ~cooldown ?obs ~collisions:b.conflict ~graph:b.overlay ~cost
-          ~params ~mac w)
+        Engine.run_with_mac ~cooldown ?obs ?pool ~collisions:b.conflict ~graph:b.overlay
+          ~cost ~params ~mac w)
   in
   make_result w.Workload.opt stats params
 
-let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?obs ~rng b =
+let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows ?max_flow_hops ?obs ?pool ~rng b =
   let attempts = Option.value attempts ~default:horizon in
   let cooldown = Option.value cooldown ~default:horizon in
   (* Fixed transmission strength: every hop costs the same. *)
@@ -145,7 +145,7 @@ let run_honeycomb ?(epsilon = 0.5) ?attempts ?(horizon = 2000) ?cooldown ?flows 
   in
   let stats =
     Adhoc_obs.time obs "run/honeycomb" (fun () ->
-        Engine.run_with_mac ~cooldown ?obs ~collisions:b.conflict ~graph:b.overlay ~cost
-          ~params ~mac:(Honeycomb.mac hc) w)
+        Engine.run_with_mac ~cooldown ?obs ?pool ~collisions:b.conflict ~graph:b.overlay
+          ~cost ~params ~mac:(Honeycomb.mac hc) w)
   in
   make_result w.Workload.opt stats params

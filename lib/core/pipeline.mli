@@ -52,6 +52,7 @@ val run_scenario1 :
   ?max_flow_hops:int ->
   ?kappa:float ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result
@@ -60,8 +61,9 @@ val run_scenario1 :
     balancing algorithm with the Theorem-3.1 parameter derivation.
     Defaults: ε = 0.5, horizon 2000, attempts ≈ horizon, cooldown =
     horizon.  [obs] times certification ([workload/certify]) and the run
-    ([run/scenario1]) and is passed through to the engine — see
-    {!Adhoc_routing.Engine.run_mac_given}. *)
+    ([run/scenario1]); both [obs] and [pool] are passed through to the
+    engine — see {!Adhoc_routing.Engine.run_mac_given} (decisions fan out
+    on the pool, bit-identical for every pool size). *)
 
 val run_scenario2 :
   ?epsilon:float ->
@@ -72,6 +74,7 @@ val run_scenario2 :
   ?max_flow_hops:int ->
   ?kappa:float ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result
@@ -89,6 +92,7 @@ val run_honeycomb :
   ?flows:int ->
   ?max_flow_hops:int ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   rng:Adhoc_util.Prng.t ->
   built ->
   result

@@ -3,7 +3,7 @@ module Graph = Adhoc_graph.Graph
 
 type t = {
   model : Model.t;
-  sets : int list array;
+  sets : int array array;
 }
 
 let edge_pair g e =
@@ -12,20 +12,30 @@ let edge_pair g e =
 
 let build_brute model ~points g =
   let m = Graph.num_edges g in
-  let sets = Array.make m [] in
+  let lists = Array.make m [] in
   for e = 0 to m - 1 do
     for e' = e + 1 to m - 1 do
       if Model.interferes model ~points (edge_pair g e) (edge_pair g e') then begin
-        sets.(e) <- e' :: sets.(e);
-        sets.(e') <- e :: sets.(e')
+        lists.(e) <- e' :: lists.(e);
+        lists.(e') <- e :: lists.(e')
       end
     done
   done;
+  let sets =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort Int.compare a;
+        a)
+      lists
+  in
   { model; sets }
+
+let empty_sets m = Array.make m [||]
 
 let build ?pool model ~points g =
   let m = Graph.num_edges g in
-  if m = 0 || Array.length points = 0 then { model; sets = Array.make m [] }
+  if m = 0 || Array.length points = 0 then { model; sets = empty_sets m }
   else begin
     let max_len = ref 0. in
     for e = 0 to m - 1 do
@@ -33,7 +43,7 @@ let build ?pool model ~points g =
     done;
     let max_len = !max_len in
     let reach = Model.region_radius model max_len in
-    if reach <= 0. then { model; sets = Array.make m [] }
+    if reach <= 0. then { model; sets = empty_sets m }
     else begin
       let grid = Spatial_grid.build ~cell:reach points in
       (* Any edge interfering with e (in either direction) has an endpoint
@@ -42,9 +52,11 @@ let build ?pool model ~points g =
          endpoint of e'; the converse direction is symmetric.
 
          Phase 1 (parallel-safe, disjoint writes): higher.(e) = interfering
-         partners with id > e, ascending.  Phase 2 replays the symmetric
-         prepends sequentially in edge order, reproducing exactly the list
-         contents the single-loop construction builds. *)
+         partners with id > e, ascending.  Phase 2 assembles the symmetric
+         rows sequentially: row e gets its partners below e first (ascending
+         outer loop), then its own higher list — and since every lower
+         partner < e < every higher partner, each row ends up fully
+         ascending. *)
       let module ISet = Set.Make (Int) in
       let partners e =
         let u, v = Graph.endpoints g e in
@@ -59,45 +71,64 @@ let build ?pool model ~points g =
         ISet.iter
           (fun e' -> if Model.interferes model ~points (u, v) (edge_pair g e') then acc := e' :: !acc)
           !candidates;
-        List.rev !acc
+        Array.of_list (List.rev !acc)
       in
       let higher = Adhoc_util.Pool.opt_init pool ~label:"conflict" m partners in
-      let sets = Array.make m [] in
+      let deg = Array.make m 0 in
       for e = 0 to m - 1 do
-        List.iter
+        deg.(e) <- deg.(e) + Array.length higher.(e);
+        Array.iter (fun e' -> deg.(e') <- deg.(e') + 1) higher.(e)
+      done;
+      let sets = Array.init m (fun e -> Array.make deg.(e) 0) in
+      let fill = Array.make m 0 in
+      for e = 0 to m - 1 do
+        Array.iter
           (fun e' ->
-            sets.(e) <- e' :: sets.(e);
-            sets.(e') <- e :: sets.(e'))
+            sets.(e').(fill.(e')) <- e;
+            fill.(e') <- fill.(e') + 1)
+          higher.(e)
+      done;
+      for e = 0 to m - 1 do
+        Array.iter
+          (fun e' ->
+            sets.(e).(fill.(e)) <- e';
+            fill.(e) <- fill.(e) + 1)
           higher.(e)
       done;
       { model; sets }
     end
   end
 
-let set_sizes t = Array.map List.length t.sets
+let set_sizes t = Array.map Array.length t.sets
 
 let neighborhood_bounds t =
-  let sizes = Array.map List.length t.sets in
+  let sizes = Array.map Array.length t.sets in
   Array.mapi
-    (fun e neighbors -> List.fold_left (fun acc e' -> max acc sizes.(e')) sizes.(e) neighbors)
+    (fun e neighbors -> Array.fold_left (fun acc e' -> max acc sizes.(e')) sizes.(e) neighbors)
     t.sets
 
-let interference_number t = Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.sets
+let interference_number t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.sets
 
-let interfere t e e' = List.mem e' t.sets.(e)
+let interfere t e e' = Array.exists (fun x -> x = e') t.sets.(e)
 
-let adjacency t = Array.map Array.of_list t.sets
+let adjacency t = t.sets
 
 let greedy_coloring t =
   let m = Array.length t.sets in
   let colors = Array.make m (-1) in
+  (* mark.(c) = e exactly when an already-coloured neighbour of [e] holds
+     colour c; stamping with the edge id makes the taken-colour scan
+     allocation-free and the whole pass O(m·Δ). *)
+  let mark = Array.make (m + 1) (-1) in
   let used = ref 0 in
   for e = 0 to m - 1 do
-    let taken = List.filter_map (fun e' -> if colors.(e') >= 0 then Some colors.(e') else None) t.sets.(e) in
-    let rec first_free c = if List.mem c taken then first_free (c + 1) else c in
-    let c = first_free 0 in
-    colors.(e) <- c;
-    if c + 1 > !used then used := c + 1
+    Array.iter (fun e' -> if colors.(e') >= 0 then mark.(colors.(e')) <- e) t.sets.(e);
+    let c = ref 0 in
+    while mark.(!c) = e do
+      incr c
+    done;
+    colors.(e) <- !c;
+    if !c + 1 > !used then used := !c + 1
   done;
   (colors, !used)
 

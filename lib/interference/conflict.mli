@@ -8,7 +8,9 @@
 
 type t = {
   model : Model.t;
-  sets : int list array;  (** [sets.(e)] = interference set of edge [e], excluding [e] itself *)
+  sets : int array array;
+      (** [sets.(e)] = interference set of edge [e], excluding [e] itself,
+          in ascending edge-id order.  Treat as read-only. *)
 }
 
 val build :
@@ -37,15 +39,17 @@ val interfere : t -> int -> int -> bool
 (** Membership in each other's interference sets (by edge id). *)
 
 val adjacency : t -> int array array
-(** The interference sets as arrays, indexable per edge.  Built once per
-    run by the routing engines and MACs so that collision checks walk an
-    edge's interference neighbourhood instead of scanning the whole
-    active set. *)
+(** The interference sets as arrays, indexable per edge (the internal
+    [sets], not a copy — treat as read-only).  The routing engines and
+    MACs use this so that collision checks walk an edge's interference
+    neighbourhood instead of scanning the whole active set. *)
 
 val greedy_coloring : t -> int array * int
 (** Colours the conflict graph greedily in edge-id order; returns the
     colour per edge and the number of colours used (≤ interference number
-    + 1).  Each colour class is interference-free — a valid MAC schedule. *)
+    + 1).  Each colour class is interference-free — a valid MAC schedule.
+    The taken-colour scan stamps a reusable mark array, so the whole pass
+    is O(m·Δ) with no per-edge allocation. *)
 
 val independent : t -> int list -> bool
 (** Whether the given edge ids are pairwise non-interfering. *)

@@ -17,9 +17,10 @@ type decision = {
   gain : float;
 }
 
-(* The argmax is order-independent: ties on gain prefer the smaller
-   destination index, so the result does not depend on the hash-iteration
-   order of [fold_nonzero] (a qcheck property pins this).  Tracked with
+(* [Buffers.iter_nonzero] visits destinations in ascending order, so
+   keeping only strict gain improvements prefers the smaller destination
+   index on ties — the same order-independent argmax the old hash-order
+   scan tie-broke by hand (a qcheck property pins this).  Tracked with
    mutable locals so the scan allocates exactly one decision record. *)
 let best_toward buffers p ~cost ~src ~dst =
   let penalty = p.gamma *. cost in
@@ -27,10 +28,7 @@ let best_toward buffers p ~cost ~src ~dst =
   let best_gain = ref neg_infinity in
   Buffers.iter_nonzero buffers src (fun d h_src ->
       let gain = float_of_int (h_src - Buffers.height buffers dst d) -. penalty in
-      if
-        gain > p.threshold
-        && (!best_dest < 0 || gain > !best_gain || (gain = !best_gain && d < !best_dest))
-      then begin
+      if gain > p.threshold && gain > !best_gain then begin
         best_dest := d;
         best_gain := gain
       end);

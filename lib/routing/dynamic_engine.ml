@@ -16,7 +16,7 @@ let epoch_of_points ?(delta = 0.5) ?(theta = Float.pi /. 6.) ?(range_factor = 1.
   let conflict = Conflict.build (Model.make ~delta) ~points overlay in
   { graph = overlay; conflict; steps }
 
-let run ?obs ~epochs ~injections ~cost ~params () =
+let run ?obs ?pool ~epochs ~injections ~cost ~params () =
   let n =
     match epochs with
     | [] -> invalid_arg "Dynamic_engine.run: no epochs"
@@ -44,12 +44,20 @@ let run ?obs ~epochs ~injections ~cost ~params () =
       (match events with
       | None -> ()
       | Some log -> Event.epoch_change log ~step:!steps_total ~epoch:epoch_idx);
-      let edge_cost = Array.init (Graph.num_edges g) (fun e -> cost (Graph.length g e)) in
+      let m = Graph.num_edges g in
+      let edge_cost = Array.init m (fun e -> cost (Graph.length g e)) in
       let colors, k = Conflict.greedy_coloring epoch.conflict in
-      (* Colour classes precomputed once per epoch, in the descending
-         edge-id order the per-step fold used to produce. *)
-      let by_class = Array.make (max k 1) [] in
-      Array.iteri (fun id c -> by_class.(c) <- id :: by_class.(c)) colors;
+      (* Colour classes precomputed once per epoch, as flat arrays in the
+         descending edge-id order the per-step fold used to produce. *)
+      let class_size = Array.make (max k 1) 0 in
+      Array.iter (fun c -> class_size.(c) <- class_size.(c) + 1) colors;
+      let by_class = Array.init (max k 1) (fun c -> Array.make class_size.(c) 0) in
+      let fill = Array.make (max k 1) 0 in
+      for e = m - 1 downto 0 do
+        let c = colors.(e) in
+        by_class.(c).(fill.(c)) <- e;
+        fill.(c) <- fill.(c) + 1
+      done;
       (* The cache is rebuilt per epoch (the topology changed); buffers
          persist, and create starts all-invalid, so no stale decisions
          survive an epoch boundary. *)
@@ -59,21 +67,25 @@ let run ?obs ~epochs ~injections ~cost ~params () =
         incr steps_total;
         ignore local;
         (* Interference-free TDMA: activate one colour class per step. *)
-        let active = if k = 0 then [] else by_class.(t mod k) in
+        let active = if k = 0 then [||] else by_class.(t mod k) in
+        let count = Array.length active in
         Engine.Run_obs.enter robs "engine/decide";
         Engine.Cache.flush cache;
+        (* Decide in parallel on the pool (no-op without one), assemble
+           sequentially in class order — bit-identical for every jobs. *)
+        Engine.Cache.prepare ?pool cache active ~count;
+        let decisions = ref [] in
+        for i = count - 1 downto 0 do
+          let e = active.(i) in
+          (match Engine.Cache.bwd cache e with
+          | Some b -> decisions := (e, b) :: !decisions
+          | None -> ());
+          match Engine.Cache.fwd cache e with
+          | Some a -> decisions := (e, a) :: !decisions
+          | None -> ()
+        done;
         let decisions =
-          List.concat_map
-            (fun e ->
-              match (Engine.Cache.fwd cache e, Engine.Cache.bwd cache e) with
-              | Some a, Some b -> [ (e, a); (e, b) ]
-              | Some a, None -> [ (e, a) ]
-              | None, Some b -> [ (e, b) ]
-              | None, None -> [])
-            active
-        in
-        let decisions =
-          List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) decisions
+          List.stable_sort (fun (_, a) (_, b) -> Engine.application_order a b) !decisions
         in
         Engine.Run_obs.leave robs;
         Engine.Run_obs.enter robs "engine/apply";
@@ -124,7 +136,7 @@ let run ?obs ~epochs ~injections ~cost ~params () =
         Engine.Run_obs.leave robs;
         Engine.Run_obs.sample robs ~buffers ~step:t ~injected:!injected
           ~delivered:!delivered ~dropped:!dropped ~sends:!sends ~failed_sends:0
-          ~active_edges:(List.length active)
+          ~active_edges:count
       done)
     epochs;
   let stats =

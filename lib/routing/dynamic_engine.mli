@@ -29,6 +29,7 @@ val epoch_of_points :
 
 val run :
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   epochs:epoch list ->
   injections:(int -> (int * int) list) ->
   cost:Adhoc_graph.Cost.t ->
@@ -46,4 +47,9 @@ val run :
     and stride-gated trace samples; an attached event log additionally
     gets one [Epoch_change] per epoch (at the global step it starts),
     and the usual inject / send / deliver events.  [None] leaves the run
-    bit-identical. *)
+    bit-identical.
+
+    [pool] fans each step's colour-class decision computations out on the
+    domain pool (decide-parallel / apply-sequential, as in
+    {!Engine.run_mac_given}); results are bit-identical for every pool
+    size. *)

@@ -111,6 +111,22 @@ module Cache = struct
     c.bwd.(e) <- Balancing.best_toward c.buffers c.params ~cost ~src:v ~dst:u;
     c.valid.(e) <- true
 
+  (* Parallel decision fan-out: refresh every invalidated edge among the
+     first [count] entries of [act] on the domain pool, so the sequential
+     scan that follows only reads cache hits.  Each task reads start-of-step
+     heights (nothing mutates the buffers during the decide phase) and
+     writes only its own edge's cells, so the region is par-safe; [refresh]
+     is a pure function of those heights, so the cached decisions are
+     bit-identical to the lazy sequential path for any pool size.  No-op
+     without a pool: lookups then refresh lazily as before. *)
+  let prepare ?pool c act ~count =
+    match pool with
+    | None -> ()
+    | Some p ->
+        Adhoc_util.Pool.parallel_for p ~label:"engine/decide" count (fun i ->
+            let e = act.(i) in
+            if not c.valid.(e) then refresh c e)
+
   let fwd c e =
     if not c.valid.(e) then refresh c e;
     c.fwd.(e)
@@ -136,7 +152,7 @@ end
 module Pad = struct
   type t = {
     conflict_adj : int array array;
-    by_class : int list array;  (* ascending edge ids per colour class *)
+    by_class : int array array;  (* ascending edge ids per colour class *)
     num_classes : int;
     in_base : bool array;  (* per-edge scratch, cleared after each step *)
   }
@@ -144,9 +160,16 @@ module Pad = struct
   let create conflict =
     let colors, k = Conflict.greedy_coloring conflict in
     let m = Array.length colors in
-    let by_class = Array.make (max k 1) [] in
-    for e = m - 1 downto 0 do
-      by_class.(colors.(e)) <- e :: by_class.(colors.(e))
+    let class_size = Array.make (max k 1) 0 in
+    for e = 0 to m - 1 do
+      class_size.(colors.(e)) <- class_size.(colors.(e)) + 1
+    done;
+    let by_class = Array.init (max k 1) (fun c -> Array.make class_size.(c) 0) in
+    let fill = Array.make (max k 1) 0 in
+    for e = 0 to m - 1 do
+      let c = colors.(e) in
+      by_class.(c).(fill.(c)) <- e;
+      fill.(c) <- fill.(c) + 1
     done;
     {
       conflict_adj = Conflict.adjacency conflict;
@@ -155,25 +178,44 @@ module Pad = struct
       in_base = Array.make m false;
     }
 
-  (* [base] plus the step's colour class, skipping base duplicates and
-     class edges that interfere with a base edge; extras in ascending
-     edge-id order after the base. *)
-  let active p ~step base =
-    if p.num_classes = 0 then base
-    else begin
+  (* Writes [base] plus the step's colour class into the scratch array
+     [into], skipping base duplicates and class edges that interfere with
+     a base edge; extras follow the base in ascending edge-id order.
+     Returns the live count.  No per-step list building. *)
+  let active p ~step ~into base =
+    let k = ref 0 in
+    List.iter
+      (fun e ->
+        into.(!k) <- e;
+        incr k;
+        p.in_base.(e) <- true)
+      base;
+    if p.num_classes > 0 then begin
       let cls = step mod p.num_classes in
-      List.iter (fun e -> p.in_base.(e) <- true) base;
-      let extra =
-        List.filter
-          (fun id ->
+      Array.iter
+        (fun id ->
+          if
             (not p.in_base.(id))
-            && not (Array.exists (fun e' -> p.in_base.(e')) p.conflict_adj.(id)))
-          p.by_class.(cls)
-      in
-      List.iter (fun e -> p.in_base.(e) <- false) base;
-      base @ extra
-    end
+            && not (Array.exists (fun e' -> p.in_base.(e')) p.conflict_adj.(id))
+          then begin
+            into.(!k) <- id;
+            incr k
+          end)
+        p.by_class.(cls)
+    end;
+    List.iter (fun e -> p.in_base.(e) <- false) base;
+    !k
 end
+
+(* Copy a base activation list into the active-edge scratch array. *)
+let fill_active into base =
+  let k = ref 0 in
+  List.iter
+    (fun e ->
+      into.(!k) <- e;
+      incr k)
+    base;
+  !k
 
 let do_injections ?(events : Adhoc_obs.Event.log option) ~on_inject ~step buffers
     (params : Balancing.params) counters injections =
@@ -395,8 +437,8 @@ module Run_obs = struct
   let finish t stats = record_stats t.obs stats
 end
 
-let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pad ~graph
-    ~cost ~params (w : Workload.t) =
+let run_mac_given ?(cooldown = 0) ?obs ?pool ?on_step ?on_send ?on_inject ?cost_at ?pad
+    ~graph ~cost ~params (w : Workload.t) =
   let n = Graph.n graph in
   let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
@@ -425,11 +467,14 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
     | None -> Some (Cache.create ~graph ~buffers ~params ~edge_cost)
   in
   let pad_state = Option.map Pad.create pad in
+  let active_buf = Array.make (max m 1) 0 in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
-    let active =
-      match pad_state with Some p -> Pad.active p ~step:t base | None -> base
+    let count =
+      match pad_state with
+      | Some p -> Pad.active p ~step:t ~into:active_buf base
+      | None -> fill_active active_buf base
     in
     (* Decide every send on the step's starting heights, then apply. *)
     let step_cost e =
@@ -437,32 +482,40 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
     in
     span_enter obs "engine/decide";
     (match cache with Some c -> Cache.flush c | None -> ());
+    (* Fan the decision computations out on the pool (no-op without one),
+       then assemble the (edge, decision) list sequentially in the same
+       active order as before — so the applied sequence is bit-identical
+       for every [--jobs].  The dynamic-cost path has no cache (and an
+       arbitrary [cost_at] closure), so it stays sequential. *)
+    (match cache with
+    | Some c -> Cache.prepare ?pool c active_buf ~count
+    | None -> ());
+    let decisions = ref [] in
+    (match cache with
+    | Some c ->
+        for i = count - 1 downto 0 do
+          let e = active_buf.(i) in
+          (match Cache.bwd c e with
+          | Some b -> decisions := (e, b) :: !decisions
+          | None -> ());
+          match Cache.fwd c e with
+          | Some a -> decisions := (e, a) :: !decisions
+          | None -> ()
+        done
+    | None ->
+        for i = count - 1 downto 0 do
+          let e = active_buf.(i) in
+          let u, v = Graph.endpoints graph e in
+          let c = step_cost e in
+          (match Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u with
+          | Some b -> decisions := (e, b) :: !decisions
+          | None -> ());
+          match Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v with
+          | Some a -> decisions := (e, a) :: !decisions
+          | None -> ()
+        done);
     let decisions =
-      match cache with
-      | Some c ->
-          List.concat_map
-            (fun e ->
-              match (Cache.fwd c e, Cache.bwd c e) with
-              | Some a, Some b -> [ (e, a); (e, b) ]
-              | Some a, None -> [ (e, a) ]
-              | None, Some b -> [ (e, b) ]
-              | None, None -> [])
-            active
-      | None ->
-          List.concat_map
-            (fun e ->
-              let u, v = Graph.endpoints graph e in
-              let c = step_cost e in
-              List.filter_map
-                (fun d -> Option.map (fun d -> (e, d)) d)
-                [
-                  Balancing.best_toward buffers params ~cost:c ~src:u ~dst:v;
-                  Balancing.best_toward buffers params ~cost:c ~src:v ~dst:u;
-                ])
-            active
-    in
-    let decisions =
-      List.stable_sort (fun (_, a) (_, b) -> application_order a b) decisions
+      List.stable_sort (fun (_, a) (_, b) -> application_order a b) !decisions
     in
     span_leave obs;
     span_enter obs "engine/apply";
@@ -480,8 +533,7 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
     | Some h -> Adhoc_obs.Metrics.observe h (float_of_int (Buffers.max_height buffers)));
     (match obs with
     | Some { Adhoc_obs.trace = Some tr; _ } when Adhoc_obs.Trace.wants tr ~step:t ->
-        record_sample tr ~n ~buffers ~counters ~prev ~step:t
-          ~active_edges:(List.length active)
+        record_sample tr ~n ~buffers ~counters ~prev ~step:t ~active_edges:count
     | _ -> ());
     match on_step with
     | Some f -> f ~step:t ~delivered:counters.delivered ~buffered:(Buffers.total buffers)
@@ -491,8 +543,8 @@ let run_mac_given ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?cost_at ?pa
   record_stats obs stats;
   stats
 
-let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~graph ~cost
-    ~params ~mac (w : Workload.t) =
+let run_with_mac ?(cooldown = 0) ?obs ?pool ?on_step ?on_send ?on_inject ?collisions ~graph
+    ~cost ~params ~mac (w : Workload.t) =
   let n = Graph.n graph in
   let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
@@ -514,13 +566,17 @@ let run_with_mac ?(cooldown = 0) ?obs ?on_step ?on_send ?on_inject ?collisions ~
   (* Scratch marks for the granted set, so collision checks walk an edge's
      interference neighbourhood instead of the whole granted list. *)
   let granted_mark = Array.make m false in
+  (* Every edge is a candidate each step, so the parallel fan-out covers
+     the whole edge range. *)
+  let all_edges = Array.init m Fun.id in
   let steps = w.Workload.horizon + cooldown in
   for t = 0 to steps - 1 do
     (* Requests: the best prospective send per edge, decided on the step's
        starting heights.  Only edges whose endpoints changed since the
-       last step are recomputed. *)
+       last step are recomputed — in parallel on the pool when present. *)
     span_enter obs "engine/decide";
     Cache.flush cache;
+    Cache.prepare ?pool cache all_edges ~count:m;
     let requests = ref [] in
     for e = m - 1 downto 0 do
       match Cache.either cache e with

@@ -99,6 +99,14 @@ module Cache : sig
   (** Invalidates edges incident to nodes whose heights changed since the
       last flush.  Call at the start of each step, before reading. *)
 
+  val prepare : ?pool:Adhoc_util.Pool.t -> t -> int array -> count:int -> unit
+  (** Refreshes every invalidated edge among the first [count] entries of
+      the active-edge array on the domain pool, so subsequent lookups only
+      read cache hits.  Each task reads start-of-step heights and writes
+      only its own edge's cells (par-safe), and the refreshed decisions
+      are bit-identical to the lazy sequential path for any pool size.
+      No-op when [pool] is [None]. *)
+
   val fwd : t -> int -> Balancing.decision option
   (** Best send [u -> v] over the edge, on the heights as of the last
       flush. *)
@@ -118,15 +126,18 @@ module Pad : sig
 
   val create : Adhoc_interference.Conflict.t -> t
 
-  val active : t -> step:int -> int list -> int list
-  (** [active p ~step base] is [base] plus the step's colour class (round
-      robin), minus base duplicates and class edges interfering with a base
-      edge; extras follow the base in ascending edge-id order. *)
+  val active : t -> step:int -> into:int array -> int list -> int
+  (** [active p ~step ~into base] writes [base] plus the step's colour
+      class (round robin) into the scratch array [into] — minus base
+      duplicates and class edges interfering with a base edge, extras
+      following the base in ascending edge-id order — and returns the live
+      count.  [into] must hold at least [m] entries. *)
 end
 
 val run_mac_given :
   ?cooldown:int ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
   ?on_send:
     (step:int -> edge:int -> Balancing.decision -> [ `Delivered | `Moved ] -> unit) ->
@@ -147,6 +158,13 @@ val run_mac_given :
     during them (and, padded, during the horizon) [pad]'s colour classes
     are activated round-robin, always keeping each step's active set
     non-interfering.  Default cooldown 0.
+
+    [pool] fans the per-step decision computations out on the domain pool
+    (decide-parallel / apply-sequential): decisions are functions of
+    start-of-step heights only, and applications replay in the sequential
+    order, so stats, events, traces and live telemetry are bit-identical
+    for every pool size.  Static-cost runs only; the [cost_at] path stays
+    sequential.
 
     [obs] turns on observability: phase spans ([engine/decide],
     [engine/apply]), end-of-run counters and gauges ([engine.*]), a
@@ -169,6 +187,7 @@ val run_mac_given :
 val run_with_mac :
   ?cooldown:int ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   ?on_step:(step:int -> delivered:int -> buffered:int -> unit) ->
   ?on_send:
     (step:int -> edge:int -> Balancing.decision -> [ `Delivered | `Moved ] -> unit) ->
@@ -182,7 +201,7 @@ val run_with_mac :
   stats
 (** The workload's activations are ignored: every edge is a candidate each
     step, the MAC arbitrates.  With [collisions], granted attempts that
-    interfere with other granted attempts fail.  [obs], [on_send] and
-    [on_inject] behave as in {!run_mac_given}; a sink additionally wraps
-    the MAC with {!Adhoc_mac.Mac.instrument}, so arbitration gets its own
-    [mac/<name>] span and request / grant counters. *)
+    interfere with other granted attempts fail.  [obs], [pool], [on_send]
+    and [on_inject] behave as in {!run_mac_given}; a sink additionally
+    wraps the MAC with {!Adhoc_mac.Mac.instrument}, so arbitration gets
+    its own [mac/<name>] span and request / grant counters. *)

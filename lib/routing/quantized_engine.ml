@@ -1,5 +1,6 @@
 module Graph = Adhoc_graph.Graph
 module Event = Adhoc_obs.Event
+module Sparse = Buffers.Sparse
 
 type stats = {
   base : Engine.stats;
@@ -7,14 +8,17 @@ type stats = {
   full_exchange_messages : int;
 }
 
-let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : Workload.t) =
+let run_mac_given ?(cooldown = 0) ?obs ?pool ?pad ~quantum ~graph ~cost ~params
+    (w : Workload.t) =
   if quantum < 0 then invalid_arg "Quantized_engine.run_mac_given: negative quantum";
   let n = Graph.n graph in
+  let m = Graph.num_edges graph in
   let buffers = Buffers.create n in
   let robs = Engine.Run_obs.create obs ~n in
   let events = Adhoc_obs.events obs in
-  (* Advertised heights: what neighbours believe about each buffer. *)
-  let advertised = Array.make_matrix n n 0 in
+  (* Advertised heights: what neighbours believe about each buffer.  Sparse
+     rows (nonzero advertisements only), so memory stays O(n + live). *)
+  let advertised = Sparse.create n in
   let control = ref 0 in
   let injected = ref 0
   and dropped = ref 0
@@ -22,16 +26,17 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : W
   and sends = ref 0
   and total_cost = ref 0.
   and peak = ref 0 in
-  let edge_cost = Array.init (Graph.num_edges graph) (fun e -> cost (Graph.length graph e)) in
+  let edge_cost = Array.init m (fun e -> cost (Graph.length graph e)) in
   let pad_state = Option.map Engine.Pad.create pad in
+  let active_buf = Array.make (max m 1) 0 in
   (* A cell can only drift past the quantum if its true height changed
      since it was last checked, so the advertisement phase needs to look at
-     changed cells only — not the whole n x n matrix. *)
-  let cell_dirty = Array.make_matrix n n false in
+     changed cells only.  The dedup marker is sparse too (1 = queued). *)
+  let cell_dirty = Sparse.create n in
   let dirty_cells = ref [] in
   Buffers.set_watcher buffers (fun v d ->
-      if not cell_dirty.(v).(d) then begin
-        cell_dirty.(v).(d) <- true;
+      if Sparse.get cell_dirty v d = 0 then begin
+        Sparse.set cell_dirty v d 1;
         dirty_cells := (v, d) :: !dirty_cells
       end);
   let node_changed = Array.make n false in
@@ -43,10 +48,10 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : W
     let announced = ref 0 in
     List.iter
       (fun (v, d) ->
-        cell_dirty.(v).(d) <- false;
+        Sparse.set cell_dirty v d 0;
         let h = Buffers.height buffers v d in
-        if abs (h - advertised.(v).(d)) > quantum then begin
-          advertised.(v).(d) <- h;
+        if abs (h - Sparse.get advertised v d) > quantum then begin
+          Sparse.set advertised v d h;
           if not node_changed.(v) then begin
             node_changed.(v) <- true;
             incr announced;
@@ -63,35 +68,64 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : W
     dirty_cells := [];
     Engine.Run_obs.leave robs;
     let base = if t < w.Workload.horizon then w.Workload.activations.(t) else [] in
-    let active =
-      match pad_state with Some p -> Engine.Pad.active p ~step:t base | None -> base
+    let count =
+      match pad_state with
+      | Some p -> Engine.Pad.active p ~step:t ~into:active_buf base
+      | None ->
+          let k = ref 0 in
+          List.iter
+            (fun e ->
+              active_buf.(!k) <- e;
+              incr k)
+            base;
+          !k
     in
     (* Decisions: the sender knows its own buffers exactly but sees only
        the advertised heights of its neighbour. *)
     Engine.Run_obs.enter robs "engine/decide";
     let best_toward src dst c =
       Buffers.fold_nonzero buffers src ~init:None ~f:(fun best d h_src ->
-          let gain = float_of_int (h_src - advertised.(dst).(d)) -. (params.Balancing.gamma *. c) in
+          let gain =
+            float_of_int (h_src - Sparse.get advertised dst d)
+            -. (params.Balancing.gamma *. c)
+          in
           if gain <= params.Balancing.threshold then best
           else begin
-            (* Same tie-breaking as Balancing.best_toward: larger gain wins,
-               equal gains prefer the smaller destination index. *)
+            (* [fold_nonzero] ascends in destination order, so keeping only
+               strict gain improvements prefers the smaller destination
+               index on ties — the same argmax as Balancing.best_toward. *)
             match best with
-            | Some (bd, _, bgain) when bgain > gain || (bgain = gain && bd < d) -> best
+            | Some (_, _, bgain) when gain <= bgain -> best
             | _ -> Some (d, dst, gain)
           end)
     in
-    let decisions =
-      List.concat_map
-        (fun e ->
-          let u, v = Graph.endpoints graph e in
-          let c = edge_cost.(e) in
-          List.filter_map
-            (fun (src, dst) ->
-              Option.map (fun (d, _, gain) -> (e, src, dst, d, gain)) (best_toward src dst c))
-            [ (u, v); (v, u) ])
-        active
+    (* Both directions of one active edge, on start-of-step advertised and
+       true heights — pure, so the pair array computed on the pool is
+       bit-identical to the inline scan. *)
+    let decide i =
+      let e = active_buf.(i) in
+      let u, v = Graph.endpoints graph e in
+      let c = edge_cost.(e) in
+      (best_toward u v c, best_toward v u c)
     in
+    let computed =
+      match pool with
+      | Some p when count > 0 ->
+          Some (Adhoc_util.Pool.parallel_init p ~label:"engine/decide" count decide)
+      | _ -> None
+    in
+    let decisions = ref [] in
+    for i = count - 1 downto 0 do
+      let fwd, bwd = match computed with Some a -> a.(i) | None -> decide i in
+      let e = active_buf.(i) in
+      let u, v = Graph.endpoints graph e in
+      (match bwd with
+      | Some (d, _, gain) -> decisions := (e, v, u, d, gain) :: !decisions
+      | None -> ());
+      match fwd with
+      | Some (d, _, gain) -> decisions := (e, u, v, d, gain) :: !decisions
+      | None -> ()
+    done;
     let decisions =
       List.stable_sort
         (fun (_, _, dst_a, da, a) (_, _, dst_b, db, b) ->
@@ -99,7 +133,7 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : W
           | true, false -> -1
           | false, true -> 1
           | _ -> Float.compare b a)
-        decisions
+        !decisions
     in
     Engine.Run_obs.leave robs;
     Engine.Run_obs.enter robs "engine/apply";
@@ -144,7 +178,7 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~quantum ~graph ~cost ~params (w : W
         w.Workload.injections.(t);
     Engine.Run_obs.leave robs;
     Engine.Run_obs.sample robs ~buffers ~step:t ~injected:!injected ~delivered:!delivered
-      ~dropped:!dropped ~sends:!sends ~failed_sends:0 ~active_edges:(List.length active)
+      ~dropped:!dropped ~sends:!sends ~failed_sends:0 ~active_edges:count
   done;
   let base =
     {

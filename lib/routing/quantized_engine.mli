@@ -28,6 +28,7 @@ type stats = {
 val run_mac_given :
   ?cooldown:int ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   ?pad:Adhoc_interference.Conflict.t ->
   quantum:int ->
   graph:Adhoc_graph.Graph.t ->
@@ -41,4 +42,8 @@ val run_mac_given :
     [engine/advertise] scope around the advertisement phase), [engine.*]
     counters, histogram and trace — plus a [quantized.control_messages]
     counter, and one [Height_advert] event per announcing node when the
-    sink carries an event log.  [None] leaves the run bit-identical. *)
+    sink carries an event log.  [None] leaves the run bit-identical.
+
+    [pool] fans each step's decision computations (against the advertised
+    heights) out on the domain pool; applications replay sequentially, so
+    results are bit-identical for every pool size. *)

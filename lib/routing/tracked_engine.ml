@@ -26,7 +26,7 @@ let queue_of (q : queues) v d =
    hooks mirror every buffer mutation onto the identity queues, so the
    queue lengths track the height matrix move-for-move and the aggregate
    stats are the engine's own. *)
-let run_mac_given ?(cooldown = 0) ?obs ?pad ~graph ~cost ~params (w : Workload.t) =
+let run_mac_given ?(cooldown = 0) ?obs ?pool ?pad ~graph ~cost ~params (w : Workload.t) =
   let queues : queues = Hashtbl.create 64 in
   let all_packets = ref [] in
   let next_id = ref 0 in
@@ -50,7 +50,8 @@ let run_mac_given ?(cooldown = 0) ?obs ?pad ~graph ~cost ~params (w : Workload.t
     end
   in
   let base =
-    Engine.run_mac_given ~cooldown ?obs ~on_send ~on_inject ?pad ~graph ~cost ~params w
+    Engine.run_mac_given ~cooldown ?obs ?pool ~on_send ~on_inject ?pad ~graph ~cost
+      ~params w
   in
   let packets = List.rev !all_packets in
   let delivered_packets = List.filter Packet.delivered packets in

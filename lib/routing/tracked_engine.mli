@@ -18,6 +18,7 @@ type stats = {
 val run_mac_given :
   ?cooldown:int ->
   ?obs:Adhoc_obs.sink ->
+  ?pool:Adhoc_util.Pool.t ->
   ?pad:Adhoc_interference.Conflict.t ->
   graph:Adhoc_graph.Graph.t ->
   cost:Adhoc_graph.Cost.t ->
@@ -25,5 +26,5 @@ val run_mac_given :
   Workload.t ->
   stats
 (** Scenario 1 with packet tracking (see {!Engine.run_mac_given}; [obs]
-    is passed straight through to it).  Latency fields are [0.] when
-    nothing was delivered. *)
+    and [pool] are passed straight through to it).  Latency fields are
+    [0.] when nothing was delivered. *)

@@ -108,6 +108,106 @@ let test_buffers_watcher () =
   Buffers.force_add b 0 2;
   Alcotest.(check int) "cleared watcher is silent" 3 (List.length !events)
 
+let test_buffers_matrix_oracle =
+  qtest "flat buffers = dense matrix oracle under random traffic" ~count:100 seed_gen
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let b = Buffers.create n in
+      let reference = Array.make_matrix n n 0 in
+      let ok = ref true in
+      for _ = 1 to 300 do
+        let v = Prng.int rng n and d = Prng.int rng n in
+        match Prng.int rng 3 with
+        | 0 ->
+            if Buffers.inject b ~cap:4 v d then begin
+              if v <> d then reference.(v).(d) <- reference.(v).(d) + 1
+            end
+            else if reference.(v).(d) < 4 then ok := false
+        | 1 ->
+            Buffers.force_add b v d;
+            if v <> d then reference.(v).(d) <- reference.(v).(d) + 1
+        | _ ->
+            if reference.(v).(d) > 0 then begin
+              Buffers.remove b v d;
+              reference.(v).(d) <- reference.(v).(d) - 1
+            end
+      done;
+      (* Every height agrees, and both traversals visit exactly the
+         nonzero destinations in ascending order. *)
+      for v = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if Buffers.height b v d <> reference.(v).(d) then ok := false
+        done;
+        let expected =
+          List.filter
+            (fun d -> reference.(v).(d) > 0)
+            (List.init n Fun.id)
+          |> List.map (fun d -> (d, reference.(v).(d)))
+        in
+        let seen = ref [] in
+        Buffers.iter_nonzero b v (fun d h -> seen := (d, h) :: !seen);
+        if List.rev !seen <> expected then ok := false;
+        let folded =
+          Buffers.fold_nonzero b v ~init:[] ~f:(fun acc d h -> (d, h) :: acc)
+        in
+        if List.rev folded <> expected then ok := false
+      done;
+      !ok)
+
+let test_sparse_matrix_oracle =
+  qtest "Buffers.Sparse = dense matrix oracle" ~count:100 seed_gen (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 8 in
+      let s = Buffers.Sparse.create n in
+      let reference = Array.make_matrix n n 0 in
+      let ok = ref true in
+      for _ = 1 to 300 do
+        let v = Prng.int rng n and k = Prng.int rng n in
+        match Prng.int rng 3 with
+        | 0 ->
+            let delta = 1 + Prng.int rng 3 in
+            reference.(v).(k) <- reference.(v).(k) + delta;
+            if Buffers.Sparse.update s v k delta <> reference.(v).(k) then ok := false
+        | 1 ->
+            if reference.(v).(k) > 0 then begin
+              reference.(v).(k) <- reference.(v).(k) - 1;
+              if Buffers.Sparse.update s v k (-1) <> reference.(v).(k) then ok := false
+            end
+        | _ ->
+            let x = Prng.int rng 4 in
+            Buffers.Sparse.set s v k x;
+            reference.(v).(k) <- x
+      done;
+      if Buffers.Sparse.size s <> n then ok := false;
+      for v = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          if Buffers.Sparse.get s v k <> reference.(v).(k) then ok := false;
+          (* find agrees with membership: live keys resolve to their slot,
+             absent keys to a complemented insertion point. *)
+          let idx = Buffers.Sparse.find s v k in
+          if reference.(v).(k) <> 0 then begin
+            if idx < 0 then ok := false
+          end
+          else if idx >= 0 then ok := false
+        done;
+        let nonzero =
+          Array.fold_left (fun a x -> if x <> 0 then a + 1 else a) 0 reference.(v)
+        in
+        if Buffers.Sparse.row_length s v <> nonzero then ok := false;
+        let last = ref (-1) and count = ref 0 in
+        Buffers.Sparse.iter_row s v (fun k x ->
+            if k <= !last || x = 0 || x <> reference.(v).(k) then ok := false;
+            last := k;
+            incr count);
+        if !count <> nonzero then ok := false;
+        if
+          Buffers.Sparse.fold_row s v ~init:0 ~f:(fun a _ x -> a + x)
+          <> Array.fold_left ( + ) 0 reference.(v)
+        then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Balancing                                                           *)
 
@@ -1106,6 +1206,121 @@ let test_quantized_conservation =
 
 
 (* ------------------------------------------------------------------ *)
+(* Parallel decision fan-out: decide-parallel / apply-sequential must
+   reproduce the sequential path bit-for-bit at every pool size — not
+   just the aggregate stats but the full observable record: the
+   adhoc-events/1 log bytes and the adhoc-live/1 snapshot stream. *)
+
+module Pool = Adhoc_util.Pool
+
+let jobs_sweep =
+  let base = [ 1; 2; 4 ] in
+  let e = env_jobs () in
+  if List.mem e base then base else base @ [ e ]
+
+(* Run [f] against a sink carrying a fresh event log and live recorder;
+   return its result plus both streams' JSONL bytes (round-tripped
+   through a scratch file — the writers are out_channel based). *)
+let with_streams f =
+  let events = Adhoc_obs.Event.create () in
+  let live = Adhoc_obs.Live.create ~window:25 () in
+  let sink = Adhoc_obs.create ~events ~live () in
+  let result = f sink in
+  let tmp = Filename.temp_file "adhoc-par" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let slurp file =
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      Adhoc_obs.Event.save_jsonl events tmp;
+      let ev = slurp tmp in
+      Adhoc_obs.Live.save_jsonl live tmp;
+      let lv = slurp tmp in
+      (result, ev, lv))
+
+let pool_invariant run =
+  let reference = with_streams (fun sink -> run ~obs:sink ~pool:None) in
+  List.for_all
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          with_streams (fun sink -> run ~obs:sink ~pool:(Some p)) = reference))
+    jobs_sweep
+
+let par_workload seed c g =
+  let rng = Prng.create seed in
+  Workload.flows ~conflict:c
+    { workload_config with Workload.interference_free = true }
+    ~rng ~graph:g ~cost:Cost.length ~num_flows:2
+
+let test_engine_pool_invariant =
+  qtest "mac-given engine jobs-invariant (stats, events, live)" ~count:10 seed_gen
+    (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let w = par_workload seed c g in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      pool_invariant (fun ~obs ~pool ->
+          Engine.run_mac_given ~cooldown:100 ~obs ?pool ~pad:c ~graph:g ~cost:Cost.length
+            ~params w))
+
+let test_engine_mac_pool_invariant =
+  qtest "random-MAC engine jobs-invariant (stats, events, live)" ~count:10 seed_gen
+    (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let rng = Prng.create seed in
+      let w = Workload.flows workload_config ~rng ~graph:g ~cost:Cost.length ~num_flows:2 in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      pool_invariant (fun ~obs ~pool ->
+          (* A fresh identically-seeded MAC per run: the MAC draw is part
+             of the replayed input, not of the engine under test. *)
+          let mac = Mac.random_interference ~rng:(Prng.create (seed + 1)) c in
+          Engine.run_with_mac ~cooldown:100 ~obs ?pool ~collisions:c ~graph:g
+            ~cost:Cost.length ~params ~mac w))
+
+let test_dynamic_pool_invariant =
+  qtest "dynamic engine jobs-invariant (stats, events, live)" ~count:10 seed_gen
+    (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:20 in
+      let rng = Prng.create (seed + 1) in
+      let n = Graph.n g in
+      let flow = (Prng.int rng n, Prng.int rng n) in
+      let flow' = (Prng.int rng n, Prng.int rng n) in
+      let injections t =
+        if t >= 150 then [] else if t mod 3 = 0 then [ flow ] else [ flow' ]
+      in
+      pool_invariant (fun ~obs ~pool ->
+          Dynamic_engine.run ~obs ?pool
+            ~epochs:[ { Dynamic_engine.graph = g; conflict = c; steps = 300 } ]
+            ~injections ~cost:Cost.length ~params ()))
+
+let test_quantized_pool_invariant =
+  qtest "quantized engine jobs-invariant (stats, events, live)" ~count:10 seed_gen
+    (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let w = par_workload seed c g in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      List.for_all
+        (fun quantum ->
+          pool_invariant (fun ~obs ~pool ->
+              Quantized_engine.run_mac_given ~cooldown:100 ~obs ?pool ~pad:c ~quantum
+                ~graph:g ~cost:Cost.length ~params w))
+        [ 0; 2 ])
+
+let test_tracked_pool_invariant =
+  qtest "tracked engine jobs-invariant (stats, events, live)" ~count:10 seed_gen
+    (fun seed ->
+      let _, g, c = overlay_instance seed in
+      let w = par_workload seed c g in
+      let params = Balancing.params ~threshold:1. ~gamma:0.1 ~capacity:50 in
+      pool_invariant (fun ~obs ~pool ->
+          Tracked_engine.run_mac_given ~cooldown:100 ~obs ?pool ~pad:c ~graph:g
+            ~cost:Cost.length ~params w))
+
+(* ------------------------------------------------------------------ *)
 (* Edge cases                                                          *)
 
 (* Regression: a run that delivers nothing must not report a *perfect*
@@ -1268,6 +1483,8 @@ let () =
           test_buffers_nonzero_iteration;
           case "incremental max height" test_buffers_max_height_incremental;
           case "watcher" test_buffers_watcher;
+          test_buffers_matrix_oracle;
+          test_sparse_matrix_oracle;
         ] );
       ( "balancing",
         [
@@ -1331,6 +1548,14 @@ let () =
           test_quantized_zero_matches_engine;
           test_quantized_control_monotone;
           test_quantized_conservation;
+        ] );
+      ( "parallel",
+        [
+          test_engine_pool_invariant;
+          test_engine_mac_pool_invariant;
+          test_dynamic_pool_invariant;
+          test_quantized_pool_invariant;
+          test_tracked_pool_invariant;
         ] );
       ( "dynamic-costs",
         [
